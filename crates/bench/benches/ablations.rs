@@ -1,0 +1,103 @@
+//! Ablation benches for the design choices DESIGN.md §7 calls out:
+//! the k trade-off, the number of local discriminator steps L, swap
+//! policies, and the threaded vs sequential runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_data::synthetic::mnist_like;
+use md_tensor::rng::Rng64;
+use mdgan_core::config::{GanHyper, KPolicy, MdGanConfig, SwapPolicy};
+use mdgan_core::mdgan::threaded::run_threaded;
+use mdgan_core::mdgan::trainer::MdGan;
+use mdgan_core::ArchSpec;
+use std::time::Duration;
+
+const IMG: usize = 12;
+const WORKERS: usize = 4;
+
+fn cfg(k: KPolicy, swap: SwapPolicy, l: usize) -> MdGanConfig {
+    MdGanConfig {
+        workers: WORKERS,
+        k,
+        epochs_per_swap: 1.0,
+        swap,
+        hyper: GanHyper { batch: 8, disc_steps: l, ..GanHyper::default() },
+        iterations: 1000,
+        seed: 11,
+        crash: Default::default(),
+    }
+}
+
+fn make(k: KPolicy, swap: SwapPolicy, l: usize) -> MdGan {
+    let data = mnist_like(IMG, WORKERS * 64, 7, 0.08);
+    let mut rng = Rng64::seed_from_u64(8);
+    let shards = data.shard_iid(WORKERS, &mut rng);
+    let spec = ArchSpec::mlp_mnist_scaled(IMG);
+    MdGan::new(&spec, shards, cfg(k, swap, l))
+}
+
+fn bench_l_local_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_L");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for &l in &[1usize, 3, 5] {
+        let mut md = make(KPolicy::One, SwapPolicy::Disabled, l);
+        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |bench, _| {
+            bench.iter(|| std::hint::black_box(md.step()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_swap_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_swap");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for (name, policy) in [
+        ("derangement", SwapPolicy::Derangement),
+        ("ring", SwapPolicy::Ring),
+        ("disabled", SwapPolicy::Disabled),
+    ] {
+        let mut md = make(KPolicy::One, policy, 1);
+        g.bench_function(name, |bench| {
+            bench.iter(|| std::hint::black_box(md.step()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_runtimes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_runtime");
+    g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    let spec = ArchSpec::mlp_mnist_scaled(IMG);
+    let data = mnist_like(IMG, WORKERS * 64, 7, 0.08);
+    let iters = 5usize;
+
+    g.bench_function("sequential_5iter", |bench| {
+        bench.iter(|| {
+            let mut rng = Rng64::seed_from_u64(8);
+            let shards = data.shard_iid(WORKERS, &mut rng);
+            let mut md = MdGan::new(&spec, shards, cfg(KPolicy::LogN, SwapPolicy::Derangement, 1));
+            for _ in 0..iters {
+                md.step();
+            }
+            std::hint::black_box(md.gen_params())
+        });
+    });
+    g.bench_function("threaded_5iter", |bench| {
+        bench.iter(|| {
+            let mut rng = Rng64::seed_from_u64(8);
+            let shards = data.shard_iid(WORKERS, &mut rng);
+            let res = run_threaded(
+                &spec,
+                shards,
+                cfg(KPolicy::LogN, SwapPolicy::Derangement, 1),
+                None,
+                iters,
+                1000,
+            );
+            std::hint::black_box(res.gen_params)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_l_local_steps, bench_swap_policies, bench_runtimes);
+criterion_main!(benches);

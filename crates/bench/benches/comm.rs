@@ -1,0 +1,70 @@
+//! Communication-path benchmarks: parameter flattening/loading (the swap
+//! payload), FedAvg averaging, derangement sampling and router throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_nn::param::average;
+use md_simnet::Router;
+use md_tensor::rng::Rng64;
+use mdgan_core::ArchSpec;
+use std::time::Duration;
+
+fn bench_param_flatten(c: &mut Criterion) {
+    let mut g = c.benchmark_group("param_flatten");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let spec = ArchSpec::mlp_mnist_scaled(16);
+    let mut rng = Rng64::seed_from_u64(1);
+    let mut d = spec.build_discriminator(&mut rng);
+    g.bench_function("get_theta", |bench| {
+        bench.iter(|| std::hint::black_box(d.net.get_params_flat()));
+    });
+    let flat = d.net.get_params_flat();
+    g.bench_function("set_theta", |bench| {
+        bench.iter(|| d.net.set_params_flat(std::hint::black_box(&flat)));
+    });
+    g.finish();
+}
+
+fn bench_fedavg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fedavg");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let mut rng = Rng64::seed_from_u64(2);
+    for &n in &[5usize, 10, 25] {
+        let vecs: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..100_000).map(|_| rng.normal()).collect())
+            .collect();
+        g.bench_with_input(BenchmarkId::new("100k_params", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(average(&vecs)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_derangement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("derangement");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    for &n in &[10usize, 50, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
+            let mut rng = Rng64::seed_from_u64(3);
+            bench.iter(|| std::hint::black_box(rng.derangement(n)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_router_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    g.bench_function("send_recv_1kB", |bench| {
+        let mut router: Router<Vec<f32>> = Router::new(1);
+        let eps = router.all_endpoints();
+        let payload = vec![0.0f32; 256];
+        bench.iter(|| {
+            eps[0].send(1, payload.clone(), 1024);
+            std::hint::black_box(eps[1].recv());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_param_flatten, bench_fedavg, bench_derangement, bench_router_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Micro-benchmarks of the tensor kernels every training step is built on:
+//! matmul, conv2d forward/backward, conv-transpose2d, and the minibatch-
+//! discrimination layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use md_nn::init::Init;
+use md_nn::layer::Layer;
+use md_nn::layers::MinibatchDiscrimination;
+use md_tensor::ops::conv::{conv2d_backward, conv2d_forward, conv_transpose2d_forward};
+use md_tensor::rng::Rng64;
+use md_tensor::Tensor;
+use std::time::Duration;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let mut rng = Rng64::seed_from_u64(1);
+    for &n in &[32usize, 64, 128, 256] {
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv2d");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let mut rng = Rng64::seed_from_u64(2);
+    // The discriminator's first layer at batch 10: (10, 3, 16, 16) * (16, 3, 3, 3).
+    let x = Tensor::randn(&[10, 3, 16, 16], &mut rng);
+    let w = Tensor::randn(&[16, 3, 3, 3], &mut rng);
+    let bias = Tensor::randn(&[16], &mut rng);
+    g.bench_function("forward_b10_16px", |bench| {
+        bench.iter(|| std::hint::black_box(conv2d_forward(&x, &w, &bias, 2, 1)));
+    });
+    let out = conv2d_forward(&x, &w, &bias, 2, 1);
+    let grad = Tensor::ones(out.shape());
+    g.bench_function("backward_b10_16px", |bench| {
+        bench.iter(|| std::hint::black_box(conv2d_backward(&x, &w, &grad, 2, 1)));
+    });
+    // The generator's upsampling layer: (10, 32, 4, 4) -> (10, 16, 8, 8).
+    let xt = Tensor::randn(&[10, 32, 4, 4], &mut rng);
+    let wt = Tensor::randn(&[32, 16, 4, 4], &mut rng);
+    let bt = Tensor::randn(&[16], &mut rng);
+    g.bench_function("transpose_forward_b10", |bench| {
+        bench.iter(|| std::hint::black_box(conv_transpose2d_forward(&xt, &wt, &bt, 2, 1)));
+    });
+    g.finish();
+}
+
+fn bench_minibatch_disc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minibatch_discrimination");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let mut rng = Rng64::seed_from_u64(3);
+    for &b in &[10usize, 50, 100] {
+        let mut layer = MinibatchDiscrimination::new(256, 8, 4, &mut rng);
+        let x = Tensor::randn(&[b, 256], &mut rng);
+        g.bench_with_input(BenchmarkId::new("forward", b), &b, |bench, _| {
+            bench.iter(|| std::hint::black_box(layer.forward(&x, true)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_softmax_and_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduce");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let mut rng = Rng64::seed_from_u64(4);
+    let logits = Tensor::randn(&[500, 11], &mut rng);
+    g.bench_function("softmax_rows_500x11", |bench| {
+        bench.iter(|| std::hint::black_box(logits.softmax_rows()));
+    });
+    let imgs = Tensor::randn(&[100, 3, 16, 16], &mut rng);
+    g.bench_function("sum_axis0_batch100", |bench| {
+        bench.iter(|| std::hint::black_box(imgs.sum_axis0()));
+    });
+    g.finish();
+}
+
+fn bench_init(c: &mut Criterion) {
+    let mut g = c.benchmark_group("init");
+    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    g.bench_function("xavier_128x128", |bench| {
+        let mut rng = Rng64::seed_from_u64(5);
+        bench.iter(|| std::hint::black_box(Init::XavierUniform.sample(&[128, 128], 128, 128, &mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_minibatch_disc, bench_softmax_and_reduce, bench_init);
+criterion_main!(benches);

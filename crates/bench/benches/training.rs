@@ -1,0 +1,86 @@
+//! Meso-benchmarks: the cost of one global iteration for each competitor —
+//! the quantities Table II models analytically, measured on real code.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_data::synthetic::mnist_like;
+use md_tensor::rng::Rng64;
+use mdgan_core::config::{FlGanConfig, GanHyper, KPolicy, MdGanConfig, SwapPolicy};
+use mdgan_core::flgan::FlGan;
+use mdgan_core::mdgan::trainer::MdGan;
+use mdgan_core::standalone::StandaloneGan;
+use mdgan_core::ArchSpec;
+use std::time::Duration;
+
+const IMG: usize = 12;
+const WORKERS: usize = 4;
+
+fn hyper(b: usize) -> GanHyper {
+    GanHyper { batch: b, ..GanHyper::default() }
+}
+
+fn bench_standalone_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("standalone_step");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for (name, spec) in [
+        ("mlp", ArchSpec::mlp_mnist_scaled(IMG)),
+        ("cnn", ArchSpec::cnn_mnist_scaled(16)),
+    ] {
+        let data = mnist_like(spec.img, 256, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut gan = StandaloneGan::new(&spec, data, hyper(10), &mut rng);
+        g.bench_function(name, |bench| {
+            bench.iter(|| std::hint::black_box(gan.step()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mdgan_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mdgan_step");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let data = mnist_like(IMG, WORKERS * 64, 2, 0.08);
+    let mut rng = Rng64::seed_from_u64(2);
+    let spec = ArchSpec::mlp_mnist_scaled(IMG);
+    for (name, k) in [("k1", KPolicy::One), ("klogn", KPolicy::LogN), ("kN", KPolicy::All)] {
+        let shards = data.shard_iid(WORKERS, &mut rng);
+        let cfg = MdGanConfig {
+            workers: WORKERS,
+            k,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Derangement,
+            hyper: hyper(10),
+            iterations: 1000,
+            seed: 3,
+            crash: Default::default(),
+        };
+        let mut md = MdGan::new(&spec, shards, cfg);
+        g.bench_function(name, |bench| {
+            bench.iter(|| std::hint::black_box(md.step()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_flgan_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flgan_step");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    let data = mnist_like(IMG, WORKERS * 64, 3, 0.08);
+    let mut rng = Rng64::seed_from_u64(4);
+    let spec = ArchSpec::mlp_mnist_scaled(IMG);
+    let shards = data.shard_iid(WORKERS, &mut rng);
+    let cfg = FlGanConfig {
+        workers: WORKERS,
+        epochs_per_round: 1.0,
+        hyper: hyper(10),
+        iterations: 1000,
+        seed: 5,
+    };
+    let mut fl = FlGan::new(&spec, shards, cfg);
+    g.bench_function("n4", |bench| {
+        bench.iter(|| std::hint::black_box(fl.step()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_standalone_step, bench_mdgan_step, bench_flgan_step);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Regenerates **Figure 3**: MNIST-score / Inception-score (higher better)
+//! and FID (lower better) vs iterations for the six competitors —
+//! standalone (b=10/100), FL-GAN (b=10/100), MD-GAN (k=1 / k=⌊log N⌋) —
+//! on one (family, architecture) panel per invocation.
+//!
+//! ```text
+//! cargo run --release -p md-bench --bin fig3_convergence -- \
+//!     --family mnist --arch mlp --iters 2000 --img 16 --train 4096
+//! ```
+//!
+//! Writes `results/fig3_<family>_<arch>.csv` and prints the final scores.
+
+use md_bench::{print_table, write_csv, Args};
+use md_data::synthetic::Family;
+use mdgan_core::arch::ArchKind;
+use mdgan_core::experiments::{run_convergence, ConvergenceConfig, ExperimentScale};
+
+fn main() {
+    let args = Args::parse();
+    let family = match args.get_str("family", "mnist").as_str() {
+        "mnist" => Family::MnistLike,
+        "cifar" => Family::CifarLike,
+        other => panic!("unknown family {other:?} (use mnist|cifar)"),
+    };
+    let arch = match args.get_str("arch", "mlp").as_str() {
+        "mlp" => ArchKind::Mlp,
+        "cnn" => ArchKind::Cnn,
+        other => panic!("unknown arch {other:?} (use mlp|cnn)"),
+    };
+    let scale = ExperimentScale {
+        img: args.get("img", 16usize),
+        train_n: args.get("train", 2048usize),
+        test_n: args.get("test", 512usize),
+        iters: args.get("iters", 600usize),
+        eval_every: args.get("eval-every", 50usize),
+        eval_samples: args.get("eval-samples", 256usize),
+        seed: args.get("seed", 42u64),
+    };
+    let cfg = ConvergenceConfig {
+        workers: args.get("workers", 10usize),
+        b_small: args.get("b-small", 10usize),
+        b_large: args.get("b-large", 100usize),
+        ..ConvergenceConfig::new(family, arch, scale)
+    };
+
+    eprintln!("running Figure 3 panel: {family:?} / {arch:?} at {scale:?}");
+    let curves = run_convergence(cfg);
+
+    let fam = args.get_str("family", "mnist");
+    let arc = args.get_str("arch", "mlp");
+    let mut csv = String::new();
+    for c in &curves {
+        csv.push_str(&c.to_csv());
+    }
+    write_csv(&format!("fig3_{fam}_{arc}.csv"), "label,iter,is,fid", &csv);
+
+    let rows: Vec<[String; 4]> = curves
+        .iter()
+        .map(|c| {
+            let f = c.timeline.final_scores(3).unwrap();
+            [
+                c.label.clone(),
+                format!("{:.3}", f.inception_score),
+                format!("{:.2}", f.fid),
+                c.traffic
+                    .as_ref()
+                    .map(|t| format!("{:.1} MB", t.total_bytes() as f64 / (1024.0 * 1024.0)))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 3 ({fam}/{arc}) — final scores (IS ↑, FID ↓)"),
+        ["competitor", "IS", "FID", "traffic"],
+        &rows,
+    );
+}

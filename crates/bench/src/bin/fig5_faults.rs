@@ -1,0 +1,68 @@
+//! Regenerates **Figure 5**: MD-GAN under fail-stop worker crashes (one
+//! worker — with its data shard — dies every `I/N` iterations, so all are
+//! gone by the end), compared to the crash-free run and the standalone
+//! baselines.
+//!
+//! ```text
+//! cargo run --release -p md-bench --bin fig5_faults -- \
+//!     --family mnist --iters 800 --workers 10
+//! ```
+//!
+//! Writes `results/fig5_<family>.csv`.
+
+use md_bench::{print_table, write_csv, Args};
+use md_data::synthetic::Family;
+use mdgan_core::arch::ArchKind;
+use mdgan_core::experiments::{run_faults, ExperimentScale};
+
+fn main() {
+    let args = Args::parse();
+    let fam_str = args.get_str("family", "mnist");
+    let family = match fam_str.as_str() {
+        "mnist" => Family::MnistLike,
+        "cifar" => Family::CifarLike,
+        other => panic!("unknown family {other:?} (use mnist|cifar)"),
+    };
+    let arch = match args.get_str("arch", "mlp").as_str() {
+        "mlp" => ArchKind::Mlp,
+        "cnn" => ArchKind::Cnn,
+        other => panic!("unknown arch {other:?} (use mlp|cnn)"),
+    };
+    let workers = args.get("workers", 10usize);
+    let scale = ExperimentScale {
+        img: args.get("img", 16usize),
+        train_n: args.get("train", 2048usize),
+        test_n: args.get("test", 512usize),
+        iters: args.get("iters", 400usize),
+        eval_every: args.get("eval-every", 40usize),
+        eval_samples: args.get("eval-samples", 256usize),
+        seed: args.get("seed", 42u64),
+    };
+
+    eprintln!("running Figure 5 ({fam_str}) with {workers} workers at {scale:?}");
+    let curves = run_faults(family, arch, scale, workers);
+
+    let mut csv = String::new();
+    for c in &curves {
+        csv.push_str(&c.to_csv());
+    }
+    write_csv(&format!("fig5_{fam_str}.csv"), "label,iter,is,fid", &csv);
+
+    let rows: Vec<[String; 3]> = curves
+        .iter()
+        .map(|c| {
+            let f = c.timeline.final_scores(3).unwrap();
+            [c.label.clone(), format!("{:.3}", f.inception_score), format!("{:.2}", f.fid)]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 5 ({fam_str}) — final scores with crash faults (IS ↑, FID ↓)"),
+        ["competitor", "IS", "FID"],
+        &rows,
+    );
+    println!(
+        "\nPaper observations: on MNIST the crash pattern has no significant\n\
+         impact; on CIFAR10 early crashes make the run diverge from the\n\
+         crash-free curve while staying comparable up to ~8 crashed workers."
+    );
+}

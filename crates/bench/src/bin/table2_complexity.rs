@@ -1,0 +1,75 @@
+//! Regenerates **Table II**: computation and memory complexity at the
+//! server (C) and workers (W) for FL-GAN vs MD-GAN, instantiated with the
+//! paper's architectures and experiment parameters.
+//!
+//! ```text
+//! cargo run -p md-bench --bin table2_complexity [-- --n 10 --b 10 --iters 50000]
+//! ```
+
+use md_bench::{print_table, Args};
+use mdgan_core::complexity::{SysParams, D_CIFAR, D_MNIST, PAPER_CNN_CIFAR, PAPER_CNN_MNIST, PAPER_MLP_MNIST};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 10usize);
+    let b = args.get("b", 10usize);
+    let iters = args.get("iters", 50_000usize);
+    let e = args.get("e", 1.0f64);
+
+    println!("Table II — computation & memory complexity (FL-GAN vs MD-GAN)");
+    println!("parameters: N={n}, b={b}, I={iters}, E={e}, k=⌊log N⌋");
+    println!("(values are the O(·) expressions of Table II evaluated numerically, in FLOP/float units)");
+
+    for (name, model, d, dataset) in [
+        ("MLP / MNIST", PAPER_MLP_MNIST, D_MNIST, 60_000usize),
+        ("CNN / MNIST", PAPER_CNN_MNIST, D_MNIST, 60_000),
+        ("CNN / CIFAR10", PAPER_CNN_CIFAR, D_CIFAR, 50_000),
+    ] {
+        let p = SysParams {
+            n,
+            b,
+            d,
+            k: (n as f64).log2().floor().max(1.0) as usize,
+            m: dataset / n,
+            e,
+            iters,
+            model,
+        };
+        let rows = vec![
+            [
+                "Computation C".to_string(),
+                format!("{:.3e}", p.flgan_server_compute()),
+                format!("{:.3e}", p.mdgan_server_compute()),
+            ],
+            [
+                "Memory C".to_string(),
+                format!("{:.3e}", p.flgan_server_memory()),
+                format!("{:.3e}", p.mdgan_server_memory()),
+            ],
+            [
+                "Computation W".to_string(),
+                format!("{:.3e}", p.flgan_worker_compute()),
+                format!("{:.3e}", p.mdgan_worker_compute()),
+            ],
+            [
+                "Memory W".to_string(),
+                format!("{:.3e}", p.flgan_worker_memory()),
+                format!("{:.3e}", p.mdgan_worker_memory()),
+            ],
+            [
+                "Worker ratio FL/MD".to_string(),
+                String::new(),
+                format!("{:.2}x", p.worker_compute_ratio()),
+            ],
+        ];
+        print_table(
+            &format!("{name} (|w|={}, |θ|={})", model.gen, model.disc),
+            ["quantity", "FL-GAN", "MD-GAN"],
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper claim: MD-GAN removes ~half the computation from workers\n\
+         (grey rows of Table II) — the ratio column above shows (|w|+|θ|)/|θ|."
+    );
+}

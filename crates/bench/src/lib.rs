@@ -1,0 +1,144 @@
+//! Shared helpers for the experiment harness binaries: a dependency-free
+//! CLI flag parser, table pretty-printing, and CSV output.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the full index) and accepts `--key value` flags to
+//! scale between "seconds" and "paper scale".
+
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::fs;
+use std::path::Path;
+
+/// A minimal `--key value` argument parser (no external crates by design).
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`, panicking on malformed flags.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut flags = BTreeMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let key = arg
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --flag, got {arg:?}"))
+                .to_string();
+            let value = match iter.peek() {
+                Some(v) if !v.starts_with("--") => iter.next().unwrap(),
+                _ => "true".to_string(), // boolean flag
+            };
+            flags.insert(key, value);
+        }
+        Args { flags }
+    }
+
+    /// Returns the flag value parsed as `T`, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.flags.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|e| panic!("bad value for --{key}: {v:?} ({e:?})")),
+            None => default,
+        }
+    }
+
+    /// Returns the raw string flag, or `default`.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// True iff the flag was supplied.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+/// Formats a byte count the way the paper's Table IV does (MiB, printed as
+/// "MB").
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.2} MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Pretty-prints a fixed-width table (header + rows) to stdout.
+pub fn print_table<const W: usize>(title: &str, header: [&str; W], rows: &[[String; W]]) {
+    println!("\n=== {title} ===");
+    let mut widths = [0usize; W];
+    for (i, h) in header.iter().enumerate() {
+        widths[i] = h.len();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String]| {
+        let line: Vec<String> = cells.iter().enumerate().map(|(i, c)| format!("{:w$}", c, w = widths[i])).collect();
+        println!("| {} |", line.join(" | "));
+    };
+    print_row(&header.map(String::from));
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Writes a CSV file under `results/`, creating the directory as needed,
+/// and echoes the path.
+pub fn write_csv(name: &str, header: &str, body: &str) {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(name);
+    let content = format!("{header}\n{body}");
+    fs::write(&path, content).expect("write csv");
+    println!("wrote {}", path.display());
+}
+
+/// Column-stacks label/value pairs into `[String; 2]` rows (small helper
+/// for two-column tables).
+pub fn kv_rows<V: Display>(pairs: &[(&str, V)]) -> Vec<[String; 2]> {
+    pairs.iter().map(|(k, v)| [k.to_string(), v.to_string()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_key_value_flags() {
+        let a = Args::from_iter(["--iters", "100", "--family", "mnist"].map(String::from));
+        assert_eq!(a.get("iters", 0usize), 100);
+        assert_eq!(a.get_str("family", "cifar"), "mnist");
+        assert_eq!(a.get("missing", 7usize), 7);
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = Args::from_iter(["--full", "--iters", "5"].map(String::from));
+        assert!(a.has("full"));
+        assert_eq!(a.get("full", false), true);
+        assert_eq!(a.get("iters", 0usize), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value")]
+    fn rejects_unparsable_values() {
+        let a = Args::from_iter(["--iters", "ten"].map(String::from));
+        a.get("iters", 0usize);
+    }
+
+    #[test]
+    fn mb_formatting_matches_paper_convention() {
+        assert_eq!(fmt_mb(2 * 1024 * 1024), "2.00 MB");
+        // The paper's 2.30 MB entry: 2·10·3072·10·4 bytes.
+        assert_eq!(fmt_mb(2 * 10 * 3072 * 10 * 4), "2.34 MB");
+    }
+}

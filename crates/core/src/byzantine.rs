@@ -1,0 +1,208 @@
+//! Adversarial workers and robust feedback aggregation — the paper's
+//! §VII.3 perspective, implemented.
+//!
+//! > "the learning process is most likely prone to workers having their
+//! > discriminator lie to the server's generator (by sending erroneous or
+//! > manipulated feedback). The global convergence [...] will be affected
+//! > in an unknown proportion."
+//!
+//! We implement the classic feedback manipulations and, following the
+//! Byzantine-tolerant gradient-descent line of work the paper cites \[46\],
+//! coordinate-wise robust aggregators the server can use in place of the
+//! plain average.
+
+use md_tensor::rng::Rng64;
+use md_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// How a compromised worker manipulates its error feedback `F_n`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Attack {
+    /// Honest worker.
+    None,
+    /// Sends `-scale · F_n` — pushes the generator *away* from fooling D.
+    SignFlip {
+        /// Magnitude multiplier (1.0 = pure sign flip).
+        scale: f32,
+    },
+    /// Replaces the feedback with Gaussian noise of the given std.
+    RandomNoise {
+        /// Noise standard deviation.
+        std: f32,
+    },
+    /// Sends `factor · F_n` — gradient inflation, destabilizing Adam.
+    Inflate {
+        /// Magnitude multiplier (> 1).
+        factor: f32,
+    },
+}
+
+impl Attack {
+    /// Applies the manipulation to a feedback tensor.
+    pub fn apply(&self, feedback: &Tensor, rng: &mut Rng64) -> Tensor {
+        match *self {
+            Attack::None => feedback.clone(),
+            Attack::SignFlip { scale } => feedback.scale(-scale),
+            Attack::RandomNoise { std } => Tensor::randn(feedback.shape(), rng).scale(std),
+            Attack::Inflate { factor } => feedback.scale(factor),
+        }
+    }
+
+    /// True for the honest case.
+    pub fn is_honest(&self) -> bool {
+        matches!(self, Attack::None)
+    }
+}
+
+/// How the server merges the feedbacks of the workers sharing one
+/// generated batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Plain averaging — the paper's choice ("the most common way to
+    /// aggregate updates processed in parallel").
+    Mean,
+    /// Coordinate-wise median — tolerates up to ⌊(g-1)/2⌋ byzantine
+    /// members per batch group.
+    CoordinateMedian,
+    /// Coordinate-wise trimmed mean: drop the `trim` smallest and largest
+    /// values per coordinate, average the rest.
+    TrimmedMean {
+        /// Values trimmed from each tail (per coordinate).
+        trim: usize,
+    },
+}
+
+impl Aggregation {
+    /// Aggregates a non-empty group of equally-shaped feedbacks into one
+    /// "consensus" gradient of the same scale as a single member.
+    ///
+    /// # Panics
+    /// Panics on an empty group, shape mismatches, or over-trimming.
+    pub fn aggregate(&self, group: &[&Tensor]) -> Tensor {
+        assert!(!group.is_empty(), "aggregate of empty group");
+        let shape = group[0].shape().to_vec();
+        for t in group {
+            assert_eq!(t.shape(), &shape[..], "feedback shape mismatch");
+        }
+        let g = group.len();
+        match *self {
+            Aggregation::Mean => {
+                let mut acc = group[0].clone();
+                for t in &group[1..] {
+                    acc.add_assign(t);
+                }
+                acc.scale(1.0 / g as f32)
+            }
+            Aggregation::CoordinateMedian => {
+                let mut out = Tensor::zeros(&shape);
+                let mut column = vec![0.0f32; g];
+                for i in 0..out.len() {
+                    for (c, t) in column.iter_mut().zip(group) {
+                        *c = t.data()[i];
+                    }
+                    column.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                    out.data_mut()[i] = if g % 2 == 1 {
+                        column[g / 2]
+                    } else {
+                        0.5 * (column[g / 2 - 1] + column[g / 2])
+                    };
+                }
+                out
+            }
+            Aggregation::TrimmedMean { trim } => {
+                assert!(2 * trim < g, "trimming {trim} from each tail of a group of {g}");
+                let kept = (g - 2 * trim) as f32;
+                let mut out = Tensor::zeros(&shape);
+                let mut column = vec![0.0f32; g];
+                for i in 0..out.len() {
+                    for (c, t) in column.iter_mut().zip(group) {
+                        *c = t.data()[i];
+                    }
+                    column.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+                    out.data_mut()[i] = column[trim..g - trim].iter().sum::<f32>() / kept;
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::new(&[v.len()], v.to_vec())
+    }
+
+    #[test]
+    fn attacks_transform_feedback() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let f = t(&[1.0, -2.0, 3.0]);
+        assert_eq!(Attack::None.apply(&f, &mut rng).data(), f.data());
+        assert_eq!(Attack::SignFlip { scale: 1.0 }.apply(&f, &mut rng).data(), &[-1.0, 2.0, -3.0]);
+        assert_eq!(Attack::Inflate { factor: 10.0 }.apply(&f, &mut rng).data(), &[10.0, -20.0, 30.0]);
+        let noisy = Attack::RandomNoise { std: 1.0 }.apply(&f, &mut rng);
+        assert_ne!(noisy.data(), f.data());
+        assert_eq!(noisy.shape(), f.shape());
+    }
+
+    #[test]
+    fn mean_is_the_average() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[3.0, 6.0]);
+        let m = Aggregation::Mean.aggregate(&[&a, &b]);
+        assert_eq!(m.data(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn median_ignores_one_outlier() {
+        let honest1 = t(&[1.0, 1.0]);
+        let honest2 = t(&[1.2, 0.8]);
+        let evil = t(&[1000.0, -1000.0]);
+        let m = Aggregation::CoordinateMedian.aggregate(&[&honest1, &evil, &honest2]);
+        assert!((m.data()[0] - 1.2).abs() < 1e-6);
+        assert!((m.data()[1] - 0.8).abs() < 1e-6);
+        // The mean would have been wrecked.
+        let mean = Aggregation::Mean.aggregate(&[&honest1, &evil, &honest2]);
+        assert!(mean.data()[0] > 300.0);
+    }
+
+    #[test]
+    fn even_group_median_averages_middles() {
+        let g: Vec<Tensor> = [0.0f32, 1.0, 2.0, 100.0].iter().map(|&v| t(&[v])).collect();
+        let refs: Vec<&Tensor> = g.iter().collect();
+        let m = Aggregation::CoordinateMedian.aggregate(&refs);
+        assert!((m.data()[0] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_tails() {
+        let g: Vec<Tensor> = [-100.0f32, 1.0, 2.0, 3.0, 100.0].iter().map(|&v| t(&[v])).collect();
+        let refs: Vec<&Tensor> = g.iter().collect();
+        let m = Aggregation::TrimmedMean { trim: 1 }.aggregate(&refs);
+        assert!((m.data()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "trimming")]
+    fn over_trimming_rejected() {
+        let a = t(&[1.0]);
+        let b = t(&[2.0]);
+        Aggregation::TrimmedMean { trim: 1 }.aggregate(&[&a, &b]);
+    }
+
+    #[test]
+    fn aggregators_agree_on_identical_inputs() {
+        let a = t(&[0.5, -0.25, 4.0]);
+        let group = [&a, &a, &a];
+        for agg in [
+            Aggregation::Mean,
+            Aggregation::CoordinateMedian,
+            Aggregation::TrimmedMean { trim: 1 },
+        ] {
+            let m = agg.aggregate(&group);
+            assert_eq!(m.data(), a.data(), "{agg:?}");
+        }
+    }
+}

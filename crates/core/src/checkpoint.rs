@@ -1,0 +1,203 @@
+//! Parameter checkpoints: a small versioned binary format for saving and
+//! restoring training state (generator + every discriminator + counters).
+//!
+//! Checkpoints capture *parameters*, not RNG streams or optimizer moments;
+//! resuming continues with fresh Adam state, which in practice re-warms in
+//! a few iterations. The format is deliberately simple and self-describing:
+//!
+//! ```text
+//! magic "MDGANCKP" | version u32 | iteration u64 | n_sections u32
+//! then per section: name_len u32 | name bytes | data_len u32 | f32 LE...
+//! ```
+//! All integers little-endian.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MDGANCKP";
+const VERSION: u32 = 1;
+
+/// A named collection of flat f32 parameter vectors plus an iteration
+/// counter.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Checkpoint {
+    /// Global iteration the checkpoint was taken at.
+    pub iteration: u64,
+    /// Named parameter sections, e.g. `("generator", w)`, `("disc_3", θ₃)`.
+    pub sections: Vec<(String, Vec<f32>)>,
+}
+
+impl Checkpoint {
+    /// Creates an empty checkpoint at the given iteration.
+    pub fn new(iteration: u64) -> Self {
+        Checkpoint { iteration, sections: Vec::new() }
+    }
+
+    /// Appends a section.
+    pub fn push(&mut self, name: impl Into<String>, data: Vec<f32>) {
+        self.sections.push((name.into(), data));
+    }
+
+    /// Looks a section up by name.
+    pub fn get(&self, name: &str) -> Option<&[f32]> {
+        self.sections.iter().find(|(n, _)| n == name).map(|(_, d)| d.as_slice())
+    }
+
+    /// Serializes to the wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let payload: usize =
+            self.sections.iter().map(|(n, d)| 8 + n.len() + 4 * d.len()).sum::<usize>();
+        let mut buf = BytesMut::with_capacity(8 + 4 + 8 + 4 + payload);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(self.iteration);
+        buf.put_u32_le(self.sections.len() as u32);
+        for (name, data) in &self.sections {
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            buf.put_u32_le(data.len() as u32);
+            for &v in data {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses the wire format.
+    ///
+    /// # Errors
+    /// Returns a descriptive error on magic/version mismatch or truncation.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<Self, String> {
+        if buf.len() < 8 + 4 + 8 + 4 {
+            return Err("checkpoint truncated (header)".into());
+        }
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(format!("bad magic {magic:?}"));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(format!("unsupported checkpoint version {version}"));
+        }
+        let iteration = buf.get_u64_le();
+        let n = buf.get_u32_le() as usize;
+        let mut sections = Vec::with_capacity(n);
+        for i in 0..n {
+            if buf.remaining() < 4 {
+                return Err(format!("checkpoint truncated at section {i} name length"));
+            }
+            let name_len = buf.get_u32_le() as usize;
+            if buf.remaining() < name_len {
+                return Err(format!("checkpoint truncated at section {i} name"));
+            }
+            let name = String::from_utf8(buf[..name_len].to_vec())
+                .map_err(|e| format!("section {i} name not utf-8: {e}"))?;
+            buf.advance(name_len);
+            if buf.remaining() < 4 {
+                return Err(format!("checkpoint truncated at section {i} data length"));
+            }
+            let data_len = buf.get_u32_le() as usize;
+            if buf.remaining() < 4 * data_len {
+                return Err(format!("checkpoint truncated in section {name:?} data"));
+            }
+            let mut data = Vec::with_capacity(data_len);
+            for _ in 0..data_len {
+                data.push(buf.get_f32_le());
+            }
+            sections.push((name, data));
+        }
+        Ok(Checkpoint { iteration, sections })
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a checkpoint from a file.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let bytes = fs::read(path)?;
+        Self::from_bytes(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Total serialized size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut c = Checkpoint::new(1234);
+        c.push("generator", vec![1.0, -2.5, 3.25]);
+        c.push("disc_1", vec![0.0; 17]);
+        c.push("disc_2", vec![f32::MIN_POSITIVE, f32::MAX]);
+        c
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let c = sample();
+        let parsed = Checkpoint::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(parsed, c);
+        assert_eq!(parsed.iteration, 1234);
+        assert_eq!(parsed.get("generator"), Some(&[1.0, -2.5, 3.25][..]));
+        assert!(parsed.get("missing").is_none());
+    }
+
+    #[test]
+    fn roundtrip_file() {
+        let c = sample();
+        let dir = std::env::temp_dir().join("mdgan_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.ckpt");
+        c.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, c);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().to_bytes().to_vec();
+        bytes[0] = b'X';
+        assert!(Checkpoint::from_bytes(&bytes).unwrap_err().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = sample().to_bytes().to_vec();
+        bytes[8] = 99;
+        assert!(Checkpoint::from_bytes(&bytes).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let bytes = sample().to_bytes();
+        // Any prefix must fail cleanly, never panic.
+        for cut in 0..bytes.len() {
+            let r = Checkpoint::from_bytes(&bytes[..cut]);
+            assert!(r.is_err(), "prefix of {cut} bytes unexpectedly parsed");
+        }
+        assert!(Checkpoint::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrips() {
+        let c = Checkpoint::new(0);
+        assert_eq!(Checkpoint::from_bytes(&c.to_bytes()).unwrap(), c);
+    }
+
+    #[test]
+    fn byte_size_accounts_header_and_payload() {
+        let c = sample();
+        assert_eq!(c.byte_size(), c.to_bytes().len());
+        assert!(c.byte_size() > 4 * (3 + 17 + 2));
+    }
+}

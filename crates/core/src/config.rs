@@ -1,0 +1,220 @@
+//! Hyper-parameter records for MD-GAN and its competitors.
+
+use md_nn::gan::GenLossMode;
+use md_nn::optim::AdamConfig;
+use md_simnet::CrashSchedule;
+use serde::{Deserialize, Serialize};
+
+/// GAN training hyper-parameters shared by all competitors.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GanHyper {
+    /// Batch size `b`.
+    pub batch: usize,
+    /// Discriminator learning iterations per global iteration (`L` in
+    /// Algorithm 1; the original GAN paper uses a small constant).
+    pub disc_steps: usize,
+    /// Generator objective (the paper's minimax `J_gen`, or the standard
+    /// non-saturating variant used by practical ACGAN implementations).
+    pub gen_loss: GenLossMode,
+    /// Weight of the ACGAN auxiliary classification loss (0 disables).
+    pub aux_weight: f32,
+    /// Adam settings for the generator.
+    pub adam_g: AdamConfig,
+    /// Adam settings for the discriminator(s).
+    pub adam_d: AdamConfig,
+}
+
+impl Default for GanHyper {
+    fn default() -> Self {
+        GanHyper {
+            batch: 10,
+            disc_steps: 1,
+            gen_loss: GenLossMode::NonSaturating,
+            aux_weight: 1.0,
+            adam_g: AdamConfig::default(),
+            adam_d: AdamConfig::default(),
+        }
+    }
+}
+
+/// The paper's `k`: how many distinct batches the server generates per
+/// global iteration (§IV-B4, "the complexity vs. data diversity trade-off").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KPolicy {
+    /// `k = 1`: every worker receives the same batch (lowest server load).
+    One,
+    /// `k = max(1, ⌊log₂ N⌋)` — the paper's recommended setting.
+    LogN,
+    /// `k = N`: every worker gets a distinct batch (highest diversity).
+    All,
+    /// An explicit value (clamped to `[1, N]`).
+    Fixed(usize),
+}
+
+impl KPolicy {
+    /// Resolves the policy for `n` workers.
+    pub fn resolve(self, n: usize) -> usize {
+        let k = match self {
+            KPolicy::One => 1,
+            KPolicy::LogN => (n as f64).log2().floor() as usize,
+            KPolicy::All => n,
+            KPolicy::Fixed(k) => k,
+        };
+        k.clamp(1, n.max(1))
+    }
+}
+
+/// How discriminators move between workers every `E` epochs (§IV-C1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwapPolicy {
+    /// A uniformly random derangement (gossip; preserves the
+    /// one-discriminator-per-worker invariant — see DESIGN.md §2).
+    Derangement,
+    /// Deterministic rotation by one (for tests/ablations).
+    Ring,
+    /// No swapping (the paper's `E = ∞` ablation in Figure 4).
+    Disabled,
+}
+
+/// Full MD-GAN configuration (Algorithm 1's inputs plus runtime knobs).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MdGanConfig {
+    /// Number of workers `N`.
+    pub workers: usize,
+    /// Batch-diversity policy for `k`.
+    pub k: KPolicy,
+    /// Local epochs between swaps, `E` (a swap fires every `m·E/b`
+    /// global iterations).
+    pub epochs_per_swap: f32,
+    /// Swap mechanism.
+    pub swap: SwapPolicy,
+    /// Shared GAN hyper-parameters.
+    pub hyper: GanHyper,
+    /// Total global iterations `I`.
+    pub iterations: usize,
+    /// Master seed (everything derives from it).
+    pub seed: u64,
+    /// Optional fail-stop crash schedule (Figure 5).
+    #[serde(skip)]
+    pub crash: CrashSchedule,
+}
+
+impl Default for MdGanConfig {
+    fn default() -> Self {
+        MdGanConfig {
+            workers: 10,
+            k: KPolicy::LogN,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Derangement,
+            hyper: GanHyper::default(),
+            iterations: 1000,
+            seed: 0,
+            crash: CrashSchedule::none(),
+        }
+    }
+}
+
+impl MdGanConfig {
+    /// Global iterations between two swap events: `⌊m·E/b⌋` for local
+    /// shard size `m` (at least 1).
+    pub fn swap_interval(&self, shard_size: usize) -> usize {
+        (((shard_size as f32) * self.epochs_per_swap / self.hyper.batch as f32).floor() as usize).max(1)
+    }
+}
+
+/// FL-GAN configuration (§III.c).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlGanConfig {
+    /// Number of workers `N`.
+    pub workers: usize,
+    /// Local epochs per round, `E` (paper uses `E = 1`).
+    pub epochs_per_round: f32,
+    /// Shared GAN hyper-parameters.
+    pub hyper: GanHyper,
+    /// Total local iterations `I` (generator update count, the paper's
+    /// x-axis).
+    pub iterations: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FlGanConfig {
+    fn default() -> Self {
+        FlGanConfig {
+            workers: 10,
+            epochs_per_round: 1.0,
+            hyper: GanHyper::default(),
+            iterations: 1000,
+            seed: 0,
+        }
+    }
+}
+
+impl FlGanConfig {
+    /// Local iterations between two federated-averaging rounds.
+    pub fn round_interval(&self, shard_size: usize) -> usize {
+        (((shard_size as f32) * self.epochs_per_round / self.hyper.batch as f32).floor() as usize).max(1)
+    }
+}
+
+/// Standalone (single-server) GAN configuration (§V-A.d).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StandaloneConfig {
+    /// Shared GAN hyper-parameters.
+    pub hyper: GanHyper,
+    /// Total iterations `I`.
+    pub iterations: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for StandaloneConfig {
+    fn default() -> Self {
+        StandaloneConfig { hyper: GanHyper::default(), iterations: 1000, seed: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_policy_resolution() {
+        assert_eq!(KPolicy::One.resolve(10), 1);
+        assert_eq!(KPolicy::LogN.resolve(10), 3); // floor(log2 10) = 3
+        assert_eq!(KPolicy::LogN.resolve(50), 5);
+        assert_eq!(KPolicy::LogN.resolve(1), 1); // clamped up
+        assert_eq!(KPolicy::All.resolve(7), 7);
+        assert_eq!(KPolicy::Fixed(3).resolve(10), 3);
+        assert_eq!(KPolicy::Fixed(100).resolve(10), 10); // clamped down
+        assert_eq!(KPolicy::Fixed(0).resolve(10), 1); // clamped up
+    }
+
+    #[test]
+    fn swap_interval_is_m_e_over_b() {
+        let mut cfg = MdGanConfig { epochs_per_swap: 1.0, ..MdGanConfig::default() };
+        cfg.hyper.batch = 10;
+        assert_eq!(cfg.swap_interval(100), 10);
+        cfg.epochs_per_swap = 2.0;
+        assert_eq!(cfg.swap_interval(100), 20);
+        // Tiny shards still yield at least 1.
+        assert_eq!(cfg.swap_interval(3), 1);
+    }
+
+    #[test]
+    fn round_interval_matches_paper_e1() {
+        let mut cfg = FlGanConfig { epochs_per_round: 1.0, ..FlGanConfig::default() };
+        cfg.hyper.batch = 10;
+        // m = 6000 (MNIST, 10 workers): a round every 600 iterations.
+        assert_eq!(cfg.round_interval(6000), 600);
+    }
+
+    #[test]
+    fn defaults_are_paper_like() {
+        let cfg = MdGanConfig::default();
+        assert_eq!(cfg.workers, 10);
+        assert_eq!(cfg.k, KPolicy::LogN);
+        assert_eq!(cfg.epochs_per_swap, 1.0);
+        assert_eq!(cfg.hyper.batch, 10);
+    }
+}

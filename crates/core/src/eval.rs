@@ -1,0 +1,216 @@
+//! Score timelines: the measurement protocol of Figures 3-6.
+//!
+//! The paper computes the MNIST/Inception Score and the FID "every 1,000
+//! iterations using a sample of 500 generated data", with the FID computed
+//! "using a batch of the same size from the test dataset". The
+//! [`Evaluator`] reproduces exactly that: it owns the trained scorer
+//! classifier, a fixed test sample, and a private RNG stream for the
+//! evaluation noise.
+
+use md_data::Dataset;
+use md_metrics::classifier::{Scorer, ScorerConfig};
+use md_metrics::scores::{fid, inception_score, GanScores};
+use md_nn::gan::Generator;
+use md_tensor::rng::Rng64;
+use md_tensor::Tensor;
+
+/// Periodic GAN scoring against a held-out test sample.
+pub struct Evaluator {
+    scorer: Scorer,
+    real_features: Tensor,
+    sample_n: usize,
+    rng: Rng64,
+}
+
+impl Evaluator {
+    /// Trains the scorer on `train` and caches features of a `sample_n`-sized
+    /// sample of `test` (the paper's 500).
+    pub fn new(train: &Dataset, test: &Dataset, sample_n: usize, seed: u64) -> Self {
+        Self::with_scorer_config(train, test, sample_n, seed, ScorerConfig::default())
+    }
+
+    /// As [`Evaluator::new`] with explicit scorer hyper-parameters.
+    pub fn with_scorer_config(
+        train: &Dataset,
+        test: &Dataset,
+        sample_n: usize,
+        seed: u64,
+        cfg: ScorerConfig,
+    ) -> Self {
+        let mut rng = Rng64::seed_from_u64(seed ^ 0xE7A1);
+        let mut scorer = Scorer::train(train, cfg, &mut rng);
+        let n = sample_n.min(test.len());
+        let idx = rng.sample_distinct(test.len(), n);
+        let (real_imgs, _) = test.batch(&idx);
+        let (real_features, _) = scorer.features_and_probs(&real_imgs);
+        Evaluator { scorer, real_features, sample_n: n, rng }
+    }
+
+    /// Test-set classification accuracy of the underlying scorer (sanity
+    /// check that the metric model is meaningful).
+    pub fn scorer_accuracy(&mut self, data: &Dataset) -> f32 {
+        self.scorer.accuracy_on(data)
+    }
+
+    /// Scores a generator: samples `sample_n` images (fresh noise, uniform
+    /// labels when conditional) and computes IS and FID.
+    ///
+    /// Generation runs in training mode so BatchNorm uses the large
+    /// evaluation batch's statistics — early running statistics would
+    /// otherwise dominate the scores.
+    pub fn evaluate(&mut self, gen: &mut Generator) -> GanScores {
+        let z = gen.sample_z(self.sample_n, &mut self.rng);
+        let labels = gen.sample_labels(self.sample_n, &mut self.rng);
+        let images = gen.generate(&z, &labels, true);
+        let (fake_feats, fake_probs) = self.scorer.features_and_probs(&images);
+        GanScores {
+            inception_score: inception_score(&fake_probs, 1),
+            fid: fid(&self.real_features, &fake_feats),
+        }
+    }
+
+    /// Number of samples used per evaluation.
+    pub fn sample_n(&self) -> usize {
+        self.sample_n
+    }
+}
+
+/// A labelled series of `(iteration, scores)` points — one curve of a
+/// paper figure.
+#[derive(Clone, Debug, Default)]
+pub struct ScoreTimeline {
+    points: Vec<(usize, GanScores)>,
+}
+
+impl ScoreTimeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, iter: usize, scores: GanScores) {
+        self.points.push((iter, scores));
+    }
+
+    /// All points in insertion order.
+    pub fn points(&self) -> &[(usize, GanScores)] {
+        &self.points
+    }
+
+    /// Whether any points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last recorded scores.
+    pub fn last(&self) -> Option<(usize, GanScores)> {
+        self.points.last().copied()
+    }
+
+    /// Best (lowest) FID over the run.
+    pub fn best_fid(&self) -> Option<f64> {
+        self.points.iter().map(|(_, s)| s.fid).min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Best (highest) IS over the run.
+    pub fn best_is(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|(_, s)| s.inception_score)
+            .max_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// Mean scores over the last `n` points (smoothed "final" value, the
+    /// analogue of reading the end of the paper's smoothed curves).
+    pub fn final_scores(&self, n: usize) -> Option<GanScores> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let tail = &self.points[self.points.len().saturating_sub(n.max(1))..];
+        let count = tail.len() as f64;
+        Some(GanScores {
+            inception_score: tail.iter().map(|(_, s)| s.inception_score).sum::<f64>() / count,
+            fid: tail.iter().map(|(_, s)| s.fid).sum::<f64>() / count,
+        })
+    }
+
+    /// Renders the timeline as CSV rows: `label,iter,is,fid`.
+    pub fn to_csv(&self, label: &str) -> String {
+        let mut out = String::new();
+        for (it, s) in &self.points {
+            out.push_str(&format!("{label},{it},{:.4},{:.4}\n", s.inception_score, s.fid));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchSpec;
+    use md_data::synthetic::mnist_like;
+    use md_metrics::classifier::ScorerConfig;
+
+    fn quick_eval() -> (Evaluator, Dataset) {
+        let data = mnist_like(12, 700, 3, 0.08);
+        let (train, test) = data.split_test(200);
+        let ev = Evaluator::with_scorer_config(
+            &train,
+            &test,
+            128,
+            1,
+            ScorerConfig { steps: 250, ..ScorerConfig::default() },
+        );
+        (ev, test)
+    }
+
+    #[test]
+    fn evaluator_scores_untrained_generator_poorly() {
+        let (mut ev, test) = quick_eval();
+        assert!(ev.scorer_accuracy(&test) > 0.6);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let mut g = spec.build_generator(&mut Rng64::seed_from_u64(2));
+        let s = ev.evaluate(&mut g);
+        // Untrained generator: FID far from zero, IS far below 10.
+        assert!(s.fid > 1.0, "fid {}", s.fid);
+        assert!(s.inception_score < 9.0, "is {}", s.inception_score);
+        assert!(s.fid.is_finite() && s.inception_score.is_finite());
+    }
+
+    #[test]
+    fn real_data_scores_beat_untrained_generator() {
+        let (mut ev, test) = quick_eval();
+        // Score the real test data "as if generated": near-zero FID.
+        let (feats, probs) = {
+            let idx: Vec<usize> = (0..128).collect();
+            let (imgs, _) = test.batch(&idx);
+            ev.scorer.features_and_probs(&imgs)
+        };
+        let real_fid = md_metrics::scores::fid(&ev.real_features, &feats);
+        let real_is = md_metrics::scores::inception_score(&probs, 1);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let mut g = spec.build_generator(&mut Rng64::seed_from_u64(4));
+        let fake = ev.evaluate(&mut g);
+        assert!(real_fid < fake.fid, "real {real_fid} vs fake {}", fake.fid);
+        assert!(real_is > 2.0, "real IS {real_is}");
+    }
+
+    #[test]
+    fn timeline_accessors() {
+        let mut t = ScoreTimeline::new();
+        assert!(t.is_empty());
+        t.push(0, GanScores { inception_score: 1.0, fid: 50.0 });
+        t.push(100, GanScores { inception_score: 3.0, fid: 20.0 });
+        t.push(200, GanScores { inception_score: 2.5, fid: 25.0 });
+        assert_eq!(t.points().len(), 3);
+        assert_eq!(t.best_fid(), Some(20.0));
+        assert_eq!(t.best_is(), Some(3.0));
+        let f = t.final_scores(2).unwrap();
+        assert!((f.fid - 22.5).abs() < 1e-9);
+        assert!((f.inception_score - 2.75).abs() < 1e-9);
+        let csv = t.to_csv("test");
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("test,0,"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Reusable experiment runners — one per figure of §V.
+//!
+//! The `md-bench` binaries are thin CLI wrappers around these functions;
+//! integration tests run them at reduced scale. Every runner is fully
+//! deterministic given its [`ExperimentScale::seed`].
+
+use crate::arch::{ArchKind, ArchSpec};
+use crate::config::{FlGanConfig, GanHyper, KPolicy, MdGanConfig, SwapPolicy};
+use crate::eval::{Evaluator, ScoreTimeline};
+use crate::flgan::FlGan;
+use crate::mdgan::trainer::MdGan;
+use crate::standalone::StandaloneGan;
+use md_data::synthetic::{DataSpec, Family};
+use md_data::Dataset;
+use md_metrics::scores::GanScores;
+use md_nn::optim::AdamConfig;
+use md_simnet::{CrashSchedule, TrafficReport};
+use md_tensor::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// Knobs that scale an experiment between "CI seconds" and "paper scale".
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Square image side.
+    pub img: usize,
+    /// Training-set size (before sharding).
+    pub train_n: usize,
+    /// Test-set size.
+    pub test_n: usize,
+    /// Total (generator) iterations `I`.
+    pub iters: usize,
+    /// Score every this many iterations.
+    pub eval_every: usize,
+    /// Generated/real sample size per evaluation (paper: 500).
+    pub eval_samples: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Seconds-scale configuration for tests.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            img: 12,
+            train_n: 512,
+            test_n: 128,
+            iters: 30,
+            eval_every: 15,
+            eval_samples: 64,
+            seed: 42,
+        }
+    }
+
+    /// The default scaled-down experiment (minutes on a laptop).
+    pub fn scaled() -> Self {
+        ExperimentScale {
+            img: 16,
+            train_n: 4096,
+            test_n: 512,
+            iters: 2000,
+            eval_every: 100,
+            eval_samples: 256,
+            seed: 42,
+        }
+    }
+}
+
+/// One labelled curve of a figure.
+pub struct CurveResult {
+    /// Legend label, e.g. `"MD-GAN k=log(N)"`.
+    pub label: String,
+    /// The scored timeline.
+    pub timeline: ScoreTimeline,
+    /// Traffic moved during training (distributed competitors only).
+    pub traffic: Option<TrafficReport>,
+}
+
+impl CurveResult {
+    /// CSV rows `label,iter,is,fid`.
+    pub fn to_csv(&self) -> String {
+        self.timeline.to_csv(&self.label)
+    }
+}
+
+fn make_dataset(family: Family, scale: &ExperimentScale) -> (Dataset, Dataset) {
+    let spec = match family {
+        Family::MnistLike => DataSpec::mnist(scale.img, scale.train_n + scale.test_n, scale.seed),
+        Family::CifarLike => DataSpec::cifar(scale.img, scale.train_n + scale.test_n, scale.seed),
+        Family::CelebaLike => DataSpec::celeba(scale.img, scale.train_n + scale.test_n, scale.seed),
+    };
+    spec.generate().split_test(scale.test_n)
+}
+
+fn arch_for(family: Family, kind: ArchKind, img: usize) -> ArchSpec {
+    match (family, kind) {
+        (Family::MnistLike, ArchKind::Mlp) => ArchSpec::mlp_mnist_scaled(img),
+        (Family::MnistLike, ArchKind::Cnn) => ArchSpec::cnn_mnist_scaled(img),
+        (Family::CifarLike, ArchKind::Mlp) => ArchSpec {
+            channels: 3,
+            ..ArchSpec::mlp_mnist_scaled(img)
+        },
+        (Family::CifarLike, ArchKind::Cnn) => ArchSpec::cnn_cifar_scaled(img),
+        (Family::CelebaLike, _) => ArchSpec::cnn_celeba_scaled(img),
+    }
+}
+
+/// Configuration of the Figure 3 convergence comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvergenceConfig {
+    /// Dataset family (MNIST-like or CIFAR-like in the paper's Figure 3).
+    pub family: Family,
+    /// MLP or CNN.
+    pub arch: ArchKind,
+    /// Scale knobs.
+    pub scale: ExperimentScale,
+    /// Number of workers `N` (paper: 10).
+    pub workers: usize,
+    /// The paper's small batch size (10).
+    pub b_small: usize,
+    /// The paper's large batch size (100).
+    pub b_large: usize,
+}
+
+impl ConvergenceConfig {
+    /// Paper-shaped defaults at the given scale.
+    pub fn new(family: Family, arch: ArchKind, scale: ExperimentScale) -> Self {
+        ConvergenceConfig { family, arch, scale, workers: 10, b_small: 10, b_large: 100 }
+    }
+}
+
+/// Figure 3: standalone (b small/large), FL-GAN (b small/large) and
+/// MD-GAN (k=1 / k=⌊log N⌋), all scored on the same test sample with the
+/// same scorer.
+pub fn run_convergence(cfg: ConvergenceConfig) -> Vec<CurveResult> {
+    let (train, test) = make_dataset(cfg.family, &cfg.scale);
+    let spec = arch_for(cfg.family, cfg.arch, cfg.scale.img);
+    let mut evaluator = Evaluator::new(&train, &test, cfg.scale.eval_samples, cfg.scale.seed);
+    let mut results = Vec::new();
+
+    // Standalone, both batch sizes.
+    for b in [cfg.b_small, cfg.b_large] {
+        let hyper = GanHyper { batch: b, ..GanHyper::default() };
+        let mut rng = Rng64::seed_from_u64(cfg.scale.seed ^ 0x57D);
+        let mut gan = StandaloneGan::new(&spec, train.clone(), hyper, &mut rng);
+        let timeline = gan.train(cfg.scale.iters, cfg.scale.eval_every, Some(&mut evaluator));
+        results.push(CurveResult { label: format!("standalone b={b}"), timeline, traffic: None });
+    }
+
+    // FL-GAN, both batch sizes (E = 1, as in the paper).
+    for b in [cfg.b_small, cfg.b_large] {
+        let mut rng = Rng64::seed_from_u64(cfg.scale.seed ^ 0xF1);
+        let shards = train.shard_iid(cfg.workers, &mut rng);
+        let fl_cfg = FlGanConfig {
+            workers: cfg.workers,
+            epochs_per_round: 1.0,
+            hyper: GanHyper { batch: b, ..GanHyper::default() },
+            iterations: cfg.scale.iters,
+            seed: cfg.scale.seed ^ 0xF1F1,
+        };
+        let mut fl = FlGan::new(&spec, shards, fl_cfg);
+        let timeline = fl.train(cfg.scale.iters, cfg.scale.eval_every, Some(&mut evaluator));
+        results.push(CurveResult {
+            label: format!("FL-GAN b={b}"),
+            timeline,
+            traffic: Some(fl.traffic()),
+        });
+    }
+
+    // MD-GAN, k = 1 and k = ⌊log N⌋ (b = b_small, as in the paper).
+    for (k, klabel) in [(KPolicy::One, "k=1"), (KPolicy::LogN, "k=log(N)")] {
+        let mut rng = Rng64::seed_from_u64(cfg.scale.seed ^ 0x3D);
+        let shards = train.shard_iid(cfg.workers, &mut rng);
+        let md_cfg = MdGanConfig {
+            workers: cfg.workers,
+            k,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Derangement,
+            hyper: GanHyper { batch: cfg.b_small, ..GanHyper::default() },
+            iterations: cfg.scale.iters,
+            seed: cfg.scale.seed ^ 0x3D3D,
+            crash: CrashSchedule::none(),
+        };
+        let mut md = MdGan::new(&spec, shards, md_cfg);
+        let timeline = md.train(cfg.scale.iters, cfg.scale.eval_every, Some(&mut evaluator));
+        results.push(CurveResult {
+            label: format!("MD-GAN {klabel} b={}", cfg.b_small),
+            timeline,
+            traffic: Some(md.traffic()),
+        });
+    }
+    results
+}
+
+/// Which quantity Figure 4 holds constant while `N` grows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadMode {
+    /// Per-worker batch size fixed (server load grows with N).
+    ConstantWorker,
+    /// Server load fixed: `b = base_b · base_n / N`.
+    ConstantServer,
+}
+
+/// One point of the Figure 4 scalability study.
+#[derive(Clone, Debug)]
+pub struct ScalabilityPoint {
+    /// Number of workers.
+    pub n: usize,
+    /// Swapping enabled?
+    pub swap: bool,
+    /// Which workload was held constant.
+    pub mode: WorkloadMode,
+    /// Effective batch size used.
+    pub batch: usize,
+    /// Smoothed final scores.
+    pub final_scores: GanScores,
+}
+
+/// Figure 4: final MD-GAN scores as a function of `N`, with/without
+/// swapping, under both workload regimes. The dataset is fixed, so local
+/// shards shrink as `|B|/N`.
+pub fn run_scalability(
+    family: Family,
+    scale: ExperimentScale,
+    ns: &[usize],
+    base_b: usize,
+) -> Vec<ScalabilityPoint> {
+    let (train, test) = make_dataset(family, &scale);
+    let spec = arch_for(family, ArchKind::Mlp, scale.img);
+    let mut evaluator = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
+    let base_n = ns.first().copied().unwrap_or(1).max(1);
+    let mut out = Vec::new();
+    for &n in ns {
+        for mode in [WorkloadMode::ConstantWorker, WorkloadMode::ConstantServer] {
+            for swap in [true, false] {
+                let b = match mode {
+                    WorkloadMode::ConstantWorker => base_b,
+                    WorkloadMode::ConstantServer => (base_b * base_n / n).max(1),
+                };
+                let mut rng = Rng64::seed_from_u64(scale.seed ^ (n as u64) << 8);
+                let shards = train.shard_iid(n, &mut rng);
+                let cfg = MdGanConfig {
+                    workers: n,
+                    k: KPolicy::LogN,
+                    epochs_per_swap: 1.0,
+                    swap: if swap { SwapPolicy::Derangement } else { SwapPolicy::Disabled },
+                    hyper: GanHyper { batch: b, ..GanHyper::default() },
+                    iterations: scale.iters,
+                    seed: scale.seed ^ 0x4F1,
+                    crash: CrashSchedule::none(),
+                };
+                let mut md = MdGan::new(&spec, shards, cfg);
+                let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
+                out.push(ScalabilityPoint {
+                    n,
+                    swap,
+                    mode,
+                    batch: b,
+                    final_scores: timeline.final_scores(3).expect("timeline has points"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Figure 5: MD-GAN under the crash pattern (one worker every `I/N`
+/// iterations) vs the non-crashing run vs the standalone baselines.
+pub fn run_faults(
+    family: Family,
+    arch: ArchKind,
+    scale: ExperimentScale,
+    workers: usize,
+) -> Vec<CurveResult> {
+    let (train, test) = make_dataset(family, &scale);
+    let spec = arch_for(family, arch, scale.img);
+    let mut evaluator = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
+    let mut results = Vec::new();
+
+    for b in [10usize, 100] {
+        let hyper = GanHyper { batch: b, ..GanHyper::default() };
+        let mut rng = Rng64::seed_from_u64(scale.seed ^ 0x57D);
+        let mut gan = StandaloneGan::new(&spec, train.clone(), hyper, &mut rng);
+        let timeline = gan.train(scale.iters, scale.eval_every, Some(&mut evaluator));
+        results.push(CurveResult { label: format!("standalone b={b}"), timeline, traffic: None });
+    }
+
+    for crash in [false, true] {
+        let mut rng = Rng64::seed_from_u64(scale.seed ^ 0xC4A5);
+        let shards = train.shard_iid(workers, &mut rng);
+        let schedule = if crash {
+            CrashSchedule::every_quantile(scale.iters, workers, &mut rng)
+        } else {
+            CrashSchedule::none()
+        };
+        let cfg = MdGanConfig {
+            workers,
+            k: KPolicy::LogN,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Derangement,
+            hyper: GanHyper { batch: 10, ..GanHyper::default() },
+            iterations: scale.iters,
+            seed: scale.seed ^ 0xC4,
+            crash: schedule,
+        };
+        let mut md = MdGan::new(&spec, shards, cfg);
+        let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
+        results.push(CurveResult {
+            label: if crash { "MD-GAN with crashes".into() } else { "MD-GAN no crash".into() },
+            timeline,
+            traffic: Some(md.traffic()),
+        });
+    }
+    results
+}
+
+/// Figure 6: the CelebA-like validation. Standalone and FL-GAN use
+/// `b_large` with the paper's baseline Adam settings; MD-GAN uses
+/// `b_large / 5` with its own settings (the paper's 200 vs 40), over
+/// `N ∈ {1, 5}`.
+pub fn run_celeba(scale: ExperimentScale, b_large: usize) -> Vec<CurveResult> {
+    let (train, test) = make_dataset(Family::CelebaLike, &scale);
+    let spec = arch_for(Family::CelebaLike, ArchKind::Cnn, scale.img);
+    let mut evaluator = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
+    let mut results = Vec::new();
+    let b_md = (b_large / 5).max(1);
+
+    // CelebA GANs are unconditional in the paper.
+    let base_hyper = GanHyper {
+        batch: b_large,
+        aux_weight: 0.0,
+        adam_g: AdamConfig::baseline_celeba_generator(),
+        adam_d: AdamConfig::baseline_celeba_discriminator(),
+        ..GanHyper::default()
+    };
+
+    {
+        let mut rng = Rng64::seed_from_u64(scale.seed ^ 0x6A);
+        let mut gan = StandaloneGan::new(&spec, train.clone(), base_hyper, &mut rng);
+        let timeline = gan.train(scale.iters, scale.eval_every, Some(&mut evaluator));
+        results.push(CurveResult { label: format!("standalone b={b_large}"), timeline, traffic: None });
+    }
+
+    for n in [1usize, 5] {
+        let mut rng = Rng64::seed_from_u64(scale.seed ^ 0x6B ^ (n as u64));
+        let shards = train.shard_iid(n, &mut rng);
+        let fl_cfg = FlGanConfig {
+            workers: n,
+            epochs_per_round: 1.0,
+            hyper: base_hyper,
+            iterations: scale.iters,
+            seed: scale.seed ^ 0x6B0 ^ (n as u64),
+        };
+        let mut fl = FlGan::new(&spec, shards, fl_cfg);
+        let timeline = fl.train(scale.iters, scale.eval_every, Some(&mut evaluator));
+        results.push(CurveResult {
+            label: format!("FL-GAN N={n} b={b_large}"),
+            timeline,
+            traffic: Some(fl.traffic()),
+        });
+    }
+
+    for n in [1usize, 5] {
+        let mut rng = Rng64::seed_from_u64(scale.seed ^ 0x6C ^ (n as u64));
+        let shards = train.shard_iid(n, &mut rng);
+        let md_hyper = GanHyper {
+            batch: b_md,
+            aux_weight: 0.0,
+            adam_g: AdamConfig::mdgan_celeba_generator(),
+            adam_d: AdamConfig::mdgan_celeba_discriminator(),
+            ..GanHyper::default()
+        };
+        let cfg = MdGanConfig {
+            workers: n,
+            k: KPolicy::LogN,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Derangement,
+            hyper: md_hyper,
+            iterations: scale.iters,
+            seed: scale.seed ^ 0x6C0 ^ (n as u64),
+            crash: CrashSchedule::none(),
+        };
+        let mut md = MdGan::new(&spec, shards, cfg);
+        let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
+        results.push(CurveResult {
+            label: format!("MD-GAN N={n} b={b_md}"),
+            timeline,
+            traffic: Some(md.traffic()),
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_produces_six_curves() {
+        let cfg = ConvergenceConfig {
+            workers: 4,
+            b_small: 4,
+            b_large: 8,
+            ..ConvergenceConfig::new(Family::MnistLike, ArchKind::Mlp, ExperimentScale::quick())
+        };
+        let curves = run_convergence(cfg);
+        assert_eq!(curves.len(), 6);
+        for c in &curves {
+            assert!(!c.timeline.is_empty(), "{} has no points", c.label);
+            let (_, s) = c.timeline.last().unwrap();
+            assert!(s.fid.is_finite() && s.inception_score.is_finite(), "{}", c.label);
+        }
+        assert!(curves.iter().any(|c| c.label.contains("MD-GAN k=1")));
+        assert!(curves.iter().any(|c| c.label.contains("FL-GAN")));
+        // Distributed curves carry traffic reports.
+        assert!(curves.iter().filter(|c| c.traffic.is_some()).count() == 4);
+    }
+
+    #[test]
+    fn scalability_covers_modes_and_swap() {
+        let mut scale = ExperimentScale::quick();
+        scale.iters = 10;
+        scale.eval_every = 5;
+        let points = run_scalability(Family::MnistLike, scale, &[2, 4], 4);
+        assert_eq!(points.len(), 8); // 2 n × 2 modes × 2 swap
+        // Constant-server mode shrinks b as N grows.
+        let cs4 = points
+            .iter()
+            .find(|p| p.n == 4 && p.mode == WorkloadMode::ConstantServer)
+            .unwrap();
+        assert_eq!(cs4.batch, 2);
+        let cw4 = points
+            .iter()
+            .find(|p| p.n == 4 && p.mode == WorkloadMode::ConstantWorker)
+            .unwrap();
+        assert_eq!(cw4.batch, 4);
+    }
+
+    #[test]
+    fn faults_runner_crashes_everyone() {
+        let mut scale = ExperimentScale::quick();
+        scale.iters = 12;
+        scale.eval_every = 6;
+        let curves = run_faults(Family::MnistLike, ArchKind::Mlp, scale, 3);
+        assert_eq!(curves.len(), 4);
+        let crash_curve = curves.iter().find(|c| c.label.contains("crashes")).unwrap();
+        assert!(!crash_curve.timeline.is_empty());
+    }
+}

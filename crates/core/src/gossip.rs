@@ -1,0 +1,258 @@
+//! Gossip GAN — the fully decentralized baseline of the authors' prior
+//! position paper ("Gossiping GANs", DIDL'18, reference \[24\]), which §VI
+//! summarizes:
+//!
+//! > "In this fully decentralized setup where compute nodes exchange their
+//! > generators and discriminators in a gossip fashion (there are n couples
+//! > of generator and discriminators, one per worker), the experiment
+//! > results are favorable to federated learning. We then propose MD-GAN
+//! > as a solution for a performance gain over federated learning."
+//!
+//! Implemented so the repository can reproduce that motivating comparison:
+//! every worker trains a full local GAN; every `E` epochs each worker picks
+//! a random peer and the pair *averages* both networks (push-pull gossip
+//! averaging). There is no server at all; scoring uses the average of all
+//! worker generators (an external observer's view).
+
+use crate::arch::ArchSpec;
+use crate::config::FlGanConfig;
+use crate::eval::{Evaluator, ScoreTimeline};
+use crate::standalone::StandaloneGan;
+use md_data::Dataset;
+use md_nn::gan::Generator;
+use md_nn::param::{average, param_bytes};
+use md_simnet::{TrafficReport, TrafficStats};
+use md_tensor::rng::Rng64;
+
+/// The decentralized gossip-GAN system.
+pub struct GossipGan {
+    workers: Vec<StandaloneGan>,
+    /// A scoring-only generator holding the current all-worker average.
+    observer_gen: Generator,
+    cfg: FlGanConfig,
+    stats: TrafficStats,
+    gossip_rng: Rng64,
+    round_interval: usize,
+    iter: usize,
+    exchanges: u64,
+}
+
+impl GossipGan {
+    /// Builds N independent local GANs (no initial synchronization — the
+    /// gossip protocol has no coordinator to broadcast from).
+    pub fn new(spec: &ArchSpec, shards: Vec<Dataset>, cfg: FlGanConfig) -> Self {
+        assert_eq!(shards.len(), cfg.workers, "one shard per worker required");
+        assert!(cfg.workers > 0, "gossip GAN needs at least one worker");
+        let mut master = Rng64::seed_from_u64(cfg.seed ^ 0x605517);
+        let shard_size = shards[0].len();
+        let mut obs_rng = master.fork(0);
+        let observer_gen = spec.build_generator(&mut obs_rng);
+        let workers: Vec<StandaloneGan> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let mut wrng = master.fork(1 + i as u64);
+                StandaloneGan::new(spec, shard, cfg.hyper, &mut wrng)
+            })
+            .collect();
+        let round_interval = cfg.round_interval(shard_size);
+        let stats = TrafficStats::new(1 + cfg.workers);
+        let gossip_rng = master.fork(0x605);
+        GossipGan {
+            workers,
+            observer_gen,
+            cfg,
+            stats,
+            gossip_rng,
+            round_interval,
+            iter: 0,
+            exchanges: 0,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &FlGanConfig {
+        &self.cfg
+    }
+
+    /// Local iterations between gossip rounds.
+    pub fn round_interval(&self) -> usize {
+        self.round_interval
+    }
+
+    /// Pairwise parameter exchanges performed so far.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Local iterations performed (per worker).
+    pub fn iterations(&self) -> usize {
+        self.iter
+    }
+
+    /// Traffic snapshot (all of it is worker↔worker).
+    pub fn traffic(&self) -> TrafficReport {
+        self.stats.report()
+    }
+
+    /// The observer's averaged generator (refreshed lazily on evaluation).
+    pub fn observer_generator(&mut self) -> &mut Generator {
+        let gens: Vec<Vec<f32>> = self.workers.iter().map(|w| w.params().0).collect();
+        self.observer_gen.net.set_params_flat(&average(&gens));
+        &mut self.observer_gen
+    }
+
+    /// One local iteration on every worker; a gossip round when due.
+    pub fn step(&mut self) {
+        for w in &mut self.workers {
+            w.step();
+        }
+        self.iter += 1;
+        if self.iter % self.round_interval == 0 {
+            self.gossip_round();
+        }
+    }
+
+    /// Each worker picks a random peer (derangement, so everyone is in
+    /// exactly one directed exchange) and the pair averages both networks.
+    /// Each exchange moves `|w| + |θ|` floats in each direction.
+    fn gossip_round(&mut self) {
+        let n = self.workers.len();
+        if n < 2 {
+            return;
+        }
+        let perm = self.gossip_rng.derangement(n);
+        // Snapshot first: all exchanges use pre-round parameters (a
+        // synchronous gossip round, matching the emulation methodology).
+        let params: Vec<(Vec<f32>, Vec<f32>)> = self.workers.iter().map(|w| w.params()).collect();
+        for (src, &dst) in perm.iter().enumerate().map(|(i, d)| (i, d)) {
+            let (sg, sd) = &params[src];
+            let (dg, dd) = &params[dst];
+            // src pushes to dst; dst's post state averages the two.
+            let bytes = param_bytes(sg.len() + sd.len());
+            self.stats.record(src + 1, dst + 1, bytes);
+            let new_gen = average(&[sg.clone(), dg.clone()]);
+            let new_disc = average(&[sd.clone(), dd.clone()]);
+            self.workers[dst].set_params(&new_gen, &new_disc);
+            self.exchanges += 1;
+        }
+    }
+
+    /// Runs `iters` local iterations, scoring the averaged observer
+    /// generator every `eval_every`.
+    pub fn train(
+        &mut self,
+        iters: usize,
+        eval_every: usize,
+        mut evaluator: Option<&mut Evaluator>,
+    ) -> ScoreTimeline {
+        let mut timeline = ScoreTimeline::new();
+        if let Some(ev) = evaluator.as_deref_mut() {
+            let scores = ev.evaluate(self.observer_generator());
+            timeline.push(self.iter, scores);
+        }
+        for i in 1..=iters {
+            self.step();
+            if let Some(ev) = evaluator.as_deref_mut() {
+                if i % eval_every.max(1) == 0 || i == iters {
+                    let scores = ev.evaluate(self.observer_generator());
+                    timeline.push(self.iter, scores);
+                }
+            }
+        }
+        timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GanHyper;
+    use md_data::synthetic::mnist_like;
+    use md_nn::param::l2_distance;
+    use md_simnet::LinkClass;
+
+    fn tiny(workers: usize) -> GossipGan {
+        let data = mnist_like(12, workers * 32, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(9);
+        let shards = data.shard_iid(workers, &mut rng);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let cfg = FlGanConfig {
+            workers,
+            epochs_per_round: 1.0,
+            hyper: GanHyper { batch: 4, ..GanHyper::default() },
+            iterations: 64,
+            seed: 5,
+        };
+        GossipGan::new(&spec, shards, cfg)
+    }
+
+    #[test]
+    fn workers_start_unsynchronized() {
+        let g = tiny(3);
+        let (a, _) = g.workers[0].params();
+        let (b, _) = g.workers[1].params();
+        assert_ne!(a, b, "gossip has no initial broadcast");
+    }
+
+    #[test]
+    fn gossip_round_mixes_parameters() {
+        let mut g = tiny(3);
+        let before: Vec<Vec<f32>> = g.workers.iter().map(|w| w.params().0).collect();
+        for _ in 0..g.round_interval() {
+            g.step();
+        }
+        assert_eq!(g.exchanges(), 3);
+        // Every worker moved, and pairwise distances shrank on average
+        // relative to pure local training (mixing).
+        let after: Vec<Vec<f32>> = g.workers.iter().map(|w| w.params().0).collect();
+        for (b, a) in before.iter().zip(&after) {
+            assert_ne!(b, a);
+        }
+    }
+
+    #[test]
+    fn all_traffic_is_worker_to_worker() {
+        let mut g = tiny(4);
+        for _ in 0..g.round_interval() {
+            g.step();
+        }
+        let r = g.traffic();
+        assert_eq!(r.bytes(LinkClass::ServerToWorker), 0);
+        assert_eq!(r.bytes(LinkClass::WorkerToServer), 0);
+        let per_msg = param_bytes(g.workers[0].params().0.len() + g.workers[0].params().1.len());
+        assert_eq!(r.bytes(LinkClass::WorkerToWorker), 4 * per_msg);
+    }
+
+    #[test]
+    fn observer_is_the_average() {
+        let mut g = tiny(2);
+        let (a, _) = g.workers[0].params();
+        let (b, _) = g.workers[1].params();
+        let expect: Vec<f32> = a.iter().zip(&b).map(|(x, y)| (x + y) / 2.0).collect();
+        let obs = g.observer_generator().net.get_params_flat();
+        assert!(l2_distance(&obs, &expect) < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut g = tiny(3);
+            for _ in 0..10 {
+                g.step();
+            }
+            g.observer_generator().net.get_params_flat()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn single_worker_never_gossips() {
+        let mut g = tiny(1);
+        for _ in 0..10 {
+            g.step();
+        }
+        assert_eq!(g.exchanges(), 0);
+        assert_eq!(g.traffic().total_bytes(), 0);
+    }
+}

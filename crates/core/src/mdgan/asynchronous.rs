@@ -1,0 +1,385 @@
+//! Asynchronous MD-GAN — the paper's §VII.1 perspective, implemented.
+//!
+//! > "Instead \[of\] waiting \[for\] all F every global iteration, the server
+//! > may compute a gradient Δw and apply it each time it receives a single
+//! > F_n. Fresh batches of data can be generated frequently, so that they
+//! > can be sent to idle workers. [...] because of asynchronous updates,
+//! > there is no guarantee that the parameters w of a worker n at time t
+//! > (used to generate X_g^n) are the same at time t+Δt when it sends its
+//! > F_n to the server. [...] the training task nevertheless works well if
+//! > the learning rate is adapted in consequence \[14\], \[31\]."
+//!
+//! Design:
+//! * The server keeps a ring of pending generated batches, each stamped
+//!   with the generator *version* (number of Adam steps) it was produced
+//!   by. A worker gets fresh batches the moment it reports in.
+//! * Each incoming feedback is applied immediately: one backward pass over
+//!   its (possibly stale) pending batch and one Adam step, scaled by a
+//!   staleness-aware factor `1/(1 + staleness)^damping` (the standard
+//!   staleness-aware async-SGD rule of Zhang et al. \[14\]).
+//! * The sequential runtime simulates asynchrony deterministically: worker
+//!   completion order is drawn from a seeded RNG with a configurable
+//!   "speed" skew, so slow-worker staleness patterns are reproducible.
+
+use crate::arch::ArchSpec;
+use crate::config::{MdGanConfig, SwapPolicy};
+use crate::eval::{Evaluator, ScoreTimeline};
+use crate::mdgan::server::MdServer;
+use crate::mdgan::trainer::{build_parts, swap_permutation};
+use crate::mdgan::worker::MdWorker;
+use md_data::Dataset;
+use md_nn::layer::Layer;
+use md_nn::param::{batch_bytes, param_bytes};
+use md_simnet::{TrafficReport, TrafficStats};
+use md_tensor::rng::Rng64;
+use md_tensor::Tensor;
+
+/// Configuration of the asynchronous runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct AsyncConfig {
+    /// Staleness damping exponent: the effective update scale is
+    /// `1/(1+staleness)^damping`. `0.0` disables staleness awareness.
+    pub staleness_damping: f32,
+    /// Per-worker relative speed skew in `[0, 1)`: `0` makes all workers
+    /// equally fast (uniform completion order), larger values make low-id
+    /// workers increasingly likely to report first, creating persistent
+    /// staleness for the others.
+    pub speed_skew: f32,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> Self {
+        AsyncConfig { staleness_damping: 0.5, speed_skew: 0.3 }
+    }
+}
+
+/// One worker's in-flight work unit.
+struct InFlight {
+    /// Generator version that produced the batches.
+    version: u64,
+    xg: Tensor,
+    xg_labels: Vec<usize>,
+    xd: Tensor,
+    xd_labels: Vec<usize>,
+    /// Noise that produced `xg` (for the server-side replay).
+    zg: Tensor,
+}
+
+/// Statistics of an asynchronous run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AsyncStats {
+    /// Total feedbacks applied (= generator updates).
+    pub updates: u64,
+    /// Sum of observed staleness values.
+    pub staleness_sum: u64,
+    /// Maximum observed staleness.
+    pub staleness_max: u64,
+}
+
+impl AsyncStats {
+    /// Mean staleness per update.
+    pub fn mean_staleness(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.staleness_sum as f64 / self.updates as f64
+        }
+    }
+}
+
+/// The asynchronous MD-GAN system (deterministic simulation).
+pub struct AsyncMdGan {
+    server: MdServer,
+    workers: Vec<Option<MdWorker>>,
+    in_flight: Vec<Option<InFlight>>,
+    cfg: MdGanConfig,
+    acfg: AsyncConfig,
+    stats: TrafficStats,
+    sched_rng: Rng64,
+    swap_rng: Rng64,
+    version: u64,
+    updates: u64,
+    async_stats: AsyncStats,
+    swap_interval: usize,
+    object_size: usize,
+}
+
+impl AsyncMdGan {
+    /// Builds the system; seeds/shards exactly like the synchronous runtime.
+    pub fn new(spec: &ArchSpec, shards: Vec<Dataset>, cfg: MdGanConfig, acfg: AsyncConfig) -> Self {
+        let object_size = shards[0].object_size();
+        let shard_size = shards[0].len();
+        let (server, workers, mut swap_rng) = build_parts(spec, shards, &cfg);
+        let sched_rng = swap_rng.fork(0xA51C);
+        let stats = TrafficStats::new(1 + cfg.workers);
+        let swap_interval = cfg.swap_interval(shard_size);
+        AsyncMdGan {
+            server,
+            workers: workers.into_iter().map(Some).collect(),
+            in_flight: (0..cfg.workers).map(|_| None).collect(),
+            cfg,
+            acfg,
+            stats,
+            sched_rng,
+            swap_rng,
+            version: 0,
+            updates: 0,
+            async_stats: AsyncStats::default(),
+            swap_interval,
+            object_size,
+        }
+    }
+
+    /// Generator updates applied so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Async-specific statistics.
+    pub fn async_stats(&self) -> AsyncStats {
+        self.async_stats
+    }
+
+    /// The server generator.
+    pub fn generator_mut(&mut self) -> &mut md_nn::gan::Generator {
+        &mut self.server.gen
+    }
+
+    /// Flat generator parameters.
+    pub fn gen_params(&self) -> Vec<f32> {
+        self.server.gen_params()
+    }
+
+    /// Traffic snapshot.
+    pub fn traffic(&self) -> TrafficReport {
+        self.stats.report()
+    }
+
+    /// Dispatches fresh batches to a worker with no in-flight work.
+    fn dispatch(&mut self, wi: usize) {
+        let b = self.cfg.hyper.batch;
+        let zg = self.server.gen.sample_z(b, &mut self.sched_rng);
+        let lg = self.server.gen.sample_labels(b, &mut self.sched_rng);
+        let xg = self.server.gen.generate(&zg, &lg, true);
+        let zd = self.server.gen.sample_z(b, &mut self.sched_rng);
+        let ld = self.server.gen.sample_labels(b, &mut self.sched_rng);
+        let xd = self.server.gen.generate(&zd, &ld, true);
+        self.stats.record(0, wi + 1, 2 * batch_bytes(b, self.object_size));
+        self.in_flight[wi] = Some(InFlight {
+            version: self.version,
+            xg,
+            xg_labels: lg,
+            xd,
+            xd_labels: ld,
+            zg,
+        });
+    }
+
+    /// Picks which alive worker reports next. With `speed_skew = s`, the
+    /// weight of the j-th alive worker is `(1-s)^j` — low ids finish first
+    /// in expectation, so high ids accumulate staleness.
+    fn next_reporter(&mut self, alive: &[usize]) -> usize {
+        debug_assert!(!alive.is_empty());
+        let s = self.acfg.speed_skew.clamp(0.0, 0.95);
+        if s == 0.0 || alive.len() == 1 {
+            return alive[self.sched_rng.below(alive.len())];
+        }
+        let weights: Vec<f32> = (0..alive.len()).map(|j| (1.0 - s).powi(j as i32)).collect();
+        let total: f32 = weights.iter().sum();
+        let mut draw = self.sched_rng.uniform() * total;
+        for (j, &w) in weights.iter().enumerate() {
+            if draw < w {
+                return alive[j];
+            }
+            draw -= w;
+        }
+        *alive.last().unwrap()
+    }
+
+    /// One asynchronous event: a worker completes its local work, its
+    /// feedback is applied immediately (one Adam step), and it is handed
+    /// fresh batches. Returns the worker that reported, or `None` if all
+    /// workers have crashed.
+    pub fn step_event(&mut self) -> Option<usize> {
+        // Crashes keyed on update count (the async notion of time).
+        let t = self.updates as usize;
+        for idx in 0..self.workers.len() {
+            if self.workers[idx].is_some() && self.cfg.crash.is_crashed(idx + 1, t) {
+                self.workers[idx] = None;
+                self.in_flight[idx] = None;
+            }
+        }
+        let alive: Vec<usize> = (0..self.workers.len()).filter(|&w| self.workers[w].is_some()).collect();
+        if alive.is_empty() {
+            return None;
+        }
+
+        // Fill idle workers.
+        for &wi in &alive {
+            if self.in_flight[wi].is_none() {
+                self.dispatch(wi);
+            }
+        }
+
+        let wi = self.next_reporter(&alive);
+        let fl = self.in_flight[wi].take().expect("reporter had work");
+        let worker = self.workers[wi].as_mut().expect("reporter alive");
+        let feedback = worker.process(&fl.xd, &fl.xd_labels, &fl.xg, &fl.xg_labels);
+        self.stats.record(wi + 1, 0, batch_bytes(self.cfg.hyper.batch, self.object_size));
+
+        // Staleness-aware immediate update: replay the stale batch's
+        // forward pass, then apply a damped gradient.
+        let staleness = self.version - fl.version;
+        self.async_stats.updates += 1;
+        self.async_stats.staleness_sum += staleness;
+        self.async_stats.staleness_max = self.async_stats.staleness_max.max(staleness);
+        let scale = if self.acfg.staleness_damping > 0.0 {
+            (1.0 / (1.0 + staleness as f32)).powf(self.acfg.staleness_damping)
+        } else {
+            1.0
+        };
+
+        self.server.gen.net.zero_grad();
+        let _ = self.server.gen.generate(&fl.zg, &fl.xg_labels, true);
+        self.server.gen.backward(&feedback.scale(scale));
+        self.server.apply_external_step();
+        self.version += 1;
+        self.updates += 1;
+
+        // Gossip swap on the same cadence as the synchronous runtime:
+        // N applied updates ≈ one synchronous global iteration.
+        if self.cfg.swap != SwapPolicy::Disabled
+            && self.updates as usize % (self.swap_interval * self.cfg.workers.max(1)) == 0
+        {
+            if let Some(perm) = swap_permutation(self.cfg.swap, alive.len(), &mut self.swap_rng) {
+                let params: Vec<Vec<f32>> = alive
+                    .iter()
+                    .map(|&w| self.workers[w].as_ref().unwrap().disc_params())
+                    .collect();
+                for (j, &src) in alive.iter().enumerate() {
+                    let dst = alive[perm[j]];
+                    self.stats.record(src + 1, dst + 1, param_bytes(params[j].len()));
+                    self.workers[dst].as_mut().unwrap().set_disc_params(&params[j]);
+                }
+            }
+        }
+        Some(wi)
+    }
+
+    /// Runs until `n_updates` generator updates have been applied, scoring
+    /// every `eval_every` updates.
+    pub fn train(
+        &mut self,
+        n_updates: usize,
+        eval_every: usize,
+        mut evaluator: Option<&mut Evaluator>,
+    ) -> ScoreTimeline {
+        let mut timeline = ScoreTimeline::new();
+        if let Some(ev) = evaluator.as_deref_mut() {
+            timeline.push(0, ev.evaluate(&mut self.server.gen));
+        }
+        for u in 1..=n_updates {
+            if self.step_event().is_none() {
+                break;
+            }
+            if let Some(ev) = evaluator.as_deref_mut() {
+                if u % eval_every.max(1) == 0 || u == n_updates {
+                    timeline.push(u, ev.evaluate(&mut self.server.gen));
+                }
+            }
+        }
+        timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GanHyper, KPolicy};
+    use md_data::synthetic::mnist_like;
+
+    fn build(acfg: AsyncConfig) -> AsyncMdGan {
+        let data = mnist_like(12, 4 * 32, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(4);
+        let shards = data.shard_iid(4, &mut rng);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let cfg = MdGanConfig {
+            workers: 4,
+            k: KPolicy::One,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Derangement,
+            hyper: GanHyper { batch: 4, ..GanHyper::default() },
+            iterations: 100,
+            seed: 7,
+            crash: Default::default(),
+        };
+        AsyncMdGan::new(&spec, shards, cfg, acfg)
+    }
+
+    #[test]
+    fn every_event_updates_the_generator() {
+        let mut md = build(AsyncConfig::default());
+        let before = md.gen_params();
+        md.step_event();
+        assert_ne!(before, md.gen_params());
+        assert_eq!(md.updates(), 1);
+    }
+
+    #[test]
+    fn staleness_accumulates_under_skew() {
+        let mut md = build(AsyncConfig { staleness_damping: 0.5, speed_skew: 0.8 });
+        for _ in 0..60 {
+            md.step_event();
+        }
+        let s = md.async_stats();
+        assert_eq!(s.updates, 60);
+        assert!(s.staleness_max >= 1, "skewed scheduling must create staleness");
+        assert!(s.mean_staleness() > 0.0);
+    }
+
+    #[test]
+    fn uniform_speed_still_has_bounded_staleness() {
+        let mut md = build(AsyncConfig { staleness_damping: 0.0, speed_skew: 0.0 });
+        for _ in 0..60 {
+            md.step_event();
+        }
+        // With N workers the staleness cannot exceed the in-flight window.
+        assert!(md.async_stats().staleness_max <= 60);
+        assert!(md.gen_params().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut md = build(AsyncConfig::default());
+            for _ in 0..25 {
+                md.step_event();
+            }
+            md.gen_params()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn params_stay_finite_with_damping() {
+        let mut md = build(AsyncConfig { staleness_damping: 1.0, speed_skew: 0.9 });
+        for _ in 0..100 {
+            md.step_event();
+        }
+        assert!(md.gen_params().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn traffic_is_charged_per_event() {
+        let mut md = build(AsyncConfig::default());
+        for _ in 0..10 {
+            md.step_event();
+        }
+        let r = md.traffic();
+        // Every applied feedback cost bd upward.
+        let d = (12 * 12) as u64;
+        assert_eq!(r.bytes(md_simnet::LinkClass::WorkerToServer), 10 * 4 * d * 4);
+        // Dispatches: ≥ one 2bd send per applied event (idle refills).
+        assert!(r.bytes(md_simnet::LinkClass::ServerToWorker) >= 10 * 2 * 4 * d * 4);
+    }
+}

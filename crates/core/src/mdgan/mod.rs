@@ -1,0 +1,58 @@
+//! MD-GAN (Algorithm 1): one generator on the server, one discriminator
+//! per worker, peer-to-peer discriminator swaps.
+//!
+//! * [`server`] — the generator-learning procedure (§IV-B): k-batch
+//!   generation, SPLIT distribution, feedback aggregation and Adam update.
+//! * [`worker`] — the discriminator-learning procedure (§IV-C): L local
+//!   steps on `(X_r, X_d)` and the error feedback `F_n = ∂B̃(X_g)/∂x`.
+//! * [`trainer`] — the deterministic sequential runtime (used by all
+//!   experiments; interaction order preserved exactly as in the paper's
+//!   emulation).
+//! * [`threaded`] — one-thread-per-node runtime over `md-simnet`, bit-for-
+//!   bit equivalent to the sequential runtime given the same seed.
+
+pub mod asynchronous;
+pub mod server;
+pub mod threaded;
+pub mod trainer;
+pub mod worker;
+
+use md_tensor::Tensor;
+
+/// Messages exchanged in the threaded runtime.
+#[derive(Clone, Debug)]
+pub enum MdMsg {
+    /// Server → worker: the two generated batches of a global iteration
+    /// (`X_g` trains the generator via feedback, `X_d` trains D).
+    Batches {
+        /// Which generated batch `X_g` came from (for feedback grouping).
+        g_id: usize,
+        /// Generated batch used for the error feedback.
+        xg: Tensor,
+        /// Labels the generator was conditioned on for `xg`.
+        xg_labels: Vec<usize>,
+        /// Generated batch used for discriminator training.
+        xd: Tensor,
+        /// Labels for `xd`.
+        xd_labels: Vec<usize>,
+    },
+    /// Worker → server: the error feedback `F_n` on `X_g`.
+    Feedback {
+        /// Generated-batch id this feedback refers to.
+        g_id: usize,
+        /// `∂B̃/∂x` for every element of the batch.
+        grad: Tensor,
+    },
+    /// Server → worker: swap your discriminator to worker `to`.
+    SwapTo {
+        /// Destination worker id (1-based node id).
+        to: usize,
+    },
+    /// Worker → worker: discriminator parameters (the gossip swap).
+    Disc {
+        /// Flat parameter vector `θ`.
+        params: Vec<f32>,
+    },
+    /// Server → worker: terminate (end of training or simulated crash).
+    Stop,
+}

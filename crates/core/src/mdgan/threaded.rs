@@ -1,0 +1,244 @@
+//! Thread-per-node MD-GAN runtime over `md-simnet`.
+//!
+//! Every worker runs on its own OS thread and communicates with the server
+//! exclusively through routed messages; the discriminator swap travels
+//! directly worker-to-worker. Given the same [`MdGanConfig`] and shards,
+//! this runtime produces **bit-for-bit** the same generator as the
+//! sequential [`MdGan`](crate::mdgan::trainer::MdGan): RNG streams are
+//! forked identically and the server sorts feedbacks by worker id before
+//! merging (an integration test asserts the equivalence).
+
+use crate::arch::ArchSpec;
+use crate::config::MdGanConfig;
+use crate::eval::{Evaluator, ScoreTimeline};
+use crate::mdgan::server::MdServer;
+use crate::mdgan::trainer::{build_parts, swap_permutation};
+use crate::mdgan::worker::MdWorker;
+use crate::mdgan::MdMsg;
+use md_data::Dataset;
+use md_nn::param::{batch_bytes, param_bytes};
+use md_simnet::{Endpoint, Router, TrafficReport, SERVER};
+
+/// Outcome of a threaded run.
+pub struct ThreadedResult {
+    /// Score timeline (empty when no evaluator was supplied).
+    pub timeline: ScoreTimeline,
+    /// Final flat generator parameters.
+    pub gen_params: Vec<f32>,
+    /// Total traffic moved during training.
+    pub traffic: TrafficReport,
+    /// Worker ids alive at the end.
+    pub alive: Vec<usize>,
+}
+
+/// Worker-thread body: serve batch/swap/stop requests until stopped.
+///
+/// Messages that arrive while the worker is blocked waiting for its swap
+/// counterpart (the next iteration's `Batches` can already be queued — the
+/// server does not wait for swaps to finish) are buffered and processed in
+/// order afterwards.
+fn worker_loop(mut worker: MdWorker, ep: Endpoint<MdMsg>) {
+    use std::collections::VecDeque;
+    // A swap counterpart's parameters may arrive before our own SwapTo.
+    let mut pending_disc: Option<Vec<f32>> = None;
+    let mut buffered: VecDeque<MdMsg> = VecDeque::new();
+    loop {
+        let msg = match buffered.pop_front() {
+            Some(m) => m,
+            None => ep.recv().msg,
+        };
+        match msg {
+            MdMsg::Batches { g_id, xg, xg_labels, xd, xd_labels } => {
+                let grad = worker.process(&xd, &xd_labels, &xg, &xg_labels);
+                let bytes = (grad.len() * 4) as u64;
+                ep.send(SERVER, MdMsg::Feedback { g_id, grad }, bytes);
+            }
+            MdMsg::SwapTo { to } => {
+                let params = worker.disc_params();
+                let bytes = param_bytes(params.len());
+                ep.send(to, MdMsg::Disc { params }, bytes);
+                let incoming = match pending_disc.take() {
+                    Some(p) => p,
+                    None => loop {
+                        match ep.recv().msg {
+                            MdMsg::Disc { params } => break params,
+                            other => buffered.push_back(other),
+                        }
+                    },
+                };
+                worker.set_disc_params(&incoming);
+            }
+            MdMsg::Disc { params } => {
+                assert!(pending_disc.is_none(), "worker {} received two swap payloads", ep.id());
+                pending_disc = Some(params);
+            }
+            MdMsg::Stop => break,
+            MdMsg::Feedback { .. } => panic!("worker received a Feedback message"),
+        }
+    }
+}
+
+/// Runs MD-GAN with one thread per worker.
+///
+/// Mirrors [`MdGan::train`](crate::mdgan::trainer::MdGan::train): trains for
+/// `iters` global iterations, scoring every `eval_every` when an evaluator
+/// is supplied.
+pub fn run_threaded(
+    spec: &ArchSpec,
+    shards: Vec<Dataset>,
+    cfg: MdGanConfig,
+    mut evaluator: Option<&mut Evaluator>,
+    iters: usize,
+    eval_every: usize,
+) -> ThreadedResult {
+    let object_size = shards[0].object_size();
+    let shard_size = shards[0].len();
+    let (mut server, workers, mut swap_rng) = build_parts(spec, shards, &cfg);
+    let k = cfg.k.resolve(cfg.workers);
+    let swap_interval = cfg.swap_interval(shard_size);
+    let b = cfg.hyper.batch;
+
+    let mut router: Router<MdMsg> = Router::new(cfg.workers);
+    let stats = router.stats();
+    let server_ep = router.endpoint(SERVER);
+    let worker_eps: Vec<Endpoint<MdMsg>> = (1..=cfg.workers).map(|i| router.endpoint(i)).collect();
+
+    let mut timeline = ScoreTimeline::new();
+    let mut alive_mask: Vec<bool> = vec![true; cfg.workers];
+
+    crossbeam::thread::scope(|scope| {
+        for (worker, ep) in workers.into_iter().zip(worker_eps) {
+            scope.spawn(move |_| worker_loop(worker, ep));
+        }
+
+        if let Some(ev) = evaluator.as_deref_mut() {
+            timeline.push(0, ev.evaluate(&mut server.gen));
+        }
+
+        for i in 0..iters {
+            // Fail-stop crashes: stop the thread; its shard is gone.
+            for w in 0..cfg.workers {
+                if alive_mask[w] && cfg.crash.is_crashed(w + 1, i) {
+                    alive_mask[w] = false;
+                    server_ep.send(w + 1, MdMsg::Stop, 0);
+                }
+            }
+            let alive: Vec<usize> = (0..cfg.workers).filter(|&w| alive_mask[w]).collect();
+            if !alive.is_empty() {
+                let batches = server.generate_batches(k);
+                for &wi in &alive {
+                    let (g_id, d_id) = MdServer::assign(wi, k);
+                    server_ep.send(
+                        wi + 1,
+                        MdMsg::Batches {
+                            g_id,
+                            xg: batches[g_id].0.clone(),
+                            xg_labels: batches[g_id].1.clone(),
+                            xd: batches[d_id].0.clone(),
+                            xd_labels: batches[d_id].1.clone(),
+                        },
+                        2 * batch_bytes(b, object_size),
+                    );
+                }
+                let envs = server_ep.recv_n_sorted(alive.len());
+                let feedbacks: Vec<(usize, md_tensor::Tensor)> = envs
+                    .into_iter()
+                    .map(|e| match e.msg {
+                        MdMsg::Feedback { g_id, grad } => (g_id, grad),
+                        other => panic!("server expected Feedback, got {other:?}"),
+                    })
+                    .collect();
+                server.apply_feedbacks(&feedbacks, alive.len());
+
+                if (i + 1) % swap_interval == 0 {
+                    if let Some(perm) = swap_permutation(cfg.swap, alive.len(), &mut swap_rng) {
+                        for (j, &src) in alive.iter().enumerate() {
+                            let dst = alive[perm[j]];
+                            server_ep.send(src + 1, MdMsg::SwapTo { to: dst + 1 }, 0);
+                        }
+                    }
+                }
+            }
+
+            if let Some(ev) = evaluator.as_deref_mut() {
+                if (i + 1) % eval_every.max(1) == 0 || i + 1 == iters {
+                    timeline.push(i + 1, ev.evaluate(&mut server.gen));
+                }
+            }
+        }
+
+        // Shut the survivors down.
+        for w in 0..cfg.workers {
+            if alive_mask[w] {
+                server_ep.send(w + 1, MdMsg::Stop, 0);
+            }
+        }
+    })
+    .expect("worker thread panicked");
+
+    ThreadedResult {
+        timeline,
+        gen_params: server.gen_params(),
+        traffic: stats.report(),
+        alive: (0..cfg.workers).filter(|&w| alive_mask[w]).map(|w| w + 1).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GanHyper, KPolicy, SwapPolicy};
+    use md_data::synthetic::mnist_like;
+    use md_simnet::CrashSchedule;
+    use md_tensor::rng::Rng64;
+
+    fn setup(workers: usize) -> (ArchSpec, Vec<Dataset>, MdGanConfig) {
+        let data = mnist_like(12, workers * 24, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(4);
+        let shards = data.shard_iid(workers, &mut rng);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let cfg = MdGanConfig {
+            workers,
+            k: KPolicy::LogN,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Derangement,
+            hyper: GanHyper { batch: 4, ..GanHyper::default() },
+            iterations: 12,
+            seed: 7,
+            crash: CrashSchedule::none(),
+        };
+        (spec, shards, cfg)
+    }
+
+    #[test]
+    fn threaded_runs_and_produces_finite_params() {
+        let (spec, shards, cfg) = setup(3);
+        let res = run_threaded(&spec, shards, cfg, None, 12, 4);
+        assert!(res.gen_params.iter().all(|v| v.is_finite()));
+        assert_eq!(res.alive, vec![1, 2, 3]);
+        assert!(res.traffic.total_bytes() > 0);
+    }
+
+    #[test]
+    fn threaded_equals_sequential_bit_for_bit() {
+        let (spec, shards, cfg) = setup(3);
+        let res = run_threaded(&spec, shards.clone(), cfg.clone(), None, 10, 1000);
+
+        let mut seq = crate::mdgan::trainer::MdGan::new(&spec, shards, cfg);
+        for _ in 0..10 {
+            seq.step();
+        }
+        assert_eq!(res.gen_params, seq.gen_params(), "runtimes diverged");
+        // Byte counts agree (message counts differ by control messages).
+        assert_eq!(res.traffic.class_bytes, seq.traffic().class_bytes);
+    }
+
+    #[test]
+    fn threaded_with_crashes_survives() {
+        let (spec, shards, mut cfg) = setup(3);
+        cfg.crash = CrashSchedule::new(vec![(3, 1), (6, 2)]);
+        let res = run_threaded(&spec, shards, cfg, None, 10, 1000);
+        assert_eq!(res.alive, vec![3]);
+        assert!(res.gen_params.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,240 @@
+//! The standalone (single-server) GAN baseline of §V-A.d: a classical
+//! ACGAN training loop with access to the whole dataset.
+//!
+//! This type doubles as the *local* trainer inside each FL-GAN worker —
+//! federated learning treats the worker's `(G, D)` pair "as one
+//! computational object" trained exactly like a standalone GAN on the
+//! local shard.
+
+use crate::arch::ArchSpec;
+use crate::config::GanHyper;
+use crate::eval::{Evaluator, ScoreTimeline};
+use md_data::{BatchSampler, Dataset};
+use md_nn::gan::{disc_loss_fake, disc_loss_real, gen_loss, Discriminator, Generator};
+use md_nn::layer::Layer;
+use md_nn::optim::Adam;
+use md_tensor::rng::Rng64;
+
+/// Losses of one training step (for monitoring/tests).
+#[derive(Clone, Copy, Debug)]
+pub struct StepLosses {
+    /// Mean discriminator loss over the L local iterations.
+    pub disc: f32,
+    /// Generator loss.
+    pub gen: f32,
+}
+
+/// A complete single-node GAN trainer.
+pub struct StandaloneGan {
+    /// The generator.
+    pub gen: Generator,
+    /// The discriminator.
+    pub disc: Discriminator,
+    opt_g: Adam,
+    opt_d: Adam,
+    sampler: BatchSampler,
+    hyper: GanHyper,
+    rng: Rng64,
+    data: Dataset,
+    iter: usize,
+}
+
+impl StandaloneGan {
+    /// Builds generator, discriminator and optimizers from a spec.
+    ///
+    /// All randomness (init, batch sampling, noise) derives from `rng`.
+    pub fn new(spec: &ArchSpec, data: Dataset, hyper: GanHyper, rng: &mut Rng64) -> Self {
+        let gen = spec.build_generator(rng);
+        let disc = spec.build_discriminator(rng);
+        let sampler = BatchSampler::new(rng);
+        StandaloneGan {
+            gen,
+            disc,
+            opt_g: Adam::new(hyper.adam_g),
+            opt_d: Adam::new(hyper.adam_d),
+            sampler,
+            hyper,
+            rng: rng.fork(0x57A2),
+            data,
+            iter: 0,
+        }
+    }
+
+    /// Number of iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iter
+    }
+
+    /// Size of the local dataset (`m`).
+    pub fn shard_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// One global iteration: `L` discriminator learning steps followed by
+    /// one generator learning step (§II).
+    pub fn step(&mut self) -> StepLosses {
+        let b = self.hyper.batch;
+        let classes = self.gen.num_classes;
+        let aux = self.hyper.aux_weight;
+
+        // Fixed batches for the L discriminator iterations (Algorithm 1
+        // reuses X(d) and X(r) across the L local steps).
+        let (x_real, y_real) = self.sampler.sample(&self.data, b);
+        let z = self.gen.sample_z(b, &mut self.rng);
+        let y_fake = self.gen.sample_labels(b, &mut self.rng);
+        let x_fake = self.gen.generate(&z, &y_fake, true);
+
+        let mut disc_loss_acc = 0.0;
+        for _ in 0..self.hyper.disc_steps.max(1) {
+            self.disc.net.zero_grad();
+            let logits_r = self.disc.forward(&x_real, true);
+            let (lr, gr) = disc_loss_real(&logits_r, &y_real, classes, aux);
+            self.disc.backward(&gr);
+            let logits_f = self.disc.forward(&x_fake, true);
+            let (lf, gf) = disc_loss_fake(&logits_f, &y_fake, classes, aux);
+            self.disc.backward(&gf);
+            self.opt_d.step(&mut self.disc.net);
+            disc_loss_acc += lr + lf;
+        }
+
+        // Generator learning step: fresh forward through the updated D.
+        // (x_fake was produced by the generator's still-cached forward
+        // pass, so backprop through G is valid.)
+        let logits_f = self.disc.forward(&x_fake, true);
+        let (lg, glogits) = gen_loss(&logits_f, &y_fake, classes, aux, self.hyper.gen_loss);
+        self.disc.net.zero_grad();
+        let grad_images = self.disc.backward(&glogits);
+        self.disc.net.zero_grad(); // discard D's params grads from this pass
+        self.gen.net.zero_grad();
+        self.gen.backward(&grad_images);
+        self.opt_g.step(&mut self.gen.net);
+
+        self.iter += 1;
+        StepLosses { disc: disc_loss_acc / self.hyper.disc_steps.max(1) as f32, gen: lg }
+    }
+
+    /// Runs `iters` iterations, scoring every `eval_every` (when an
+    /// evaluator is supplied; iteration 0 is also scored).
+    pub fn train(
+        &mut self,
+        iters: usize,
+        eval_every: usize,
+        mut evaluator: Option<&mut Evaluator>,
+    ) -> ScoreTimeline {
+        let mut timeline = ScoreTimeline::new();
+        if let Some(ev) = evaluator.as_deref_mut() {
+            timeline.push(self.iter, ev.evaluate(&mut self.gen));
+        }
+        for i in 1..=iters {
+            self.step();
+            if let Some(ev) = evaluator.as_deref_mut() {
+                if i % eval_every.max(1) == 0 || i == iters {
+                    timeline.push(self.iter, ev.evaluate(&mut self.gen));
+                }
+            }
+        }
+        timeline
+    }
+
+    /// Flat parameters of both networks, for FL-GAN averaging:
+    /// `(generator, discriminator)`.
+    pub fn params(&self) -> (Vec<f32>, Vec<f32>) {
+        (self.gen.net.get_params_flat(), self.disc.net.get_params_flat())
+    }
+
+    /// Overwrites both networks' parameters (FL-GAN broadcast).
+    pub fn set_params(&mut self, gen: &[f32], disc: &[f32]) {
+        self.gen.net.set_params_flat(gen);
+        self.disc.net.set_params_flat(disc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use md_data::synthetic::mnist_like;
+    use md_nn::gan::GenLossMode;
+
+    fn tiny() -> StandaloneGan {
+        let data = mnist_like(12, 256, 1, 0.08);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let mut rng = Rng64::seed_from_u64(3);
+        StandaloneGan::new(&spec, data, GanHyper { batch: 8, ..GanHyper::default() }, &mut rng)
+    }
+
+    #[test]
+    fn step_updates_both_networks() {
+        let mut gan = tiny();
+        let (g0, d0) = gan.params();
+        let losses = gan.step();
+        let (g1, d1) = gan.params();
+        assert_ne!(g0, g1, "generator did not move");
+        assert_ne!(d0, d1, "discriminator did not move");
+        assert!(losses.disc.is_finite() && losses.gen.is_finite());
+        assert_eq!(gan.iterations(), 1);
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let run = || {
+            let mut gan = tiny();
+            for _ in 0..5 {
+                gan.step();
+            }
+            gan.params()
+        };
+        let (g1, d1) = run();
+        let (g2, d2) = run();
+        assert_eq!(g1, g2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn params_stay_finite_over_many_steps() {
+        let mut gan = tiny();
+        for _ in 0..50 {
+            gan.step();
+        }
+        let (g, d) = gan.params();
+        assert!(g.iter().all(|v| v.is_finite()));
+        assert!(d.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn disc_steps_l_runs_l_optimizer_updates() {
+        let data = mnist_like(12, 64, 2, 0.08);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let mut rng = Rng64::seed_from_u64(4);
+        let hyper = GanHyper { batch: 4, disc_steps: 3, ..GanHyper::default() };
+        let mut gan = StandaloneGan::new(&spec, data, hyper, &mut rng);
+        gan.step();
+        // Not directly observable, but the run must stay healthy.
+        assert!(gan.params().1.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn set_params_roundtrip() {
+        let mut a = tiny();
+        let mut b = tiny();
+        a.step();
+        let (g, d) = a.params();
+        b.set_params(&g, &d);
+        assert_eq!(b.params().0, g);
+        assert_eq!(b.params().1, d);
+    }
+
+    #[test]
+    fn minimax_mode_also_trains() {
+        let data = mnist_like(12, 128, 5, 0.08);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let mut rng = Rng64::seed_from_u64(6);
+        let hyper = GanHyper { batch: 8, gen_loss: GenLossMode::Minimax, ..GanHyper::default() };
+        let mut gan = StandaloneGan::new(&spec, data, hyper, &mut rng);
+        let (g0, _) = gan.params();
+        for _ in 0..3 {
+            gan.step();
+        }
+        let (g1, _) = gan.params();
+        assert_ne!(g0, g1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Fail-stop crash-fault injection (paper §V-B.3).
+//!
+//! A crashed worker leaves the computation *and its data shard disappears*.
+//! The schedule is decided up-front (deterministically or from a seeded
+//! RNG) so experiments are reproducible.
+
+use md_tensor::rng::Rng64;
+
+/// A predetermined schedule of worker crashes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// `(iteration, worker_id)` pairs, sorted by iteration. The worker is
+    /// considered dead *from* that global iteration (inclusive).
+    events: Vec<(usize, usize)>,
+}
+
+impl CrashSchedule {
+    /// No crashes.
+    pub fn none() -> Self {
+        CrashSchedule::default()
+    }
+
+    /// Explicit schedule.
+    ///
+    /// # Panics
+    /// Panics if a worker crashes twice.
+    pub fn new(mut events: Vec<(usize, usize)>) -> Self {
+        events.sort_unstable();
+        let mut seen: Vec<usize> = events.iter().map(|&(_, w)| w).collect();
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(before, seen.len(), "a worker crashes twice");
+        CrashSchedule { events }
+    }
+
+    /// The paper's Figure 5 pattern: one worker crashes every
+    /// `total_iters / workers` iterations, in a random order, so that by
+    /// `total_iters` every worker has crashed.
+    pub fn every_quantile(total_iters: usize, workers: usize, rng: &mut Rng64) -> Self {
+        assert!(workers > 0);
+        let interval = (total_iters / workers).max(1);
+        let order = rng.permutation(workers);
+        let events = order
+            .into_iter()
+            .enumerate()
+            .map(|(k, w)| ((k + 1) * interval, w + 1)) // worker ids are 1-based
+            .collect();
+        CrashSchedule::new(events)
+    }
+
+    /// All crash events, sorted by iteration.
+    pub fn events(&self) -> &[(usize, usize)] {
+        &self.events
+    }
+
+    /// True iff `worker` is dead at global iteration `iter`.
+    pub fn is_crashed(&self, worker: usize, iter: usize) -> bool {
+        self.events.iter().any(|&(at, w)| w == worker && iter >= at)
+    }
+
+    /// Worker ids still alive at `iter` out of `1..=workers`.
+    pub fn alive_at(&self, workers: usize, iter: usize) -> Vec<usize> {
+        (1..=workers).filter(|&w| !self.is_crashed(w, iter)).collect()
+    }
+
+    /// Number of crashes that have happened strictly before or at `iter`.
+    pub fn crashed_count(&self, iter: usize) -> usize {
+        self.events.iter().filter(|&&(at, _)| iter >= at).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_keeps_everyone_alive() {
+        let s = CrashSchedule::none();
+        assert_eq!(s.alive_at(5, 1_000_000), vec![1, 2, 3, 4, 5]);
+        assert!(!s.is_crashed(3, 99));
+    }
+
+    #[test]
+    fn explicit_schedule_applies_from_iteration() {
+        let s = CrashSchedule::new(vec![(10, 2), (5, 1)]);
+        assert!(!s.is_crashed(1, 4));
+        assert!(s.is_crashed(1, 5));
+        assert!(s.is_crashed(1, 6));
+        assert!(!s.is_crashed(2, 9));
+        assert!(s.is_crashed(2, 10));
+        assert_eq!(s.alive_at(3, 7), vec![2, 3]);
+        assert_eq!(s.crashed_count(10), 2);
+    }
+
+    #[test]
+    fn every_quantile_kills_everyone_by_the_end() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let s = CrashSchedule::every_quantile(100, 4, &mut rng);
+        assert_eq!(s.events().len(), 4);
+        // Crash iterations are 25, 50, 75, 100.
+        let iters: Vec<usize> = s.events().iter().map(|&(i, _)| i).collect();
+        assert_eq!(iters, vec![25, 50, 75, 100]);
+        assert_eq!(s.alive_at(4, 100), Vec::<usize>::new());
+        assert_eq!(s.alive_at(4, 24), vec![1, 2, 3, 4]);
+        assert_eq!(s.alive_at(4, 60).len(), 2);
+    }
+
+    #[test]
+    fn every_quantile_is_seed_deterministic() {
+        let a = CrashSchedule::every_quantile(1000, 10, &mut Rng64::seed_from_u64(3));
+        let b = CrashSchedule::every_quantile(1000, 10, &mut Rng64::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "crashes twice")]
+    fn double_crash_rejected() {
+        CrashSchedule::new(vec![(1, 1), (2, 1)]);
+    }
+}

@@ -1,0 +1,25 @@
+//! # md-simnet
+//!
+//! A simulated distributed cluster for the MD-GAN experiments.
+//!
+//! The paper *emulates* its distributed deployment ("computation order of
+//! interactions ... are preserved; raw timing performances ... are in this
+//! context inaccessible"). This crate reproduces that methodology:
+//!
+//! * [`network::Router`] / [`network::Endpoint`] — message passing between
+//!   one central server (node 0) and `N` workers (nodes `1..=N`) over
+//!   crossbeam channels, usable from one thread (deterministic scheduler)
+//!   or from one thread per node,
+//! * [`stats::TrafficStats`] — byte-accurate ingress/egress accounting per
+//!   node and per link class (server→worker, worker→server,
+//!   worker→worker), the quantities behind Tables III/IV and Figure 2,
+//! * [`fault::CrashSchedule`] — fail-stop worker crashes (worker and its
+//!   data shard disappear), the mechanism behind Figure 5.
+
+pub mod fault;
+pub mod network;
+pub mod stats;
+
+pub use fault::CrashSchedule;
+pub use network::{Endpoint, Envelope, NodeId, Router, SERVER};
+pub use stats::{LinkClass, TrafficReport, TrafficStats};

@@ -1,0 +1,223 @@
+//! Message routing between the server and workers.
+//!
+//! A [`Router`] owns one unbounded crossbeam channel per node; each node
+//! claims its [`Endpoint`], which can send to any other node and receive
+//! its own messages. Every send is charged to the shared
+//! [`TrafficStats`].
+//!
+//! The same API serves both execution modes used by the experiments:
+//! * **threaded** — one OS thread per node, endpoints moved into threads;
+//! * **sequential/deterministic** — a single thread holds all endpoints and
+//!   interleaves them in a fixed order (this is how the equivalence tests
+//!   compare the two runtimes bit-for-bit).
+
+use crate::stats::TrafficStats;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+
+/// Node identifier; [`SERVER`] is 0, workers are `1..=N`.
+pub type NodeId = usize;
+
+/// The central server's node id.
+pub const SERVER: NodeId = 0;
+
+/// A routed message.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Wire size charged for this message, in bytes.
+    pub bytes: u64,
+    /// Payload.
+    pub msg: M,
+}
+
+/// Builds the mesh of channels for `1 + workers` nodes.
+pub struct Router<M> {
+    senders: Vec<Sender<Envelope<M>>>,
+    receivers: Vec<Option<Receiver<Envelope<M>>>>,
+    stats: Arc<TrafficStats>,
+}
+
+impl<M: Send> Router<M> {
+    /// Creates a router for one server plus `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        let nodes = workers + 1;
+        let mut senders = Vec::with_capacity(nodes);
+        let mut receivers = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        Router { senders, receivers, stats: Arc::new(TrafficStats::new(nodes)) }
+    }
+
+    /// Total node count (server included).
+    pub fn nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The shared traffic counters.
+    pub fn stats(&self) -> Arc<TrafficStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Claims the endpoint of `node`. Each endpoint can be taken once.
+    ///
+    /// # Panics
+    /// Panics if taken twice or out of range.
+    pub fn endpoint(&mut self, node: NodeId) -> Endpoint<M> {
+        let rx = self.receivers[node].take().unwrap_or_else(|| panic!("endpoint {node} already taken"));
+        Endpoint {
+            id: node,
+            senders: self.senders.clone(),
+            rx,
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// Claims all endpoints in node order (convenience for the sequential
+    /// scheduler).
+    pub fn all_endpoints(&mut self) -> Vec<Endpoint<M>> {
+        (0..self.nodes()).map(|n| self.endpoint(n)).collect()
+    }
+}
+
+/// One node's communication handle.
+pub struct Endpoint<M> {
+    id: NodeId,
+    senders: Vec<Sender<Envelope<M>>>,
+    rx: Receiver<Envelope<M>>,
+    stats: Arc<TrafficStats>,
+}
+
+impl<M: Send> Endpoint<M> {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends `msg` of wire size `bytes` to `to`, recording traffic.
+    ///
+    /// # Panics
+    /// Panics if the destination endpoint (and all clones of its sender)
+    /// has been dropped — in the experiments that only happens on bugs, not
+    /// on simulated crashes (crashed workers keep draining their queue).
+    pub fn send(&self, to: NodeId, msg: M, bytes: u64) {
+        assert_ne!(to, self.id, "node {to} sending to itself");
+        self.stats.record(self.id, to, bytes);
+        self.senders[to]
+            .send(Envelope { from: self.id, bytes, msg })
+            .expect("destination endpoint dropped");
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Envelope<M> {
+        self.rx.recv().expect("all senders dropped")
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.rx.try_recv() {
+            Ok(e) => Some(e),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Receives exactly `n` messages and returns them sorted by sender id —
+    /// the deterministic gather used at synchronization barriers
+    /// (the server's `GETFEEDBACKFROMWORKERS()` in Algorithm 1).
+    pub fn recv_n_sorted(&self, n: usize) -> Vec<Envelope<M>> {
+        let mut out: Vec<Envelope<M>> = (0..n).map(|_| self.recv()).collect();
+        out.sort_by_key(|e| e.from);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let mut router: Router<String> = Router::new(2);
+        let eps = router.all_endpoints();
+        eps[0].send(1, "hi".into(), 2);
+        let e = eps[1].recv();
+        assert_eq!(e.from, 0);
+        assert_eq!(e.msg, "hi");
+        assert_eq!(e.bytes, 2);
+    }
+
+    #[test]
+    fn traffic_is_recorded_on_send() {
+        let mut router: Router<u32> = Router::new(2);
+        let eps = router.all_endpoints();
+        let stats = router.stats();
+        eps[1].send(2, 7, 123);
+        let r = stats.report();
+        assert_eq!(r.ingress[2], 123);
+        assert_eq!(r.egress[1], 123);
+    }
+
+    #[test]
+    fn recv_n_sorted_orders_by_sender() {
+        let mut router: Router<usize> = Router::new(3);
+        let eps = router.all_endpoints();
+        // Send out of order.
+        eps[3].send(SERVER, 30, 1);
+        eps[1].send(SERVER, 10, 1);
+        eps[2].send(SERVER, 20, 1);
+        let got = eps[0].recv_n_sorted(3);
+        assert_eq!(got.iter().map(|e| e.from).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(got.iter().map(|e| e.msg).collect::<Vec<_>>(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn threaded_ping_pong() {
+        let mut router: Router<u64> = Router::new(1);
+        let server = router.endpoint(SERVER);
+        let worker = router.endpoint(1);
+        let h = std::thread::spawn(move || {
+            for _ in 0..100 {
+                let e = worker.recv();
+                worker.send(SERVER, e.msg + 1, 8);
+            }
+        });
+        for i in 0..100u64 {
+            server.send(1, i, 8);
+            let e = server.recv();
+            assert_eq!(e.msg, i + 1);
+        }
+        h.join().unwrap();
+        let r = router.stats().report();
+        assert_eq!(r.total_bytes(), 200 * 8);
+    }
+
+    #[test]
+    fn try_recv_empty_returns_none() {
+        let mut router: Router<u8> = Router::new(1);
+        let eps = router.all_endpoints();
+        assert!(eps[1].try_recv().is_none());
+        eps[0].send(1, 9, 1);
+        assert_eq!(eps[1].try_recv().unwrap().msg, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn endpoint_single_claim() {
+        let mut router: Router<u8> = Router::new(1);
+        let _a = router.endpoint(0);
+        let _b = router.endpoint(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sending to itself")]
+    fn self_send_rejected() {
+        let mut router: Router<u8> = Router::new(1);
+        let eps = router.all_endpoints();
+        eps[1].send(1, 0, 1);
+    }
+}

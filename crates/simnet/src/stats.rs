@@ -1,0 +1,229 @@
+//! Byte-accurate traffic accounting.
+//!
+//! Every message carries its wire size; counters are atomic so the threaded
+//! runtime can update them concurrently. The per-class totals correspond
+//! exactly to the rows of the paper's Table III (`C→W`, `W→C`, `W→W`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which logical link a message travelled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkClass {
+    /// Central server to a worker.
+    ServerToWorker,
+    /// Worker to the central server.
+    WorkerToServer,
+    /// Worker to worker (the discriminator swap path).
+    WorkerToWorker,
+}
+
+impl LinkClass {
+    /// Classifies a (from, to) pair given that node 0 is the server.
+    pub fn of(from: usize, to: usize) -> LinkClass {
+        match (from, to) {
+            (0, _) => LinkClass::ServerToWorker,
+            (_, 0) => LinkClass::WorkerToServer,
+            _ => LinkClass::WorkerToWorker,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            LinkClass::ServerToWorker => 0,
+            LinkClass::WorkerToServer => 1,
+            LinkClass::WorkerToWorker => 2,
+        }
+    }
+}
+
+/// Concurrent traffic counters for a cluster of `1 + N` nodes.
+#[derive(Debug)]
+pub struct TrafficStats {
+    ingress: Vec<AtomicU64>,
+    egress: Vec<AtomicU64>,
+    class_bytes: [AtomicU64; 3],
+    class_msgs: [AtomicU64; 3],
+}
+
+impl TrafficStats {
+    /// Creates counters for `nodes` nodes (server included).
+    pub fn new(nodes: usize) -> Self {
+        TrafficStats {
+            ingress: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            egress: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            class_bytes: Default::default(),
+            class_msgs: Default::default(),
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn nodes(&self) -> usize {
+        self.ingress.len()
+    }
+
+    /// Records one message of `bytes` from `from` to `to`.
+    pub fn record(&self, from: usize, to: usize, bytes: u64) {
+        self.egress[from].fetch_add(bytes, Ordering::Relaxed);
+        self.ingress[to].fetch_add(bytes, Ordering::Relaxed);
+        let c = LinkClass::of(from, to).index();
+        self.class_bytes[c].fetch_add(bytes, Ordering::Relaxed);
+        self.class_msgs[c].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot of all counters.
+    pub fn report(&self) -> TrafficReport {
+        TrafficReport {
+            ingress: self.ingress.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            egress: self.egress.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            class_bytes: [
+                self.class_bytes[0].load(Ordering::Relaxed),
+                self.class_bytes[1].load(Ordering::Relaxed),
+                self.class_bytes[2].load(Ordering::Relaxed),
+            ],
+            class_msgs: [
+                self.class_msgs[0].load(Ordering::Relaxed),
+                self.class_msgs[1].load(Ordering::Relaxed),
+                self.class_msgs[2].load(Ordering::Relaxed),
+            ],
+        }
+    }
+}
+
+/// A point-in-time copy of the traffic counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrafficReport {
+    /// Bytes received per node (index 0 = server).
+    pub ingress: Vec<u64>,
+    /// Bytes sent per node.
+    pub egress: Vec<u64>,
+    /// Total bytes per [`LinkClass`] (S→W, W→S, W→W).
+    pub class_bytes: [u64; 3],
+    /// Message counts per [`LinkClass`].
+    pub class_msgs: [u64; 3],
+}
+
+impl TrafficReport {
+    /// Bytes of a link class.
+    pub fn bytes(&self, class: LinkClass) -> u64 {
+        self.class_bytes[class.index()]
+    }
+
+    /// Message count of a link class.
+    pub fn msgs(&self, class: LinkClass) -> u64 {
+        self.class_msgs[class.index()]
+    }
+
+    /// Total bytes moved in the whole system.
+    pub fn total_bytes(&self) -> u64 {
+        self.class_bytes.iter().sum()
+    }
+
+    /// Maximum per-node ingress over the workers only (paper Figure 2's
+    /// "maximal ingress traffic" at workers).
+    pub fn max_worker_ingress(&self) -> u64 {
+        self.ingress.iter().skip(1).copied().max().unwrap_or(0)
+    }
+
+    /// Server ingress bytes.
+    pub fn server_ingress(&self) -> u64 {
+        self.ingress[0]
+    }
+
+    /// Difference report: `self - earlier` (for per-iteration measurements).
+    pub fn since(&self, earlier: &TrafficReport) -> TrafficReport {
+        TrafficReport {
+            ingress: self.ingress.iter().zip(&earlier.ingress).map(|(a, b)| a - b).collect(),
+            egress: self.egress.iter().zip(&earlier.egress).map(|(a, b)| a - b).collect(),
+            class_bytes: [
+                self.class_bytes[0] - earlier.class_bytes[0],
+                self.class_bytes[1] - earlier.class_bytes[1],
+                self.class_bytes[2] - earlier.class_bytes[2],
+            ],
+            class_msgs: [
+                self.class_msgs[0] - earlier.class_msgs[0],
+                self.class_msgs[1] - earlier.class_msgs[1],
+                self.class_msgs[2] - earlier.class_msgs[2],
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_classification() {
+        assert_eq!(LinkClass::of(0, 3), LinkClass::ServerToWorker);
+        assert_eq!(LinkClass::of(2, 0), LinkClass::WorkerToServer);
+        assert_eq!(LinkClass::of(1, 2), LinkClass::WorkerToWorker);
+    }
+
+    #[test]
+    fn record_updates_all_counters() {
+        let s = TrafficStats::new(3);
+        s.record(0, 1, 100);
+        s.record(1, 0, 40);
+        s.record(1, 2, 7);
+        let r = s.report();
+        assert_eq!(r.egress, vec![100, 47, 0]);
+        assert_eq!(r.ingress, vec![40, 100, 7]);
+        assert_eq!(r.bytes(LinkClass::ServerToWorker), 100);
+        assert_eq!(r.bytes(LinkClass::WorkerToServer), 40);
+        assert_eq!(r.bytes(LinkClass::WorkerToWorker), 7);
+        assert_eq!(r.msgs(LinkClass::WorkerToWorker), 1);
+        assert_eq!(r.total_bytes(), 147);
+    }
+
+    #[test]
+    fn conservation_total_egress_equals_total_ingress() {
+        let s = TrafficStats::new(5);
+        for (f, t, b) in [(0, 1, 10u64), (1, 0, 20), (2, 3, 30), (4, 2, 40), (0, 4, 50)] {
+            s.record(f, t, b);
+        }
+        let r = s.report();
+        assert_eq!(r.ingress.iter().sum::<u64>(), r.egress.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let s = TrafficStats::new(2);
+        s.record(0, 1, 5);
+        let before = s.report();
+        s.record(0, 1, 11);
+        let delta = s.report().since(&before);
+        assert_eq!(delta.ingress[1], 11);
+        assert_eq!(delta.msgs(LinkClass::ServerToWorker), 1);
+    }
+
+    #[test]
+    fn max_worker_ingress_excludes_server() {
+        let s = TrafficStats::new(3);
+        s.record(1, 0, 1000); // server ingress, must not count
+        s.record(0, 2, 60);
+        let r = s.report();
+        assert_eq!(r.max_worker_ingress(), 60);
+        assert_eq!(r.server_ingress(), 1000);
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        use std::sync::Arc;
+        let s = Arc::new(TrafficStats::new(4));
+        let mut handles = Vec::new();
+        for t in 1..4usize {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record(t, 0, 3);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = s.report();
+        assert_eq!(r.server_ingress(), 9000);
+        assert_eq!(r.msgs(LinkClass::WorkerToServer), 3000);
+    }
+}

@@ -1,0 +1,631 @@
+//! 2-D convolution and transposed convolution via `im2col`/`col2im`,
+//! with analytic gradients.
+//!
+//! Layout conventions (all row-major):
+//! * activations: `(B, C, H, W)`
+//! * conv2d weights: `(O, C, KH, KW)` — `O` output channels
+//! * conv-transpose2d weights: `(C_in, C_out, KH, KW)` (PyTorch convention)
+//!
+//! The transposed convolution is implemented as the exact adjoint of the
+//! convolution: its forward pass is a `col2im` scatter, and its backward
+//! pass reuses `im2col`. This guarantees that `conv_t` forward is literally
+//! the gradient of `conv` with respect to its input, a property the unit
+//! tests check.
+
+use crate::ops::matmul::matmul_into;
+use crate::parallel;
+use crate::tensor::Tensor;
+
+/// Spatial output size of a convolution along one axis.
+///
+/// # Panics
+/// Panics if the configuration yields a non-positive size.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let padded = input + 2 * pad;
+    assert!(padded >= kernel, "kernel {kernel} larger than padded input {padded}");
+    (padded - kernel) / stride + 1
+}
+
+/// Spatial output size of a transposed convolution along one axis.
+pub fn conv_transpose_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    let full = (input - 1) * stride + kernel;
+    assert!(full >= 2 * pad, "padding {pad} too large for transposed conv output {full}");
+    full - 2 * pad
+}
+
+/// Unfolds one `(C, H, W)` image into a `(C*KH*KW, OH*OW)` column matrix.
+///
+/// `cols` must be zero-initialised or will be fully overwritten (including
+/// the zero-padding positions).
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    image: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
+    assert_eq!(image.len(), c * h * w, "im2col image size mismatch");
+    assert_eq!(cols.len(), c * kh * kw * oh * ow, "im2col cols size mismatch");
+    let ohw = oh * ow;
+    for ci in 0..c {
+        let img_base = ci * h * w;
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ci * kh + ki) * kw + kj) * ohw;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    let col_base = row + oy * ow;
+                    if iy < 0 || iy >= h as isize {
+                        cols[col_base..col_base + ow].fill(0.0);
+                        continue;
+                    }
+                    let img_row = img_base + iy as usize * w;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        cols[col_base + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            image[img_row + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatters a `(C*KH*KW, OH*OW)` column matrix back
+/// into a `(C, H, W)` image, *accumulating* overlapping contributions.
+///
+/// The caller must zero `image` first if a pure scatter is wanted.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    image: &mut [f32],
+) {
+    assert_eq!(image.len(), c * h * w, "col2im image size mismatch");
+    assert_eq!(cols.len(), c * kh * kw * oh * ow, "col2im cols size mismatch");
+    let ohw = oh * ow;
+    for ci in 0..c {
+        let img_base = ci * h * w;
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ci * kh + ki) * kw + kj) * ohw;
+                for oy in 0..oh {
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let img_row = img_base + iy as usize * w;
+                    let col_base = row + oy * ow;
+                    for ox in 0..ow {
+                        let ix = (ox * stride + kj) as isize - pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            image[img_row + ix as usize] += cols[col_base + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Batched 2-D convolution forward pass.
+///
+/// * `input`: `(B, C, H, W)`
+/// * `weight`: `(O, C, KH, KW)`
+/// * `bias`: `(O,)` or empty tensor for no bias
+///
+/// Returns `(B, O, OH, OW)`.
+pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+    let (b, c, h, w) = dims4(input, "conv2d input");
+    let wd = weight.shape();
+    assert_eq!(wd.len(), 4, "conv2d weight must be 4-D");
+    let (o, wc, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    assert_eq!(c, wc, "conv2d channel mismatch: input {c} vs weight {wc}");
+    let has_bias = !bias.is_empty();
+    if has_bias {
+        assert_eq!(bias.len(), o, "conv2d bias size mismatch");
+    }
+    let oh = conv_out_dim(h, kh, stride, pad);
+    let ow = conv_out_dim(w, kw, stride, pad);
+    let ckk = c * kh * kw;
+    let ohw = oh * ow;
+
+    let mut out = vec![0.0f32; b * o * ohw];
+    let in_data = input.data();
+    let w_data = weight.data();
+    let b_data = bias.data();
+    parallel::parallel_for_chunks(&mut out, b, ckk * o * ohw, |bi, out_sample| {
+        let mut cols = vec![0.0f32; ckk * ohw];
+        let image = &in_data[bi * c * h * w..(bi + 1) * c * h * w];
+        im2col(image, c, h, w, kh, kw, stride, pad, oh, ow, &mut cols);
+        matmul_into(w_data, &cols, out_sample, o, ckk, ohw);
+        if has_bias {
+            for (oc, chunk) in out_sample.chunks_mut(ohw).enumerate() {
+                let bv = b_data[oc];
+                for v in chunk {
+                    *v += bv;
+                }
+            }
+        }
+    });
+    Tensor::new(&[b, o, oh, ow], out)
+}
+
+/// Gradients of the batched conv2d.
+///
+/// Returns `(grad_input, grad_weight, grad_bias)` where `grad_bias` matches
+/// `(O,)` (always produced; ignore it for bias-free layers).
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let (b, c, h, w) = dims4(input, "conv2d input");
+    let wd = weight.shape();
+    let (o, _, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    let (gb, go, oh, ow) = dims4(grad_out, "conv2d grad_out");
+    assert_eq!(gb, b, "conv2d grad batch mismatch");
+    assert_eq!(go, o, "conv2d grad channel mismatch");
+    let ckk = c * kh * kw;
+    let ohw = oh * ow;
+
+    let mut grad_input = vec![0.0f32; input.len()];
+    let mut grad_weight = vec![0.0f32; weight.len()];
+    let mut grad_bias = vec![0.0f32; o];
+    let w_t = weight.reshape(&[o, ckk]).t(); // (ckk, o)
+
+    let mut cols = vec![0.0f32; ckk * ohw];
+    let mut gcols = vec![0.0f32; ckk * ohw];
+    let mut gw_sample = vec![0.0f32; o * ckk];
+    for bi in 0..b {
+        let image = &input.data()[bi * c * h * w..(bi + 1) * c * h * w];
+        let g = &grad_out.data()[bi * o * ohw..(bi + 1) * o * ohw];
+        im2col(image, c, h, w, kh, kw, stride, pad, oh, ow, &mut cols);
+
+        // grad_weight += g (o, ohw) x cols^T (ohw, ckk)
+        matmul_nt_into(g, &cols, &mut gw_sample, o, ohw, ckk);
+        for (acc, &v) in grad_weight.iter_mut().zip(&gw_sample) {
+            *acc += v;
+        }
+
+        // grad_cols = W^T (ckk, o) x g (o, ohw)
+        matmul_into(w_t.data(), g, &mut gcols, ckk, o, ohw);
+        let gi = &mut grad_input[bi * c * h * w..(bi + 1) * c * h * w];
+        col2im(&gcols, c, h, w, kh, kw, stride, pad, oh, ow, gi);
+
+        for oc in 0..o {
+            grad_bias[oc] += g[oc * ohw..(oc + 1) * ohw].iter().sum::<f32>();
+        }
+    }
+    (
+        Tensor::new(input.shape(), grad_input),
+        Tensor::new(weight.shape(), grad_weight),
+        Tensor::new(&[o], grad_bias),
+    )
+}
+
+/// Batched 2-D transposed convolution forward pass.
+///
+/// * `input`: `(B, C_in, H, W)`
+/// * `weight`: `(C_in, C_out, KH, KW)`
+/// * `bias`: `(C_out,)` or empty
+///
+/// Returns `(B, C_out, OH, OW)` with `OH = (H-1)*stride - 2*pad + KH`.
+pub fn conv_transpose2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let (b, cin, h, w) = dims4(input, "conv_t input");
+    let wd = weight.shape();
+    assert_eq!(wd.len(), 4, "conv_t weight must be 4-D");
+    let (wcin, cout, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    assert_eq!(cin, wcin, "conv_t channel mismatch: input {cin} vs weight {wcin}");
+    let has_bias = !bias.is_empty();
+    if has_bias {
+        assert_eq!(bias.len(), cout, "conv_t bias size mismatch");
+    }
+    let oh = conv_transpose_out_dim(h, kh, stride, pad);
+    let ow = conv_transpose_out_dim(w, kw, stride, pad);
+    let ckk = cout * kh * kw;
+    let hw = h * w;
+
+    // W2: (cin, ckk); we need W2^T (ckk, cin) @ x (cin, hw) per sample.
+    let w2_t = weight.reshape(&[cin, ckk]).t();
+    let mut out = vec![0.0f32; b * cout * oh * ow];
+    let in_data = input.data();
+    let b_data = bias.data();
+    parallel::parallel_for_chunks(&mut out, b, ckk * hw, |bi, out_sample| {
+        let mut cols = vec![0.0f32; ckk * hw];
+        let x = &in_data[bi * cin * hw..(bi + 1) * cin * hw];
+        matmul_into(w2_t.data(), x, &mut cols, ckk, cin, hw);
+        out_sample.fill(0.0);
+        // The conv whose adjoint we are: image (cout, oh, ow) -> cols over (h, w).
+        col2im(&cols, cout, oh, ow, kh, kw, stride, pad, h, w, out_sample);
+        if has_bias {
+            for (oc, chunk) in out_sample.chunks_mut(oh * ow).enumerate() {
+                let bv = b_data[oc];
+                for v in chunk {
+                    *v += bv;
+                }
+            }
+        }
+    });
+    Tensor::new(&[b, cout, oh, ow], out)
+}
+
+/// Gradients of the batched transposed convolution.
+///
+/// Returns `(grad_input, grad_weight, grad_bias)`.
+pub fn conv_transpose2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let (b, cin, h, w) = dims4(input, "conv_t input");
+    let wd = weight.shape();
+    let (_, cout, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
+    let (gb, gcout, oh, ow) = dims4(grad_out, "conv_t grad_out");
+    assert_eq!(gb, b, "conv_t grad batch mismatch");
+    assert_eq!(gcout, cout, "conv_t grad channel mismatch");
+    let ckk = cout * kh * kw;
+    let hw = h * w;
+
+    let mut grad_input = vec![0.0f32; input.len()];
+    let mut grad_weight = vec![0.0f32; weight.len()]; // (cin, ckk) flat
+    let mut grad_bias = vec![0.0f32; cout];
+
+    let w2 = weight.reshape(&[cin, ckk]); // (cin, ckk)
+    let mut gcols = vec![0.0f32; ckk * hw];
+    let mut gx = vec![0.0f32; cin * hw];
+    let mut gw_sample = vec![0.0f32; cin * ckk];
+    for bi in 0..b {
+        let g = &grad_out.data()[bi * cout * oh * ow..(bi + 1) * cout * oh * ow];
+        let x = &input.data()[bi * cin * hw..(bi + 1) * cin * hw];
+
+        // dL/dcols = im2col(dL/dout) over the adjoint conv geometry.
+        im2col(g, cout, oh, ow, kh, kw, stride, pad, h, w, &mut gcols);
+
+        // dL/dx = W2 (cin, ckk) x gcols (ckk, hw)
+        matmul_into(w2.data(), &gcols, &mut gx, cin, ckk, hw);
+        grad_input[bi * cin * hw..(bi + 1) * cin * hw].copy_from_slice(&gx);
+
+        // dL/dW2 = x (cin, hw) x gcols^T (hw, ckk)
+        matmul_nt_into(x, &gcols, &mut gw_sample, cin, hw, ckk);
+        for (acc, &v) in grad_weight.iter_mut().zip(&gw_sample) {
+            *acc += v;
+        }
+
+        for oc in 0..cout {
+            grad_bias[oc] += g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+        }
+    }
+    (
+        Tensor::new(input.shape(), grad_input),
+        Tensor::new(weight.shape(), grad_weight),
+        Tensor::new(&[cout], grad_bias),
+    )
+}
+
+/// `out (m,n) = a (m,k) x b^T` where `b` is `(n,k)`, overwriting `out`.
+fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), n * k);
+    assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let ar = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let br = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in ar.iter().zip(br) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+fn dims4(t: &Tensor, what: &str) -> (usize, usize, usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 4, "{what} must be 4-D, got {:?}", s);
+    (s[0], s[1], s[2], s[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use crate::rng::Rng64;
+
+    /// Direct (quadruple-loop) convolution reference.
+    fn conv_ref(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+        let (b, c, h, w) = dims4(input, "ref input");
+        let (o, _, kh, kw) = dims4(weight, "ref weight");
+        let oh = conv_out_dim(h, kh, stride, pad);
+        let ow = conv_out_dim(w, kw, stride, pad);
+        let mut out = Tensor::zeros(&[b, o, oh, ow]);
+        for bi in 0..b {
+            for oc in 0..o {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = if bias.is_empty() { 0.0 } else { bias.data()[oc] };
+                        for ci in 0..c {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let iy = (oy * stride + ki) as isize - pad as isize;
+                                    let ix = (ox * stride + kj) as isize - pad as isize;
+                                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                        acc += input.at(&[bi, ci, iy as usize, ix as usize])
+                                            * weight.at(&[oc, ci, ki, kj]);
+                                    }
+                                }
+                            }
+                        }
+                        *out.at_mut(&[bi, oc, oy, ox]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Direct transposed-convolution reference (scatter form).
+    fn conv_t_ref(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+        let (b, cin, h, w) = dims4(input, "ref input");
+        let (_, cout, kh, kw) = dims4(weight, "ref weight");
+        let oh = conv_transpose_out_dim(h, kh, stride, pad);
+        let ow = conv_transpose_out_dim(w, kw, stride, pad);
+        let mut out = Tensor::zeros(&[b, cout, oh, ow]);
+        for bi in 0..b {
+            for ci in 0..cin {
+                for y in 0..h {
+                    for x in 0..w {
+                        let v = input.at(&[bi, ci, y, x]);
+                        for oc in 0..cout {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let oy = (y * stride + ki) as isize - pad as isize;
+                                    let ox = (x * stride + kj) as isize - pad as isize;
+                                    if oy >= 0 && oy < oh as isize && ox >= 0 && ox < ow as isize {
+                                        *out.at_mut(&[bi, oc, oy as usize, ox as usize]) +=
+                                            v * weight.at(&[ci, oc, ki, kj]);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !bias.is_empty() {
+            for bi in 0..b {
+                for oc in 0..cout {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            *out.at_mut(&[bi, oc, oy, ox]) += bias.data()[oc];
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn out_dim_formulas() {
+        assert_eq!(conv_out_dim(28, 3, 1, 1), 28);
+        assert_eq!(conv_out_dim(28, 3, 2, 1), 14);
+        assert_eq!(conv_out_dim(5, 5, 1, 0), 1);
+        assert_eq!(conv_transpose_out_dim(7, 5, 2, 2), 13);
+        assert_eq!(conv_transpose_out_dim(14, 4, 2, 1), 28);
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        let mut rng = Rng64::seed_from_u64(42);
+        let (c, h, w, kh, kw, stride, pad) = (2, 5, 4, 3, 3, 2, 1);
+        let oh = conv_out_dim(h, kh, stride, pad);
+        let ow = conv_out_dim(w, kw, stride, pad);
+        let x = Tensor::randn(&[c * h * w], &mut rng);
+        let y = Tensor::randn(&[c * kh * kw * oh * ow], &mut rng);
+        let mut cols = vec![0.0f32; y.len()];
+        im2col(x.data(), c, h, w, kh, kw, stride, pad, oh, ow, &mut cols);
+        let mut img = vec![0.0f32; x.len()];
+        col2im(y.data(), c, h, w, kh, kw, stride, pad, oh, ow, &mut img);
+        let lhs: f32 = cols.iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(&img).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_matches_reference_various_configs() {
+        let mut rng = Rng64::seed_from_u64(1);
+        for (b, c, h, w, o, k, s, p) in [
+            (1, 1, 4, 4, 1, 3, 1, 0),
+            (2, 3, 6, 5, 4, 3, 1, 1),
+            (2, 2, 7, 7, 3, 3, 2, 1),
+            (1, 4, 8, 8, 2, 5, 2, 2),
+        ] {
+            let x = Tensor::randn(&[b, c, h, w], &mut rng);
+            let wt = Tensor::randn(&[o, c, k, k], &mut rng);
+            let bias = Tensor::randn(&[o], &mut rng);
+            let got = conv2d_forward(&x, &wt, &bias, s, p);
+            let want = conv_ref(&x, &wt, &bias, s, p);
+            assert_eq!(got.shape(), want.shape());
+            assert_close(got.data(), want.data(), 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv_t_matches_reference_various_configs() {
+        let mut rng = Rng64::seed_from_u64(2);
+        for (b, cin, h, w, cout, k, s, p) in [
+            (1, 1, 3, 3, 1, 3, 1, 0),
+            (2, 4, 4, 4, 2, 5, 2, 2),
+            (1, 3, 5, 6, 2, 4, 2, 1),
+            (2, 2, 7, 7, 3, 3, 1, 1),
+        ] {
+            let x = Tensor::randn(&[b, cin, h, w], &mut rng);
+            let wt = Tensor::randn(&[cin, cout, k, k], &mut rng);
+            let bias = Tensor::randn(&[cout], &mut rng);
+            let got = conv_transpose2d_forward(&x, &wt, &bias, s, p);
+            let want = conv_t_ref(&x, &wt, &bias, s, p);
+            assert_eq!(got.shape(), want.shape());
+            assert_close(got.data(), want.data(), 1e-3);
+        }
+    }
+
+    /// Finite-difference gradient check of conv2d w.r.t. input, weight, bias.
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let (b, c, h, w, o, k, s, p) = (2, 2, 5, 5, 3, 3, 2, 1);
+        let x = Tensor::randn(&[b, c, h, w], &mut rng);
+        let wt = Tensor::randn(&[o, c, k, k], &mut rng).scale(0.5);
+        let bias = Tensor::randn(&[o], &mut rng);
+        // Loss = <out, r> for a fixed random r so dL/dout = r.
+        let out = conv2d_forward(&x, &wt, &bias, s, p);
+        let r = Tensor::randn(out.shape(), &mut rng);
+        let (gx, gw, gb) = conv2d_backward(&x, &wt, &r, s, p);
+
+        let loss = |x_: &Tensor, w_: &Tensor, b_: &Tensor| conv2d_forward(x_, w_, b_, s, p).dot(&r);
+        let eps = 1e-2f32;
+        for (idx, analytic, which) in [(7usize, &gx, 0u8), (11, &gw, 1), (1, &gb, 2)] {
+            let (mut xp, mut wp, mut bp) = (x.clone(), wt.clone(), bias.clone());
+            let (mut xm, mut wm, mut bm) = (x.clone(), wt.clone(), bias.clone());
+            match which {
+                0 => {
+                    xp.data_mut()[idx] += eps;
+                    xm.data_mut()[idx] -= eps;
+                }
+                1 => {
+                    wp.data_mut()[idx] += eps;
+                    wm.data_mut()[idx] -= eps;
+                }
+                _ => {
+                    bp.data_mut()[idx] += eps;
+                    bm.data_mut()[idx] -= eps;
+                }
+            }
+            let num = (loss(&xp, &wp, &bp) - loss(&xm, &wm, &bm)) / (2.0 * eps);
+            let ana = analytic.data()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * num.abs().max(1.0),
+                "which={which} idx={idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    /// Finite-difference gradient check of conv-transpose2d.
+    #[test]
+    fn conv_t_gradients_match_finite_differences() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let (b, cin, h, w, cout, k, s, p) = (2, 3, 4, 4, 2, 4, 2, 1);
+        let x = Tensor::randn(&[b, cin, h, w], &mut rng);
+        let wt = Tensor::randn(&[cin, cout, k, k], &mut rng).scale(0.5);
+        let bias = Tensor::randn(&[cout], &mut rng);
+        let out = conv_transpose2d_forward(&x, &wt, &bias, s, p);
+        let r = Tensor::randn(out.shape(), &mut rng);
+        let (gx, gw, gb) = conv_transpose2d_backward(&x, &wt, &r, s, p);
+
+        let loss = |x_: &Tensor, w_: &Tensor, b_: &Tensor| conv_transpose2d_forward(x_, w_, b_, s, p).dot(&r);
+        let eps = 1e-2f32;
+        for (idx, analytic, which) in [(5usize, &gx, 0u8), (9, &gw, 1), (0, &gb, 2)] {
+            let (mut xp, mut wp, mut bp) = (x.clone(), wt.clone(), bias.clone());
+            let (mut xm, mut wm, mut bm) = (x.clone(), wt.clone(), bias.clone());
+            match which {
+                0 => {
+                    xp.data_mut()[idx] += eps;
+                    xm.data_mut()[idx] -= eps;
+                }
+                1 => {
+                    wp.data_mut()[idx] += eps;
+                    wm.data_mut()[idx] -= eps;
+                }
+                _ => {
+                    bp.data_mut()[idx] += eps;
+                    bm.data_mut()[idx] -= eps;
+                }
+            }
+            let num = (loss(&xp, &wp, &bp) - loss(&xm, &wm, &bm)) / (2.0 * eps);
+            let ana = analytic.data()[idx];
+            assert!(
+                (num - ana).abs() < 2e-2 * num.abs().max(1.0),
+                "which={which} idx={idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    /// conv_t forward must equal the adjoint of conv forward:
+    /// <conv(x), y> == <x, conv_t(y)> when they share (suitably reshaped) weights.
+    #[test]
+    fn conv_t_is_adjoint_of_conv() {
+        let mut rng = Rng64::seed_from_u64(5);
+        // Geometry chosen so the conv round-trips exactly:
+        // (h + 2p - k) divisible by s makes conv_t(conv shape) == input shape.
+        let (c, h, w, o, k, s, p) = (2, 7, 7, 3, 3, 2, 1);
+        let oh = conv_out_dim(h, k, s, p);
+        let ow = conv_out_dim(w, k, s, p);
+        let x = Tensor::randn(&[1, c, h, w], &mut rng);
+        let y = Tensor::randn(&[1, o, oh, ow], &mut rng);
+        // conv weight (o, c, k, k); conv_t weight with cin=o, cout=c must be
+        // the same tensor viewed as (o, c, k, k).
+        let wt = Tensor::randn(&[o, c, k, k], &mut rng);
+        let no_bias = Tensor::zeros(&[0]);
+        let cx = conv2d_forward(&x, &wt, &no_bias, s, p);
+        let cty = conv_transpose2d_forward(&y, &wt, &no_bias, s, p);
+        let lhs = cx.dot(&y);
+        let rhs = x.dot(&cty);
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_without_bias() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let x = Tensor::randn(&[1, 1, 4, 4], &mut rng);
+        let wt = Tensor::randn(&[1, 1, 3, 3], &mut rng);
+        let out = conv2d_forward(&x, &wt, &Tensor::zeros(&[0]), 1, 0);
+        let want = conv_ref(&x, &wt, &Tensor::zeros(&[0]), 1, 0);
+        assert_close(out.data(), want.data(), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv_rejects_channel_mismatch() {
+        conv2d_forward(
+            &Tensor::zeros(&[1, 2, 4, 4]),
+            &Tensor::zeros(&[1, 3, 3, 3]),
+            &Tensor::zeros(&[0]),
+            1,
+            0,
+        );
+    }
+}

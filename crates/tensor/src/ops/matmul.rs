@@ -1,0 +1,242 @@
+//! 2-D matrix multiplication and transpose.
+//!
+//! The kernel is a blocked i-k-j loop: the inner `j` loop is contiguous in
+//! both the output row and the `b` row, which LLVM auto-vectorizes. For
+//! large problems the outer `i` loop is split over scoped threads.
+
+use crate::parallel;
+use crate::tensor::Tensor;
+
+/// Cache block size for the k dimension (in f32 elements).
+const BLOCK_K: usize = 64;
+
+impl Tensor {
+    /// Matrix product of two 2-D tensors: `(m, k) x (k, n) -> (m, n)`.
+    ///
+    /// # Panics
+    /// Panics if either operand is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape());
+        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape());
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul inner dims differ: {:?} x {:?}", self.shape(), other.shape());
+
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(self.data(), other.data(), &mut out, m, k, n);
+        Tensor::new(&[m, n], out)
+    }
+
+    /// Transpose of a 2-D tensor.
+    pub fn t(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "t() requires a 2-D tensor");
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let src = self.data();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = src[i * n + j];
+            }
+        }
+        Tensor::new(&[n, m], out)
+    }
+
+    /// `self (m,k) x other^T` where `other` is `(n,k)` — avoids materializing
+    /// the transpose in hot backward paths.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2);
+        assert_eq!(other.ndim(), 2);
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims differ: {:?} x {:?}^T", self.shape(), other.shape());
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        parallel::parallel_for_chunks(&mut out, m, k * n, |i, row| {
+            let ar = &a[i * k..(i + 1) * k];
+            for (j, o) in row.iter_mut().enumerate() {
+                let br = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (x, y) in ar.iter().zip(br) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        });
+        Tensor::new(&[m, n], out)
+    }
+
+    /// `self^T x other` where `self` is `(k,m)` and `other` is `(k,n)` —
+    /// the weight-gradient pattern `x^T · dy`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2);
+        assert_eq!(other.ndim(), 2);
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims differ: {:?}^T x {:?}", self.shape(), other.shape());
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        // out[i, j] = sum_p a[p, i] * b[p, j]; accumulate row-by-row of a/b.
+        for p in 0..k {
+            let ar = &a[p * m..(p + 1) * m];
+            let br = &b[p * n..(p + 1) * n];
+            for i in 0..m {
+                let av = ar[i];
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor::new(&[m, n], out)
+    }
+}
+
+/// Writes `a (m,k) x b (k,n)` into `out (m,n)`, overwriting it.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    parallel::parallel_for_chunks(out, m, k * n, |i, row| {
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut k0 = 0;
+        while k0 < k {
+            let k1 = (k0 + BLOCK_K).min(k);
+            for p in k0..k1 {
+                let av = a_row[p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in row.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+            k0 = k1;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use crate::rng::Rng64;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                *out.at_mut(&[i, j]) = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::new(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::new(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let a = Tensor::randn(&[4, 4], &mut rng);
+        let mut eye = Tensor::zeros(&[4, 4]);
+        for i in 0..4 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        assert_close(a.matmul(&eye).data(), a.data(), 1e-6);
+        assert_close(eye.matmul(&a).data(), a.data(), 1e-6);
+    }
+
+    #[test]
+    fn matches_naive_on_random_sizes() {
+        let mut rng = Rng64::seed_from_u64(5);
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (8, 8, 8), (17, 31, 13), (64, 96, 80)] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            assert_close(a.matmul(&b).data(), naive(&a, &b).data(), 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Rng64::seed_from_u64(2);
+        let a = Tensor::randn(&[3, 7], &mut rng);
+        let tt = a.t().t();
+        assert_eq!(tt.shape(), a.shape());
+        assert_eq!(tt.data(), a.data());
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let a = Tensor::arange(6).into_reshape(&[2, 3]);
+        let at = a.t();
+        assert_eq!(at.shape(), &[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(a.at(&[i, j]), at.at(&[j, i]));
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = Rng64::seed_from_u64(3);
+        let a = Tensor::randn(&[5, 7], &mut rng);
+        let b = Tensor::randn(&[4, 7], &mut rng);
+        assert_close(a.matmul_nt(&b).data(), a.matmul(&b.t()).data(), 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let a = Tensor::randn(&[7, 5], &mut rng);
+        let b = Tensor::randn(&[7, 4], &mut rng);
+        assert_close(a.matmul_tn(&b).data(), a.t().matmul(&b).data(), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn mismatched_inner_dims_panic() {
+        Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn zero_sized_matmul() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[0, 2]);
+    }
+
+    #[test]
+    fn associativity_within_tolerance() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let a = Tensor::randn(&[4, 5], &mut rng);
+        let b = Tensor::randn(&[5, 6], &mut rng);
+        let c = Tensor::randn(&[6, 3], &mut rng);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert_close(left.data(), right.data(), 1e-3);
+    }
+}

@@ -1,0 +1,20 @@
+//! # mdgan-repro
+//!
+//! Facade crate for the MD-GAN reproduction. Re-exports every sub-crate so
+//! examples and integration tests can use a single dependency:
+//!
+//! * [`tensor`] — dense f32 tensors, matmul, conv kernels, seeded RNG.
+//! * [`nn`] — layers with analytic gradients, losses, optimizers.
+//! * [`data`] — synthetic MNIST/CIFAR10/CelebA-like datasets and sharding.
+//! * [`metrics`] — MNIST/Inception Score and FID.
+//! * [`simnet`] — simulated cluster with byte-accurate traffic accounting.
+//! * [`core`] — MD-GAN itself, plus the FL-GAN and standalone baselines.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use md_data as data;
+pub use md_metrics as metrics;
+pub use md_nn as nn;
+pub use md_simnet as simnet;
+pub use md_tensor as tensor;
+pub use mdgan_core as core;

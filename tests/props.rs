@@ -1,0 +1,183 @@
+//! Property-based tests (proptest) over cross-crate invariants.
+
+use mdgan_repro::data::Dataset;
+use mdgan_repro::nn::init::Init;
+use mdgan_repro::nn::layer::Layer;
+use mdgan_repro::nn::layers::{Dense, LeakyRelu, Sequential};
+use mdgan_repro::nn::param::{average, l2_distance, weighted_average};
+use mdgan_repro::simnet::TrafficStats;
+use mdgan_repro::tensor::ops::conv::{conv2d_forward, conv_out_dim, conv_transpose2d_forward};
+use mdgan_repro::tensor::rng::Rng64;
+use mdgan_repro::tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Broadcasting is commutative in the result shape.
+    #[test]
+    fn broadcast_shape_commutes(a in proptest::collection::vec(1usize..4, 0..4),
+                                b in proptest::collection::vec(1usize..4, 0..4)) {
+        let sa = Shape::new(&a);
+        let sb = Shape::new(&b);
+        prop_assert_eq!(Shape::broadcast(&sa, &sb), Shape::broadcast(&sb, &sa));
+    }
+
+    /// add/mul with broadcasting agree with scalar loops on same shapes.
+    #[test]
+    fn elementwise_ops_match_scalar_math(seed in 0u64..1000, n in 1usize..32) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let a = Tensor::randn(&[n], &mut rng);
+        let b = Tensor::randn(&[n], &mut rng);
+        let sum = a.add(&b);
+        let prod = a.mul(&b);
+        for i in 0..n {
+            prop_assert!((sum.data()[i] - (a.data()[i] + b.data()[i])).abs() < 1e-6);
+            prop_assert!((prod.data()[i] - (a.data()[i] * b.data()[i])).abs() < 1e-6);
+        }
+    }
+
+    /// matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(seed in 0u64..1000, m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let c = Tensor::randn(&[k, n], &mut rng);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// <conv(x), y> == <x, conv_t(y)> for any valid geometry whose spatial
+    /// dims round-trip (the adjoint identity behind MD-GAN's feedback path).
+    #[test]
+    fn conv_and_transpose_are_adjoint(seed in 0u64..500,
+                                      c in 1usize..3,
+                                      o in 1usize..3,
+                                      s in 1usize..3,
+                                      k_extra in 0usize..2) {
+        let k = s + k_extra + 1; // kernel >= stride + 1 keeps geometry sane
+        let p = 1usize.min(k - 1);
+        // Choose h so that (h + 2p - k) divides s exactly.
+        let base = 5usize;
+        let h = base * s + k - 2 * p;
+        let mut rng = Rng64::seed_from_u64(seed);
+        let x = Tensor::randn(&[1, c, h, h], &mut rng);
+        let oh = conv_out_dim(h, k, s, p);
+        let y = Tensor::randn(&[1, o, oh, oh], &mut rng);
+        let w = Tensor::randn(&[o, c, k, k], &mut rng);
+        let none = Tensor::zeros(&[0]);
+        let cx = conv2d_forward(&x, &w, &none, s, p);
+        let cty = conv_transpose2d_forward(&y, &w, &none, s, p);
+        prop_assert_eq!(cty.shape(), x.shape());
+        let lhs = cx.dot(&y) as f64;
+        let rhs = x.dot(&cty) as f64;
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{} vs {}", lhs, rhs);
+    }
+
+    /// Flat-parameter roundtrip for random MLP architectures.
+    #[test]
+    fn param_flat_roundtrip(seed in 0u64..1000,
+                            dims in proptest::collection::vec(1usize..12, 2..5)) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        for w in dims.windows(2) {
+            net.push_boxed(Box::new(Dense::new(w[0], w[1], Init::XavierUniform, &mut rng)));
+            net.push_boxed(Box::new(LeakyRelu::new(0.2)));
+        }
+        let flat = net.get_params_flat();
+        prop_assert_eq!(flat.len(), net.num_params());
+        let mut rng2 = Rng64::seed_from_u64(seed ^ 0xFFFF);
+        let mut net2 = Sequential::new();
+        for w in dims.windows(2) {
+            net2.push_boxed(Box::new(Dense::new(w[0], w[1], Init::XavierUniform, &mut rng2)));
+            net2.push_boxed(Box::new(LeakyRelu::new(0.2)));
+        }
+        net2.set_params_flat(&flat);
+        prop_assert_eq!(net2.get_params_flat(), flat);
+    }
+
+    /// FedAvg is idempotent on identical inputs, bounded by min/max, and
+    /// equals weighted average with equal weights.
+    #[test]
+    fn fedavg_properties(seed in 0u64..1000, n in 1usize..6, len in 1usize..64) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let vecs: Vec<Vec<f32>> = (0..n).map(|_| (0..len).map(|_| rng.normal()).collect()).collect();
+        let avg = average(&vecs);
+        let weights = vec![1.0f32; n];
+        let wavg = weighted_average(&vecs, &weights);
+        prop_assert!(l2_distance(&avg, &wavg) < 1e-4);
+        for i in 0..len {
+            let mn = vecs.iter().map(|v| v[i]).fold(f32::INFINITY, f32::min);
+            let mx = vecs.iter().map(|v| v[i]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(avg[i] >= mn - 1e-5 && avg[i] <= mx + 1e-5);
+        }
+        // Idempotence.
+        let again = average(std::slice::from_ref(&avg));
+        prop_assert!(l2_distance(&again, &avg) < 1e-7);
+    }
+
+    /// Derangements of any size n >= 2 are fixed-point-free permutations.
+    #[test]
+    fn derangement_property(seed in 0u64..2000, n in 2usize..40) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let d = rng.derangement(n);
+        let mut sorted = d.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        prop_assert!(d.iter().enumerate().all(|(i, &x)| i != x));
+    }
+
+    /// Traffic conservation under arbitrary message sequences.
+    #[test]
+    fn traffic_conservation(msgs in proptest::collection::vec((0usize..5, 0usize..5, 1u64..10_000), 0..64)) {
+        let stats = TrafficStats::new(5);
+        let mut sent = 0u64;
+        for (f, t, b) in msgs {
+            if f != t {
+                stats.record(f, t, b);
+                sent += b;
+            }
+        }
+        let r = stats.report();
+        prop_assert_eq!(r.ingress.iter().sum::<u64>(), sent);
+        prop_assert_eq!(r.egress.iter().sum::<u64>(), sent);
+        prop_assert_eq!(r.total_bytes(), sent);
+    }
+
+    /// i.i.d. sharding partitions the dataset: shard sizes are equal and
+    /// every shard's labels stay within range.
+    #[test]
+    fn sharding_partitions(seed in 0u64..1000, workers in 1usize..6) {
+        let n = workers * 10;
+        let images = Tensor::zeros(&[n, 1, 2, 2]);
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let data = Dataset::new(images, labels, 3);
+        let mut rng = Rng64::seed_from_u64(seed);
+        let shards = data.shard_iid(workers, &mut rng);
+        prop_assert_eq!(shards.len(), workers);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, n);
+        for s in &shards {
+            prop_assert_eq!(s.len(), 10);
+            prop_assert!(s.labels().iter().all(|&l| l < 3));
+        }
+    }
+
+    /// Softmax rows are probability distributions for arbitrary logits.
+    #[test]
+    fn softmax_is_distribution(seed in 0u64..1000, b in 1usize..8, c in 1usize..8, scale in 0.1f32..50.0) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let logits = Tensor::randn(&[b, c], &mut rng).scale(scale);
+        let probs = logits.softmax_rows();
+        prop_assert!(probs.all_finite());
+        for i in 0..b {
+            let s: f32 = probs.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(probs.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The closed-form communication model (Table III, `mdgan_core::complexity`)
+//! must match the byte-accurate simulator exactly — the measured traffic of
+//! real training runs is the formula, not an approximation of it.
+
+use mdgan_repro::core::complexity::{ModelSize, SysParams};
+use mdgan_repro::core::config::{FlGanConfig, GanHyper, KPolicy, MdGanConfig, SwapPolicy};
+use mdgan_repro::core::flgan::FlGan;
+use mdgan_repro::core::{ArchSpec, MdGan};
+use mdgan_repro::data::synthetic::mnist_like;
+use mdgan_repro::simnet::LinkClass;
+use mdgan_repro::tensor::rng::Rng64;
+
+const IMG: usize = 12;
+const WORKERS: usize = 4;
+const B: usize = 5;
+const SHARD: usize = 20; // m·E/b = 4 iterations per swap/round
+
+fn sys_params(iters: usize) -> (SysParams, ArchSpec) {
+    let spec = ArchSpec::mlp_mnist_scaled(IMG);
+    let mut rng = Rng64::seed_from_u64(0);
+    let model = ModelSize {
+        gen: spec.build_generator(&mut rng).num_params(),
+        disc: spec.build_discriminator(&mut rng).num_params(),
+    };
+    (
+        SysParams {
+            n: WORKERS,
+            b: B,
+            d: IMG * IMG,
+            k: KPolicy::LogN.resolve(WORKERS),
+            m: SHARD,
+            e: 1.0,
+            iters,
+            model,
+        },
+        spec,
+    )
+}
+
+#[test]
+fn mdgan_measured_traffic_equals_formula() {
+    let iters = 9; // crosses two swap boundaries (at 4 and 8)
+    let (p, spec) = sys_params(iters);
+    let data = mnist_like(IMG, WORKERS * SHARD, 3, 0.08);
+    let mut rng = Rng64::seed_from_u64(3);
+    let shards = data.shard_iid(WORKERS, &mut rng);
+    let cfg = MdGanConfig {
+        workers: WORKERS,
+        k: KPolicy::LogN,
+        epochs_per_swap: 1.0,
+        swap: SwapPolicy::Derangement,
+        hyper: GanHyper { batch: B, ..GanHyper::default() },
+        iterations: iters,
+        seed: 5,
+        crash: Default::default(),
+    };
+    let mut md = MdGan::new(&spec, shards, cfg);
+    for _ in 0..iters {
+        md.step();
+    }
+    let r = md.traffic();
+
+    // C→W: 2bdN per iteration.
+    assert_eq!(r.bytes(LinkClass::ServerToWorker), p.mdgan_c2w_server_bytes() * iters as u64);
+    // W→C: bdN per iteration.
+    assert_eq!(r.bytes(LinkClass::WorkerToServer), p.mdgan_w2c_server_bytes() * iters as u64);
+    // W→W: N messages of θ per swap round; 2 swap rounds happened.
+    let swaps = (iters / md.swap_interval()) as u64;
+    assert_eq!(swaps, 2);
+    assert_eq!(
+        r.bytes(LinkClass::WorkerToWorker),
+        p.mdgan_w2w_bytes() * WORKERS as u64 * swaps
+    );
+    // Message counts: one batch message per worker per iteration, one
+    // feedback back, N swap payloads per swap round.
+    assert_eq!(r.msgs(LinkClass::ServerToWorker), (WORKERS * iters) as u64);
+    assert_eq!(r.msgs(LinkClass::WorkerToServer), (WORKERS * iters) as u64);
+    assert_eq!(r.msgs(LinkClass::WorkerToWorker), WORKERS as u64 * swaps);
+}
+
+#[test]
+fn flgan_measured_traffic_equals_formula() {
+    let iters = 8; // two rounds
+    let (p, spec) = sys_params(iters);
+    let data = mnist_like(IMG, WORKERS * SHARD, 4, 0.08);
+    let mut rng = Rng64::seed_from_u64(4);
+    let shards = data.shard_iid(WORKERS, &mut rng);
+    let cfg = FlGanConfig {
+        workers: WORKERS,
+        epochs_per_round: 1.0,
+        hyper: GanHyper { batch: B, ..GanHyper::default() },
+        iterations: iters,
+        seed: 6,
+    };
+    let mut fl = FlGan::new(&spec, shards, cfg);
+    for _ in 0..iters {
+        fl.step();
+    }
+    let r = fl.traffic();
+    let rounds = (iters / fl.round_interval()) as u64;
+    assert_eq!(rounds, 2);
+    assert_eq!(r.bytes(LinkClass::ServerToWorker), p.flgan_c2w_server_bytes() * rounds);
+    assert_eq!(r.bytes(LinkClass::WorkerToServer), p.flgan_c2w_server_bytes() * rounds);
+    assert_eq!(r.bytes(LinkClass::WorkerToWorker), 0);
+}
+
+#[test]
+fn traffic_conservation_holds_after_training() {
+    let (_, spec) = sys_params(5);
+    let data = mnist_like(IMG, WORKERS * SHARD, 5, 0.08);
+    let mut rng = Rng64::seed_from_u64(5);
+    let shards = data.shard_iid(WORKERS, &mut rng);
+    let cfg = MdGanConfig {
+        workers: WORKERS,
+        k: KPolicy::One,
+        epochs_per_swap: 1.0,
+        swap: SwapPolicy::Ring,
+        hyper: GanHyper { batch: B, ..GanHyper::default() },
+        iterations: 5,
+        seed: 6,
+        crash: Default::default(),
+    };
+    let mut md = MdGan::new(&spec, shards, cfg);
+    for _ in 0..5 {
+        md.step();
+    }
+    let r = md.traffic();
+    assert_eq!(r.ingress.iter().sum::<u64>(), r.egress.iter().sum::<u64>());
+    assert_eq!(r.total_bytes(), r.ingress.iter().sum::<u64>());
+}
+
+#[test]
+fn per_worker_ingress_matches_fig2_formula() {
+    // One iteration without swap: worker ingress = 2bd floats exactly.
+    let (p, spec) = sys_params(1);
+    let data = mnist_like(IMG, WORKERS * SHARD, 6, 0.08);
+    let mut rng = Rng64::seed_from_u64(6);
+    let shards = data.shard_iid(WORKERS, &mut rng);
+    let cfg = MdGanConfig {
+        workers: WORKERS,
+        k: KPolicy::One,
+        epochs_per_swap: 100.0, // no swap in one iteration
+        swap: SwapPolicy::Derangement,
+        hyper: GanHyper { batch: B, ..GanHyper::default() },
+        iterations: 1,
+        seed: 7,
+        crash: Default::default(),
+    };
+    let mut md = MdGan::new(&spec, shards, cfg);
+    md.step();
+    let r = md.traffic();
+    assert_eq!(r.max_worker_ingress(), p.mdgan_worker_ingress(false));
+    assert_eq!(r.server_ingress(), p.mdgan_server_ingress());
+}
