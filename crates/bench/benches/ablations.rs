@@ -20,7 +20,11 @@ fn cfg(k: KPolicy, swap: SwapPolicy, l: usize) -> MdGanConfig {
         k,
         epochs_per_swap: 1.0,
         swap,
-        hyper: GanHyper { batch: 8, disc_steps: l, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: 8,
+            disc_steps: l,
+            ..GanHyper::default()
+        },
         iterations: 1000,
         seed: 11,
         crash: Default::default(),
@@ -37,11 +41,16 @@ fn make(k: KPolicy, swap: SwapPolicy, l: usize) -> MdGan {
 
 fn bench_l_local_steps(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_L");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for &l in &[1usize, 3, 5] {
         let mut md = make(KPolicy::One, SwapPolicy::Disabled, l);
         g.bench_with_input(BenchmarkId::from_parameter(l), &l, |bench, _| {
-            bench.iter(|| std::hint::black_box(md.step()));
+            bench.iter(|| {
+                md.step();
+                std::hint::black_box(())
+            });
         });
     }
     g.finish();
@@ -49,7 +58,9 @@ fn bench_l_local_steps(c: &mut Criterion) {
 
 fn bench_swap_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_swap");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for (name, policy) in [
         ("derangement", SwapPolicy::Derangement),
         ("ring", SwapPolicy::Ring),
@@ -57,7 +68,10 @@ fn bench_swap_policies(c: &mut Criterion) {
     ] {
         let mut md = make(KPolicy::One, policy, 1);
         g.bench_function(name, |bench| {
-            bench.iter(|| std::hint::black_box(md.step()));
+            bench.iter(|| {
+                md.step();
+                std::hint::black_box(())
+            });
         });
     }
     g.finish();
@@ -65,7 +79,9 @@ fn bench_swap_policies(c: &mut Criterion) {
 
 fn bench_runtimes(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_runtime");
-    g.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
     let spec = ArchSpec::mlp_mnist_scaled(IMG);
     let data = mnist_like(IMG, WORKERS * 64, 7, 0.08);
     let iters = 5usize;
@@ -74,7 +90,11 @@ fn bench_runtimes(c: &mut Criterion) {
         bench.iter(|| {
             let mut rng = Rng64::seed_from_u64(8);
             let shards = data.shard_iid(WORKERS, &mut rng);
-            let mut md = MdGan::new(&spec, shards, cfg(KPolicy::LogN, SwapPolicy::Derangement, 1));
+            let mut md = MdGan::new(
+                &spec,
+                shards,
+                cfg(KPolicy::LogN, SwapPolicy::Derangement, 1),
+            );
             for _ in 0..iters {
                 md.step();
             }
@@ -99,5 +119,10 @@ fn bench_runtimes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_l_local_steps, bench_swap_policies, bench_runtimes);
+criterion_group!(
+    benches,
+    bench_l_local_steps,
+    bench_swap_policies,
+    bench_runtimes
+);
 criterion_main!(benches);

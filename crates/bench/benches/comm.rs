@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn bench_param_flatten(c: &mut Criterion) {
     let mut g = c.benchmark_group("param_flatten");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     let spec = ArchSpec::mlp_mnist_scaled(16);
     let mut rng = Rng64::seed_from_u64(1);
     let mut d = spec.build_discriminator(&mut rng);
@@ -26,7 +28,9 @@ fn bench_param_flatten(c: &mut Criterion) {
 
 fn bench_fedavg(c: &mut Criterion) {
     let mut g = c.benchmark_group("fedavg");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     let mut rng = Rng64::seed_from_u64(2);
     for &n in &[5usize, 10, 25] {
         let vecs: Vec<Vec<f32>> = (0..n)
@@ -41,7 +45,9 @@ fn bench_fedavg(c: &mut Criterion) {
 
 fn bench_derangement(c: &mut Criterion) {
     let mut g = c.benchmark_group("derangement");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     for &n in &[10usize, 50, 200] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
             let mut rng = Rng64::seed_from_u64(3);
@@ -53,7 +59,9 @@ fn bench_derangement(c: &mut Criterion) {
 
 fn bench_router_roundtrip(c: &mut Criterion) {
     let mut g = c.benchmark_group("router");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     g.bench_function("send_recv_1kB", |bench| {
         let mut router: Router<Vec<f32>> = Router::new(1);
         let eps = router.all_endpoints();
@@ -66,5 +74,11 @@ fn bench_router_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_param_flatten, bench_fedavg, bench_derangement, bench_router_roundtrip);
+criterion_group!(
+    benches,
+    bench_param_flatten,
+    bench_fedavg,
+    bench_derangement,
+    bench_router_roundtrip
+);
 criterion_main!(benches);

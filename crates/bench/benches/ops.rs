@@ -13,7 +13,9 @@ use std::time::Duration;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut g = c.benchmark_group("matmul");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let mut rng = Rng64::seed_from_u64(1);
     for &n in &[32usize, 64, 128, 256] {
         let a = Tensor::randn(&[n, n], &mut rng);
@@ -27,7 +29,9 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn bench_conv(c: &mut Criterion) {
     let mut g = c.benchmark_group("conv2d");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let mut rng = Rng64::seed_from_u64(2);
     // The discriminator's first layer at batch 10: (10, 3, 16, 16) * (16, 3, 3, 3).
     let x = Tensor::randn(&[10, 3, 16, 16], &mut rng);
@@ -53,7 +57,9 @@ fn bench_conv(c: &mut Criterion) {
 
 fn bench_minibatch_disc(c: &mut Criterion) {
     let mut g = c.benchmark_group("minibatch_discrimination");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let mut rng = Rng64::seed_from_u64(3);
     for &b in &[10usize, 50, 100] {
         let mut layer = MinibatchDiscrimination::new(256, 8, 4, &mut rng);
@@ -67,7 +73,9 @@ fn bench_minibatch_disc(c: &mut Criterion) {
 
 fn bench_softmax_and_reduce(c: &mut Criterion) {
     let mut g = c.benchmark_group("reduce");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     let mut rng = Rng64::seed_from_u64(4);
     let logits = Tensor::randn(&[500, 11], &mut rng);
     g.bench_function("softmax_rows_500x11", |bench| {
@@ -82,13 +90,24 @@ fn bench_softmax_and_reduce(c: &mut Criterion) {
 
 fn bench_init(c: &mut Criterion) {
     let mut g = c.benchmark_group("init");
-    g.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     g.bench_function("xavier_128x128", |bench| {
         let mut rng = Rng64::seed_from_u64(5);
-        bench.iter(|| std::hint::black_box(Init::XavierUniform.sample(&[128, 128], 128, 128, &mut rng)));
+        bench.iter(|| {
+            std::hint::black_box(Init::XavierUniform.sample(&[128, 128], 128, 128, &mut rng))
+        });
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_conv, bench_minibatch_disc, bench_softmax_and_reduce, bench_init);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv,
+    bench_minibatch_disc,
+    bench_softmax_and_reduce,
+    bench_init
+);
 criterion_main!(benches);

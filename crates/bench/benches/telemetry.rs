@@ -1,0 +1,114 @@
+//! Telemetry overhead benchmarks.
+//!
+//! The observability contract is "free when off": an attached *disabled*
+//! recorder must keep MD-GAN training steps within measurement noise of a
+//! run with no recorder at all, and even a fully *enabled* recorder should
+//! cost well under a percent of a training step (its per-span cost is a
+//! few atomic operations). The micro group quantifies the primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use md_data::synthetic::mnist_like;
+use md_telemetry::{Counter, Event, Phase, Recorder};
+use md_tensor::rng::Rng64;
+use mdgan_core::config::{GanHyper, KPolicy, MdGanConfig, SwapPolicy};
+use mdgan_core::mdgan::trainer::MdGan;
+use mdgan_core::ArchSpec;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_mdgan() -> (ArchSpec, Vec<md_data::Dataset>, MdGanConfig) {
+    let workers = 3usize;
+    let data = mnist_like(10, workers * 32, 7, 0.08);
+    let mut rng = Rng64::seed_from_u64(11);
+    let shards = data.shard_iid(workers, &mut rng);
+    let spec = ArchSpec::mlp_mnist_scaled(10);
+    let cfg = MdGanConfig {
+        workers,
+        k: KPolicy::LogN,
+        epochs_per_swap: 1.0,
+        swap: SwapPolicy::Ring,
+        hyper: GanHyper {
+            batch: 4,
+            ..GanHyper::default()
+        },
+        iterations: 1000,
+        seed: 3,
+        crash: Default::default(),
+    };
+    (spec, shards, cfg)
+}
+
+/// One MD-GAN training step with (a) no recorder attached, (b) a disabled
+/// recorder, (c) an enabled recorder — (a) and (b) must be within noise.
+fn bench_step_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_step");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+
+    let (spec, shards, cfg) = tiny_mdgan();
+
+    let mut plain = MdGan::new(&spec, shards.clone(), cfg.clone());
+    g.bench_function("baseline_no_recorder", |bench| {
+        bench.iter(|| {
+            plain.step();
+            std::hint::black_box(plain.iterations());
+        });
+    });
+
+    let mut off = MdGan::new(&spec, shards.clone(), cfg.clone())
+        .with_telemetry(Arc::new(Recorder::disabled()));
+    g.bench_function("recorder_disabled", |bench| {
+        bench.iter(|| {
+            off.step();
+            std::hint::black_box(off.iterations());
+        });
+    });
+
+    let mut on = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::new(Recorder::enabled()));
+    g.bench_function("recorder_enabled", |bench| {
+        bench.iter(|| {
+            on.step();
+            std::hint::black_box(on.iterations());
+        });
+    });
+    g.finish();
+}
+
+/// The raw primitives: span open/close, counter bump, event push.
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_micro");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+
+    let off = Recorder::disabled();
+    g.bench_function("span_disabled", |bench| {
+        bench.iter(|| {
+            let s = off.span(Phase::GenForward);
+            std::hint::black_box(&s);
+        });
+    });
+
+    let on = Recorder::enabled();
+    g.bench_function("span_enabled", |bench| {
+        bench.iter(|| {
+            let s = on.span(Phase::GenForward);
+            std::hint::black_box(&s);
+        });
+    });
+    g.bench_function("incr_enabled", |bench| {
+        bench.iter(|| on.incr(std::hint::black_box(Counter::MsgsSent), 1));
+    });
+    g.bench_function("event_enabled", |bench| {
+        let mut i = 0usize;
+        bench.iter(|| {
+            i += 1;
+            on.event(Event::IterDone { iter: i, alive: 3 });
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_step_overhead, bench_primitives);
+criterion_main!(benches);

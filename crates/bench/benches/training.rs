@@ -15,12 +15,17 @@ const IMG: usize = 12;
 const WORKERS: usize = 4;
 
 fn hyper(b: usize) -> GanHyper {
-    GanHyper { batch: b, ..GanHyper::default() }
+    GanHyper {
+        batch: b,
+        ..GanHyper::default()
+    }
 }
 
 fn bench_standalone_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("standalone_step");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for (name, spec) in [
         ("mlp", ArchSpec::mlp_mnist_scaled(IMG)),
         ("cnn", ArchSpec::cnn_mnist_scaled(16)),
@@ -37,11 +42,17 @@ fn bench_standalone_step(c: &mut Criterion) {
 
 fn bench_mdgan_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("mdgan_step");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let data = mnist_like(IMG, WORKERS * 64, 2, 0.08);
     let mut rng = Rng64::seed_from_u64(2);
     let spec = ArchSpec::mlp_mnist_scaled(IMG);
-    for (name, k) in [("k1", KPolicy::One), ("klogn", KPolicy::LogN), ("kN", KPolicy::All)] {
+    for (name, k) in [
+        ("k1", KPolicy::One),
+        ("klogn", KPolicy::LogN),
+        ("kN", KPolicy::All),
+    ] {
         let shards = data.shard_iid(WORKERS, &mut rng);
         let cfg = MdGanConfig {
             workers: WORKERS,
@@ -55,7 +66,10 @@ fn bench_mdgan_step(c: &mut Criterion) {
         };
         let mut md = MdGan::new(&spec, shards, cfg);
         g.bench_function(name, |bench| {
-            bench.iter(|| std::hint::black_box(md.step()));
+            bench.iter(|| {
+                md.step();
+                std::hint::black_box(())
+            });
         });
     }
     g.finish();
@@ -63,7 +77,9 @@ fn bench_mdgan_step(c: &mut Criterion) {
 
 fn bench_flgan_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("flgan_step");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     let data = mnist_like(IMG, WORKERS * 64, 3, 0.08);
     let mut rng = Rng64::seed_from_u64(4);
     let spec = ArchSpec::mlp_mnist_scaled(IMG);
@@ -77,10 +93,18 @@ fn bench_flgan_step(c: &mut Criterion) {
     };
     let mut fl = FlGan::new(&spec, shards, cfg);
     g.bench_function("n4", |bench| {
-        bench.iter(|| std::hint::black_box(fl.step()));
+        bench.iter(|| {
+            fl.step();
+            std::hint::black_box(())
+        });
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_standalone_step, bench_mdgan_step, bench_flgan_step);
+criterion_group!(
+    benches,
+    bench_standalone_step,
+    bench_mdgan_step,
+    bench_flgan_step
+);
 criterion_main!(benches);

@@ -18,8 +18,9 @@
 //! cargo run --release -p md-bench --bin ext_perspectives -- --iters 300
 //! ```
 
-use md_bench::{print_table, write_csv, Args};
+use md_bench::{emit_run_record, print_table, recorder_from_env, write_csv, Args};
 use md_data::synthetic::mnist_like;
+use md_telemetry::{json, RunRecord, ScorePoint};
 use md_tensor::rng::Rng64;
 use mdgan_core::byzantine::{Aggregation, Attack};
 use mdgan_core::compression::Codec;
@@ -29,6 +30,7 @@ use mdgan_core::gossip::GossipGan;
 use mdgan_core::mdgan::asynchronous::{AsyncConfig, AsyncMdGan};
 use mdgan_core::mdgan::trainer::MdGan;
 use mdgan_core::ArchSpec;
+use std::sync::Arc;
 
 fn main() {
     let args = Args::parse();
@@ -43,7 +45,10 @@ fn main() {
     let (train, test) = data.split_test(512);
     let mut evaluator = Evaluator::new(&train, &test, 256, seed);
     let spec = ArchSpec::mlp_mnist_scaled(img);
-    let hyper = GanHyper { batch: 10, ..GanHyper::default() };
+    let hyper = GanHyper {
+        batch: 10,
+        ..GanHyper::default()
+    };
     let cfg = |seed_x: u64| MdGanConfig {
         workers,
         k: KPolicy::LogN,
@@ -59,32 +64,58 @@ fn main() {
         train.shard_iid(workers, &mut rng)
     };
 
+    let recorder = recorder_from_env();
     let mut rows: Vec<[String; 4]> = Vec::new();
     let mut csv = String::new();
+    let mut points: Vec<ScorePoint> = Vec::new();
     let mut record = |label: &str, timeline: &mdgan_core::ScoreTimeline, traffic_mb: f64| {
         let f = timeline.final_scores(2).expect("timeline");
         rows.push([
             label.to_string(),
             format!("{:.3}", f.inception_score),
             format!("{:.2}", f.fid),
-            if traffic_mb >= 0.0 { format!("{traffic_mb:.1} MB") } else { "-".into() },
+            if traffic_mb >= 0.0 {
+                format!("{traffic_mb:.1} MB")
+            } else {
+                "-".into()
+            },
         ]);
         csv.push_str(&timeline.to_csv(label));
+        points.extend(timeline.score_points(label));
     };
     let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
 
     // --- 1. synchronous baseline vs asynchronous (equal update budgets).
     eprintln!("[1/5] sync vs async...");
-    let mut sync = MdGan::new(&spec, shards(1), cfg(1));
+    let mut sync = MdGan::new(&spec, shards(1), cfg(1)).with_telemetry(Arc::clone(&recorder));
     let t = sync.train(iters, eval_every, Some(&mut evaluator));
     record("sync MD-GAN", &t, mb(sync.traffic().total_bytes()));
 
     for (label, acfg) in [
-        ("async damped skew=0.3", AsyncConfig { staleness_damping: 0.5, speed_skew: 0.3 }),
-        ("async undamped skew=0.3", AsyncConfig { staleness_damping: 0.0, speed_skew: 0.3 }),
-        ("async damped skew=0.8", AsyncConfig { staleness_damping: 0.5, speed_skew: 0.8 }),
+        (
+            "async damped skew=0.3",
+            AsyncConfig {
+                staleness_damping: 0.5,
+                speed_skew: 0.3,
+            },
+        ),
+        (
+            "async undamped skew=0.3",
+            AsyncConfig {
+                staleness_damping: 0.0,
+                speed_skew: 0.3,
+            },
+        ),
+        (
+            "async damped skew=0.8",
+            AsyncConfig {
+                staleness_damping: 0.5,
+                speed_skew: 0.8,
+            },
+        ),
     ] {
-        let mut amd = AsyncMdGan::new(&spec, shards(1), cfg(1), acfg);
+        let mut amd =
+            AsyncMdGan::new(&spec, shards(1), cfg(1), acfg).with_telemetry(Arc::clone(&recorder));
         // Equal generator-update budget: the sync run applies `iters`
         // updates, so run the async system for `iters` events too... except
         // sync applies 1 update per iteration from N feedbacks; async
@@ -92,17 +123,27 @@ fn main() {
         // feedback budget (same total worker compute).
         let t = amd.train(iters * workers, eval_every * workers, Some(&mut evaluator));
         let s = amd.async_stats();
-        eprintln!("    {label}: mean staleness {:.2}, max {}", s.mean_staleness(), s.staleness_max);
+        eprintln!(
+            "    {label}: mean staleness {:.2}, max {}",
+            s.mean_staleness(),
+            s.staleness_max
+        );
         record(label, &t, mb(amd.traffic().total_bytes()));
     }
 
     // --- 2. compression.
     eprintln!("[2/5] compression...");
     for (label, batch, feedback) in [
-        ("compress q8/top25%q8", Codec::Quantize8, Codec::TopKQuantize8 { frac: 0.25 }),
+        (
+            "compress q8/top25%q8",
+            Codec::Quantize8,
+            Codec::TopKQuantize8 { frac: 0.25 },
+        ),
         ("compress q8/q8", Codec::Quantize8, Codec::Quantize8),
     ] {
-        let mut md = MdGan::new(&spec, shards(1), cfg(1)).with_codecs(batch, feedback);
+        let mut md = MdGan::new(&spec, shards(1), cfg(1))
+            .with_codecs(batch, feedback)
+            .with_telemetry(Arc::clone(&recorder));
         let t = md.train(iters, eval_every, Some(&mut evaluator));
         record(label, &t, mb(md.traffic().total_bytes()));
     }
@@ -120,21 +161,28 @@ fn main() {
     ] {
         let mut md = MdGan::new(&spec, shards(2), cfg(2))
             .with_attacks(attacks.clone())
-            .with_aggregation(agg);
+            .with_aggregation(agg)
+            .with_telemetry(Arc::clone(&recorder));
         let t = md.train(iters, eval_every, Some(&mut evaluator));
         record(&format!("{label} ({n_evil}/{workers} evil)"), &t, -1.0);
     }
 
     // --- 4. fewer discriminators + non-iid shards.
     eprintln!("[4/5] partial hosting and non-iid...");
-    let mut md = MdGan::new(&spec, shards(3), cfg(3)).with_disc_count((workers / 2).max(1));
+    let mut md = MdGan::new(&spec, shards(3), cfg(3))
+        .with_disc_count((workers / 2).max(1))
+        .with_telemetry(Arc::clone(&recorder));
     let t = md.train(iters, eval_every, Some(&mut evaluator));
-    record(&format!("MD-GAN {}/{} discriminators", (workers / 2).max(1), workers), &t, mb(md.traffic().total_bytes()));
+    record(
+        &format!("MD-GAN {}/{} discriminators", (workers / 2).max(1), workers),
+        &t,
+        mb(md.traffic().total_bytes()),
+    );
 
     for skew in [0.5f32, 1.0] {
         let mut rng = Rng64::seed_from_u64(seed ^ 4);
         let sh = train.shard_label_skew(workers, skew, &mut rng);
-        let mut md = MdGan::new(&spec, sh, cfg(4));
+        let mut md = MdGan::new(&spec, sh, cfg(4)).with_telemetry(Arc::clone(&recorder));
         let t = md.train(iters, eval_every, Some(&mut evaluator));
         record(&format!("MD-GAN non-iid skew={skew}"), &t, -1.0);
     }
@@ -148,7 +196,7 @@ fn main() {
         iterations: iters,
         seed: seed ^ 5,
     };
-    let mut gg = GossipGan::new(&spec, shards(5), fl_cfg);
+    let mut gg = GossipGan::new(&spec, shards(5), fl_cfg).with_telemetry(Arc::clone(&recorder));
     let t = gg.train(iters, eval_every, Some(&mut evaluator));
     record("gossip GAN [24]", &t, mb(gg.traffic().total_bytes()));
 
@@ -158,4 +206,18 @@ fn main() {
         ["variant", "IS", "FID", "traffic"],
         &rows,
     );
+
+    // Run record: all curves plus the recorder's aggregated phase
+    // histograms, stale-update tallies (async runs) and per-worker stats.
+    let run_record = RunRecord::new("ext_perspectives")
+        .with_config_json(
+            json::Object::new()
+                .field_str("experiment", "ext_perspectives")
+                .field_u64("workers", workers as u64)
+                .field_u64("iterations", iters as u64)
+                .field_u64("seed", seed)
+                .build(),
+        )
+        .with_scores(points);
+    emit_run_record(run_record, &recorder);
 }

@@ -10,7 +10,8 @@
 //! cargo run -p md-bench --bin fig2_ingress [-- --n 10 --bmax 10000]
 //! ```
 
-use md_bench::{print_table, write_csv, Args};
+use md_bench::{emit_run_record, print_table, recorder_from_env, write_csv, Args};
+use md_telemetry::{json, RunRecord};
 use mdgan_core::complexity::{SysParams, D_CIFAR, D_MNIST, PAPER_CNN_CIFAR, PAPER_CNN_MNIST};
 
 fn main() {
@@ -20,6 +21,14 @@ fn main() {
 
     let mut csv = String::new();
     let mut crossovers = Vec::new();
+    let recorder = recorder_from_env();
+    let mut record = RunRecord::new("fig2_ingress").with_config_json(
+        json::Object::new()
+            .field_str("figure", "fig2")
+            .field_u64("n", n as u64)
+            .field_u64("bmax", bmax as u64)
+            .build(),
+    );
     for (name, d, model, total) in [
         ("mnist", D_MNIST, PAPER_CNN_MNIST, 60_000usize),
         ("cifar10", D_CIFAR, PAPER_CNN_CIFAR, 50_000),
@@ -65,6 +74,15 @@ fn main() {
                 _ => "≈400".to_string(),
             },
         ]);
+        record = record
+            .with_metric(
+                format!("crossover_no_swap[{name}]"),
+                p.worker_ingress_crossover(false) as f64,
+            )
+            .with_metric(
+                format!("crossover_swap[{name}]"),
+                p.worker_ingress_crossover(true) as f64,
+            );
     }
     write_csv(
         "fig2_ingress.csv",
@@ -73,11 +91,17 @@ fn main() {
     );
     print_table(
         "Figure 2 crossover batch sizes (MD-GAN worker ingress > FL-GAN)",
-        ["dataset", "crossover (no swap)", "crossover (with swap)", "paper"],
+        [
+            "dataset",
+            "crossover (no swap)",
+            "crossover (with swap)",
+            "paper",
+        ],
         &crossovers,
     );
     println!(
         "\nShape check: FL-GAN ingress is constant in b; MD-GAN grows linearly\n\
          and overtakes FL-GAN at a few hundred images — matching Figure 2."
     );
+    emit_run_record(record, &recorder);
 }

@@ -10,10 +10,11 @@
 //!
 //! Writes `results/fig3_<family>_<arch>.csv` and prints the final scores.
 
-use md_bench::{print_table, write_csv, Args};
+use md_bench::{emit_run_record, print_table, recorder_from_env, write_csv, Args};
 use md_data::synthetic::Family;
+use md_telemetry::{json, RunRecord};
 use mdgan_core::arch::ArchKind;
-use mdgan_core::experiments::{run_convergence, ConvergenceConfig, ExperimentScale};
+use mdgan_core::experiments::{run_convergence_with, ConvergenceConfig, ExperimentScale};
 
 fn main() {
     let args = Args::parse();
@@ -44,7 +45,8 @@ fn main() {
     };
 
     eprintln!("running Figure 3 panel: {family:?} / {arch:?} at {scale:?}");
-    let curves = run_convergence(cfg);
+    let recorder = recorder_from_env();
+    let curves = run_convergence_with(cfg, &recorder);
 
     let fam = args.get_str("family", "mnist");
     let arc = args.get_str("arch", "mlp");
@@ -74,4 +76,26 @@ fn main() {
         ["competitor", "IS", "FID", "traffic"],
         &rows,
     );
+
+    // Run record next to the CSV: full score timelines of all six curves,
+    // the aggregated phase histograms and per-curve traffic totals.
+    let config = json::Object::new()
+        .field_str("figure", "fig3")
+        .field_str("family", &fam)
+        .field_str("arch", &arc)
+        .field_u64("workers", cfg.workers as u64)
+        .field_u64("iterations", scale.iters as u64)
+        .field_u64("seed", scale.seed)
+        .build();
+    let mut record = RunRecord::new(format!("fig3_{fam}_{arc}")).with_config_json(config);
+    for c in &curves {
+        record = record.with_scores_appended(c.timeline.score_points(&c.label));
+        if let Some(t) = &c.traffic {
+            record = record.with_metric(
+                format!("traffic_bytes[{}]", c.label),
+                t.total_bytes() as f64,
+            );
+        }
+    }
+    emit_run_record(record, &recorder);
 }

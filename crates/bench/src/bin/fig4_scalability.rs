@@ -10,9 +10,10 @@
 //!
 //! Writes `results/fig4_scalability.csv`.
 
-use md_bench::{print_table, write_csv, Args};
+use md_bench::{emit_run_record, print_table, recorder_from_env, write_csv, Args};
 use md_data::synthetic::Family;
-use mdgan_core::experiments::{run_scalability, ExperimentScale, WorkloadMode};
+use md_telemetry::{json, RunRecord, ScorePoint};
+use mdgan_core::experiments::{run_scalability_with, ExperimentScale, WorkloadMode};
 
 fn main() {
     let args = Args::parse();
@@ -33,7 +34,8 @@ fn main() {
     let base_b = args.get("b", 10usize);
 
     eprintln!("running Figure 4 over N = {ns:?} at {scale:?}");
-    let points = run_scalability(Family::MnistLike, scale, &ns, base_b);
+    let recorder = recorder_from_env();
+    let points = run_scalability_with(Family::MnistLike, scale, &ns, base_b, &recorder);
 
     let mut csv = String::new();
     let mut rows = Vec::new();
@@ -67,4 +69,37 @@ fn main() {
          improves MS, with a marginal FID gain in the constant-server case;\n\
          small N has enough local data for good scores."
     );
+
+    // Run record: one final-score point per (N, mode, swap) cell plus the
+    // phase histograms aggregated over every MD-GAN run of the sweep.
+    let config = json::Object::new()
+        .field_str("figure", "fig4")
+        .field_u64("base_b", base_b as u64)
+        .field_u64("iterations", scale.iters as u64)
+        .field_u64("seed", scale.seed)
+        .build();
+    let scores: Vec<ScorePoint> = points
+        .iter()
+        .map(|p| {
+            let mode = match p.mode {
+                WorkloadMode::ConstantWorker => "const-worker",
+                WorkloadMode::ConstantServer => "const-server",
+            };
+            ScorePoint {
+                label: format!(
+                    "n={} {} {}",
+                    p.n,
+                    mode,
+                    if p.swap { "swap" } else { "no-swap" }
+                ),
+                iter: scale.iters,
+                is_score: p.final_scores.inception_score,
+                fid: p.final_scores.fid,
+            }
+        })
+        .collect();
+    let record = RunRecord::new("fig4_scalability")
+        .with_config_json(config)
+        .with_scores(scores);
+    emit_run_record(record, &recorder);
 }

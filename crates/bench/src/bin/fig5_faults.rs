@@ -10,10 +10,11 @@
 //!
 //! Writes `results/fig5_<family>.csv`.
 
-use md_bench::{print_table, write_csv, Args};
+use md_bench::{emit_run_record, print_table, recorder_from_env, write_csv, Args};
 use md_data::synthetic::Family;
+use md_telemetry::{json, RunRecord};
 use mdgan_core::arch::ArchKind;
-use mdgan_core::experiments::{run_faults, ExperimentScale};
+use mdgan_core::experiments::{run_faults_with, ExperimentScale};
 
 fn main() {
     let args = Args::parse();
@@ -40,7 +41,8 @@ fn main() {
     };
 
     eprintln!("running Figure 5 ({fam_str}) with {workers} workers at {scale:?}");
-    let curves = run_faults(family, arch, scale, workers);
+    let recorder = recorder_from_env();
+    let curves = run_faults_with(family, arch, scale, workers, &recorder);
 
     let mut csv = String::new();
     for c in &curves {
@@ -52,7 +54,11 @@ fn main() {
         .iter()
         .map(|c| {
             let f = c.timeline.final_scores(3).unwrap();
-            [c.label.clone(), format!("{:.3}", f.inception_score), format!("{:.2}", f.fid)]
+            [
+                c.label.clone(),
+                format!("{:.3}", f.inception_score),
+                format!("{:.2}", f.fid),
+            ]
         })
         .collect();
     print_table(
@@ -65,4 +71,25 @@ fn main() {
          impact; on CIFAR10 early crashes make the run diverge from the\n\
          crash-free curve while staying comparable up to ~8 crashed workers."
     );
+
+    // Run record: all four timelines, the recorder's fault tallies (which
+    // mirror the crash schedule) and per-curve traffic totals.
+    let config = json::Object::new()
+        .field_str("figure", "fig5")
+        .field_str("family", &fam_str)
+        .field_u64("workers", workers as u64)
+        .field_u64("iterations", scale.iters as u64)
+        .field_u64("seed", scale.seed)
+        .build();
+    let mut record = RunRecord::new(format!("fig5_{fam_str}")).with_config_json(config);
+    for c in &curves {
+        record = record.with_scores_appended(c.timeline.score_points(&c.label));
+        if let Some(t) = &c.traffic {
+            record = record.with_metric(
+                format!("traffic_bytes[{}]", c.label),
+                t.total_bytes() as f64,
+            );
+        }
+    }
+    emit_run_record(record, &recorder);
 }

@@ -8,8 +8,9 @@
 //!
 //! Writes `results/fig6_celeba.csv`.
 
-use md_bench::{print_table, write_csv, Args};
-use mdgan_core::experiments::{run_celeba, ExperimentScale};
+use md_bench::{emit_run_record, print_table, recorder_from_env, write_csv, Args};
+use md_telemetry::{json, RunRecord};
+use mdgan_core::experiments::{run_celeba_with, ExperimentScale};
 
 fn main() {
     let args = Args::parse();
@@ -26,7 +27,8 @@ fn main() {
     let b_large = args.get("b", 50usize);
 
     eprintln!("running Figure 6 (CelebA-like) at {scale:?}, b_large={b_large}");
-    let curves = run_celeba(scale, b_large);
+    let recorder = recorder_from_env();
+    let curves = run_celeba_with(scale, b_large, &recorder);
 
     let mut csv = String::new();
     for c in &curves {
@@ -38,7 +40,11 @@ fn main() {
         .iter()
         .map(|c| {
             let f = c.timeline.final_scores(3).unwrap();
-            [c.label.clone(), format!("{:.3}", f.inception_score), format!("{:.2}", f.fid)]
+            [
+                c.label.clone(),
+                format!("{:.3}", f.inception_score),
+                format!("{:.2}", f.fid),
+            ]
         })
         .collect();
     print_table(
@@ -50,4 +56,22 @@ fn main() {
         "\nPaper observations: all IS curves comparable (MD-GAN slightly\n\
          above); standalone leads on FID, with MD-GAN and FL-GAN behind."
     );
+
+    let config = json::Object::new()
+        .field_str("figure", "fig6")
+        .field_u64("b_large", b_large as u64)
+        .field_u64("iterations", scale.iters as u64)
+        .field_u64("seed", scale.seed)
+        .build();
+    let mut record = RunRecord::new("fig6_celeba").with_config_json(config);
+    for c in &curves {
+        record = record.with_scores_appended(c.timeline.score_points(&c.label));
+        if let Some(t) = &c.traffic {
+            record = record.with_metric(
+                format!("traffic_bytes[{}]", c.label),
+                t.total_bytes() as f64,
+            );
+        }
+    }
+    emit_run_record(record, &recorder);
 }

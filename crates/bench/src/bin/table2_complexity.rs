@@ -6,8 +6,11 @@
 //! cargo run -p md-bench --bin table2_complexity [-- --n 10 --b 10 --iters 50000]
 //! ```
 
-use md_bench::{print_table, Args};
-use mdgan_core::complexity::{SysParams, D_CIFAR, D_MNIST, PAPER_CNN_CIFAR, PAPER_CNN_MNIST, PAPER_MLP_MNIST};
+use md_bench::{emit_run_record, print_table, recorder_from_env, Args};
+use md_telemetry::{json, RunRecord};
+use mdgan_core::complexity::{
+    SysParams, D_CIFAR, D_MNIST, PAPER_CNN_CIFAR, PAPER_CNN_MNIST, PAPER_MLP_MNIST,
+};
 
 fn main() {
     let args = Args::parse();
@@ -18,8 +21,20 @@ fn main() {
 
     println!("Table II — computation & memory complexity (FL-GAN vs MD-GAN)");
     println!("parameters: N={n}, b={b}, I={iters}, E={e}, k=⌊log N⌋");
-    println!("(values are the O(·) expressions of Table II evaluated numerically, in FLOP/float units)");
+    println!(
+        "(values are the O(·) expressions of Table II evaluated numerically, in FLOP/float units)"
+    );
 
+    let recorder = recorder_from_env();
+    let mut record = RunRecord::new("table2_complexity").with_config_json(
+        json::Object::new()
+            .field_str("table", "table2")
+            .field_u64("n", n as u64)
+            .field_u64("b", b as u64)
+            .field_u64("iters", iters as u64)
+            .field_f64("e", e)
+            .build(),
+    );
     for (name, model, d, dataset) in [
         ("MLP / MNIST", PAPER_MLP_MNIST, D_MNIST, 60_000usize),
         ("CNN / MNIST", PAPER_CNN_MNIST, D_MNIST, 60_000),
@@ -67,9 +82,23 @@ fn main() {
             ["quantity", "FL-GAN", "MD-GAN"],
             &rows,
         );
+        record = record
+            .with_metric(
+                format!("worker_compute_ratio[{name}]"),
+                p.worker_compute_ratio(),
+            )
+            .with_metric(
+                format!("mdgan_server_compute[{name}]"),
+                p.mdgan_server_compute(),
+            )
+            .with_metric(
+                format!("flgan_server_compute[{name}]"),
+                p.flgan_server_compute(),
+            );
     }
     println!(
         "\nPaper claim: MD-GAN removes ~half the computation from workers\n\
          (grey rows of Table II) — the ratio column above shows (|w|+|θ|)/|θ|."
     );
+    emit_run_record(record, &recorder);
 }

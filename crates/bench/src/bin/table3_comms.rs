@@ -6,7 +6,8 @@
 //! cargo run -p md-bench --bin table3_comms [-- --n 10 --b 10 --dataset cifar]
 //! ```
 
-use md_bench::{fmt_mb, print_table, Args};
+use md_bench::{emit_run_record, fmt_mb, print_table, recorder_from_env, Args};
+use md_telemetry::{json, RunRecord};
 use mdgan_core::complexity::{SysParams, D_CIFAR, D_MNIST, PAPER_CNN_CIFAR, PAPER_CNN_MNIST};
 
 fn main() {
@@ -70,9 +71,33 @@ fn main() {
             format!("Ib/(mE) = {}", p.mdgan_swaps()),
         ],
     ];
-    print_table("per-communication sizes and counts", ["link", "FL-GAN", "MD-GAN"], &rows);
+    print_table(
+        "per-communication sizes and counts",
+        ["link", "FL-GAN", "MD-GAN"],
+        &rows,
+    );
     println!(
         "\nNote: sizes use 4-byte floats, exactly matching the runtime's\n\
          traffic accounting in md-simnet (cross-checked by integration tests)."
     );
+
+    let recorder = recorder_from_env();
+    let record = RunRecord::new("table3_comms")
+        .with_config_json(
+            json::Object::new()
+                .field_str("table", "table3")
+                .field_str("dataset", &dataset)
+                .field_u64("n", n as u64)
+                .field_u64("b", b as u64)
+                .field_u64("iters", iters as u64)
+                .build(),
+        )
+        .with_metric("flgan_c2w_server_bytes", p.flgan_c2w_server_bytes() as f64)
+        .with_metric("mdgan_c2w_server_bytes", p.mdgan_c2w_server_bytes() as f64)
+        .with_metric("flgan_w2c_worker_bytes", p.flgan_w2c_worker_bytes() as f64)
+        .with_metric("mdgan_w2c_worker_bytes", p.mdgan_w2c_worker_bytes() as f64)
+        .with_metric("mdgan_w2w_bytes", p.mdgan_w2w_bytes() as f64)
+        .with_metric("flgan_rounds", p.flgan_rounds() as f64)
+        .with_metric("mdgan_swaps", p.mdgan_swaps() as f64);
+    emit_run_record(record, &recorder);
 }

@@ -7,15 +7,17 @@
 //! cargo run --release -p md-bench --bin table4_costs
 //! ```
 
-use md_bench::{fmt_mb, print_table, Args};
+use md_bench::{emit_run_record, fmt_mb, print_table, recorder_from_env, Args};
 use md_data::synthetic::DataSpec;
 use md_simnet::LinkClass;
+use md_telemetry::{json, RunRecord};
 use md_tensor::rng::Rng64;
 use mdgan_core::complexity::SysParams;
 use mdgan_core::config::{FlGanConfig, GanHyper, KPolicy, MdGanConfig, SwapPolicy};
 use mdgan_core::flgan::FlGan;
 use mdgan_core::mdgan::trainer::MdGan;
 use mdgan_core::ArchSpec;
+use std::sync::Arc;
 
 fn main() {
     let args = Args::parse();
@@ -67,7 +69,11 @@ fn main() {
             p.mdgan_swaps().to_string(),
         ]);
     }
-    print_table("closed-form (paper-scale CNN/CIFAR10)", ["quantity", "FL-GAN", "MD-GAN"], &rows);
+    print_table(
+        "closed-form (paper-scale CNN/CIFAR10)",
+        ["quantity", "FL-GAN", "MD-GAN"],
+        &rows,
+    );
 
     // Simulator cross-check at a scaled image size.
     let img = 16usize;
@@ -82,12 +88,16 @@ fn main() {
         k: KPolicy::One,
         epochs_per_swap: 1.0,
         swap: SwapPolicy::Disabled,
-        hyper: GanHyper { batch: b, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: b,
+            ..GanHyper::default()
+        },
         iterations: sim_iters,
         seed: 2,
         crash: Default::default(),
     };
-    let mut md = MdGan::new(&spec, shards.clone(), md_cfg);
+    let recorder = recorder_from_env();
+    let mut md = MdGan::new(&spec, shards.clone(), md_cfg).with_telemetry(Arc::clone(&recorder));
     for _ in 0..sim_iters {
         md.step();
     }
@@ -100,23 +110,34 @@ fn main() {
         "  C→W measured {} vs formula {}  [{}]",
         r.bytes(LinkClass::ServerToWorker),
         expect_c2w,
-        if r.bytes(LinkClass::ServerToWorker) == expect_c2w { "OK" } else { "MISMATCH" }
+        if r.bytes(LinkClass::ServerToWorker) == expect_c2w {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
     println!(
         "  W→C measured {} vs formula {}  [{}]",
         r.bytes(LinkClass::WorkerToServer),
         expect_w2c,
-        if r.bytes(LinkClass::WorkerToServer) == expect_w2c { "OK" } else { "MISMATCH" }
+        if r.bytes(LinkClass::WorkerToServer) == expect_w2c {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
 
     let fl_cfg = FlGanConfig {
         workers: n,
         epochs_per_round: 1.0,
-        hyper: GanHyper { batch: b, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: b,
+            ..GanHyper::default()
+        },
         iterations: sim_iters,
         seed: 3,
     };
-    let mut fl = FlGan::new(&spec, shards, fl_cfg);
+    let mut fl = FlGan::new(&spec, shards, fl_cfg).with_telemetry(Arc::clone(&recorder));
     let rounds_to_run = fl.round_interval();
     for _ in 0..rounds_to_run {
         fl.step();
@@ -132,6 +153,35 @@ fn main() {
         "  C→W measured {} vs formula N(θ+w) = {}  [{}]",
         r.bytes(LinkClass::ServerToWorker),
         expect,
-        if r.bytes(LinkClass::ServerToWorker) == expect { "OK" } else { "MISMATCH" }
+        if r.bytes(LinkClass::ServerToWorker) == expect {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
     );
+
+    // Run record: measured simulator bytes (the cross-check inputs) plus
+    // the phase histograms of both short runs.
+    let record = RunRecord::new("table4_costs")
+        .with_config_json(
+            json::Object::new()
+                .field_str("table", "table4")
+                .field_u64("n", n as u64)
+                .field_u64("sim_iters", sim_iters as u64)
+                .field_u64("img", img as u64)
+                .build(),
+        )
+        .with_metric(
+            "mdgan_c2w_bytes",
+            md.traffic().bytes(LinkClass::ServerToWorker) as f64,
+        )
+        .with_metric(
+            "mdgan_w2c_bytes",
+            md.traffic().bytes(LinkClass::WorkerToServer) as f64,
+        )
+        .with_metric(
+            "flgan_c2w_bytes",
+            fl.traffic().bytes(LinkClass::ServerToWorker) as f64,
+        );
+    emit_run_record(record, &recorder);
 }

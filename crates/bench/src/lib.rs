@@ -5,10 +5,12 @@
 //! (see DESIGN.md §4 for the full index) and accepts `--key value` flags to
 //! scale between "seconds" and "paper scale".
 
+use md_telemetry::{Recorder, RunRecord, Verbosity};
 use std::collections::BTreeMap;
 use std::fmt::Display;
 use std::fs;
 use std::path::Path;
+use std::sync::Arc;
 
 /// A minimal `--key value` argument parser (no external crates by design).
 #[derive(Debug, Default)]
@@ -23,6 +25,7 @@ impl Args {
     }
 
     /// Parses an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
         let mut flags = BTreeMap::new();
         let mut iter = args.into_iter().peekable();
@@ -46,14 +49,19 @@ impl Args {
         T::Err: std::fmt::Debug,
     {
         match self.flags.get(key) {
-            Some(v) => v.parse().unwrap_or_else(|e| panic!("bad value for --{key}: {v:?} ({e:?})")),
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|e| panic!("bad value for --{key}: {v:?} ({e:?})")),
             None => default,
         }
     }
 
     /// Returns the raw string flag, or `default`.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// True iff the flag was supplied.
@@ -81,11 +89,22 @@ pub fn print_table<const W: usize>(title: &str, header: [&str; W], rows: &[[Stri
         }
     }
     let print_row = |cells: &[String]| {
-        let line: Vec<String> = cells.iter().enumerate().map(|(i, c)| format!("{:w$}", c, w = widths[i])).collect();
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
         println!("| {} |", line.join(" | "));
     };
     print_row(&header.map(String::from));
-    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
     for row in rows {
         print_row(row);
     }
@@ -102,10 +121,36 @@ pub fn write_csv(name: &str, header: &str, body: &str) {
     println!("wrote {}", path.display());
 }
 
+/// Builds the shared per-binary telemetry recorder: it always records (so
+/// the run record written next to the CSVs is complete) and the `TELEMETRY`
+/// environment knob only controls end-of-run *printing* — see
+/// [`emit_run_record`].
+pub fn recorder_from_env() -> Arc<Recorder> {
+    Arc::new(Recorder::with_verbosity(
+        Verbosity::from_env().max(Verbosity::Table),
+    ))
+}
+
+/// Writes `results/<name>.telemetry.jsonl` next to the binary's CSVs,
+/// echoes the path, and prints the recorder's end-of-run table (or JSONL)
+/// when the `TELEMETRY` environment knob asks for it.
+pub fn emit_run_record(record: RunRecord, rec: &Recorder) {
+    match record.write_jsonl("results", rec) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write run record: {e}"),
+    }
+    if Verbosity::from_env() != Verbosity::Off {
+        rec.finish();
+    }
+}
+
 /// Column-stacks label/value pairs into `[String; 2]` rows (small helper
 /// for two-column tables).
 pub fn kv_rows<V: Display>(pairs: &[(&str, V)]) -> Vec<[String; 2]> {
-    pairs.iter().map(|(k, v)| [k.to_string(), v.to_string()]).collect()
+    pairs
+        .iter()
+        .map(|(k, v)| [k.to_string(), v.to_string()])
+        .collect()
 }
 
 #[cfg(test)]
@@ -124,7 +169,7 @@ mod tests {
     fn boolean_flags() {
         let a = Args::from_iter(["--full", "--iters", "5"].map(String::from));
         assert!(a.has("full"));
-        assert_eq!(a.get("full", false), true);
+        assert!(a.get("full", false));
         assert_eq!(a.get("iters", 0usize), 5);
     }
 
@@ -133,6 +178,15 @@ mod tests {
     fn rejects_unparsable_values() {
         let a = Args::from_iter(["--iters", "ten"].map(String::from));
         a.get("iters", 0usize);
+    }
+
+    #[test]
+    fn env_recorder_always_records() {
+        let rec = recorder_from_env();
+        {
+            let _s = rec.span(md_telemetry::Phase::Comm);
+        }
+        assert_eq!(rec.phase_stats(md_telemetry::Phase::Comm).count, 1);
     }
 
     #[test]

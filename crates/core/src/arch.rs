@@ -49,29 +49,64 @@ pub struct ArchSpec {
 impl ArchSpec {
     /// Scaled-down MLP for the MNIST-like dataset (fast experiments).
     pub fn mlp_mnist_scaled(img: usize) -> Self {
-        ArchSpec { kind: ArchKind::Mlp, img, channels: 1, latent: 32, classes: 10, width: 128 }
+        ArchSpec {
+            kind: ArchKind::Mlp,
+            img,
+            channels: 1,
+            latent: 32,
+            classes: 10,
+            width: 128,
+        }
     }
 
     /// Scaled-down CNN for the MNIST-like dataset.
     pub fn cnn_mnist_scaled(img: usize) -> Self {
-        ArchSpec { kind: ArchKind::Cnn, img, channels: 1, latent: 32, classes: 10, width: 16 }
+        ArchSpec {
+            kind: ArchKind::Cnn,
+            img,
+            channels: 1,
+            latent: 32,
+            classes: 10,
+            width: 16,
+        }
     }
 
     /// Scaled-down CNN for the CIFAR-like dataset.
     pub fn cnn_cifar_scaled(img: usize) -> Self {
-        ArchSpec { kind: ArchKind::Cnn, img, channels: 3, latent: 32, classes: 10, width: 16 }
+        ArchSpec {
+            kind: ArchKind::Cnn,
+            img,
+            channels: 3,
+            latent: 32,
+            classes: 10,
+            width: 16,
+        }
     }
 
     /// Scaled-down unconditional CNN for the CelebA-like dataset (the
     /// paper's CelebA D has a single output neuron).
     pub fn cnn_celeba_scaled(img: usize) -> Self {
-        ArchSpec { kind: ArchKind::Cnn, img, channels: 3, latent: 32, classes: 0, width: 16 }
+        ArchSpec {
+            kind: ArchKind::Cnn,
+            img,
+            channels: 3,
+            latent: 32,
+            classes: 0,
+            width: 16,
+        }
     }
 
     /// Paper-scale MLP (MNIST, 512-wide, ℓ=100) — used for parameter
     /// counting and the communication tables, not for training here.
     pub fn paper_mnist_mlp() -> Self {
-        ArchSpec { kind: ArchKind::Mlp, img: 28, channels: 1, latent: 100, classes: 10, width: 512 }
+        ArchSpec {
+            kind: ArchKind::Mlp,
+            img: 28,
+            channels: 1,
+            latent: 100,
+            classes: 10,
+            width: 512,
+        }
     }
 
     /// Object size `d` in floats.
@@ -101,7 +136,12 @@ impl ArchSpec {
         let d = self.object_size();
         let w = self.width;
         Sequential::new()
-            .push(Dense::new(self.latent + self.classes, w, Init::XavierUniform, rng))
+            .push(Dense::new(
+                self.latent + self.classes,
+                w,
+                Init::XavierUniform,
+                rng,
+            ))
             .push(LeakyRelu::new(0.2))
             .push(Dense::new(w, w, Init::XavierUniform, rng))
             .push(LeakyRelu::new(0.2))
@@ -125,7 +165,7 @@ impl ArchSpec {
     /// Number of stride-2 stages between 4x4 and the target resolution.
     fn cnn_stages(&self) -> usize {
         assert!(
-            self.img >= 8 && self.img % 4 == 0 && (self.img / 4).is_power_of_two(),
+            self.img >= 8 && self.img.is_multiple_of(4) && (self.img / 4).is_power_of_two(),
             "CNN architectures need img = 4 * 2^s, got {}",
             self.img
         );
@@ -136,7 +176,12 @@ impl ArchSpec {
         let stages = self.cnn_stages();
         let f0 = self.width << (stages - 1); // widest at 4x4
         let mut net = Sequential::new()
-            .push(Dense::new(self.latent + self.classes, f0 * 4 * 4, Init::Dcgan, rng))
+            .push(Dense::new(
+                self.latent + self.classes,
+                f0 * 4 * 4,
+                Init::Dcgan,
+                rng,
+            ))
             .push(Reshape::new(&[f0, 4, 4]))
             .push(BatchNorm::new(f0))
             .push(Relu::new());
@@ -144,7 +189,15 @@ impl ArchSpec {
         for s in 0..stages {
             let last = s + 1 == stages;
             let fout = if last { self.channels } else { fin / 2 };
-            net.push_boxed(Box::new(ConvTranspose2d::new(fin, fout, 4, 2, 1, Init::Dcgan, rng)));
+            net.push_boxed(Box::new(ConvTranspose2d::new(
+                fin,
+                fout,
+                4,
+                2,
+                1,
+                Init::Dcgan,
+                rng,
+            )));
             if last {
                 net.push_boxed(Box::new(Tanh::new()));
             } else {
@@ -173,7 +226,12 @@ impl ArchSpec {
         let mb = MinibatchDiscrimination::new(feat, 8, 4, rng);
         let head_in = mb.out_features();
         net.push_boxed(Box::new(mb));
-        net.push_boxed(Box::new(Dense::new(head_in, 1 + self.classes, Init::XavierUniform, rng)));
+        net.push_boxed(Box::new(Dense::new(
+            head_in,
+            1 + self.classes,
+            Init::XavierUniform,
+            rng,
+        )));
         net
     }
 }
@@ -274,7 +332,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "img = 4 * 2^s")]
     fn cnn_rejects_bad_image_size() {
-        let spec = ArchSpec { kind: ArchKind::Cnn, img: 12, channels: 1, latent: 8, classes: 0, width: 8 };
+        let spec = ArchSpec {
+            kind: ArchKind::Cnn,
+            img: 12,
+            channels: 1,
+            latent: 8,
+            classes: 0,
+            width: 8,
+        };
         spec.build_generator(&mut Rng64::seed_from_u64(1));
     }
 }

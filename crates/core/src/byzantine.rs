@@ -110,7 +110,10 @@ impl Aggregation {
                 out
             }
             Aggregation::TrimmedMean { trim } => {
-                assert!(2 * trim < g, "trimming {trim} from each tail of a group of {g}");
+                assert!(
+                    2 * trim < g,
+                    "trimming {trim} from each tail of a group of {g}"
+                );
                 let kept = (g - 2 * trim) as f32;
                 let mut out = Tensor::zeros(&shape);
                 let mut column = vec![0.0f32; g];
@@ -140,8 +143,14 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(1);
         let f = t(&[1.0, -2.0, 3.0]);
         assert_eq!(Attack::None.apply(&f, &mut rng).data(), f.data());
-        assert_eq!(Attack::SignFlip { scale: 1.0 }.apply(&f, &mut rng).data(), &[-1.0, 2.0, -3.0]);
-        assert_eq!(Attack::Inflate { factor: 10.0 }.apply(&f, &mut rng).data(), &[10.0, -20.0, 30.0]);
+        assert_eq!(
+            Attack::SignFlip { scale: 1.0 }.apply(&f, &mut rng).data(),
+            &[-1.0, 2.0, -3.0]
+        );
+        assert_eq!(
+            Attack::Inflate { factor: 10.0 }.apply(&f, &mut rng).data(),
+            &[10.0, -20.0, 30.0]
+        );
         let noisy = Attack::RandomNoise { std: 1.0 }.apply(&f, &mut rng);
         assert_ne!(noisy.data(), f.data());
         assert_eq!(noisy.shape(), f.shape());
@@ -178,7 +187,10 @@ mod tests {
 
     #[test]
     fn trimmed_mean_drops_tails() {
-        let g: Vec<Tensor> = [-100.0f32, 1.0, 2.0, 3.0, 100.0].iter().map(|&v| t(&[v])).collect();
+        let g: Vec<Tensor> = [-100.0f32, 1.0, 2.0, 3.0, 100.0]
+            .iter()
+            .map(|&v| t(&[v]))
+            .collect();
         let refs: Vec<&Tensor> = g.iter().collect();
         let m = Aggregation::TrimmedMean { trim: 1 }.aggregate(&refs);
         assert!((m.data()[0] - 2.0).abs() < 1e-6);

@@ -32,7 +32,10 @@ pub struct Checkpoint {
 impl Checkpoint {
     /// Creates an empty checkpoint at the given iteration.
     pub fn new(iteration: u64) -> Self {
-        Checkpoint { iteration, sections: Vec::new() }
+        Checkpoint {
+            iteration,
+            sections: Vec::new(),
+        }
     }
 
     /// Appends a section.
@@ -42,13 +45,19 @@ impl Checkpoint {
 
     /// Looks a section up by name.
     pub fn get(&self, name: &str) -> Option<&[f32]> {
-        self.sections.iter().find(|(n, _)| n == name).map(|(_, d)| d.as_slice())
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_slice())
     }
 
     /// Serializes to the wire format.
     pub fn to_bytes(&self) -> Bytes {
-        let payload: usize =
-            self.sections.iter().map(|(n, d)| 8 + n.len() + 4 * d.len()).sum::<usize>();
+        let payload: usize = self
+            .sections
+            .iter()
+            .map(|(n, d)| 8 + n.len() + 4 * d.len())
+            .sum::<usize>();
         let mut buf = BytesMut::with_capacity(8 + 4 + 8 + 4 + payload);
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
@@ -109,7 +118,10 @@ impl Checkpoint {
             }
             sections.push((name, data));
         }
-        Ok(Checkpoint { iteration, sections })
+        Ok(Checkpoint {
+            iteration,
+            sections,
+        })
     }
 
     /// Writes the checkpoint to a file.
@@ -167,14 +179,18 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = sample().to_bytes().to_vec();
         bytes[0] = b'X';
-        assert!(Checkpoint::from_bytes(&bytes).unwrap_err().contains("bad magic"));
+        assert!(Checkpoint::from_bytes(&bytes)
+            .unwrap_err()
+            .contains("bad magic"));
     }
 
     #[test]
     fn rejects_bad_version() {
         let mut bytes = sample().to_bytes().to_vec();
         bytes[8] = 99;
-        assert!(Checkpoint::from_bytes(&bytes).unwrap_err().contains("version"));
+        assert!(Checkpoint::from_bytes(&bytes)
+            .unwrap_err()
+            .contains("version"));
     }
 
     #[test]

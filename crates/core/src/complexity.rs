@@ -28,11 +28,20 @@ impl ModelSize {
 }
 
 /// The paper's MLP for MNIST (§V-A.b).
-pub const PAPER_MLP_MNIST: ModelSize = ModelSize { gen: 716_560, disc: 670_219 };
+pub const PAPER_MLP_MNIST: ModelSize = ModelSize {
+    gen: 716_560,
+    disc: 670_219,
+};
 /// The paper's CNN for MNIST.
-pub const PAPER_CNN_MNIST: ModelSize = ModelSize { gen: 628_058, disc: 286_048 };
+pub const PAPER_CNN_MNIST: ModelSize = ModelSize {
+    gen: 628_058,
+    disc: 286_048,
+};
 /// The paper's CNN for CIFAR10.
-pub const PAPER_CNN_CIFAR: ModelSize = ModelSize { gen: 628_110, disc: 100_203 };
+pub const PAPER_CNN_CIFAR: ModelSize = ModelSize {
+    gen: 628_110,
+    disc: 100_203,
+};
 
 /// MNIST object size in floats (28×28 grayscale).
 pub const D_MNIST: usize = 28 * 28;
@@ -91,7 +100,9 @@ impl SysParams {
 
     /// MD-GAN server computation: `O(I·b·(d·N + k·|w|))`.
     pub fn mdgan_server_compute(&self) -> f64 {
-        self.iters as f64 * self.b as f64 * (self.d as f64 * self.n as f64 + self.k as f64 * self.model.gen as f64)
+        self.iters as f64
+            * self.b as f64
+            * (self.d as f64 * self.n as f64 + self.k as f64 * self.model.gen as f64)
     }
 
     /// MD-GAN server memory: `O(b·(d·N + k·|w|))`.
@@ -203,7 +214,12 @@ impl SysParams {
     /// iterations (the "worker-worker communications during an iteration"
     /// of Figure 2).
     pub fn mdgan_worker_ingress(&self, include_swap: bool) -> u64 {
-        self.mdgan_c2w_worker_bytes() + if include_swap { self.mdgan_w2w_bytes() } else { 0 }
+        self.mdgan_c2w_worker_bytes()
+            + if include_swap {
+                self.mdgan_w2w_bytes()
+            } else {
+                0
+            }
     }
 
     /// MD-GAN server ingress per iteration (bytes): all N feedbacks.
@@ -216,7 +232,11 @@ impl SysParams {
     /// of Figure 2 (paper: ≈550 for MNIST, ≈400 for CIFAR10).
     pub fn worker_ingress_crossover(&self, include_swap: bool) -> usize {
         let fl = self.flgan_worker_ingress() as f64;
-        let swap = if include_swap { self.mdgan_w2w_bytes() as f64 } else { 0.0 };
+        let swap = if include_swap {
+            self.mdgan_w2w_bytes() as f64
+        } else {
+            0.0
+        };
         // Solve 2*b*d*4 + swap = fl.
         (((fl - swap) / (2.0 * self.d as f64 * 4.0)).floor()).max(0.0) as usize
     }
@@ -241,12 +261,18 @@ mod tests {
     fn worker_compute_halves_for_similar_g_and_d() {
         // With |w| ≈ |θ| the ratio is ≈ 2 — the paper's headline claim.
         let p = SysParams {
-            model: ModelSize { gen: 500_000, disc: 500_000 },
+            model: ModelSize {
+                gen: 500_000,
+                disc: 500_000,
+            },
             ..cifar10()
         };
         assert!((p.worker_compute_ratio() - 2.0).abs() < 1e-9);
         // With the paper's actual MLP sizes it is slightly above 2.
-        let p = SysParams { model: PAPER_MLP_MNIST, ..cifar10() };
+        let p = SysParams {
+            model: PAPER_MLP_MNIST,
+            ..cifar10()
+        };
         let r = p.worker_compute_ratio();
         assert!(r > 2.0 && r < 2.1, "ratio {r}");
     }
@@ -275,7 +301,10 @@ mod tests {
         let p100 = SysParams::table_iv_cifar(100);
         assert!((mb(p100.mdgan_c2w_server_bytes()) - 23.4).abs() < 0.5);
         // And C→W at one worker is N× smaller.
-        assert_eq!(p10.mdgan_c2w_server_bytes(), 10 * p10.mdgan_c2w_worker_bytes());
+        assert_eq!(
+            p10.mdgan_c2w_server_bytes(),
+            10 * p10.mdgan_c2w_worker_bytes()
+        );
     }
 
     #[test]
@@ -296,7 +325,10 @@ mod tests {
     fn mdgan_ingress_grows_linearly_in_b() {
         let p10 = cifar10();
         let p20 = SysParams::table_iv_cifar(20);
-        assert_eq!(2 * p10.mdgan_worker_ingress(false), p20.mdgan_worker_ingress(false));
+        assert_eq!(
+            2 * p10.mdgan_worker_ingress(false),
+            p20.mdgan_worker_ingress(false)
+        );
     }
 
     #[test]
@@ -310,7 +342,10 @@ mod tests {
         let c_mnist = mnist.worker_ingress_crossover(false);
         assert!((100..2000).contains(&c_mnist), "MNIST crossover {c_mnist}");
 
-        let cifar = SysParams { model: PAPER_CNN_CIFAR, ..cifar10() };
+        let cifar = SysParams {
+            model: PAPER_CNN_CIFAR,
+            ..cifar10()
+        };
         let c_cifar = cifar.worker_ingress_crossover(false);
         assert!((50..1000).contains(&c_cifar), "CIFAR crossover {c_cifar}");
         // CIFAR objects are bigger, so its crossover comes earlier.
@@ -319,7 +354,10 @@ mod tests {
 
     #[test]
     fn crossover_below_means_mdgan_cheaper() {
-        let p = SysParams { model: PAPER_CNN_CIFAR, ..cifar10() };
+        let p = SysParams {
+            model: PAPER_CNN_CIFAR,
+            ..cifar10()
+        };
         let c = p.worker_ingress_crossover(false);
         let below = SysParams::table_iv_cifar(c.saturating_sub(1).max(1));
         assert!(below.mdgan_worker_ingress(false) <= below.flgan_worker_ingress());

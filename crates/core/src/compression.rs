@@ -81,7 +81,11 @@ impl Codec {
             Codec::Quantize8 => {
                 let (min, scale) = quant_range(t.data());
                 let data: Vec<u8> = t.data().iter().map(|&v| quantize(v, min, scale)).collect();
-                Payload::Quant8 { min, scale, data: Bytes::from(data) }
+                Payload::Quant8 {
+                    min,
+                    scale,
+                    data: Bytes::from(data),
+                }
             }
             Codec::TopK { frac } => {
                 let (indices, values) = top_k(t.data(), frac);
@@ -91,7 +95,12 @@ impl Codec {
                 let (indices, values) = top_k(t.data(), frac);
                 let (min, scale) = quant_range(&values);
                 let data: Vec<u8> = values.iter().map(|&v| quantize(v, min, scale)).collect();
-                Payload::SparseQuant8 { min, scale, indices, data: Bytes::from(data) }
+                Payload::SparseQuant8 {
+                    min,
+                    scale,
+                    indices,
+                    data: Bytes::from(data),
+                }
             }
         };
         Compressed { shape, payload }
@@ -115,7 +124,12 @@ impl Compressed {
                 }
                 Tensor::new(&self.shape, v)
             }
-            Payload::SparseQuant8 { min, scale, indices, data } => {
+            Payload::SparseQuant8 {
+                min,
+                scale,
+                indices,
+                data,
+            } => {
                 let mut v = vec![0.0f32; n];
                 for (&i, &q) in indices.iter().zip(data.iter()) {
                     v[i as usize] = dequantize(q, *min, *scale);
@@ -131,7 +145,9 @@ impl Compressed {
             Payload::Dense(v) => 4 * v.len() as u64,
             Payload::Quant8 { data, .. } => 8 + data.len() as u64,
             Payload::Sparse { indices, .. } => 8 * indices.len() as u64,
-            Payload::SparseQuant8 { indices, data, .. } => 8 + 4 * indices.len() as u64 + data.len() as u64,
+            Payload::SparseQuant8 { indices, data, .. } => {
+                8 + 4 * indices.len() as u64 + data.len() as u64
+            }
         }
     }
 
@@ -172,7 +188,10 @@ fn dequantize(q: u8, min: f32, scale: f32) -> f32 {
 /// Indices and values of the `frac·n` largest-magnitude elements
 /// (at least 1), indices ascending.
 fn top_k(data: &[f32], frac: f32) -> (Vec<u32>, Vec<f32>) {
-    assert!(frac > 0.0 && frac <= 1.0, "top-k fraction must be in (0, 1], got {frac}");
+    assert!(
+        frac > 0.0 && frac <= 1.0,
+        "top-k fraction must be in (0, 1], got {frac}"
+    );
     let n = data.len();
     let k = ((n as f32 * frac).ceil() as usize).clamp(1, n);
     let mut order: Vec<u32> = (0..n as u32).collect();

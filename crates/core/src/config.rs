@@ -118,7 +118,37 @@ impl MdGanConfig {
     /// Global iterations between two swap events: `⌊m·E/b⌋` for local
     /// shard size `m` (at least 1).
     pub fn swap_interval(&self, shard_size: usize) -> usize {
-        (((shard_size as f32) * self.epochs_per_swap / self.hyper.batch as f32).floor() as usize).max(1)
+        (((shard_size as f32) * self.epochs_per_swap / self.hyper.batch as f32).floor() as usize)
+            .max(1)
+    }
+
+    /// Renders the configuration as one JSON object, for embedding in a
+    /// telemetry [`RunRecord`](md_telemetry::RunRecord).
+    pub fn to_json(&self) -> String {
+        md_telemetry::json::Object::new()
+            .field_str("system", "md-gan")
+            .field_u64("workers", self.workers as u64)
+            .field_str("k", &format!("{:?}", self.k))
+            .field_f64("epochs_per_swap", self.epochs_per_swap as f64)
+            .field_str("swap", &format!("{:?}", self.swap))
+            .field_raw("hyper", &self.hyper.to_json())
+            .field_u64("iterations", self.iterations as u64)
+            .field_u64("seed", self.seed)
+            .build()
+    }
+}
+
+impl GanHyper {
+    /// Renders the shared hyper-parameters as one JSON object.
+    pub fn to_json(&self) -> String {
+        md_telemetry::json::Object::new()
+            .field_u64("batch", self.batch as u64)
+            .field_u64("disc_steps", self.disc_steps as u64)
+            .field_str("gen_loss", &format!("{:?}", self.gen_loss))
+            .field_f64("aux_weight", self.aux_weight as f64)
+            .field_f64("lr_g", self.adam_g.lr as f64)
+            .field_f64("lr_d", self.adam_d.lr as f64)
+            .build()
     }
 }
 
@@ -153,7 +183,21 @@ impl Default for FlGanConfig {
 impl FlGanConfig {
     /// Local iterations between two federated-averaging rounds.
     pub fn round_interval(&self, shard_size: usize) -> usize {
-        (((shard_size as f32) * self.epochs_per_round / self.hyper.batch as f32).floor() as usize).max(1)
+        (((shard_size as f32) * self.epochs_per_round / self.hyper.batch as f32).floor() as usize)
+            .max(1)
+    }
+
+    /// Renders the configuration as one JSON object, for embedding in a
+    /// telemetry [`RunRecord`](md_telemetry::RunRecord).
+    pub fn to_json(&self) -> String {
+        md_telemetry::json::Object::new()
+            .field_str("system", "fl-gan")
+            .field_u64("workers", self.workers as u64)
+            .field_f64("epochs_per_round", self.epochs_per_round as f64)
+            .field_raw("hyper", &self.hyper.to_json())
+            .field_u64("iterations", self.iterations as u64)
+            .field_u64("seed", self.seed)
+            .build()
     }
 }
 
@@ -170,7 +214,24 @@ pub struct StandaloneConfig {
 
 impl Default for StandaloneConfig {
     fn default() -> Self {
-        StandaloneConfig { hyper: GanHyper::default(), iterations: 1000, seed: 0 }
+        StandaloneConfig {
+            hyper: GanHyper::default(),
+            iterations: 1000,
+            seed: 0,
+        }
+    }
+}
+
+impl StandaloneConfig {
+    /// Renders the configuration as one JSON object, for embedding in a
+    /// telemetry [`RunRecord`](md_telemetry::RunRecord).
+    pub fn to_json(&self) -> String {
+        md_telemetry::json::Object::new()
+            .field_str("system", "standalone")
+            .field_raw("hyper", &self.hyper.to_json())
+            .field_u64("iterations", self.iterations as u64)
+            .field_u64("seed", self.seed)
+            .build()
     }
 }
 
@@ -192,7 +253,10 @@ mod tests {
 
     #[test]
     fn swap_interval_is_m_e_over_b() {
-        let mut cfg = MdGanConfig { epochs_per_swap: 1.0, ..MdGanConfig::default() };
+        let mut cfg = MdGanConfig {
+            epochs_per_swap: 1.0,
+            ..MdGanConfig::default()
+        };
         cfg.hyper.batch = 10;
         assert_eq!(cfg.swap_interval(100), 10);
         cfg.epochs_per_swap = 2.0;
@@ -203,10 +267,30 @@ mod tests {
 
     #[test]
     fn round_interval_matches_paper_e1() {
-        let mut cfg = FlGanConfig { epochs_per_round: 1.0, ..FlGanConfig::default() };
+        let mut cfg = FlGanConfig {
+            epochs_per_round: 1.0,
+            ..FlGanConfig::default()
+        };
         cfg.hyper.batch = 10;
         // m = 6000 (MNIST, 10 workers): a round every 600 iterations.
         assert_eq!(cfg.round_interval(6000), 600);
+    }
+
+    #[test]
+    fn configs_render_as_json_objects() {
+        let md = MdGanConfig::default().to_json();
+        assert!(
+            md.starts_with(r#"{"system":"md-gan","workers":10,"k":"LogN""#),
+            "{md}"
+        );
+        assert!(md.contains(r#""hyper":{"batch":10,"#));
+        let fl = FlGanConfig::default().to_json();
+        assert!(fl.contains(r#""system":"fl-gan""#));
+        let sa = StandaloneConfig::default().to_json();
+        assert!(sa.contains(r#""system":"standalone""#));
+        for j in [md, fl, sa] {
+            assert!(j.starts_with('{') && j.ends_with('}'));
+        }
     }
 
     #[test]

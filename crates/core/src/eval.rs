@@ -43,7 +43,12 @@ impl Evaluator {
         let idx = rng.sample_distinct(test.len(), n);
         let (real_imgs, _) = test.batch(&idx);
         let (real_features, _) = scorer.features_and_probs(&real_imgs);
-        Evaluator { scorer, real_features, sample_n: n, rng }
+        Evaluator {
+            scorer,
+            real_features,
+            sample_n: n,
+            rng,
+        }
     }
 
     /// Test-set classification accuracy of the underlying scorer (sanity
@@ -110,7 +115,10 @@ impl ScoreTimeline {
 
     /// Best (lowest) FID over the run.
     pub fn best_fid(&self) -> Option<f64> {
-        self.points.iter().map(|(_, s)| s.fid).min_by(|a, b| a.partial_cmp(b).unwrap())
+        self.points
+            .iter()
+            .map(|(_, s)| s.fid)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
     }
 
     /// Best (highest) IS over the run.
@@ -139,9 +147,73 @@ impl ScoreTimeline {
     pub fn to_csv(&self, label: &str) -> String {
         let mut out = String::new();
         for (it, s) in &self.points {
-            out.push_str(&format!("{label},{it},{:.4},{:.4}\n", s.inception_score, s.fid));
+            out.push_str(&format!(
+                "{label},{it},{:.4},{:.4}\n",
+                s.inception_score, s.fid
+            ));
         }
         out
+    }
+
+    /// Renders the timeline as JSONL: one
+    /// `{"label":…,"iter":…,"is":…,"fid":…}` object per point. Unlike
+    /// [`ScoreTimeline::to_csv`], scores round-trip exactly (shortest
+    /// float representation, not fixed precision).
+    pub fn to_jsonl(&self, label: &str) -> String {
+        let mut out = String::new();
+        for (it, s) in &self.points {
+            out.push_str(
+                &md_telemetry::json::Object::new()
+                    .field_str("label", label)
+                    .field_u64("iter", *it as u64)
+                    .field_f64("is", s.inception_score)
+                    .field_f64("fid", s.fid)
+                    .build(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a [`ScoreTimeline::to_jsonl`] document back into a timeline
+    /// (labels are not retained — a timeline is a single curve). Lines
+    /// missing any of the three numeric fields are skipped.
+    pub fn from_jsonl(text: &str) -> ScoreTimeline {
+        fn field(line: &str, key: &str) -> Option<f64> {
+            let tag = format!("\"{key}\":");
+            let start = line.find(&tag)? + tag.len();
+            let rest = &line[start..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            rest[..end].trim().parse().ok()
+        }
+        let mut t = ScoreTimeline::new();
+        for line in text.lines() {
+            if let (Some(it), Some(is_score), Some(fid)) =
+                (field(line, "iter"), field(line, "is"), field(line, "fid"))
+            {
+                t.push(
+                    it as usize,
+                    GanScores {
+                        inception_score: is_score,
+                        fid,
+                    },
+                );
+            }
+        }
+        t
+    }
+
+    /// Converts to the neutral points md-telemetry's `RunRecord` embeds.
+    pub fn score_points(&self, label: &str) -> Vec<md_telemetry::ScorePoint> {
+        self.points
+            .iter()
+            .map(|(it, s)| md_telemetry::ScorePoint {
+                label: label.to_string(),
+                iter: *it,
+                is_score: s.inception_score,
+                fid: s.fid,
+            })
+            .collect()
     }
 }
 
@@ -160,7 +232,10 @@ mod tests {
             &test,
             128,
             1,
-            ScorerConfig { steps: 250, ..ScorerConfig::default() },
+            ScorerConfig {
+                steps: 250,
+                ..ScorerConfig::default()
+            },
         );
         (ev, test)
     }
@@ -200,9 +275,27 @@ mod tests {
     fn timeline_accessors() {
         let mut t = ScoreTimeline::new();
         assert!(t.is_empty());
-        t.push(0, GanScores { inception_score: 1.0, fid: 50.0 });
-        t.push(100, GanScores { inception_score: 3.0, fid: 20.0 });
-        t.push(200, GanScores { inception_score: 2.5, fid: 25.0 });
+        t.push(
+            0,
+            GanScores {
+                inception_score: 1.0,
+                fid: 50.0,
+            },
+        );
+        t.push(
+            100,
+            GanScores {
+                inception_score: 3.0,
+                fid: 20.0,
+            },
+        );
+        t.push(
+            200,
+            GanScores {
+                inception_score: 2.5,
+                fid: 25.0,
+            },
+        );
         assert_eq!(t.points().len(), 3);
         assert_eq!(t.best_fid(), Some(20.0));
         assert_eq!(t.best_is(), Some(3.0));
@@ -212,5 +305,72 @@ mod tests {
         let csv = t.to_csv("test");
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("test,0,"));
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_exact() {
+        let mut t = ScoreTimeline::new();
+        // Values chosen to break fixed-precision formats: CSV's %.4 would
+        // lose the tail digits, JSONL must not.
+        t.push(
+            0,
+            GanScores {
+                inception_score: 1.000030517578125,
+                fid: 50.062500001,
+            },
+        );
+        t.push(
+            1000,
+            GanScores {
+                inception_score: 2.5,
+                fid: 1e-7,
+            },
+        );
+        t.push(
+            2000,
+            GanScores {
+                inception_score: 9.0,
+                fid: 0.0,
+            },
+        );
+        let text = t.to_jsonl("curve");
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.starts_with(r#"{"label":"curve","iter":0,"is":1.000030517578125"#));
+        let back = ScoreTimeline::from_jsonl(&text);
+        assert_eq!(back.points(), t.points());
+    }
+
+    #[test]
+    fn from_jsonl_skips_malformed_lines() {
+        let text = "not json\n{\"iter\":5,\"is\":2.0,\"fid\":3.0}\n{\"iter\":6}\n";
+        let t = ScoreTimeline::from_jsonl(text);
+        assert_eq!(
+            t.points(),
+            &[(
+                5,
+                GanScores {
+                    inception_score: 2.0,
+                    fid: 3.0
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn score_points_mirror_timeline() {
+        let mut t = ScoreTimeline::new();
+        t.push(
+            10,
+            GanScores {
+                inception_score: 2.0,
+                fid: 30.0,
+            },
+        );
+        let pts = t.score_points("run");
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].label, "run");
+        assert_eq!(pts[0].iter, 10);
+        assert_eq!(pts[0].is_score, 2.0);
+        assert_eq!(pts[0].fid, 30.0);
     }
 }

@@ -15,8 +15,10 @@ use md_data::Dataset;
 use md_metrics::scores::GanScores;
 use md_nn::optim::AdamConfig;
 use md_simnet::{CrashSchedule, TrafficReport};
+use md_telemetry::Recorder;
 use md_tensor::rng::Rng64;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Knobs that scale an experiment between "CI seconds" and "paper scale".
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -124,7 +126,14 @@ pub struct ConvergenceConfig {
 impl ConvergenceConfig {
     /// Paper-shaped defaults at the given scale.
     pub fn new(family: Family, arch: ArchKind, scale: ExperimentScale) -> Self {
-        ConvergenceConfig { family, arch, scale, workers: 10, b_small: 10, b_large: 100 }
+        ConvergenceConfig {
+            family,
+            arch,
+            scale,
+            workers: 10,
+            b_small: 10,
+            b_large: 100,
+        }
     }
 }
 
@@ -132,6 +141,12 @@ impl ConvergenceConfig {
 /// MD-GAN (k=1 / k=⌊log N⌋), all scored on the same test sample with the
 /// same scorer.
 pub fn run_convergence(cfg: ConvergenceConfig) -> Vec<CurveResult> {
+    run_convergence_with(cfg, &Arc::new(Recorder::disabled()))
+}
+
+/// [`run_convergence`] with every competitor attached to `telemetry`, so
+/// phase histograms and per-worker tallies aggregate over the whole figure.
+pub fn run_convergence_with(cfg: ConvergenceConfig, telemetry: &Arc<Recorder>) -> Vec<CurveResult> {
     let (train, test) = make_dataset(cfg.family, &cfg.scale);
     let spec = arch_for(cfg.family, cfg.arch, cfg.scale.img);
     let mut evaluator = Evaluator::new(&train, &test, cfg.scale.eval_samples, cfg.scale.seed);
@@ -139,11 +154,19 @@ pub fn run_convergence(cfg: ConvergenceConfig) -> Vec<CurveResult> {
 
     // Standalone, both batch sizes.
     for b in [cfg.b_small, cfg.b_large] {
-        let hyper = GanHyper { batch: b, ..GanHyper::default() };
+        let hyper = GanHyper {
+            batch: b,
+            ..GanHyper::default()
+        };
         let mut rng = Rng64::seed_from_u64(cfg.scale.seed ^ 0x57D);
-        let mut gan = StandaloneGan::new(&spec, train.clone(), hyper, &mut rng);
+        let mut gan = StandaloneGan::new(&spec, train.clone(), hyper, &mut rng)
+            .with_telemetry(Arc::clone(telemetry));
         let timeline = gan.train(cfg.scale.iters, cfg.scale.eval_every, Some(&mut evaluator));
-        results.push(CurveResult { label: format!("standalone b={b}"), timeline, traffic: None });
+        results.push(CurveResult {
+            label: format!("standalone b={b}"),
+            timeline,
+            traffic: None,
+        });
     }
 
     // FL-GAN, both batch sizes (E = 1, as in the paper).
@@ -153,11 +176,14 @@ pub fn run_convergence(cfg: ConvergenceConfig) -> Vec<CurveResult> {
         let fl_cfg = FlGanConfig {
             workers: cfg.workers,
             epochs_per_round: 1.0,
-            hyper: GanHyper { batch: b, ..GanHyper::default() },
+            hyper: GanHyper {
+                batch: b,
+                ..GanHyper::default()
+            },
             iterations: cfg.scale.iters,
             seed: cfg.scale.seed ^ 0xF1F1,
         };
-        let mut fl = FlGan::new(&spec, shards, fl_cfg);
+        let mut fl = FlGan::new(&spec, shards, fl_cfg).with_telemetry(Arc::clone(telemetry));
         let timeline = fl.train(cfg.scale.iters, cfg.scale.eval_every, Some(&mut evaluator));
         results.push(CurveResult {
             label: format!("FL-GAN b={b}"),
@@ -175,12 +201,15 @@ pub fn run_convergence(cfg: ConvergenceConfig) -> Vec<CurveResult> {
             k,
             epochs_per_swap: 1.0,
             swap: SwapPolicy::Derangement,
-            hyper: GanHyper { batch: cfg.b_small, ..GanHyper::default() },
+            hyper: GanHyper {
+                batch: cfg.b_small,
+                ..GanHyper::default()
+            },
             iterations: cfg.scale.iters,
             seed: cfg.scale.seed ^ 0x3D3D,
             crash: CrashSchedule::none(),
         };
-        let mut md = MdGan::new(&spec, shards, md_cfg);
+        let mut md = MdGan::new(&spec, shards, md_cfg).with_telemetry(Arc::clone(telemetry));
         let timeline = md.train(cfg.scale.iters, cfg.scale.eval_every, Some(&mut evaluator));
         results.push(CurveResult {
             label: format!("MD-GAN {klabel} b={}", cfg.b_small),
@@ -224,6 +253,17 @@ pub fn run_scalability(
     ns: &[usize],
     base_b: usize,
 ) -> Vec<ScalabilityPoint> {
+    run_scalability_with(family, scale, ns, base_b, &Arc::new(Recorder::disabled()))
+}
+
+/// [`run_scalability`] with every MD-GAN run attached to `telemetry`.
+pub fn run_scalability_with(
+    family: Family,
+    scale: ExperimentScale,
+    ns: &[usize],
+    base_b: usize,
+    telemetry: &Arc<Recorder>,
+) -> Vec<ScalabilityPoint> {
     let (train, test) = make_dataset(family, &scale);
     let spec = arch_for(family, ArchKind::Mlp, scale.img);
     let mut evaluator = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
@@ -242,13 +282,20 @@ pub fn run_scalability(
                     workers: n,
                     k: KPolicy::LogN,
                     epochs_per_swap: 1.0,
-                    swap: if swap { SwapPolicy::Derangement } else { SwapPolicy::Disabled },
-                    hyper: GanHyper { batch: b, ..GanHyper::default() },
+                    swap: if swap {
+                        SwapPolicy::Derangement
+                    } else {
+                        SwapPolicy::Disabled
+                    },
+                    hyper: GanHyper {
+                        batch: b,
+                        ..GanHyper::default()
+                    },
                     iterations: scale.iters,
                     seed: scale.seed ^ 0x4F1,
                     crash: CrashSchedule::none(),
                 };
-                let mut md = MdGan::new(&spec, shards, cfg);
+                let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(telemetry));
                 let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
                 out.push(ScalabilityPoint {
                     n,
@@ -271,17 +318,43 @@ pub fn run_faults(
     scale: ExperimentScale,
     workers: usize,
 ) -> Vec<CurveResult> {
+    run_faults_with(
+        family,
+        arch,
+        scale,
+        workers,
+        &Arc::new(Recorder::disabled()),
+    )
+}
+
+/// [`run_faults`] with every competitor attached to `telemetry` — the
+/// recorder's fault tallies then mirror the crash schedule.
+pub fn run_faults_with(
+    family: Family,
+    arch: ArchKind,
+    scale: ExperimentScale,
+    workers: usize,
+    telemetry: &Arc<Recorder>,
+) -> Vec<CurveResult> {
     let (train, test) = make_dataset(family, &scale);
     let spec = arch_for(family, arch, scale.img);
     let mut evaluator = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
     let mut results = Vec::new();
 
     for b in [10usize, 100] {
-        let hyper = GanHyper { batch: b, ..GanHyper::default() };
+        let hyper = GanHyper {
+            batch: b,
+            ..GanHyper::default()
+        };
         let mut rng = Rng64::seed_from_u64(scale.seed ^ 0x57D);
-        let mut gan = StandaloneGan::new(&spec, train.clone(), hyper, &mut rng);
+        let mut gan = StandaloneGan::new(&spec, train.clone(), hyper, &mut rng)
+            .with_telemetry(Arc::clone(telemetry));
         let timeline = gan.train(scale.iters, scale.eval_every, Some(&mut evaluator));
-        results.push(CurveResult { label: format!("standalone b={b}"), timeline, traffic: None });
+        results.push(CurveResult {
+            label: format!("standalone b={b}"),
+            timeline,
+            traffic: None,
+        });
     }
 
     for crash in [false, true] {
@@ -297,15 +370,22 @@ pub fn run_faults(
             k: KPolicy::LogN,
             epochs_per_swap: 1.0,
             swap: SwapPolicy::Derangement,
-            hyper: GanHyper { batch: 10, ..GanHyper::default() },
+            hyper: GanHyper {
+                batch: 10,
+                ..GanHyper::default()
+            },
             iterations: scale.iters,
             seed: scale.seed ^ 0xC4,
             crash: schedule,
         };
-        let mut md = MdGan::new(&spec, shards, cfg);
+        let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(telemetry));
         let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
         results.push(CurveResult {
-            label: if crash { "MD-GAN with crashes".into() } else { "MD-GAN no crash".into() },
+            label: if crash {
+                "MD-GAN with crashes".into()
+            } else {
+                "MD-GAN no crash".into()
+            },
             timeline,
             traffic: Some(md.traffic()),
         });
@@ -318,6 +398,15 @@ pub fn run_faults(
 /// `b_large / 5` with its own settings (the paper's 200 vs 40), over
 /// `N ∈ {1, 5}`.
 pub fn run_celeba(scale: ExperimentScale, b_large: usize) -> Vec<CurveResult> {
+    run_celeba_with(scale, b_large, &Arc::new(Recorder::disabled()))
+}
+
+/// [`run_celeba`] with every competitor attached to `telemetry`.
+pub fn run_celeba_with(
+    scale: ExperimentScale,
+    b_large: usize,
+    telemetry: &Arc<Recorder>,
+) -> Vec<CurveResult> {
     let (train, test) = make_dataset(Family::CelebaLike, &scale);
     let spec = arch_for(Family::CelebaLike, ArchKind::Cnn, scale.img);
     let mut evaluator = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
@@ -335,9 +424,14 @@ pub fn run_celeba(scale: ExperimentScale, b_large: usize) -> Vec<CurveResult> {
 
     {
         let mut rng = Rng64::seed_from_u64(scale.seed ^ 0x6A);
-        let mut gan = StandaloneGan::new(&spec, train.clone(), base_hyper, &mut rng);
+        let mut gan = StandaloneGan::new(&spec, train.clone(), base_hyper, &mut rng)
+            .with_telemetry(Arc::clone(telemetry));
         let timeline = gan.train(scale.iters, scale.eval_every, Some(&mut evaluator));
-        results.push(CurveResult { label: format!("standalone b={b_large}"), timeline, traffic: None });
+        results.push(CurveResult {
+            label: format!("standalone b={b_large}"),
+            timeline,
+            traffic: None,
+        });
     }
 
     for n in [1usize, 5] {
@@ -350,7 +444,7 @@ pub fn run_celeba(scale: ExperimentScale, b_large: usize) -> Vec<CurveResult> {
             iterations: scale.iters,
             seed: scale.seed ^ 0x6B0 ^ (n as u64),
         };
-        let mut fl = FlGan::new(&spec, shards, fl_cfg);
+        let mut fl = FlGan::new(&spec, shards, fl_cfg).with_telemetry(Arc::clone(telemetry));
         let timeline = fl.train(scale.iters, scale.eval_every, Some(&mut evaluator));
         results.push(CurveResult {
             label: format!("FL-GAN N={n} b={b_large}"),
@@ -379,7 +473,7 @@ pub fn run_celeba(scale: ExperimentScale, b_large: usize) -> Vec<CurveResult> {
             seed: scale.seed ^ 0x6C0 ^ (n as u64),
             crash: CrashSchedule::none(),
         };
-        let mut md = MdGan::new(&spec, shards, cfg);
+        let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(telemetry));
         let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
         results.push(CurveResult {
             label: format!("MD-GAN N={n} b={b_md}"),
@@ -407,7 +501,11 @@ mod tests {
         for c in &curves {
             assert!(!c.timeline.is_empty(), "{} has no points", c.label);
             let (_, s) = c.timeline.last().unwrap();
-            assert!(s.fid.is_finite() && s.inception_score.is_finite(), "{}", c.label);
+            assert!(
+                s.fid.is_finite() && s.inception_score.is_finite(),
+                "{}",
+                c.label
+            );
         }
         assert!(curves.iter().any(|c| c.label.contains("MD-GAN k=1")));
         assert!(curves.iter().any(|c| c.label.contains("FL-GAN")));
@@ -422,7 +520,7 @@ mod tests {
         scale.eval_every = 5;
         let points = run_scalability(Family::MnistLike, scale, &[2, 4], 4);
         assert_eq!(points.len(), 8); // 2 n × 2 modes × 2 swap
-        // Constant-server mode shrinks b as N grows.
+                                     // Constant-server mode shrinks b as N grows.
         let cs4 = points
             .iter()
             .find(|p| p.n == 4 && p.mode == WorkloadMode::ConstantServer)
@@ -438,11 +536,21 @@ mod tests {
     #[test]
     fn faults_runner_crashes_everyone() {
         let mut scale = ExperimentScale::quick();
-        scale.iters = 12;
+        // 13 iterations with 3 workers puts the crash quantiles at 4, 8 and
+        // 12 — all strictly inside the run, so every crash is observed.
+        scale.iters = 13;
         scale.eval_every = 6;
-        let curves = run_faults(Family::MnistLike, ArchKind::Mlp, scale, 3);
+        let rec = Arc::new(Recorder::enabled());
+        let curves = run_faults_with(Family::MnistLike, ArchKind::Mlp, scale, 3, &rec);
         assert_eq!(curves.len(), 4);
         let crash_curve = curves.iter().find(|c| c.label.contains("crashes")).unwrap();
         assert!(!crash_curve.timeline.is_empty());
+        // The shared recorder saw every competitor: the crash run killed all
+        // 3 workers, the two MD-GAN runs each did 13 generator iterations
+        // and the standalone baselines trained locally.
+        assert_eq!(rec.counter(md_telemetry::Counter::Faults), 3);
+        assert!(rec.phase_stats(md_telemetry::Phase::GenForward).count >= 13);
+        assert!(rec.phase_stats(md_telemetry::Phase::LocalTrain).count >= 24);
+        assert!(rec.phase_stats(md_telemetry::Phase::Eval).count > 0);
     }
 }

@@ -15,7 +15,9 @@ use md_data::Dataset;
 use md_nn::gan::Generator;
 use md_nn::param::{average, param_bytes};
 use md_simnet::TrafficStats;
+use md_telemetry::{Counter, Event, Phase, Recorder};
 use md_tensor::rng::Rng64;
+use std::sync::Arc;
 
 /// The FL-GAN system: N workers plus the averaging server.
 pub struct FlGan {
@@ -28,6 +30,7 @@ pub struct FlGan {
     round_interval: usize,
     iter: usize,
     rounds: usize,
+    telemetry: Arc<Recorder>,
 }
 
 impl FlGan {
@@ -46,7 +49,10 @@ impl FlGan {
         let mut init_rng = master.fork(0);
         let server_gen = spec.build_generator(&mut init_rng);
         let init_gen = server_gen.net.get_params_flat();
-        let init_disc = spec.build_discriminator(&mut init_rng).net.get_params_flat();
+        let init_disc = spec
+            .build_discriminator(&mut init_rng)
+            .net
+            .get_params_flat();
 
         let workers: Vec<StandaloneGan> = shards
             .into_iter()
@@ -70,7 +76,19 @@ impl FlGan {
             round_interval,
             iter: 0,
             rounds: 0,
+            telemetry: Arc::new(Recorder::disabled()),
         }
+    }
+
+    /// Attaches a telemetry recorder (the default is a disabled no-op one).
+    pub fn with_telemetry(mut self, recorder: Arc<Recorder>) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
+    /// The attached telemetry recorder.
+    pub fn telemetry(&self) -> &Arc<Recorder> {
+        &self.telemetry
     }
 
     /// The configuration this system was built with.
@@ -100,23 +118,34 @@ impl FlGan {
 
     /// One local iteration on every worker; triggers a round when due.
     pub fn step(&mut self) {
-        for w in &mut self.workers {
+        let span = self.telemetry.span(Phase::LocalTrain);
+        for (i, w) in self.workers.iter_mut().enumerate() {
             w.step();
+            self.telemetry.worker_local_step(1 + i);
         }
+        drop(span);
         self.iter += 1;
-        if self.iter % self.round_interval == 0 {
+        self.telemetry.event(Event::IterDone {
+            iter: self.iter - 1,
+            alive: self.workers.len(),
+        });
+        if self.iter.is_multiple_of(self.round_interval) {
             self.round();
         }
     }
 
     /// One federated-averaging round: gather, average, broadcast.
     fn round(&mut self) {
+        let span = self.telemetry.span(Phase::Comm);
         let mut gens = Vec::with_capacity(self.workers.len());
         let mut discs = Vec::with_capacity(self.workers.len());
         for (i, w) in self.workers.iter().enumerate() {
             let (g, d) = w.params();
             // Worker -> server: θ + w parameters.
-            self.stats.record(1 + i, 0, param_bytes(g.len() + d.len()));
+            let bytes = param_bytes(g.len() + d.len());
+            self.stats.record(1 + i, 0, bytes);
+            self.telemetry.incr(Counter::MsgsSent, 1);
+            self.telemetry.incr(Counter::BytesSent, bytes);
             gens.push(g);
             discs.push(d);
         }
@@ -124,12 +153,19 @@ impl FlGan {
         let avg_disc = average(&discs);
         for (i, w) in self.workers.iter_mut().enumerate() {
             // Server -> worker: θ + w parameters.
-            self.stats.record(0, 1 + i, param_bytes(avg_gen.len() + avg_disc.len()));
+            let bytes = param_bytes(avg_gen.len() + avg_disc.len());
+            self.stats.record(0, 1 + i, bytes);
+            self.telemetry.incr(Counter::MsgsSent, 1);
+            self.telemetry.incr(Counter::BytesSent, bytes);
             w.set_params(&avg_gen, &avg_disc);
         }
         self.server_gen.net.set_params_flat(&avg_gen);
         self.server_disc_params = avg_disc;
         self.rounds += 1;
+        drop(span);
+        self.telemetry.event(Event::RoundDone {
+            round: self.rounds - 1,
+        });
     }
 
     /// Runs `iters` local iterations, scoring the *server* generator every
@@ -142,13 +178,29 @@ impl FlGan {
     ) -> ScoreTimeline {
         let mut timeline = ScoreTimeline::new();
         if let Some(ev) = evaluator.as_deref_mut() {
-            timeline.push(self.iter, ev.evaluate(&mut self.server_gen));
+            let span = self.telemetry.span(Phase::Eval);
+            let s = ev.evaluate(&mut self.server_gen);
+            drop(span);
+            self.telemetry.event(Event::EvalDone {
+                iter: self.iter,
+                is_score: s.inception_score,
+                fid: s.fid,
+            });
+            timeline.push(self.iter, s);
         }
         for i in 1..=iters {
             self.step();
             if let Some(ev) = evaluator.as_deref_mut() {
                 if i % eval_every.max(1) == 0 || i == iters {
-                    timeline.push(self.iter, ev.evaluate(&mut self.server_gen));
+                    let span = self.telemetry.span(Phase::Eval);
+                    let s = ev.evaluate(&mut self.server_gen);
+                    drop(span);
+                    self.telemetry.event(Event::EvalDone {
+                        iter: self.iter,
+                        is_score: s.inception_score,
+                        fid: s.fid,
+                    });
+                    timeline.push(self.iter, s);
                 }
             }
         }
@@ -171,7 +223,10 @@ mod tests {
         let cfg = FlGanConfig {
             workers,
             epochs_per_round: 1.0,
-            hyper: GanHyper { batch, ..GanHyper::default() },
+            hyper: GanHyper {
+                batch,
+                ..GanHyper::default()
+            },
             iterations: 100,
             seed: 5,
         };
@@ -200,7 +255,10 @@ mod tests {
         assert_eq!(fl.rounds(), 0);
         let (ga, _) = fl.workers[0].params();
         let (gb, _) = fl.workers[1].params();
-        assert!(l2_distance(&ga, &gb) > 0.0, "workers should diverge locally");
+        assert!(
+            l2_distance(&ga, &gb) > 0.0,
+            "workers should diverge locally"
+        );
         fl.step(); // 8th step triggers the round
         assert_eq!(fl.rounds(), 1);
         let (ga, da) = fl.workers[0].params();
@@ -239,8 +297,14 @@ mod tests {
         }
         let r = fl.traffic();
         // W→C at server: N (θ+w) floats; C→W same.
-        assert_eq!(r.bytes(md_simnet::LinkClass::WorkerToServer), (3 * params * 4) as u64);
-        assert_eq!(r.bytes(md_simnet::LinkClass::ServerToWorker), (3 * params * 4) as u64);
+        assert_eq!(
+            r.bytes(md_simnet::LinkClass::WorkerToServer),
+            (3 * params * 4) as u64
+        );
+        assert_eq!(
+            r.bytes(md_simnet::LinkClass::ServerToWorker),
+            (3 * params * 4) as u64
+        );
         assert_eq!(r.bytes(md_simnet::LinkClass::WorkerToWorker), 0);
         assert_eq!(r.msgs(md_simnet::LinkClass::WorkerToServer), 3);
     }
@@ -255,5 +319,30 @@ mod tests {
             fl.server_gen.net.get_params_flat()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn telemetry_counts_rounds_and_local_steps() {
+        let rec = Arc::new(Recorder::enabled());
+        let mut fl = tiny(3, 4, 32).with_telemetry(Arc::clone(&rec));
+        for _ in 0..fl.round_interval() {
+            fl.step();
+        }
+        // One local_train span per step; one comm span per round.
+        assert_eq!(rec.phase_stats(Phase::LocalTrain).count, 8);
+        assert_eq!(rec.phase_stats(Phase::Comm).count, 1);
+        assert_eq!(rec.counter(Counter::Iterations), 8);
+        // FedAvg round: N uploads + N broadcasts.
+        assert_eq!(rec.counter(Counter::MsgsSent), 6);
+        let r = fl.traffic();
+        assert_eq!(rec.counter(Counter::BytesSent), r.total_bytes());
+        let ws = rec.worker_stats();
+        for (w, stats) in ws.iter().enumerate().skip(1) {
+            assert_eq!(stats.local_steps, 8, "worker {w}");
+        }
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| e.event == Event::RoundDone { round: 0 }));
     }
 }

@@ -22,7 +22,9 @@ use md_data::Dataset;
 use md_nn::gan::Generator;
 use md_nn::param::{average, param_bytes};
 use md_simnet::{TrafficReport, TrafficStats};
+use md_telemetry::{Counter, Event, Phase, Recorder};
 use md_tensor::rng::Rng64;
+use std::sync::Arc;
 
 /// The decentralized gossip-GAN system.
 pub struct GossipGan {
@@ -35,6 +37,7 @@ pub struct GossipGan {
     round_interval: usize,
     iter: usize,
     exchanges: u64,
+    telemetry: Arc<Recorder>,
 }
 
 impl GossipGan {
@@ -67,7 +70,19 @@ impl GossipGan {
             round_interval,
             iter: 0,
             exchanges: 0,
+            telemetry: Arc::new(Recorder::disabled()),
         }
+    }
+
+    /// Attaches a telemetry recorder (the default is a disabled no-op one).
+    pub fn with_telemetry(mut self, recorder: Arc<Recorder>) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
+    /// The attached telemetry recorder.
+    pub fn telemetry(&self) -> &Arc<Recorder> {
+        &self.telemetry
     }
 
     /// The configuration this system was built with.
@@ -104,11 +119,18 @@ impl GossipGan {
 
     /// One local iteration on every worker; a gossip round when due.
     pub fn step(&mut self) {
-        for w in &mut self.workers {
+        let span = self.telemetry.span(Phase::LocalTrain);
+        for (i, w) in self.workers.iter_mut().enumerate() {
             w.step();
+            self.telemetry.worker_local_step(1 + i);
         }
+        drop(span);
         self.iter += 1;
-        if self.iter % self.round_interval == 0 {
+        self.telemetry.event(Event::IterDone {
+            iter: self.iter - 1,
+            alive: self.workers.len(),
+        });
+        if self.iter.is_multiple_of(self.round_interval) {
             self.gossip_round();
         }
     }
@@ -121,21 +143,28 @@ impl GossipGan {
         if n < 2 {
             return;
         }
+        let span = self.telemetry.span(Phase::Comm);
         let perm = self.gossip_rng.derangement(n);
         // Snapshot first: all exchanges use pre-round parameters (a
         // synchronous gossip round, matching the emulation methodology).
         let params: Vec<(Vec<f32>, Vec<f32>)> = self.workers.iter().map(|w| w.params()).collect();
-        for (src, &dst) in perm.iter().enumerate().map(|(i, d)| (i, d)) {
+        for (src, &dst) in perm.iter().enumerate() {
             let (sg, sd) = &params[src];
             let (dg, dd) = &params[dst];
             // src pushes to dst; dst's post state averages the two.
             let bytes = param_bytes(sg.len() + sd.len());
             self.stats.record(src + 1, dst + 1, bytes);
+            self.telemetry.incr(Counter::MsgsSent, 1);
+            self.telemetry.incr(Counter::BytesSent, bytes);
             let new_gen = average(&[sg.clone(), dg.clone()]);
             let new_disc = average(&[sd.clone(), dd.clone()]);
             self.workers[dst].set_params(&new_gen, &new_disc);
             self.exchanges += 1;
         }
+        drop(span);
+        self.telemetry.event(Event::RoundDone {
+            round: (self.iter / self.round_interval) - 1,
+        });
     }
 
     /// Runs `iters` local iterations, scoring the averaged observer
@@ -146,16 +175,31 @@ impl GossipGan {
         eval_every: usize,
         mut evaluator: Option<&mut Evaluator>,
     ) -> ScoreTimeline {
+        let telemetry = Arc::clone(&self.telemetry);
         let mut timeline = ScoreTimeline::new();
         if let Some(ev) = evaluator.as_deref_mut() {
+            let span = telemetry.span(Phase::Eval);
             let scores = ev.evaluate(self.observer_generator());
+            drop(span);
+            telemetry.event(Event::EvalDone {
+                iter: self.iter,
+                is_score: scores.inception_score,
+                fid: scores.fid,
+            });
             timeline.push(self.iter, scores);
         }
         for i in 1..=iters {
             self.step();
             if let Some(ev) = evaluator.as_deref_mut() {
                 if i % eval_every.max(1) == 0 || i == iters {
+                    let span = telemetry.span(Phase::Eval);
                     let scores = ev.evaluate(self.observer_generator());
+                    drop(span);
+                    telemetry.event(Event::EvalDone {
+                        iter: self.iter,
+                        is_score: scores.inception_score,
+                        fid: scores.fid,
+                    });
                     timeline.push(self.iter, scores);
                 }
             }
@@ -180,7 +224,10 @@ mod tests {
         let cfg = FlGanConfig {
             workers,
             epochs_per_round: 1.0,
-            hyper: GanHyper { batch: 4, ..GanHyper::default() },
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
             iterations: 64,
             seed: 5,
         };
@@ -244,6 +291,24 @@ mod tests {
             g.observer_generator().net.get_params_flat()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn telemetry_counts_gossip_rounds() {
+        let rec = Arc::new(Recorder::enabled());
+        let mut g = tiny(3).with_telemetry(Arc::clone(&rec));
+        for _ in 0..g.round_interval() {
+            g.step();
+        }
+        assert_eq!(rec.phase_stats(Phase::LocalTrain).count, 8);
+        assert_eq!(rec.phase_stats(Phase::Comm).count, 1);
+        // One directed exchange per worker per round.
+        assert_eq!(rec.counter(Counter::MsgsSent), 3);
+        assert_eq!(rec.counter(Counter::BytesSent), g.traffic().total_bytes());
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| e.event == Event::RoundDone { round: 0 }));
     }
 
     #[test]

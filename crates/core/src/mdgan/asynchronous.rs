@@ -31,8 +31,10 @@ use md_data::Dataset;
 use md_nn::layer::Layer;
 use md_nn::param::{batch_bytes, param_bytes};
 use md_simnet::{TrafficReport, TrafficStats};
+use md_telemetry::{Event, Phase, Recorder};
 use md_tensor::rng::Rng64;
 use md_tensor::Tensor;
+use std::sync::Arc;
 
 /// Configuration of the asynchronous runtime.
 #[derive(Clone, Copy, Debug)]
@@ -49,7 +51,10 @@ pub struct AsyncConfig {
 
 impl Default for AsyncConfig {
     fn default() -> Self {
-        AsyncConfig { staleness_damping: 0.5, speed_skew: 0.3 }
+        AsyncConfig {
+            staleness_damping: 0.5,
+            speed_skew: 0.3,
+        }
     }
 }
 
@@ -102,6 +107,7 @@ pub struct AsyncMdGan {
     async_stats: AsyncStats,
     swap_interval: usize,
     object_size: usize,
+    telemetry: Arc<Recorder>,
 }
 
 impl AsyncMdGan {
@@ -127,7 +133,19 @@ impl AsyncMdGan {
             async_stats: AsyncStats::default(),
             swap_interval,
             object_size,
+            telemetry: Arc::new(Recorder::disabled()),
         }
+    }
+
+    /// Attaches a telemetry recorder (the default is a disabled no-op one).
+    pub fn with_telemetry(mut self, recorder: Arc<Recorder>) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
+    /// The attached telemetry recorder.
+    pub fn telemetry(&self) -> &Arc<Recorder> {
+        &self.telemetry
     }
 
     /// Generator updates applied so far.
@@ -157,6 +175,7 @@ impl AsyncMdGan {
 
     /// Dispatches fresh batches to a worker with no in-flight work.
     fn dispatch(&mut self, wi: usize) {
+        let _span = self.telemetry.span(Phase::GenForward);
         let b = self.cfg.hyper.batch;
         let zg = self.server.gen.sample_z(b, &mut self.sched_rng);
         let lg = self.server.gen.sample_labels(b, &mut self.sched_rng);
@@ -164,7 +183,8 @@ impl AsyncMdGan {
         let zd = self.server.gen.sample_z(b, &mut self.sched_rng);
         let ld = self.server.gen.sample_labels(b, &mut self.sched_rng);
         let xd = self.server.gen.generate(&zd, &ld, true);
-        self.stats.record(0, wi + 1, 2 * batch_bytes(b, self.object_size));
+        self.stats
+            .record(0, wi + 1, 2 * batch_bytes(b, self.object_size));
         self.in_flight[wi] = Some(InFlight {
             version: self.version,
             xg,
@@ -207,9 +227,15 @@ impl AsyncMdGan {
             if self.workers[idx].is_some() && self.cfg.crash.is_crashed(idx + 1, t) {
                 self.workers[idx] = None;
                 self.in_flight[idx] = None;
+                self.telemetry.event(Event::WorkerFault {
+                    iter: t,
+                    worker: idx + 1,
+                });
             }
         }
-        let alive: Vec<usize> = (0..self.workers.len()).filter(|&w| self.workers[w].is_some()).collect();
+        let alive: Vec<usize> = (0..self.workers.len())
+            .filter(|&w| self.workers[w].is_some())
+            .collect();
         if alive.is_empty() {
             return None;
         }
@@ -224,8 +250,15 @@ impl AsyncMdGan {
         let wi = self.next_reporter(&alive);
         let fl = self.in_flight[wi].take().expect("reporter had work");
         let worker = self.workers[wi].as_mut().expect("reporter alive");
+        let fb_span = self.telemetry.span(Phase::DFeedback);
         let feedback = worker.process(&fl.xd, &fl.xd_labels, &fl.xg, &fl.xg_labels);
-        self.stats.record(wi + 1, 0, batch_bytes(self.cfg.hyper.batch, self.object_size));
+        drop(fb_span);
+        self.telemetry.worker_feedback(wi + 1);
+        self.stats.record(
+            wi + 1,
+            0,
+            batch_bytes(self.cfg.hyper.batch, self.object_size),
+        );
 
         // Staleness-aware immediate update: replay the stale batch's
         // forward pass, then apply a damped gradient.
@@ -239,18 +272,28 @@ impl AsyncMdGan {
             1.0
         };
 
+        if staleness > 0 {
+            self.telemetry.event(Event::StaleUpdate {
+                iter: t,
+                worker: wi + 1,
+                staleness: staleness as usize,
+            });
+        }
+        let upd_span = self.telemetry.span(Phase::GUpdate);
         self.server.gen.net.zero_grad();
         let _ = self.server.gen.generate(&fl.zg, &fl.xg_labels, true);
         self.server.gen.backward(&feedback.scale(scale));
         self.server.apply_external_step();
+        drop(upd_span);
         self.version += 1;
         self.updates += 1;
 
         // Gossip swap on the same cadence as the synchronous runtime:
         // N applied updates ≈ one synchronous global iteration.
         if self.cfg.swap != SwapPolicy::Disabled
-            && self.updates as usize % (self.swap_interval * self.cfg.workers.max(1)) == 0
+            && (self.updates as usize).is_multiple_of(self.swap_interval * self.cfg.workers.max(1))
         {
+            let swap_span = self.telemetry.span(Phase::Swap);
             if let Some(perm) = swap_permutation(self.cfg.swap, alive.len(), &mut self.swap_rng) {
                 let params: Vec<Vec<f32>> = alive
                     .iter()
@@ -258,11 +301,25 @@ impl AsyncMdGan {
                     .collect();
                 for (j, &src) in alive.iter().enumerate() {
                     let dst = alive[perm[j]];
-                    self.stats.record(src + 1, dst + 1, param_bytes(params[j].len()));
-                    self.workers[dst].as_mut().unwrap().set_disc_params(&params[j]);
+                    self.stats
+                        .record(src + 1, dst + 1, param_bytes(params[j].len()));
+                    self.workers[dst]
+                        .as_mut()
+                        .unwrap()
+                        .set_disc_params(&params[j]);
+                    self.telemetry.worker_swap_in(dst + 1);
                 }
+                self.telemetry.event(Event::SwapDone {
+                    iter: t,
+                    moved: alive.len(),
+                });
             }
+            drop(swap_span);
         }
+        self.telemetry.event(Event::IterDone {
+            iter: t,
+            alive: alive.len(),
+        });
         Some(wi)
     }
 
@@ -276,7 +333,15 @@ impl AsyncMdGan {
     ) -> ScoreTimeline {
         let mut timeline = ScoreTimeline::new();
         if let Some(ev) = evaluator.as_deref_mut() {
-            timeline.push(0, ev.evaluate(&mut self.server.gen));
+            let span = self.telemetry.span(Phase::Eval);
+            let s = ev.evaluate(&mut self.server.gen);
+            drop(span);
+            self.telemetry.event(Event::EvalDone {
+                iter: 0,
+                is_score: s.inception_score,
+                fid: s.fid,
+            });
+            timeline.push(0, s);
         }
         for u in 1..=n_updates {
             if self.step_event().is_none() {
@@ -284,7 +349,15 @@ impl AsyncMdGan {
             }
             if let Some(ev) = evaluator.as_deref_mut() {
                 if u % eval_every.max(1) == 0 || u == n_updates {
-                    timeline.push(u, ev.evaluate(&mut self.server.gen));
+                    let span = self.telemetry.span(Phase::Eval);
+                    let s = ev.evaluate(&mut self.server.gen);
+                    drop(span);
+                    self.telemetry.event(Event::EvalDone {
+                        iter: u,
+                        is_score: s.inception_score,
+                        fid: s.fid,
+                    });
+                    timeline.push(u, s);
                 }
             }
         }
@@ -308,7 +381,10 @@ mod tests {
             k: KPolicy::One,
             epochs_per_swap: 1.0,
             swap: SwapPolicy::Derangement,
-            hyper: GanHyper { batch: 4, ..GanHyper::default() },
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
             iterations: 100,
             seed: 7,
             crash: Default::default(),
@@ -327,19 +403,28 @@ mod tests {
 
     #[test]
     fn staleness_accumulates_under_skew() {
-        let mut md = build(AsyncConfig { staleness_damping: 0.5, speed_skew: 0.8 });
+        let mut md = build(AsyncConfig {
+            staleness_damping: 0.5,
+            speed_skew: 0.8,
+        });
         for _ in 0..60 {
             md.step_event();
         }
         let s = md.async_stats();
         assert_eq!(s.updates, 60);
-        assert!(s.staleness_max >= 1, "skewed scheduling must create staleness");
+        assert!(
+            s.staleness_max >= 1,
+            "skewed scheduling must create staleness"
+        );
         assert!(s.mean_staleness() > 0.0);
     }
 
     #[test]
     fn uniform_speed_still_has_bounded_staleness() {
-        let mut md = build(AsyncConfig { staleness_damping: 0.0, speed_skew: 0.0 });
+        let mut md = build(AsyncConfig {
+            staleness_damping: 0.0,
+            speed_skew: 0.0,
+        });
         for _ in 0..60 {
             md.step_event();
         }
@@ -362,11 +447,42 @@ mod tests {
 
     #[test]
     fn params_stay_finite_with_damping() {
-        let mut md = build(AsyncConfig { staleness_damping: 1.0, speed_skew: 0.9 });
+        let mut md = build(AsyncConfig {
+            staleness_damping: 1.0,
+            speed_skew: 0.9,
+        });
         for _ in 0..100 {
             md.step_event();
         }
         assert!(md.gen_params().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn telemetry_records_stale_updates_and_phases() {
+        use md_telemetry::Counter;
+        let rec = Arc::new(Recorder::enabled());
+        let mut md = build(AsyncConfig {
+            staleness_damping: 0.5,
+            speed_skew: 0.8,
+        })
+        .with_telemetry(Arc::clone(&rec));
+        for _ in 0..60 {
+            md.step_event();
+        }
+        // One d_feedback + one g_update span per applied event.
+        assert_eq!(rec.phase_stats(Phase::DFeedback).count, 60);
+        assert_eq!(rec.phase_stats(Phase::GUpdate).count, 60);
+        // Dispatches refill idle workers: at least one per event.
+        assert!(rec.phase_stats(Phase::GenForward).count >= 60);
+        assert_eq!(rec.counter(Counter::Iterations), 60);
+        // Telemetry's stale-update counter mirrors AsyncStats exactly.
+        let observed_stale = rec.counter(Counter::StaleUpdates);
+        assert!(
+            observed_stale > 0,
+            "skewed scheduling must create staleness"
+        );
+        let feedbacks: u64 = rec.worker_stats().iter().map(|w| w.feedbacks).sum();
+        assert_eq!(feedbacks, 60);
     }
 
     #[test]
@@ -378,7 +494,10 @@ mod tests {
         let r = md.traffic();
         // Every applied feedback cost bd upward.
         let d = (12 * 12) as u64;
-        assert_eq!(r.bytes(md_simnet::LinkClass::WorkerToServer), 10 * 4 * d * 4);
+        assert_eq!(
+            r.bytes(md_simnet::LinkClass::WorkerToServer),
+            10 * 4 * d * 4
+        );
         // Dispatches: ≥ one 2bd send per applied event (idle refills).
         assert!(r.bytes(md_simnet::LinkClass::ServerToWorker) >= 10 * 2 * 4 * d * 4);
     }

@@ -51,7 +51,10 @@ impl MdServer {
             let z = self.gen.sample_z(self.hyper.batch, &mut self.rng);
             let labels = self.gen.sample_labels(self.hyper.batch, &mut self.rng);
             let imgs = self.gen.generate(&z, &labels, true);
-            self.pending.push(PendingBatch { z: z.clone(), labels: labels.clone() });
+            self.pending.push(PendingBatch {
+                z: z.clone(),
+                labels: labels.clone(),
+            });
             out.push((imgs, labels));
         }
         out
@@ -168,7 +171,14 @@ mod tests {
     fn server() -> MdServer {
         let spec = ArchSpec::mlp_mnist_scaled(12);
         let mut rng = Rng64::seed_from_u64(1);
-        MdServer::new(&spec, GanHyper { batch: 4, ..GanHyper::default() }, &mut rng)
+        MdServer::new(
+            &spec,
+            GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
+            &mut rng,
+        )
     }
 
     #[test]

@@ -18,6 +18,8 @@ use crate::mdgan::MdMsg;
 use md_data::Dataset;
 use md_nn::param::{batch_bytes, param_bytes};
 use md_simnet::{Endpoint, Router, TrafficReport, SERVER};
+use md_telemetry::{Event, Phase, Recorder};
+use std::sync::Arc;
 
 /// Outcome of a threaded run.
 pub struct ThreadedResult {
@@ -37,7 +39,7 @@ pub struct ThreadedResult {
 /// counterpart (the next iteration's `Batches` can already be queued — the
 /// server does not wait for swaps to finish) are buffered and processed in
 /// order afterwards.
-fn worker_loop(mut worker: MdWorker, ep: Endpoint<MdMsg>) {
+fn worker_loop(mut worker: MdWorker, ep: Endpoint<MdMsg>, telemetry: Arc<Recorder>) {
     use std::collections::VecDeque;
     // A swap counterpart's parameters may arrive before our own SwapTo.
     let mut pending_disc: Option<Vec<f32>> = None;
@@ -48,8 +50,17 @@ fn worker_loop(mut worker: MdWorker, ep: Endpoint<MdMsg>) {
             None => ep.recv().msg,
         };
         match msg {
-            MdMsg::Batches { g_id, xg, xg_labels, xd, xd_labels } => {
+            MdMsg::Batches {
+                g_id,
+                xg,
+                xg_labels,
+                xd,
+                xd_labels,
+            } => {
+                let fb_span = telemetry.span(Phase::DFeedback);
                 let grad = worker.process(&xd, &xd_labels, &xg, &xg_labels);
+                drop(fb_span);
+                telemetry.worker_feedback(ep.id());
                 let bytes = (grad.len() * 4) as u64;
                 ep.send(SERVER, MdMsg::Feedback { g_id, grad }, bytes);
             }
@@ -67,9 +78,14 @@ fn worker_loop(mut worker: MdWorker, ep: Endpoint<MdMsg>) {
                     },
                 };
                 worker.set_disc_params(&incoming);
+                telemetry.worker_swap_in(ep.id());
             }
             MdMsg::Disc { params } => {
-                assert!(pending_disc.is_none(), "worker {} received two swap payloads", ep.id());
+                assert!(
+                    pending_disc.is_none(),
+                    "worker {} received two swap payloads",
+                    ep.id()
+                );
                 pending_disc = Some(params);
             }
             MdMsg::Stop => break,
@@ -87,9 +103,37 @@ pub fn run_threaded(
     spec: &ArchSpec,
     shards: Vec<Dataset>,
     cfg: MdGanConfig,
+    evaluator: Option<&mut Evaluator>,
+    iters: usize,
+    eval_every: usize,
+) -> ThreadedResult {
+    run_threaded_with(
+        spec,
+        shards,
+        cfg,
+        evaluator,
+        iters,
+        eval_every,
+        Arc::new(Recorder::disabled()),
+    )
+}
+
+/// As [`run_threaded`], with an explicit telemetry recorder.
+///
+/// The recorder is shared by the server loop and all worker threads:
+/// workers time their `d_feedback` phase and tally per-worker stats, the
+/// router charges every send to the `comm` phase, and the server records
+/// `gen_forward`/`g_update`/`swap`/`eval` plus per-iteration events.
+/// Telemetry never alters control flow, so the bit-for-bit equivalence
+/// with the sequential runtime is preserved.
+pub fn run_threaded_with(
+    spec: &ArchSpec,
+    shards: Vec<Dataset>,
+    cfg: MdGanConfig,
     mut evaluator: Option<&mut Evaluator>,
     iters: usize,
     eval_every: usize,
+    telemetry: Arc<Recorder>,
 ) -> ThreadedResult {
     let object_size = shards[0].object_size();
     let shard_size = shards[0].len();
@@ -98,7 +142,7 @@ pub fn run_threaded(
     let swap_interval = cfg.swap_interval(shard_size);
     let b = cfg.hyper.batch;
 
-    let mut router: Router<MdMsg> = Router::new(cfg.workers);
+    let mut router: Router<MdMsg> = Router::new(cfg.workers).with_telemetry(Arc::clone(&telemetry));
     let stats = router.stats();
     let server_ep = router.endpoint(SERVER);
     let worker_eps: Vec<Endpoint<MdMsg>> = (1..=cfg.workers).map(|i| router.endpoint(i)).collect();
@@ -108,24 +152,39 @@ pub fn run_threaded(
 
     crossbeam::thread::scope(|scope| {
         for (worker, ep) in workers.into_iter().zip(worker_eps) {
-            scope.spawn(move |_| worker_loop(worker, ep));
+            let telemetry = Arc::clone(&telemetry);
+            scope.spawn(move |_| worker_loop(worker, ep, telemetry));
         }
 
         if let Some(ev) = evaluator.as_deref_mut() {
-            timeline.push(0, ev.evaluate(&mut server.gen));
+            let span = telemetry.span(Phase::Eval);
+            let s = ev.evaluate(&mut server.gen);
+            drop(span);
+            telemetry.event(Event::EvalDone {
+                iter: 0,
+                is_score: s.inception_score,
+                fid: s.fid,
+            });
+            timeline.push(0, s);
         }
 
         for i in 0..iters {
             // Fail-stop crashes: stop the thread; its shard is gone.
-            for w in 0..cfg.workers {
-                if alive_mask[w] && cfg.crash.is_crashed(w + 1, i) {
-                    alive_mask[w] = false;
+            for (w, alive) in alive_mask.iter_mut().enumerate() {
+                if *alive && cfg.crash.is_crashed(w + 1, i) {
+                    *alive = false;
+                    telemetry.event(Event::WorkerFault {
+                        iter: i,
+                        worker: w + 1,
+                    });
                     server_ep.send(w + 1, MdMsg::Stop, 0);
                 }
             }
             let alive: Vec<usize> = (0..cfg.workers).filter(|&w| alive_mask[w]).collect();
             if !alive.is_empty() {
+                let gen_span = telemetry.span(Phase::GenForward);
                 let batches = server.generate_batches(k);
+                drop(gen_span);
                 for &wi in &alive {
                     let (g_id, d_id) = MdServer::assign(wi, k);
                     server_ep.send(
@@ -148,28 +207,48 @@ pub fn run_threaded(
                         other => panic!("server expected Feedback, got {other:?}"),
                     })
                     .collect();
+                let upd_span = telemetry.span(Phase::GUpdate);
                 server.apply_feedbacks(&feedbacks, alive.len());
+                drop(upd_span);
 
                 if (i + 1) % swap_interval == 0 {
+                    let swap_span = telemetry.span(Phase::Swap);
                     if let Some(perm) = swap_permutation(cfg.swap, alive.len(), &mut swap_rng) {
                         for (j, &src) in alive.iter().enumerate() {
                             let dst = alive[perm[j]];
                             server_ep.send(src + 1, MdMsg::SwapTo { to: dst + 1 }, 0);
                         }
+                        telemetry.event(Event::SwapDone {
+                            iter: i,
+                            moved: alive.len(),
+                        });
                     }
+                    drop(swap_span);
                 }
             }
+            telemetry.event(Event::IterDone {
+                iter: i,
+                alive: alive.len(),
+            });
 
             if let Some(ev) = evaluator.as_deref_mut() {
                 if (i + 1) % eval_every.max(1) == 0 || i + 1 == iters {
-                    timeline.push(i + 1, ev.evaluate(&mut server.gen));
+                    let span = telemetry.span(Phase::Eval);
+                    let s = ev.evaluate(&mut server.gen);
+                    drop(span);
+                    telemetry.event(Event::EvalDone {
+                        iter: i + 1,
+                        is_score: s.inception_score,
+                        fid: s.fid,
+                    });
+                    timeline.push(i + 1, s);
                 }
             }
         }
 
         // Shut the survivors down.
-        for w in 0..cfg.workers {
-            if alive_mask[w] {
+        for (w, &alive) in alive_mask.iter().enumerate() {
+            if alive {
                 server_ep.send(w + 1, MdMsg::Stop, 0);
             }
         }
@@ -180,7 +259,10 @@ pub fn run_threaded(
         timeline,
         gen_params: server.gen_params(),
         traffic: stats.report(),
-        alive: (0..cfg.workers).filter(|&w| alive_mask[w]).map(|w| w + 1).collect(),
+        alive: (0..cfg.workers)
+            .filter(|&w| alive_mask[w])
+            .map(|w| w + 1)
+            .collect(),
     }
 }
 
@@ -202,7 +284,10 @@ mod tests {
             k: KPolicy::LogN,
             epochs_per_swap: 1.0,
             swap: SwapPolicy::Derangement,
-            hyper: GanHyper { batch: 4, ..GanHyper::default() },
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
             iterations: 12,
             seed: 7,
             crash: CrashSchedule::none(),
@@ -231,6 +316,44 @@ mod tests {
         assert_eq!(res.gen_params, seq.gen_params(), "runtimes diverged");
         // Byte counts agree (message counts differ by control messages).
         assert_eq!(res.traffic.class_bytes, seq.traffic().class_bytes);
+    }
+
+    #[test]
+    fn threaded_telemetry_counts_phases_and_workers() {
+        use md_telemetry::Counter;
+        let (spec, shards, cfg) = setup(3);
+        let rec = Arc::new(Recorder::enabled());
+        let res = run_threaded_with(&spec, shards, cfg, None, 10, 1000, Arc::clone(&rec));
+        assert_eq!(res.alive, vec![1, 2, 3]);
+        assert_eq!(rec.phase_stats(Phase::GenForward).count, 10);
+        assert_eq!(rec.phase_stats(Phase::GUpdate).count, 10);
+        // One d_feedback span per (iteration × worker), recorded on the
+        // worker threads.
+        assert_eq!(rec.phase_stats(Phase::DFeedback).count, 30);
+        // Every routed message lands in the comm histogram.
+        assert_eq!(
+            rec.phase_stats(Phase::Comm).count,
+            rec.counter(Counter::MsgsSent)
+        );
+        assert!(rec.counter(Counter::BytesSent) > 0);
+        // swap_interval is 6 for this setup (24 objects / batch 4), so 10
+        // iterations cross exactly one swap boundary.
+        let ws = rec.worker_stats();
+        for (w, stats) in ws.iter().enumerate().skip(1) {
+            assert_eq!(stats.feedbacks, 10, "worker {w}");
+            assert_eq!(stats.swaps_in, 1, "worker {w}");
+        }
+        assert_eq!(rec.counter(Counter::Iterations), 10);
+        assert_eq!(rec.counter(Counter::Swaps), 1);
+    }
+
+    #[test]
+    fn threaded_telemetry_does_not_perturb_training() {
+        let (spec, shards, cfg) = setup(3);
+        let plain = run_threaded(&spec, shards.clone(), cfg.clone(), None, 8, 1000);
+        let rec = Arc::new(Recorder::enabled());
+        let traced = run_threaded_with(&spec, shards, cfg, None, 8, 1000, rec);
+        assert_eq!(plain.gen_params, traced.gen_params);
     }
 
     #[test]

@@ -17,8 +17,10 @@ use md_data::Dataset;
 use md_nn::gan::Generator;
 use md_nn::param::{batch_bytes, param_bytes};
 use md_simnet::{TrafficReport, TrafficStats};
+use md_telemetry::{Event, Phase, Recorder};
 use md_tensor::rng::Rng64;
 use md_tensor::Tensor;
+use std::sync::Arc;
 
 /// Builds the server, the workers and the swap RNG from one master seed.
 /// Shared by the sequential and threaded runtimes so both are bit-for-bit
@@ -46,7 +48,11 @@ pub(crate) fn build_parts(
 }
 
 /// Computes the swap permutation over `alive.len()` workers.
-pub(crate) fn swap_permutation(policy: SwapPolicy, n_alive: usize, rng: &mut Rng64) -> Option<Vec<usize>> {
+pub(crate) fn swap_permutation(
+    policy: SwapPolicy,
+    n_alive: usize,
+    rng: &mut Rng64,
+) -> Option<Vec<usize>> {
     if n_alive < 2 {
         return None;
     }
@@ -81,6 +87,7 @@ pub struct MdGan {
     /// workers so the whole distributed dataset is still leveraged.
     disc_hosts: Option<Vec<usize>>,
     host_rng: Rng64,
+    telemetry: Arc<Recorder>,
 }
 
 impl MdGan {
@@ -112,7 +119,21 @@ impl MdGan {
             aggregation: Aggregation::Mean,
             disc_hosts: None,
             host_rng: Rng64::seed_from_u64(seed ^ 0x4057),
+            telemetry: Arc::new(Recorder::disabled()),
         }
+    }
+
+    /// Attaches a telemetry recorder: phases (`gen_forward`, `d_feedback`,
+    /// `g_update`, `swap`, `eval`), counters and per-worker tallies are
+    /// recorded into it. Recording is off by default.
+    pub fn with_telemetry(mut self, recorder: Arc<Recorder>) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
+    /// The attached telemetry recorder (a disabled one when none was set).
+    pub fn telemetry(&self) -> &Arc<Recorder> {
+        &self.telemetry
     }
 
     /// Enables lossy message compression (§VII.2): `batch` is applied to
@@ -132,7 +153,11 @@ impl MdGan {
     /// # Panics
     /// Panics unless one attack per worker is supplied.
     pub fn with_attacks(mut self, attacks: Vec<Attack>) -> Self {
-        assert_eq!(attacks.len(), self.workers.len(), "one attack entry per worker");
+        assert_eq!(
+            attacks.len(),
+            self.workers.len(),
+            "one attack entry per worker"
+        );
         self.attacks = attacks;
         self
     }
@@ -153,7 +178,10 @@ impl MdGan {
     /// # Panics
     /// Panics if `m` is 0 or exceeds the worker count.
     pub fn with_disc_count(mut self, m: usize) -> Self {
-        assert!(m >= 1 && m <= self.workers.len(), "disc count must be in [1, N]");
+        assert!(
+            m >= 1 && m <= self.workers.len(),
+            "disc count must be in [1, N]"
+        );
         self.disc_hosts = Some((0..m).collect());
         self
     }
@@ -162,7 +190,11 @@ impl MdGan {
     fn hosts(&self, alive: &[usize]) -> Vec<usize> {
         match &self.disc_hosts {
             None => alive.to_vec(),
-            Some(hosts) => hosts.iter().copied().filter(|h| alive.contains(h)).collect(),
+            Some(hosts) => hosts
+                .iter()
+                .copied()
+                .filter(|h| alive.contains(h))
+                .collect(),
         }
     }
 
@@ -230,7 +262,9 @@ impl MdGan {
     /// # Panics
     /// Panics on parameter-length mismatches.
     pub fn restore(&mut self, ck: &crate::checkpoint::Checkpoint) {
-        let gen = ck.get("generator").expect("checkpoint lacks a generator section");
+        let gen = ck
+            .get("generator")
+            .expect("checkpoint lacks a generator section");
         self.server.gen.net.set_params_flat(gen);
         for (i, w) in self.workers.iter_mut().enumerate() {
             if let (Some(w), Some(params)) = (w.as_mut(), ck.get(&format!("disc_{}", i + 1))) {
@@ -251,15 +285,23 @@ impl MdGan {
         for idx in 0..self.workers.len() {
             if self.workers[idx].is_some() && self.cfg.crash.is_crashed(idx + 1, i) {
                 self.workers[idx] = None;
+                self.telemetry.event(Event::WorkerFault {
+                    iter: i,
+                    worker: idx + 1,
+                });
             }
         }
-        let alive: Vec<usize> = (0..self.workers.len()).filter(|&w| self.workers[w].is_some()).collect();
+        let alive: Vec<usize> = (0..self.workers.len())
+            .filter(|&w| self.workers[w].is_some())
+            .collect();
         if alive.is_empty() {
             self.iter += 1;
+            self.telemetry.event(Event::IterDone { iter: i, alive: 0 });
             return;
         }
 
         // Server: generate K = {X(1..k)} and SPLIT over workers.
+        let gen_span = self.telemetry.span(Phase::GenForward);
         let batches = self.server.generate_batches(self.k);
         // With the identity codec the charged sizes are exactly the paper's
         // 2bd down / bd up; lossy codecs shrink the wire and train on the
@@ -271,6 +313,7 @@ impl MdGan {
                 (c.decompress(), c.wire_bytes())
             })
             .collect();
+        drop(gen_span);
         debug_assert!(
             !matches!(self.batch_codec, Codec::None) || wire[0].1 == batch_bytes(b, d),
             "identity codec must charge bd per batch"
@@ -282,33 +325,56 @@ impl MdGan {
         }
         let mut feedbacks: Vec<(usize, Tensor)> = Vec::with_capacity(participants.len());
         for &wi in &participants {
+            let fb_span = self.telemetry.span(Phase::DFeedback);
             let (g_id, d_id) = MdServer::assign(wi, self.k);
             let down = wire[g_id].1 + wire[d_id].1;
             self.stats.record(0, wi + 1, down);
             let worker = self.workers[wi].as_mut().expect("alive worker present");
-            let f = worker.process(&wire[d_id].0, &batches[d_id].1, &wire[g_id].0, &batches[g_id].1);
+            let f = worker.process(
+                &wire[d_id].0,
+                &batches[d_id].1,
+                &wire[g_id].0,
+                &batches[g_id].1,
+            );
             let f = self.attacks[wi].apply(&f, &mut self.attack_rng);
             let cf = self.feedback_codec.compress(&f);
             self.stats.record(wi + 1, 0, cf.wire_bytes());
             feedbacks.push((g_id, cf.decompress()));
+            drop(fb_span);
+            self.telemetry.worker_feedback(wi + 1);
         }
-        self.server.apply_feedbacks_robust(&feedbacks, participants.len(), self.aggregation);
+        let upd_span = self.telemetry.span(Phase::GUpdate);
+        self.server
+            .apply_feedbacks_robust(&feedbacks, participants.len(), self.aggregation);
+        drop(upd_span);
 
         // Swap every ⌊m·E/b⌋ iterations (Algorithm 1 line 11).
-        if (i + 1) % self.swap_interval == 0 {
+        if (i + 1).is_multiple_of(self.swap_interval) {
+            let swap_span = self.telemetry.span(Phase::Swap);
             match &self.disc_hosts {
                 None => {
-                    if let Some(perm) = swap_permutation(self.cfg.swap, alive.len(), &mut self.swap_rng) {
+                    if let Some(perm) =
+                        swap_permutation(self.cfg.swap, alive.len(), &mut self.swap_rng)
+                    {
                         let params: Vec<Vec<f32>> = alive
                             .iter()
                             .map(|&wi| self.workers[wi].as_ref().unwrap().disc_params())
                             .collect();
                         for (j, &src) in alive.iter().enumerate() {
                             let dst = alive[perm[j]];
-                            self.stats.record(src + 1, dst + 1, param_bytes(params[j].len()));
-                            self.workers[dst].as_mut().unwrap().set_disc_params(&params[j]);
+                            self.stats
+                                .record(src + 1, dst + 1, param_bytes(params[j].len()));
+                            self.workers[dst]
+                                .as_mut()
+                                .unwrap()
+                                .set_disc_params(&params[j]);
+                            self.telemetry.worker_swap_in(dst + 1);
                         }
                         self.swaps += 1;
+                        self.telemetry.event(Event::SwapDone {
+                            iter: i,
+                            moved: alive.len(),
+                        });
                     }
                 }
                 Some(_) if self.cfg.swap != SwapPolicy::Disabled => {
@@ -319,22 +385,32 @@ impl MdGan {
                         let m = current.len().min(alive.len());
                         let picks = self.host_rng.sample_distinct(alive.len(), m);
                         let new_hosts: Vec<usize> = picks.into_iter().map(|j| alive[j]).collect();
+                        let mut moved = 0;
                         for (j, &src) in current.iter().take(m).enumerate() {
                             let dst = new_hosts[j];
                             if dst != src {
                                 let params = self.workers[src].as_ref().unwrap().disc_params();
-                                self.stats.record(src + 1, dst + 1, param_bytes(params.len()));
+                                self.stats
+                                    .record(src + 1, dst + 1, param_bytes(params.len()));
                                 self.workers[dst].as_mut().unwrap().set_disc_params(&params);
+                                self.telemetry.worker_swap_in(dst + 1);
+                                moved += 1;
                             }
                         }
                         self.disc_hosts = Some(new_hosts);
                         self.swaps += 1;
+                        self.telemetry.event(Event::SwapDone { iter: i, moved });
                     }
                 }
                 Some(_) => {}
             }
+            drop(swap_span);
         }
         self.iter += 1;
+        self.telemetry.event(Event::IterDone {
+            iter: i,
+            alive: alive.len(),
+        });
     }
 
     /// Runs `iters` iterations, scoring the server generator every
@@ -347,13 +423,29 @@ impl MdGan {
     ) -> ScoreTimeline {
         let mut timeline = ScoreTimeline::new();
         if let Some(ev) = evaluator.as_deref_mut() {
-            timeline.push(self.iter, ev.evaluate(&mut self.server.gen));
+            let span = self.telemetry.span(Phase::Eval);
+            let s = ev.evaluate(&mut self.server.gen);
+            drop(span);
+            self.telemetry.event(Event::EvalDone {
+                iter: self.iter,
+                is_score: s.inception_score,
+                fid: s.fid,
+            });
+            timeline.push(self.iter, s);
         }
         for i in 1..=iters {
             self.step();
             if let Some(ev) = evaluator.as_deref_mut() {
                 if i % eval_every.max(1) == 0 || i == iters {
-                    timeline.push(self.iter, ev.evaluate(&mut self.server.gen));
+                    let span = self.telemetry.span(Phase::Eval);
+                    let s = ev.evaluate(&mut self.server.gen);
+                    drop(span);
+                    self.telemetry.event(Event::EvalDone {
+                        iter: self.iter,
+                        is_score: s.inception_score,
+                        fid: s.fid,
+                    });
+                    timeline.push(self.iter, s);
                 }
             }
         }
@@ -378,7 +470,10 @@ mod tests {
             k,
             epochs_per_swap: 1.0,
             swap,
-            hyper: GanHyper { batch: 4, ..GanHyper::default() },
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
             iterations: 100,
             seed: 7,
             crash,
@@ -388,7 +483,12 @@ mod tests {
 
     #[test]
     fn step_moves_the_generator() {
-        let mut md = build(4, KPolicy::LogN, SwapPolicy::Derangement, CrashSchedule::none());
+        let mut md = build(
+            4,
+            KPolicy::LogN,
+            SwapPolicy::Derangement,
+            CrashSchedule::none(),
+        );
         assert_eq!(md.k(), 2);
         let before = md.gen_params();
         md.step();
@@ -429,7 +529,9 @@ mod tests {
     #[test]
     fn ring_swap_rotates_discriminators() {
         let mut md = build(3, KPolicy::One, SwapPolicy::Ring, CrashSchedule::none());
-        let before: Vec<Vec<f32>> = (0..3).map(|i| md.workers[i].as_ref().unwrap().disc_params()).collect();
+        let before: Vec<Vec<f32>> = (0..3)
+            .map(|i| md.workers[i].as_ref().unwrap().disc_params())
+            .collect();
         // Swap with no intermediate training: set interval to 1 by stepping
         // to the boundary (interval is 8; run 8 steps then compare — but
         // training changes params, so instead trigger the permutation path
@@ -477,7 +579,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = || {
-            let mut md = build(3, KPolicy::LogN, SwapPolicy::Derangement, CrashSchedule::none());
+            let mut md = build(
+                3,
+                KPolicy::LogN,
+                SwapPolicy::Derangement,
+                CrashSchedule::none(),
+            );
             for _ in 0..10 {
                 md.step();
             }
@@ -490,7 +597,10 @@ mod tests {
     fn identity_codecs_do_not_change_training_or_traffic() {
         let mk = || build(3, KPolicy::One, SwapPolicy::Disabled, CrashSchedule::none());
         let mut plain = mk();
-        let mut coded = mk().with_codecs(crate::compression::Codec::None, crate::compression::Codec::None);
+        let mut coded = mk().with_codecs(
+            crate::compression::Codec::None,
+            crate::compression::Codec::None,
+        );
         for _ in 0..4 {
             plain.step();
             coded.step();
@@ -511,8 +621,12 @@ mod tests {
         }
         let p = plain.traffic();
         let c = coded.traffic();
-        assert!(c.bytes(LinkClass::ServerToWorker) * 3 < p.bytes(LinkClass::ServerToWorker),
-            "batches should compress ~4x: {} vs {}", c.bytes(LinkClass::ServerToWorker), p.bytes(LinkClass::ServerToWorker));
+        assert!(
+            c.bytes(LinkClass::ServerToWorker) * 3 < p.bytes(LinkClass::ServerToWorker),
+            "batches should compress ~4x: {} vs {}",
+            c.bytes(LinkClass::ServerToWorker),
+            p.bytes(LinkClass::ServerToWorker)
+        );
         assert!(c.bytes(LinkClass::WorkerToServer) * 2 < p.bytes(LinkClass::WorkerToServer));
         assert!(coded.gen_params().iter().all(|v| v.is_finite()));
         // Lossy training diverges numerically from the exact run.
@@ -528,8 +642,10 @@ mod tests {
             md.gen_params()
         };
         let attacked = {
-            let mut md = build(3, KPolicy::One, SwapPolicy::Disabled, CrashSchedule::none())
-                .with_attacks(vec![Attack::SignFlip { scale: 1.0 }, Attack::None, Attack::None]);
+            let mut md =
+                build(3, KPolicy::One, SwapPolicy::Disabled, CrashSchedule::none()).with_attacks(
+                    vec![Attack::SignFlip { scale: 1.0 }, Attack::None, Attack::None],
+                );
             md.step();
             md.gen_params()
         };
@@ -559,7 +675,11 @@ mod tests {
             let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
             dot / (na * nb)
         };
-        let evil = vec![Attack::SignFlip { scale: 1000.0 }, Attack::None, Attack::None];
+        let evil = vec![
+            Attack::SignFlip { scale: 1000.0 },
+            Attack::None,
+            Attack::None,
+        ];
         let honest_med = delta(&run(vec![Attack::None; 3], Aggregation::CoordinateMedian));
         let honest_mean = delta(&run(vec![Attack::None; 3], Aggregation::Mean));
         let evil_med = delta(&run(evil.clone(), Aggregation::CoordinateMedian));
@@ -571,14 +691,25 @@ mod tests {
         let _ = honest_med;
         // Measured at this scale: c_med ≈ +0.22, c_mean ≈ -0.39 — the mean's
         // direction is *reversed* by the attacker, the median's is not.
-        assert!(c_mean < 0.0, "attacked mean should anti-correlate, cos {c_mean}");
-        assert!(c_med > 0.0, "attacked median should stay honest-aligned, cos {c_med}");
+        assert!(
+            c_mean < 0.0,
+            "attacked mean should anti-correlate, cos {c_mean}"
+        );
+        assert!(
+            c_med > 0.0,
+            "attacked median should stay honest-aligned, cos {c_med}"
+        );
     }
 
     #[test]
     fn fewer_discriminators_than_workers() {
-        let mut md = build(4, KPolicy::One, SwapPolicy::Derangement, CrashSchedule::none())
-            .with_disc_count(2);
+        let mut md = build(
+            4,
+            KPolicy::One,
+            SwapPolicy::Derangement,
+            CrashSchedule::none(),
+        )
+        .with_disc_count(2);
         for _ in 0..md.swap_interval() * 2 {
             md.step();
         }
@@ -614,6 +745,71 @@ mod tests {
         // Serialization roundtrip too.
         let parsed = crate::checkpoint::Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
         assert_eq!(parsed, ck);
+    }
+
+    #[test]
+    fn telemetry_span_counts_match_executed_phases() {
+        use md_telemetry::Counter;
+        let rec = Arc::new(Recorder::enabled());
+        let mut md = build(3, KPolicy::One, SwapPolicy::Ring, CrashSchedule::none())
+            .with_telemetry(Arc::clone(&rec));
+        let iters = md.swap_interval() * 2; // crosses two swap boundaries
+        for _ in 0..iters {
+            md.step();
+        }
+        // Exactly one gen_forward + one g_update span per iteration, one
+        // d_feedback span per (iteration × participant).
+        assert_eq!(rec.phase_stats(Phase::GenForward).count, iters as u64);
+        assert_eq!(rec.phase_stats(Phase::GUpdate).count, iters as u64);
+        assert_eq!(rec.phase_stats(Phase::DFeedback).count, (iters * 3) as u64);
+        assert_eq!(rec.phase_stats(Phase::Swap).count, 2);
+        assert_eq!(rec.counter(Counter::Iterations), iters as u64);
+        assert_eq!(rec.counter(Counter::Swaps), 2);
+        // Per-worker tallies (worker ids are 1-based).
+        let ws = rec.worker_stats();
+        for (w, stats) in ws.iter().enumerate().skip(1) {
+            assert_eq!(stats.feedbacks, iters as u64, "worker {w}");
+            assert_eq!(stats.swaps_in, 2, "worker {w}");
+        }
+        // Events retained: one IterDone per iteration + two SwapDone.
+        assert_eq!(rec.events().len(), iters + 2);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_training() {
+        let run = |telemetry: bool| {
+            let mut md = build(
+                3,
+                KPolicy::LogN,
+                SwapPolicy::Derangement,
+                CrashSchedule::none(),
+            );
+            if telemetry {
+                md = md.with_telemetry(Arc::new(Recorder::enabled()));
+            }
+            for _ in 0..10 {
+                md.step();
+            }
+            md.gen_params()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn telemetry_records_faults() {
+        let crash = CrashSchedule::new(vec![(2, 1)]);
+        let rec = Arc::new(Recorder::enabled());
+        let mut md =
+            build(3, KPolicy::One, SwapPolicy::Disabled, crash).with_telemetry(Arc::clone(&rec));
+        for _ in 0..3 {
+            md.step();
+        }
+        use md_telemetry::Counter;
+        assert_eq!(rec.counter(Counter::Faults), 1);
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| e.event == Event::WorkerFault { iter: 2, worker: 1 }));
     }
 
     #[test]

@@ -26,10 +26,23 @@ impl MdWorker {
     /// The paper notes architectures/initializations *could* differ per
     /// worker but uses identical architectures; we initialize each D_n
     /// independently (`Initialize θ_n for D_n`, Algorithm 1 line 2).
-    pub fn new(id: usize, spec: &ArchSpec, shard: Dataset, hyper: GanHyper, rng: &mut Rng64) -> Self {
+    pub fn new(
+        id: usize,
+        spec: &ArchSpec,
+        shard: Dataset,
+        hyper: GanHyper,
+        rng: &mut Rng64,
+    ) -> Self {
         let disc = spec.build_discriminator(rng);
         let sampler = BatchSampler::new(rng);
-        MdWorker { id, disc, opt_d: Adam::new(hyper.adam_d), sampler, shard, hyper }
+        MdWorker {
+            id,
+            disc,
+            opt_d: Adam::new(hyper.adam_d),
+            sampler,
+            shard,
+            hyper,
+        }
     }
 
     /// Local shard size `m`.
@@ -104,7 +117,16 @@ mod tests {
         let shard = mnist_like(12, 64, 1, 0.08);
         let spec = ArchSpec::mlp_mnist_scaled(12);
         let mut rng = Rng64::seed_from_u64(2);
-        MdWorker::new(1, &spec, shard, GanHyper { batch: 6, ..GanHyper::default() }, &mut rng)
+        MdWorker::new(
+            1,
+            &spec,
+            shard,
+            GanHyper {
+                batch: 6,
+                ..GanHyper::default()
+            },
+            &mut rng,
+        )
     }
 
     fn fake_batch(b: usize, rng: &mut Rng64) -> (Tensor, Vec<usize>) {
@@ -134,7 +156,11 @@ mod tests {
         let (xd, yd) = fake_batch(6, &mut rng);
         let (xg, yg) = fake_batch(6, &mut rng);
         w.process(&xd, &yd, &xg, &yg);
-        assert_ne!(before, w.disc_params(), "D_n must move during a global iteration");
+        assert_ne!(
+            before,
+            w.disc_params(),
+            "D_n must move during a global iteration"
+        );
     }
 
     #[test]
@@ -153,7 +179,16 @@ mod tests {
         let shard = mnist_like(12, 64, 9, 0.08);
         let spec = ArchSpec::mlp_mnist_scaled(12);
         let mut rng = Rng64::seed_from_u64(7);
-        let mut b = MdWorker::new(2, &spec, shard, GanHyper { batch: 6, ..GanHyper::default() }, &mut rng);
+        let mut b = MdWorker::new(
+            2,
+            &spec,
+            shard,
+            GanHyper {
+                batch: 6,
+                ..GanHyper::default()
+            },
+            &mut rng,
+        );
         let pa = a.disc_params();
         let pb = b.disc_params();
         assert_ne!(pa, pb);

@@ -13,7 +13,9 @@ use md_data::{BatchSampler, Dataset};
 use md_nn::gan::{disc_loss_fake, disc_loss_real, gen_loss, Discriminator, Generator};
 use md_nn::layer::Layer;
 use md_nn::optim::Adam;
+use md_telemetry::{Event, Phase, Recorder};
 use md_tensor::rng::Rng64;
+use std::sync::Arc;
 
 /// Losses of one training step (for monitoring/tests).
 #[derive(Clone, Copy, Debug)]
@@ -37,6 +39,7 @@ pub struct StandaloneGan {
     rng: Rng64,
     data: Dataset,
     iter: usize,
+    telemetry: Arc<Recorder>,
 }
 
 impl StandaloneGan {
@@ -57,7 +60,19 @@ impl StandaloneGan {
             rng: rng.fork(0x57A2),
             data,
             iter: 0,
+            telemetry: Arc::new(Recorder::disabled()),
         }
+    }
+
+    /// Attaches a telemetry recorder (the default is a disabled no-op one).
+    pub fn with_telemetry(mut self, recorder: Arc<Recorder>) -> Self {
+        self.telemetry = recorder;
+        self
+    }
+
+    /// The attached telemetry recorder.
+    pub fn telemetry(&self) -> &Arc<Recorder> {
+        &self.telemetry
     }
 
     /// Number of iterations performed.
@@ -73,6 +88,7 @@ impl StandaloneGan {
     /// One global iteration: `L` discriminator learning steps followed by
     /// one generator learning step (§II).
     pub fn step(&mut self) -> StepLosses {
+        let _span = self.telemetry.span(Phase::LocalTrain);
         let b = self.hyper.batch;
         let classes = self.gen.num_classes;
         let aux = self.hyper.aux_weight;
@@ -110,7 +126,14 @@ impl StandaloneGan {
         self.opt_g.step(&mut self.gen.net);
 
         self.iter += 1;
-        StepLosses { disc: disc_loss_acc / self.hyper.disc_steps.max(1) as f32, gen: lg }
+        self.telemetry.event(Event::IterDone {
+            iter: self.iter - 1,
+            alive: 1,
+        });
+        StepLosses {
+            disc: disc_loss_acc / self.hyper.disc_steps.max(1) as f32,
+            gen: lg,
+        }
     }
 
     /// Runs `iters` iterations, scoring every `eval_every` (when an
@@ -123,13 +146,29 @@ impl StandaloneGan {
     ) -> ScoreTimeline {
         let mut timeline = ScoreTimeline::new();
         if let Some(ev) = evaluator.as_deref_mut() {
-            timeline.push(self.iter, ev.evaluate(&mut self.gen));
+            let span = self.telemetry.span(Phase::Eval);
+            let s = ev.evaluate(&mut self.gen);
+            drop(span);
+            self.telemetry.event(Event::EvalDone {
+                iter: self.iter,
+                is_score: s.inception_score,
+                fid: s.fid,
+            });
+            timeline.push(self.iter, s);
         }
         for i in 1..=iters {
             self.step();
             if let Some(ev) = evaluator.as_deref_mut() {
                 if i % eval_every.max(1) == 0 || i == iters {
-                    timeline.push(self.iter, ev.evaluate(&mut self.gen));
+                    let span = self.telemetry.span(Phase::Eval);
+                    let s = ev.evaluate(&mut self.gen);
+                    drop(span);
+                    self.telemetry.event(Event::EvalDone {
+                        iter: self.iter,
+                        is_score: s.inception_score,
+                        fid: s.fid,
+                    });
+                    timeline.push(self.iter, s);
                 }
             }
         }
@@ -139,7 +178,10 @@ impl StandaloneGan {
     /// Flat parameters of both networks, for FL-GAN averaging:
     /// `(generator, discriminator)`.
     pub fn params(&self) -> (Vec<f32>, Vec<f32>) {
-        (self.gen.net.get_params_flat(), self.disc.net.get_params_flat())
+        (
+            self.gen.net.get_params_flat(),
+            self.disc.net.get_params_flat(),
+        )
     }
 
     /// Overwrites both networks' parameters (FL-GAN broadcast).
@@ -159,7 +201,15 @@ mod tests {
         let data = mnist_like(12, 256, 1, 0.08);
         let spec = ArchSpec::mlp_mnist_scaled(12);
         let mut rng = Rng64::seed_from_u64(3);
-        StandaloneGan::new(&spec, data, GanHyper { batch: 8, ..GanHyper::default() }, &mut rng)
+        StandaloneGan::new(
+            &spec,
+            data,
+            GanHyper {
+                batch: 8,
+                ..GanHyper::default()
+            },
+            &mut rng,
+        )
     }
 
     #[test]
@@ -205,11 +255,26 @@ mod tests {
         let data = mnist_like(12, 64, 2, 0.08);
         let spec = ArchSpec::mlp_mnist_scaled(12);
         let mut rng = Rng64::seed_from_u64(4);
-        let hyper = GanHyper { batch: 4, disc_steps: 3, ..GanHyper::default() };
+        let hyper = GanHyper {
+            batch: 4,
+            disc_steps: 3,
+            ..GanHyper::default()
+        };
         let mut gan = StandaloneGan::new(&spec, data, hyper, &mut rng);
         gan.step();
         // Not directly observable, but the run must stay healthy.
         assert!(gan.params().1.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn telemetry_counts_local_steps() {
+        let rec = Arc::new(Recorder::enabled());
+        let mut gan = tiny().with_telemetry(Arc::clone(&rec));
+        for _ in 0..5 {
+            gan.step();
+        }
+        assert_eq!(rec.phase_stats(Phase::LocalTrain).count, 5);
+        assert_eq!(rec.counter(md_telemetry::Counter::Iterations), 5);
     }
 
     #[test]
@@ -228,7 +293,11 @@ mod tests {
         let data = mnist_like(12, 128, 5, 0.08);
         let spec = ArchSpec::mlp_mnist_scaled(12);
         let mut rng = Rng64::seed_from_u64(6);
-        let hyper = GanHyper { batch: 8, gen_loss: GenLossMode::Minimax, ..GanHyper::default() };
+        let hyper = GanHyper {
+            batch: 8,
+            gen_loss: GenLossMode::Minimax,
+            ..GanHyper::default()
+        };
         let mut gan = StandaloneGan::new(&spec, data, hyper, &mut rng);
         let (g0, _) = gan.params();
         for _ in 0..3 {

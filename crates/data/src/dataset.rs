@@ -19,10 +19,21 @@ impl Dataset {
     /// Panics on rank/count mismatches or out-of-range labels.
     pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
         assert_eq!(images.ndim(), 4, "images must be (N, C, H, W)");
-        assert_eq!(images.shape()[0], labels.len(), "one label per image required");
+        assert_eq!(
+            images.shape()[0],
+            labels.len(),
+            "one label per image required"
+        );
         assert!(num_classes > 0, "num_classes must be positive");
-        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
-        Dataset { images, labels, num_classes }
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Dataset {
+            images,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of samples `m`.
@@ -114,7 +125,10 @@ impl Dataset {
     /// `skew = 1` gives each worker contiguous label blocks.
     pub fn shard_label_skew(&self, n: usize, skew: f32, rng: &mut Rng64) -> Vec<Dataset> {
         assert!(n > 0, "cannot shard over zero workers");
-        assert!((0.0..=1.0).contains(&skew), "skew must be in [0, 1], got {skew}");
+        assert!(
+            (0.0..=1.0).contains(&skew),
+            "skew must be in [0, 1], got {skew}"
+        );
         let m = self.len() / n;
         assert!(m > 0, "dataset of {} too small for {n} shards", self.len());
 
@@ -122,7 +136,8 @@ impl Dataset {
         // within-class assignment is still random).
         let mut order = rng.permutation(self.len());
         order.sort_by_key(|&i| self.labels[i]);
-        let mut assignment: Vec<Vec<usize>> = (0..n).map(|w| order[w * m..(w + 1) * m].to_vec()).collect();
+        let mut assignment: Vec<Vec<usize>> =
+            (0..n).map(|w| order[w * m..(w + 1) * m].to_vec()).collect();
 
         // Pool a (1 - skew) fraction of each shard and redistribute.
         let pooled_per_shard = ((1.0 - skew) * m as f32).round() as usize;
@@ -167,7 +182,9 @@ pub struct BatchSampler {
 impl BatchSampler {
     /// Creates a sampler with its own RNG stream.
     pub fn new(rng: &mut Rng64) -> Self {
-        BatchSampler { rng: rng.fork(0xBA7C4) }
+        BatchSampler {
+            rng: rng.fork(0xBA7C4),
+        }
     }
 
     /// Samples a batch of size `b` (capped at the dataset size).
@@ -256,7 +273,11 @@ mod tests {
         let shards = d.shard_label_skew(2, 1.0, &mut rng);
         // With 2 classes and 2 shards at full skew, each shard is pure.
         for s in &shards {
-            assert!((dominance(s) - 1.0).abs() < 1e-6, "histogram {:?}", s.class_histogram());
+            assert!(
+                (dominance(s) - 1.0).abs() < 1e-6,
+                "histogram {:?}",
+                s.class_histogram()
+            );
         }
     }
 
@@ -278,10 +299,14 @@ mod tests {
         let skewed = d.shard_label_skew(4, 1.0, &mut rng);
         let half = d.shard_label_skew(4, 0.5, &mut rng);
         let iid = d.shard_label_skew(4, 0.0, &mut rng);
-        let avg = |shards: &[Dataset]| {
-            shards.iter().map(dominance).sum::<f32>() / shards.len() as f32
-        };
-        assert!(avg(&skewed) > avg(&half), "{} vs {}", avg(&skewed), avg(&half));
+        let avg =
+            |shards: &[Dataset]| shards.iter().map(dominance).sum::<f32>() / shards.len() as f32;
+        assert!(
+            avg(&skewed) > avg(&half),
+            "{} vs {}",
+            avg(&skewed),
+            avg(&half)
+        );
         assert!(avg(&half) > avg(&iid), "{} vs {}", avg(&half), avg(&iid));
     }
 

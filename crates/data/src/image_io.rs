@@ -26,7 +26,12 @@ fn to_byte(v: f32) -> u8 {
 /// # Panics
 /// Panics on unsupported shapes.
 pub fn write_image(path: impl AsRef<Path>, image: &Tensor) -> io::Result<()> {
-    assert_eq!(image.ndim(), 3, "write_image expects (C, H, W), got {:?}", image.shape());
+    assert_eq!(
+        image.ndim(),
+        3,
+        "write_image expects (C, H, W), got {:?}",
+        image.shape()
+    );
     let (c, h, w) = (image.shape()[0], image.shape()[1], image.shape()[2]);
     let mut out: Vec<u8>;
     match c {
@@ -58,7 +63,12 @@ pub fn write_image(path: impl AsRef<Path>, image: &Tensor) -> io::Result<()> {
 pub fn tile_grid(batch: &Tensor, cols: usize) -> Tensor {
     assert_eq!(batch.ndim(), 4, "tile_grid expects (N, C, H, W)");
     assert!(cols > 0, "cols must be positive");
-    let (n, c, h, w) = (batch.shape()[0], batch.shape()[1], batch.shape()[2], batch.shape()[3]);
+    let (n, c, h, w) = (
+        batch.shape()[0],
+        batch.shape()[1],
+        batch.shape()[2],
+        batch.shape()[3],
+    );
     assert!(n > 0, "empty batch");
     let rows = n.div_ceil(cols);
     let gh = rows * h + rows - 1;

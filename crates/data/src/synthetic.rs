@@ -44,17 +44,35 @@ pub struct DataSpec {
 impl DataSpec {
     /// MNIST stand-in at the given scale.
     pub fn mnist(img: usize, n: usize, seed: u64) -> Self {
-        DataSpec { family: Family::MnistLike, img, n, seed, noise_std: 0.08 }
+        DataSpec {
+            family: Family::MnistLike,
+            img,
+            n,
+            seed,
+            noise_std: 0.08,
+        }
     }
 
     /// CIFAR10 stand-in at the given scale.
     pub fn cifar(img: usize, n: usize, seed: u64) -> Self {
-        DataSpec { family: Family::CifarLike, img, n, seed, noise_std: 0.08 }
+        DataSpec {
+            family: Family::CifarLike,
+            img,
+            n,
+            seed,
+            noise_std: 0.08,
+        }
     }
 
     /// CelebA stand-in at the given scale.
     pub fn celeba(img: usize, n: usize, seed: u64) -> Self {
-        DataSpec { family: Family::CelebaLike, img, n, seed, noise_std: 0.05 }
+        DataSpec {
+            family: Family::CelebaLike,
+            img,
+            n,
+            seed,
+            noise_std: 0.05,
+        }
     }
 
     /// Channel count of this family.
@@ -92,23 +110,23 @@ impl DataSpec {
 /// Segments: 0 top, 1 top-left, 2 top-right, 3 middle, 4 bottom-left,
 /// 5 bottom-right, 6 bottom.
 const SEGMENTS: [[bool; 7]; 10] = [
-    [true, true, true, false, true, true, true],    // 0
+    [true, true, true, false, true, true, true],     // 0
     [false, false, true, false, false, true, false], // 1
-    [true, false, true, true, true, false, true],   // 2
-    [true, false, true, true, false, true, true],   // 3
-    [false, true, true, true, false, true, false],  // 4
-    [true, true, false, true, false, true, true],   // 5
-    [true, true, false, true, true, true, true],    // 6
-    [true, false, true, false, false, true, false], // 7
-    [true, true, true, true, true, true, true],     // 8
-    [true, true, true, true, false, true, true],    // 9
+    [true, false, true, true, true, false, true],    // 2
+    [true, false, true, true, false, true, true],    // 3
+    [false, true, true, true, false, true, false],   // 4
+    [true, true, false, true, false, true, true],    // 5
+    [true, true, false, true, true, true, true],     // 6
+    [true, false, true, false, false, true, false],  // 7
+    [true, true, true, true, true, true, true],      // 8
+    [true, true, true, true, false, true, true],     // 9
 ];
 
 /// MNIST stand-in: grayscale seven-segment "digits" with per-sample jitter,
 /// stroke-intensity variation and Gaussian noise. 10 classes.
 pub fn mnist_like(img: usize, n: usize, seed: u64, noise_std: f32) -> Dataset {
     assert!(img >= 8, "mnist_like needs img >= 8");
-    let mut rng = Rng64::seed_from_u64(seed ^ 0x4D4E_4953_54);
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x004D_4E49_5354);
     let mut data = vec![-1.0f32; n * img * img];
     let mut labels = Vec::with_capacity(n);
 
@@ -131,13 +149,13 @@ pub fn mnist_like(img: usize, n: usize, seed: u64, noise_std: f32) -> Dataset {
 
         // Segment rectangles relative to (x0, y0): (x, y, w, h).
         let rects: [(isize, isize, isize, isize); 7] = [
-            (0, 0, wseg, thick),                  // top
-            (0, 0, thick, half),                  // top-left
-            (wseg - thick, 0, thick, half),       // top-right
-            (0, half - thick / 2, wseg, thick),   // middle
-            (0, half, thick, half),               // bottom-left
-            (wseg - thick, half, thick, half),    // bottom-right
-            (0, hseg - thick, wseg, thick),       // bottom
+            (0, 0, wseg, thick),                // top
+            (0, 0, thick, half),                // top-left
+            (wseg - thick, 0, thick, half),     // top-right
+            (0, half - thick / 2, wseg, thick), // middle
+            (0, half, thick, half),             // bottom-left
+            (wseg - thick, half, thick, half),  // bottom-right
+            (0, hseg - thick, wseg, thick),     // bottom
         ];
         for (seg, &(rx, ry, rw, rh)) in rects.iter().enumerate() {
             if !SEGMENTS[digit][seg] {
@@ -163,7 +181,7 @@ pub fn mnist_like(img: usize, n: usize, seed: u64, noise_std: f32) -> Dataset {
 /// bright blob, and Gaussian noise. 10 classes.
 pub fn cifar_like(img: usize, n: usize, seed: u64, noise_std: f32) -> Dataset {
     assert!(img >= 8, "cifar_like needs img >= 8");
-    let mut rng = Rng64::seed_from_u64(seed ^ 0xC1FA_12);
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x00C1_FA12);
     let hw = img * img;
     let mut data = vec![0.0f32; n * 3 * hw];
     let mut labels = Vec::with_capacity(n);
@@ -190,9 +208,12 @@ pub fn cifar_like(img: usize, n: usize, seed: u64, noise_std: f32) -> Dataset {
                 let blob = blob_gain * (-(dx * dx + dy * dy) / (blob_r * blob_r)).exp();
                 let base = 0.5 * wave + blob;
                 let idx = s * 3 * hw + y * img + x;
-                data[idx] = (hr * base + 0.2 * hr - 0.1 + noise_std * rng.normal()).clamp(-1.0, 1.0);
-                data[idx + hw] = (hg * base + 0.2 * hg - 0.1 + noise_std * rng.normal()).clamp(-1.0, 1.0);
-                data[idx + 2 * hw] = (hb * base + 0.2 * hb - 0.1 + noise_std * rng.normal()).clamp(-1.0, 1.0);
+                data[idx] =
+                    (hr * base + 0.2 * hr - 0.1 + noise_std * rng.normal()).clamp(-1.0, 1.0);
+                data[idx + hw] =
+                    (hg * base + 0.2 * hg - 0.1 + noise_std * rng.normal()).clamp(-1.0, 1.0);
+                data[idx + 2 * hw] =
+                    (hb * base + 0.2 * hb - 0.1 + noise_std * rng.normal()).clamp(-1.0, 1.0);
             }
         }
     }
@@ -216,7 +237,7 @@ fn class_hue(class: usize) -> (f32, f32, f32) {
 /// CelebA GAN has a single output neuron.
 pub fn celeba_like(img: usize, n: usize, seed: u64, noise_std: f32) -> Dataset {
     assert!(img >= 16, "celeba_like needs img >= 16");
-    let mut rng = Rng64::seed_from_u64(seed ^ 0xCE1E_BA);
+    let mut rng = Rng64::seed_from_u64(seed ^ 0x00CE_1EBA);
     let hw = img * img;
     let mut data = vec![0.0f32; n * 3 * hw];
     let mut labels = Vec::with_capacity(n);
@@ -226,8 +247,16 @@ pub fn celeba_like(img: usize, n: usize, seed: u64, noise_std: f32) -> Dataset {
         let bg_warm = rng.uniform() < 0.5;
         labels.push((skin_dark as usize) * 2 + bg_warm as usize);
 
-        let skin = if skin_dark { (0.25f32, 0.05f32, -0.15f32) } else { (0.75, 0.55, 0.35) };
-        let bg = if bg_warm { (0.3f32, 0.0f32, -0.4f32) } else { (-0.5f32, -0.2f32, 0.3f32) };
+        let skin = if skin_dark {
+            (0.25f32, 0.05f32, -0.15f32)
+        } else {
+            (0.75, 0.55, 0.35)
+        };
+        let bg = if bg_warm {
+            (0.3f32, 0.0f32, -0.4f32)
+        } else {
+            (-0.5f32, -0.2f32, 0.3f32)
+        };
 
         let cx = img as f32 * (0.45 + 0.1 * rng.uniform());
         let cy = img as f32 * (0.45 + 0.1 * rng.uniform());
@@ -330,13 +359,19 @@ mod tests {
     fn same_class_samples_are_similar_but_not_identical() {
         let d = mnist_like(16, 400, 7, 0.08);
         // Find two samples of class 8.
-        let idx: Vec<usize> = (0..d.len()).filter(|&i| d.labels()[i] == 8).take(2).collect();
+        let idx: Vec<usize> = (0..d.len())
+            .filter(|&i| d.labels()[i] == 8)
+            .take(2)
+            .collect();
         assert_eq!(idx.len(), 2);
         let a = d.images().index_axis0(idx[0]);
         let b = d.images().index_axis0(idx[1]);
         assert_ne!(a.data(), b.data());
         // Inter-class distance exceeds intra-class distance on average.
-        let other: Vec<usize> = (0..d.len()).filter(|&i| d.labels()[i] == 1).take(1).collect();
+        let other: Vec<usize> = (0..d.len())
+            .filter(|&i| d.labels()[i] == 1)
+            .take(1)
+            .collect();
         let c = d.images().index_axis0(other[0]);
         let intra = a.sub(&b).norm();
         let inter = a.sub(&c).norm();
@@ -347,7 +382,7 @@ mod tests {
     fn cifar_classes_have_distinct_hues() {
         let d = cifar_like(16, 600, 9, 0.02);
         // Mean red-channel value per class must not all coincide.
-        let mut sums = vec![0.0f32; 10];
+        let mut sums = [0.0f32; 10];
         let hw = 16 * 16;
         for i in 0..d.len() {
             let img = d.images().index_axis0(i);
@@ -407,6 +442,9 @@ mod tests {
         assert!(n1 > 0 && n8 > 0);
         let lit1: f32 = mean1.iter().map(|&v| v / n1 as f32 + 1.0).sum();
         let lit8: f32 = mean8.iter().map(|&v| v / n8 as f32 + 1.0).sum();
-        assert!(lit8 > lit1 * 1.2, "digit 8 should light more pixels: {lit8} vs {lit1}");
+        assert!(
+            lit8 > lit1 * 1.2,
+            "digit 8 should light more pixels: {lit8} vs {lit1}"
+        );
     }
 }

@@ -41,7 +41,13 @@ pub struct ScorerConfig {
 
 impl Default for ScorerConfig {
     fn default() -> Self {
-        ScorerConfig { feature_dim: 32, hidden: 128, steps: 600, batch: 64, lr: 2e-3 }
+        ScorerConfig {
+            feature_dim: 32,
+            hidden: 128,
+            steps: 600,
+            batch: 64,
+            lr: 2e-3,
+        }
     }
 }
 
@@ -56,10 +62,19 @@ impl Scorer {
             .push(LeakyRelu::new(0.1))
             .push(Dense::new(cfg.hidden, cfg.feature_dim, Init::HeNormal, rng))
             .push(LeakyRelu::new(0.1));
-        let mut head = Sequential::new().push(Dense::new(cfg.feature_dim, c, Init::XavierUniform, rng));
+        let mut head =
+            Sequential::new().push(Dense::new(cfg.feature_dim, c, Init::XavierUniform, rng));
 
-        let mut opt_t = Adam::new(AdamConfig { lr: cfg.lr, beta1: 0.9, ..AdamConfig::default() });
-        let mut opt_h = Adam::new(AdamConfig { lr: cfg.lr, beta1: 0.9, ..AdamConfig::default() });
+        let mut opt_t = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            beta1: 0.9,
+            ..AdamConfig::default()
+        });
+        let mut opt_h = Adam::new(AdamConfig {
+            lr: cfg.lr,
+            beta1: 0.9,
+            ..AdamConfig::default()
+        });
         let mut sampler = BatchSampler::new(rng);
         for _ in 0..cfg.steps {
             let (images, labels) = sampler.sample(data, cfg.batch);
@@ -73,7 +88,12 @@ impl Scorer {
             opt_h.step(&mut head);
             opt_t.step(&mut trunk);
         }
-        Scorer { trunk, head, feature_dim: cfg.feature_dim, num_classes: c }
+        Scorer {
+            trunk,
+            head,
+            feature_dim: cfg.feature_dim,
+            num_classes: c,
+        }
     }
 
     /// Feature width (FID dimensionality).
@@ -113,7 +133,14 @@ mod tests {
         let data = mnist_like(12, 1200, 42, 0.08);
         let (train, test) = data.split_test(200);
         let mut rng = Rng64::seed_from_u64(7);
-        let mut scorer = Scorer::train(&train, ScorerConfig { steps: 400, ..ScorerConfig::default() }, &mut rng);
+        let mut scorer = Scorer::train(
+            &train,
+            ScorerConfig {
+                steps: 400,
+                ..ScorerConfig::default()
+            },
+            &mut rng,
+        );
         let acc = scorer.accuracy_on(&test);
         assert!(acc > 0.8, "scorer accuracy only {acc}");
     }
@@ -122,7 +149,10 @@ mod tests {
     fn outputs_have_expected_shapes() {
         let data = mnist_like(12, 200, 1, 0.08);
         let mut rng = Rng64::seed_from_u64(2);
-        let cfg = ScorerConfig { steps: 20, ..ScorerConfig::default() };
+        let cfg = ScorerConfig {
+            steps: 20,
+            ..ScorerConfig::default()
+        };
         let mut scorer = Scorer::train(&data, cfg, &mut rng);
         let (feats, probs) = scorer.features_and_probs(data.images());
         assert_eq!(feats.shape(), &[200, 32]);
@@ -136,7 +166,10 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let data = mnist_like(12, 150, 3, 0.08);
-        let cfg = ScorerConfig { steps: 15, ..ScorerConfig::default() };
+        let cfg = ScorerConfig {
+            steps: 15,
+            ..ScorerConfig::default()
+        };
         let mut s1 = Scorer::train(&data, cfg, &mut Rng64::seed_from_u64(5));
         let mut s2 = Scorer::train(&data, cfg, &mut Rng64::seed_from_u64(5));
         let (f1, _) = s1.features_and_probs(data.images());

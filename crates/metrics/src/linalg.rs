@@ -158,7 +158,10 @@ pub fn mean_and_cov(features: &[f32], rows: usize, d: usize) -> (Vec<f64>, Vec<f
     let mut cov = vec![0.0f64; d * d];
     let mut centered = vec![0.0f64; d];
     for r in 0..rows {
-        for (c, (&x, m)) in centered.iter_mut().zip(features[r * d..(r + 1) * d].iter().zip(&mean)).map(|(c, xm)| (c, xm)) {
+        for (c, (&x, m)) in centered
+            .iter_mut()
+            .zip(features[r * d..(r + 1) * d].iter().zip(&mean))
+        {
             *c = x as f64 - *m;
         }
         for i in 0..d {
@@ -185,7 +188,10 @@ mod tests {
     fn assert_mat_close(a: &[f64], b: &[f64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0), "at {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0),
+                "at {i}: {x} vs {y}"
+            );
         }
     }
 

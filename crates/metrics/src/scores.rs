@@ -204,9 +204,14 @@ mod tests {
     fn fid_is_roughly_symmetric() {
         let mut rng = Rng64::seed_from_u64(5);
         let a = Tensor::randn(&[800, 4], &mut rng);
-        let b = Tensor::randn(&[800, 4], &mut rng).scale(1.5).add_scalar(0.3);
+        let b = Tensor::randn(&[800, 4], &mut rng)
+            .scale(1.5)
+            .add_scalar(0.3);
         let f_ab = fid(&a, &b);
         let f_ba = fid(&b, &a);
-        assert!((f_ab - f_ba).abs() < 1e-6 * f_ab.max(1.0), "{f_ab} vs {f_ba}");
+        assert!(
+            (f_ab - f_ba).abs() < 1e-6 * f_ab.max(1.0),
+            "{f_ab} vs {f_ba}"
+        );
     }
 }

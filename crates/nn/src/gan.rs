@@ -52,7 +52,11 @@ pub struct Generator {
 impl Generator {
     /// Wraps a network whose input width must be `latent_dim + num_classes`.
     pub fn new(net: Sequential, latent_dim: usize, num_classes: usize) -> Self {
-        Generator { net, latent_dim, num_classes }
+        Generator {
+            net,
+            latent_dim,
+            num_classes,
+        }
     }
 
     /// Total scalar parameters `|w|`.
@@ -80,7 +84,10 @@ impl Generator {
         assert_eq!(z.ndim(), 2, "noise must be (B, latent)");
         assert_eq!(z.shape()[1], self.latent_dim, "noise width mismatch");
         if self.num_classes == 0 {
-            assert!(labels.is_empty(), "labels supplied to an unconditional generator");
+            assert!(
+                labels.is_empty(),
+                "labels supplied to an unconditional generator"
+            );
             return z.clone();
         }
         let b = z.shape()[0];
@@ -186,14 +193,24 @@ fn merge_grads(src: &[f32], cls: Option<&Tensor>, num_classes: usize) -> Tensor 
 ///
 /// Loss = BCE(source → 1) + `aux_weight` · CE(class → label). Returns
 /// `(loss, ∂loss/∂logits)`.
-pub fn disc_loss_real(logits: &Tensor, labels: &[usize], num_classes: usize, aux_weight: f32) -> (f32, Tensor) {
+pub fn disc_loss_real(
+    logits: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+    aux_weight: f32,
+) -> (f32, Tensor) {
     disc_loss_side(logits, labels, num_classes, aux_weight, 1.0)
 }
 
 /// Discriminator objective on one batch of *generated* data
 /// (source target 0). In ACGAN the auxiliary head is also trained on the
 /// sampled fake labels.
-pub fn disc_loss_fake(logits: &Tensor, labels: &[usize], num_classes: usize, aux_weight: f32) -> (f32, Tensor) {
+pub fn disc_loss_fake(
+    logits: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+    aux_weight: f32,
+) -> (f32, Tensor) {
     disc_loss_side(logits, labels, num_classes, aux_weight, 0.0)
 }
 
@@ -216,7 +233,11 @@ fn disc_loss_side(
     loss /= b;
     let cls_grad = match (&cls, num_classes) {
         (Some(c), n) if n > 0 && aux_weight > 0.0 => {
-            assert_eq!(labels.len(), src.len(), "one class label per sample required");
+            assert_eq!(
+                labels.len(),
+                src.len(),
+                "one class label per sample required"
+            );
             let (aux, mut g) = softmax_cross_entropy(c, labels);
             loss += aux_weight * aux;
             g.scale_inplace(aux_weight);
@@ -267,7 +288,11 @@ pub fn gen_loss(
     }
     let cls_grad = match (&cls, num_classes) {
         (Some(c), n) if n > 0 && aux_weight > 0.0 => {
-            assert_eq!(labels.len(), src.len(), "one class label per sample required");
+            assert_eq!(
+                labels.len(),
+                src.len(),
+                "one class label per sample required"
+            );
             let (aux, mut g) = softmax_cross_entropy(c, labels);
             loss += aux_weight * aux;
             g.scale_inplace(aux_weight);
@@ -378,7 +403,8 @@ mod tests {
     fn aux_loss_contributes_class_gradients() {
         let mut rng = Rng64::seed_from_u64(4);
         let logits = Tensor::randn(&[3, 4], &mut rng); // 1 source + 3 classes
-        let (loss_noaux, g_noaux) = gen_loss(&logits, &[0, 1, 2], 3, 0.0, GenLossMode::NonSaturating);
+        let (loss_noaux, g_noaux) =
+            gen_loss(&logits, &[0, 1, 2], 3, 0.0, GenLossMode::NonSaturating);
         let (loss_aux, g_aux) = gen_loss(&logits, &[0, 1, 2], 3, 1.0, GenLossMode::NonSaturating);
         assert!(loss_aux > loss_noaux);
         // Class columns carry gradient only with aux enabled.

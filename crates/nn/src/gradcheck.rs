@@ -57,7 +57,8 @@ pub fn check_layer(
     let grads: Vec<Tensor> = layer.grads().iter().map(|g| (*g).clone()).collect();
     for (pi, g) in grads.iter().enumerate() {
         for &i in &probe_indices(g.len()) {
-            let num = (loss_at(&x, Some((pi, i, eps))) - loss_at(&x, Some((pi, i, -eps)))) / (2.0 * eps);
+            let num =
+                (loss_at(&x, Some((pi, i, eps))) - loss_at(&x, Some((pi, i, -eps)))) / (2.0 * eps);
             let ana = g.data()[i];
             assert!(
                 (num - ana).abs() <= tol * num.abs().max(1.0),

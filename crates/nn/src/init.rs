@@ -76,7 +76,11 @@ mod tests {
     #[test]
     fn zeros_is_zero() {
         let mut rng = Rng64::seed_from_u64(4);
-        assert!(Init::Zeros.sample(&[8], 8, 8, &mut rng).data().iter().all(|&x| x == 0.0));
+        assert!(Init::Zeros
+            .sample(&[8], 8, 8, &mut rng)
+            .data()
+            .iter()
+            .all(|&x| x == 0.0));
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("Relu::backward before forward");
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Relu::backward before forward");
         assert_eq!(grad_out.shape(), x.shape());
         let mut g = grad_out.clone();
         for (gv, &xv) in g.data_mut().iter_mut().zip(x.data()) {
@@ -66,7 +69,10 @@ pub struct LeakyRelu {
 impl LeakyRelu {
     /// Creates a LeakyReLU with the given negative slope.
     pub fn new(alpha: f32) -> Self {
-        LeakyRelu { alpha, cached_input: None }
+        LeakyRelu {
+            alpha,
+            cached_input: None,
+        }
     }
 }
 
@@ -78,7 +84,10 @@ impl Layer for LeakyRelu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("LeakyRelu::backward before forward");
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("LeakyRelu::backward before forward");
         assert_eq!(grad_out.shape(), x.shape());
         let a = self.alpha;
         let mut g = grad_out.clone();
@@ -119,7 +128,10 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.cached_output.as_ref().expect("Tanh::backward before forward");
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("Tanh::backward before forward");
         assert_eq!(grad_out.shape(), y.shape());
         let mut g = grad_out.clone();
         for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
@@ -169,7 +181,10 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.cached_output.as_ref().expect("Sigmoid::backward before forward");
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("Sigmoid::backward before forward");
         assert_eq!(grad_out.shape(), y.shape());
         let mut g = grad_out.clone();
         for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {

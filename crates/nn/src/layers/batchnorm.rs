@@ -107,8 +107,10 @@ impl Layer for BatchNorm {
                     sq += d * d;
                 });
                 let var = sq / m;
-                self.running_mean[c] = self.momentum * self.running_mean[c] + (1.0 - self.momentum) * mean;
-                self.running_var[c] = self.momentum * self.running_var[c] + (1.0 - self.momentum) * var;
+                self.running_mean[c] =
+                    self.momentum * self.running_mean[c] + (1.0 - self.momentum) * mean;
+                self.running_var[c] =
+                    self.momentum * self.running_var[c] + (1.0 - self.momentum) * var;
                 (mean, var)
             } else {
                 (self.running_mean[c], self.running_var[c])
@@ -140,11 +142,22 @@ impl Layer for BatchNorm {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("BatchNorm::backward before forward");
-        assert_eq!(grad_out.shape(), &cache.input_shape[..], "BatchNorm grad shape mismatch");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm::backward before forward");
+        assert_eq!(
+            grad_out.shape(),
+            &cache.input_shape[..],
+            "BatchNorm grad shape mismatch"
+        );
         let x_ndim = cache.input_shape.len();
         let b = cache.input_shape[0];
-        let hw = if x_ndim == 4 { cache.input_shape[2] * cache.input_shape[3] } else { 1 };
+        let hw = if x_ndim == 4 {
+            cache.input_shape[2] * cache.input_shape[3]
+        } else {
+            1
+        };
         let c_total = self.features;
         let m = (b * hw) as f32;
         let mut gx = grad_out.clone();
@@ -253,7 +266,11 @@ mod tests {
             let x = Tensor::randn(&[32, 1], &mut rng).add_scalar(4.0);
             bn.forward(&x, true);
         }
-        assert!((bn.running_mean[0] - 4.0).abs() < 0.3, "running mean {}", bn.running_mean[0]);
+        assert!(
+            (bn.running_mean[0] - 4.0).abs() < 0.3,
+            "running mean {}",
+            bn.running_mean[0]
+        );
         // Eval mode should now roughly standardize using running stats.
         let x = Tensor::randn(&[32, 1], &mut rng).add_scalar(4.0);
         let y = bn.forward(&x, false);

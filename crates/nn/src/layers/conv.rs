@@ -25,7 +25,15 @@ pub struct Conv2d {
 
 impl Conv2d {
     /// Creates a square-kernel convolution.
-    pub fn new(in_c: usize, out_c: usize, kernel: usize, stride: usize, pad: usize, init: Init, rng: &mut Rng64) -> Self {
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        init: Init,
+        rng: &mut Rng64,
+    ) -> Self {
         let (fan_in, fan_out) = conv_fans(out_c, in_c, kernel, kernel);
         Conv2d {
             weight: init.sample(&[out_c, in_c, kernel, kernel], fan_in, fan_out, rng),
@@ -59,7 +67,10 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("Conv2d::backward before forward");
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Conv2d::backward before forward");
         let (gx, gw, gb) = conv2d_backward(x, &self.weight, grad_out, self.stride, self.pad);
         self.grad_weight.add_assign(&gw);
         self.grad_bias.add_assign(&gb);
@@ -111,7 +122,15 @@ pub struct ConvTranspose2d {
 
 impl ConvTranspose2d {
     /// Creates a square-kernel transposed convolution.
-    pub fn new(in_c: usize, out_c: usize, kernel: usize, stride: usize, pad: usize, init: Init, rng: &mut Rng64) -> Self {
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        init: Init,
+        rng: &mut Rng64,
+    ) -> Self {
         let (fan_in, fan_out) = conv_fans(in_c, out_c, kernel, kernel);
         ConvTranspose2d {
             weight: init.sample(&[in_c, out_c, kernel, kernel], fan_in, fan_out, rng),
@@ -145,8 +164,12 @@ impl Layer for ConvTranspose2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("ConvTranspose2d::backward before forward");
-        let (gx, gw, gb) = conv_transpose2d_backward(x, &self.weight, grad_out, self.stride, self.pad);
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("ConvTranspose2d::backward before forward");
+        let (gx, gw, gb) =
+            conv_transpose2d_backward(x, &self.weight, grad_out, self.stride, self.pad);
         self.grad_weight.add_assign(&gw);
         self.grad_bias.add_assign(&gb);
         gx
@@ -217,7 +240,17 @@ mod tests {
     #[test]
     fn gradcheck_conv_transpose2d() {
         crate::gradcheck::check_layer(
-            |rng| Box::new(ConvTranspose2d::new(3, 2, 4, 2, 1, Init::XavierUniform, rng)),
+            |rng| {
+                Box::new(ConvTranspose2d::new(
+                    3,
+                    2,
+                    4,
+                    2,
+                    1,
+                    Init::XavierUniform,
+                    rng,
+                ))
+            },
             &[2, 3, 3, 3],
             1e-2,
             3e-2,

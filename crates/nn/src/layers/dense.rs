@@ -52,8 +52,15 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("Dense::backward before forward");
-        assert_eq!(grad_out.shape(), &[x.shape()[0], self.out_features], "Dense grad shape mismatch");
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward before forward");
+        assert_eq!(
+            grad_out.shape(),
+            &[x.shape()[0], self.out_features],
+            "Dense grad shape mismatch"
+        );
         // dW = x^T · dy ; db = sum_batch dy ; dx = dy · W^T
         self.grad_weight.add_assign(&x.matmul_tn(grad_out));
         self.grad_bias.add_assign(&grad_out.sum_axis0());
@@ -92,8 +99,12 @@ mod tests {
         let mut rng = Rng64::seed_from_u64(1);
         let mut layer = Dense::new(3, 2, Init::XavierUniform, &mut rng);
         // Overwrite with known weights.
-        layer.params_mut()[0].data_mut().copy_from_slice(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
-        layer.params_mut()[1].data_mut().copy_from_slice(&[0.5, -0.5]);
+        layer.params_mut()[0]
+            .data_mut()
+            .copy_from_slice(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        layer.params_mut()[1]
+            .data_mut()
+            .copy_from_slice(&[0.5, -0.5]);
         let x = Tensor::new(&[1, 3], vec![1.0, 2.0, 3.0]);
         let y = layer.forward(&x, true);
         // y0 = 1*1 + 2*0 + 3*1 + 0.5 = 4.5 ; y1 = 0 + 2 + 3 - 0.5 = 4.5

@@ -18,8 +18,15 @@ pub struct Dropout {
 impl Dropout {
     /// Creates a dropout layer with drop probability `p in [0, 1)`.
     pub fn new(p: f32, rng: &mut Rng64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
-        Dropout { p, rng: rng.fork(0xD120), mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1), got {p}"
+        );
+        Dropout {
+            p,
+            rng: rng.fork(0xD120),
+            mask: None,
+        }
     }
 }
 
@@ -90,7 +97,7 @@ mod tests {
         let mean = y.mean();
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         // Some elements dropped, survivors scaled.
-        assert!(y.data().iter().any(|&v| v == 0.0));
+        assert!(y.data().contains(&0.0));
         assert!(y.data().iter().any(|&v| (v - 1.0 / 0.7).abs() < 1e-5));
     }
 

@@ -27,7 +27,7 @@ pub struct MinibatchDiscrimination {
 
 struct Cache {
     x: Tensor,
-    m: Tensor, // (B, nb*nc)
+    m: Tensor,   // (B, nb*nc)
     c: Vec<f32>, // c[i*b*nb + j*nb + f]
 }
 
@@ -53,7 +53,11 @@ impl MinibatchDiscrimination {
 impl Layer for MinibatchDiscrimination {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         assert_eq!(x.ndim(), 2, "MinibatchDiscrimination expects (B, A)");
-        assert_eq!(x.shape()[1], self.in_features, "MinibatchDiscrimination width mismatch");
+        assert_eq!(
+            x.shape()[1],
+            self.in_features,
+            "MinibatchDiscrimination width mismatch"
+        );
         let b = x.shape()[0];
         let (nb, nc) = (self.nb, self.nc);
         let m = x.matmul(&self.t); // (B, nb*nc)
@@ -88,10 +92,17 @@ impl Layer for MinibatchDiscrimination {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("MinibatchDiscrimination::backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("MinibatchDiscrimination::backward before forward");
         let b = cache.x.shape()[0];
         let (a, nb, nc) = (self.in_features, self.nb, self.nc);
-        assert_eq!(grad_out.shape(), &[b, a + nb], "MinibatchDiscrimination grad shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            &[b, a + nb],
+            "MinibatchDiscrimination grad shape mismatch"
+        );
 
         // Split incoming gradient.
         let mut gx_direct = vec![0.0f32; b * a];
@@ -163,7 +174,10 @@ impl Layer for MinibatchDiscrimination {
     }
 
     fn name(&self) -> String {
-        format!("MinibatchDisc(A={}, nb={}, nc={})", self.in_features, self.nb, self.nc)
+        format!(
+            "MinibatchDisc(A={}, nb={}, nc={})",
+            self.in_features, self.nb, self.nc
+        )
     }
 }
 

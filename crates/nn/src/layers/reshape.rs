@@ -14,7 +14,10 @@ impl Reshape {
     /// Creates a reshape to per-sample dimensions `target` (without the
     /// batch dimension).
     pub fn new(target: &[usize]) -> Self {
-        Reshape { target: target.to_vec(), cached_shape: None }
+        Reshape {
+            target: target.to_vec(),
+            cached_shape: None,
+        }
     }
 }
 
@@ -36,7 +39,10 @@ impl Layer for Reshape {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cached_shape.as_ref().expect("Reshape::backward before forward");
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .expect("Reshape::backward before forward");
         grad_out.reshape(shape)
     }
 
@@ -81,7 +87,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cached_shape.as_ref().expect("Flatten::backward before forward");
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .expect("Flatten::backward before forward");
         grad_out.reshape(shape)
     }
 

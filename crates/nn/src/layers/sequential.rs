@@ -78,7 +78,13 @@ impl Sequential {
     /// Panics if the length does not match.
     pub fn set_params_flat(&mut self, flat: &[f32]) {
         let expect = self.num_params();
-        assert_eq!(flat.len(), expect, "flat parameter length {} != expected {}", flat.len(), expect);
+        assert_eq!(
+            flat.len(),
+            expect,
+            "flat parameter length {} != expected {}",
+            flat.len(),
+            expect
+        );
         let mut off = 0;
         for l in &mut self.layers {
             for p in l.params_mut() {
@@ -144,7 +150,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Tensor> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn grads(&self) -> Vec<&Tensor> {

@@ -18,7 +18,11 @@ pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
     assert!(n > 0.0, "bce on empty tensor");
     let mut loss = 0.0f32;
     let mut grad = logits.clone();
-    for (g, (&s, &t)) in grad.data_mut().iter_mut().zip(logits.data().iter().zip(targets.data())) {
+    for (g, (&s, &t)) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(logits.data().iter().zip(targets.data()))
+    {
         loss += s.max(0.0) - s * t + (1.0 + (-s.abs()).exp()).ln();
         *g = (sigmoid(s) - t) / n;
     }

@@ -23,7 +23,12 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 2e-4, beta1: 0.5, beta2: 0.999, eps: 1e-8 }
+        AdamConfig {
+            lr: 2e-4,
+            beta1: 0.5,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -31,25 +36,45 @@ impl AdamConfig {
     /// The paper's CelebA generator setting for MD-GAN
     /// (α=0.001, β₁=0.0, β₂=0.9).
     pub fn mdgan_celeba_generator() -> Self {
-        AdamConfig { lr: 1e-3, beta1: 0.0, beta2: 0.9, eps: 1e-8 }
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.0,
+            beta2: 0.9,
+            eps: 1e-8,
+        }
     }
 
     /// The paper's CelebA discriminator setting for MD-GAN
     /// (α=0.004, β₁=0.0, β₂=0.9).
     pub fn mdgan_celeba_discriminator() -> Self {
-        AdamConfig { lr: 4e-3, beta1: 0.0, beta2: 0.9, eps: 1e-8 }
+        AdamConfig {
+            lr: 4e-3,
+            beta1: 0.0,
+            beta2: 0.9,
+            eps: 1e-8,
+        }
     }
 
     /// The paper's CelebA generator setting for standalone / FL-GAN
     /// (α=0.003, β₁=0.5, β₂=0.999).
     pub fn baseline_celeba_generator() -> Self {
-        AdamConfig { lr: 3e-3, beta1: 0.5, beta2: 0.999, eps: 1e-8 }
+        AdamConfig {
+            lr: 3e-3,
+            beta1: 0.5,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// The paper's CelebA discriminator setting for standalone / FL-GAN
     /// (α=0.002, β₁=0.5, β₂=0.999).
     pub fn baseline_celeba_discriminator() -> Self {
-        AdamConfig { lr: 2e-3, beta1: 0.5, beta2: 0.999, eps: 1e-8 }
+        AdamConfig {
+            lr: 2e-3,
+            beta1: 0.5,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -65,7 +90,12 @@ impl Adam {
     /// Creates an optimizer; moment buffers are allocated lazily on the
     /// first step.
     pub fn new(cfg: AdamConfig) -> Self {
-        Adam { cfg, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            cfg,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// The configuration in use.
@@ -94,11 +124,18 @@ impl Adam {
                 m.push(Tensor::zeros(p.shape()));
                 v.push(Tensor::zeros(p.shape()));
             }
-            assert_eq!(m[idx].shape(), p.shape(), "Adam state shape drift at param {idx}");
+            assert_eq!(
+                m[idx].shape(),
+                p.shape(),
+                "Adam state shape drift at param {idx}"
+            );
             let md = m[idx].data_mut();
             let vd = v[idx].data_mut();
-            for ((pv, &gv), (mv, vv)) in
-                p.data_mut().iter_mut().zip(g.data()).zip(md.iter_mut().zip(vd.iter_mut()))
+            for ((pv, &gv), (mv, vv)) in p
+                .data_mut()
+                .iter_mut()
+                .zip(g.data())
+                .zip(md.iter_mut().zip(vd.iter_mut()))
             {
                 *mv = cfg.beta1 * *mv + (1.0 - cfg.beta1) * gv;
                 *vv = cfg.beta2 * *vv + (1.0 - cfg.beta2) * gv * gv;
@@ -120,7 +157,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one update using the gradients accumulated in `net`.
@@ -159,7 +200,9 @@ mod tests {
         let xs = Tensor::randn(&[64, 2], rng);
         let ys = Tensor::new(
             &[64, 1],
-            (0..64).map(|i| 2.0 * xs.at(&[i, 0]) - 3.0 * xs.at(&[i, 1]) + 1.0).collect(),
+            (0..64)
+                .map(|i| 2.0 * xs.at(&[i, 0]) - 3.0 * xs.at(&[i, 1]) + 1.0)
+                .collect(),
         );
         let mut first = 0.0;
         let mut last = 0.0;
@@ -180,7 +223,10 @@ mod tests {
     #[test]
     fn adam_fits_linear_regression() {
         let mut rng = Rng64::seed_from_u64(1);
-        let mut adam = Adam::new(AdamConfig { lr: 0.05, ..AdamConfig::default() });
+        let mut adam = Adam::new(AdamConfig {
+            lr: 0.05,
+            ..AdamConfig::default()
+        });
         let (first, last) = fit(&mut |n| adam.step(n), &mut rng);
         assert!(last < 0.05 * first, "loss {first} -> {last}");
     }
@@ -204,13 +250,21 @@ mod tests {
         let y = net.forward(&x, true);
         net.zero_grad();
         net.backward(&Tensor::ones(y.shape()));
-        let mut adam = Adam::new(AdamConfig { lr: 0.01, eps: 0.0, ..AdamConfig::default() });
+        let mut adam = Adam::new(AdamConfig {
+            lr: 0.01,
+            eps: 0.0,
+            ..AdamConfig::default()
+        });
         adam.step(&mut net);
         let after = net.get_params_flat();
         let grads = net.get_grads_flat();
         for ((b, a), g) in before.iter().zip(&after).zip(&grads) {
             if g.abs() > 1e-6 {
-                assert!(((b - a).abs() - 0.01).abs() < 1e-4, "step size {}", (b - a).abs());
+                assert!(
+                    ((b - a).abs() - 0.01).abs() < 1e-4,
+                    "step size {}",
+                    (b - a).abs()
+                );
             }
         }
         assert_eq!(adam.steps(), 1);

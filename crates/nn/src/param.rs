@@ -47,7 +47,11 @@ pub fn weighted_average(vecs: &[Vec<f32>], weights: &[f32]) -> Vec<f32> {
 /// Euclidean distance between two parameter vectors.
 pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "l2_distance length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// Wire size in bytes of a parameter vector (f32 elements).

@@ -61,7 +61,9 @@ impl CrashSchedule {
 
     /// Worker ids still alive at `iter` out of `1..=workers`.
     pub fn alive_at(&self, workers: usize, iter: usize) -> Vec<usize> {
-        (1..=workers).filter(|&w| !self.is_crashed(w, iter)).collect()
+        (1..=workers)
+            .filter(|&w| !self.is_crashed(w, iter))
+            .collect()
     }
 
     /// Number of crashes that have happened strictly before or at `iter`.

@@ -13,6 +13,7 @@
 
 use crate::stats::TrafficStats;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use md_telemetry::{Counter, Phase, Recorder};
 use std::sync::Arc;
 
 /// Node identifier; [`SERVER`] is 0, workers are `1..=N`.
@@ -37,6 +38,7 @@ pub struct Router<M> {
     senders: Vec<Sender<Envelope<M>>>,
     receivers: Vec<Option<Receiver<Envelope<M>>>>,
     stats: Arc<TrafficStats>,
+    telemetry: Option<Arc<Recorder>>,
 }
 
 impl<M: Send> Router<M> {
@@ -50,7 +52,19 @@ impl<M: Send> Router<M> {
             senders.push(tx);
             receivers.push(Some(rx));
         }
-        Router { senders, receivers, stats: Arc::new(TrafficStats::new(nodes)) }
+        Router {
+            senders,
+            receivers,
+            stats: Arc::new(TrafficStats::new(nodes)),
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry recorder: every subsequently claimed endpoint
+    /// records a `comm` span plus message/byte counters per send.
+    pub fn with_telemetry(mut self, recorder: Arc<Recorder>) -> Self {
+        self.telemetry = Some(recorder);
+        self
     }
 
     /// Total node count (server included).
@@ -68,12 +82,15 @@ impl<M: Send> Router<M> {
     /// # Panics
     /// Panics if taken twice or out of range.
     pub fn endpoint(&mut self, node: NodeId) -> Endpoint<M> {
-        let rx = self.receivers[node].take().unwrap_or_else(|| panic!("endpoint {node} already taken"));
+        let rx = self.receivers[node]
+            .take()
+            .unwrap_or_else(|| panic!("endpoint {node} already taken"));
         Endpoint {
             id: node,
             senders: self.senders.clone(),
             rx,
             stats: Arc::clone(&self.stats),
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -90,6 +107,7 @@ pub struct Endpoint<M> {
     senders: Vec<Sender<Envelope<M>>>,
     rx: Receiver<Envelope<M>>,
     stats: Arc<TrafficStats>,
+    telemetry: Option<Arc<Recorder>>,
 }
 
 impl<M: Send> Endpoint<M> {
@@ -106,9 +124,18 @@ impl<M: Send> Endpoint<M> {
     /// on simulated crashes (crashed workers keep draining their queue).
     pub fn send(&self, to: NodeId, msg: M, bytes: u64) {
         assert_ne!(to, self.id, "node {to} sending to itself");
+        let _span = self.telemetry.as_deref().map(|t| {
+            t.incr(Counter::MsgsSent, 1);
+            t.incr(Counter::BytesSent, bytes);
+            t.span(Phase::Comm)
+        });
         self.stats.record(self.id, to, bytes);
         self.senders[to]
-            .send(Envelope { from: self.id, bytes, msg })
+            .send(Envelope {
+                from: self.id,
+                bytes,
+                msg,
+            })
             .expect("destination endpoint dropped");
     }
 
@@ -171,8 +198,14 @@ mod tests {
         eps[1].send(SERVER, 10, 1);
         eps[2].send(SERVER, 20, 1);
         let got = eps[0].recv_n_sorted(3);
-        assert_eq!(got.iter().map(|e| e.from).collect::<Vec<_>>(), vec![1, 2, 3]);
-        assert_eq!(got.iter().map(|e| e.msg).collect::<Vec<_>>(), vec![10, 20, 30]);
+        assert_eq!(
+            got.iter().map(|e| e.from).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            got.iter().map(|e| e.msg).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
     }
 
     #[test]
@@ -203,6 +236,19 @@ mod tests {
         assert!(eps[1].try_recv().is_none());
         eps[0].send(1, 9, 1);
         assert_eq!(eps[1].try_recv().unwrap().msg, 9);
+    }
+
+    #[test]
+    fn telemetry_records_comm_spans_and_counters() {
+        let rec = Arc::new(Recorder::enabled());
+        let mut router: Router<u8> = Router::new(2).with_telemetry(Arc::clone(&rec));
+        let eps = router.all_endpoints();
+        eps[0].send(1, 1, 100);
+        eps[1].send(2, 2, 50);
+        eps[2].recv();
+        assert_eq!(rec.phase_stats(Phase::Comm).count, 2);
+        assert_eq!(rec.counter(Counter::MsgsSent), 2);
+        assert_eq!(rec.counter(Counter::BytesSent), 150);
     }
 
     #[test]

@@ -73,8 +73,16 @@ impl TrafficStats {
     /// Immutable snapshot of all counters.
     pub fn report(&self) -> TrafficReport {
         TrafficReport {
-            ingress: self.ingress.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
-            egress: self.egress.iter().map(|a| a.load(Ordering::Relaxed)).collect(),
+            ingress: self
+                .ingress
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            egress: self
+                .egress
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
             class_bytes: [
                 self.class_bytes[0].load(Ordering::Relaxed),
                 self.class_bytes[1].load(Ordering::Relaxed),
@@ -130,20 +138,45 @@ impl TrafficReport {
     }
 
     /// Difference report: `self - earlier` (for per-iteration measurements).
+    ///
+    /// Saturates at zero instead of panicking: under relaxed concurrent
+    /// recording, a later snapshot can transiently lag an earlier one on
+    /// individual counters, and callers may also pass baselines from a
+    /// different (restarted) stats instance.
     pub fn since(&self, earlier: &TrafficReport) -> TrafficReport {
         TrafficReport {
-            ingress: self.ingress.iter().zip(&earlier.ingress).map(|(a, b)| a - b).collect(),
-            egress: self.egress.iter().zip(&earlier.egress).map(|(a, b)| a - b).collect(),
+            ingress: self
+                .ingress
+                .iter()
+                .zip(&earlier.ingress)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            egress: self
+                .egress
+                .iter()
+                .zip(&earlier.egress)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
             class_bytes: [
-                self.class_bytes[0] - earlier.class_bytes[0],
-                self.class_bytes[1] - earlier.class_bytes[1],
-                self.class_bytes[2] - earlier.class_bytes[2],
+                self.class_bytes[0].saturating_sub(earlier.class_bytes[0]),
+                self.class_bytes[1].saturating_sub(earlier.class_bytes[1]),
+                self.class_bytes[2].saturating_sub(earlier.class_bytes[2]),
             ],
             class_msgs: [
-                self.class_msgs[0] - earlier.class_msgs[0],
-                self.class_msgs[1] - earlier.class_msgs[1],
-                self.class_msgs[2] - earlier.class_msgs[2],
+                self.class_msgs[0].saturating_sub(earlier.class_msgs[0]),
+                self.class_msgs[1].saturating_sub(earlier.class_msgs[1]),
+                self.class_msgs[2].saturating_sub(earlier.class_msgs[2]),
             ],
+        }
+    }
+
+    /// Converts to the dependency-neutral summary md-telemetry's
+    /// `RunRecord` embeds.
+    pub fn telemetry_summary(&self) -> md_telemetry::TrafficSummary {
+        md_telemetry::TrafficSummary {
+            ingress: self.ingress.clone(),
+            egress: self.egress.clone(),
+            messages: self.class_msgs.iter().sum(),
         }
     }
 }
@@ -178,7 +211,13 @@ mod tests {
     #[test]
     fn conservation_total_egress_equals_total_ingress() {
         let s = TrafficStats::new(5);
-        for (f, t, b) in [(0, 1, 10u64), (1, 0, 20), (2, 3, 30), (4, 2, 40), (0, 4, 50)] {
+        for (f, t, b) in [
+            (0, 1, 10u64),
+            (1, 0, 20),
+            (2, 3, 30),
+            (4, 2, 40),
+            (0, 4, 50),
+        ] {
             s.record(f, t, b);
         }
         let r = s.report();
@@ -194,6 +233,37 @@ mod tests {
         let delta = s.report().since(&before);
         assert_eq!(delta.ingress[1], 11);
         assert_eq!(delta.msgs(LinkClass::ServerToWorker), 1);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        // Baseline from a *different* (busier) stats instance: every
+        // counter in `earlier` exceeds `self`'s.
+        let busy = TrafficStats::new(2);
+        busy.record(0, 1, 100);
+        busy.record(1, 0, 100);
+        let earlier = busy.report();
+        let fresh = TrafficStats::new(2);
+        fresh.record(0, 1, 30);
+        let delta = fresh.report().since(&earlier);
+        assert_eq!(delta.ingress, vec![0, 0]);
+        assert_eq!(delta.egress, vec![0, 0]);
+        assert_eq!(delta.class_bytes, [0, 0, 0]);
+        assert_eq!(delta.class_msgs, [0, 0, 0]);
+    }
+
+    #[test]
+    fn telemetry_summary_mirrors_report() {
+        let s = TrafficStats::new(3);
+        s.record(0, 1, 10);
+        s.record(1, 2, 5);
+        s.record(2, 0, 1);
+        let r = s.report();
+        let t = r.telemetry_summary();
+        assert_eq!(t.ingress, r.ingress);
+        assert_eq!(t.egress, r.egress);
+        assert_eq!(t.messages, 3);
+        assert_eq!(t.total_bytes(), r.total_bytes());
     }
 
     #[test]

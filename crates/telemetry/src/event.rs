@@ -1,0 +1,182 @@
+//! Typed run events with JSONL rendering.
+
+use crate::json::Object;
+
+/// A structured event emitted by a training runtime.
+///
+/// Events are coarse-grained (per iteration / swap / fault, never
+/// per-message) so a bounded ring buffer retains a useful run history.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// One global iteration completed.
+    IterDone {
+        /// Iteration index.
+        iter: usize,
+        /// Workers still alive after this iteration.
+        alive: usize,
+    },
+    /// A discriminator-swap round completed.
+    SwapDone {
+        /// Iteration at which the swap ran.
+        iter: usize,
+        /// Number of discriminators that moved.
+        moved: usize,
+    },
+    /// A worker crashed (crash-fault injection or runtime failure).
+    WorkerFault {
+        /// Iteration at which the fault was observed.
+        iter: usize,
+        /// The crashed worker.
+        worker: usize,
+    },
+    /// An evaluation pass completed.
+    EvalDone {
+        /// Iteration evaluated at.
+        iter: usize,
+        /// Inception-score-like metric.
+        is_score: f64,
+        /// FID-like metric.
+        fid: f64,
+    },
+    /// An asynchronous update arrived computed against stale parameters.
+    StaleUpdate {
+        /// Iteration at which the update was applied.
+        iter: usize,
+        /// Worker that sent the update.
+        worker: usize,
+        /// Age of the update in iterations.
+        staleness: usize,
+    },
+    /// A federated/gossip round completed.
+    RoundDone {
+        /// Round index.
+        round: usize,
+    },
+    /// Escape hatch for runtime-specific one-offs.
+    Custom {
+        /// Event name (snake_case).
+        name: &'static str,
+        /// Free-form numeric payload.
+        value: f64,
+    },
+}
+
+impl Event {
+    /// The event's type tag as used in JSONL output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::IterDone { .. } => "iter_done",
+            Event::SwapDone { .. } => "swap_done",
+            Event::WorkerFault { .. } => "worker_fault",
+            Event::EvalDone { .. } => "eval_done",
+            Event::StaleUpdate { .. } => "stale_update",
+            Event::RoundDone { .. } => "round_done",
+            Event::Custom { .. } => "custom",
+        }
+    }
+
+    /// The worker this event concerns, if any.
+    pub fn worker(&self) -> Option<usize> {
+        match self {
+            Event::WorkerFault { worker, .. } | Event::StaleUpdate { worker, .. } => Some(*worker),
+            _ => None,
+        }
+    }
+}
+
+/// An [`Event`] stamped with nanoseconds since recorder start.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedEvent {
+    /// Nanoseconds since the owning recorder was created.
+    pub t_ns: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+impl TimedEvent {
+    /// Renders as one compact JSON object (one JSONL line, no newline).
+    pub fn to_json(&self) -> String {
+        let o = Object::new()
+            .field_str("type", self.event.kind())
+            .field_u64("t_ns", self.t_ns);
+        match &self.event {
+            Event::IterDone { iter, alive } => o
+                .field_u64("iter", *iter as u64)
+                .field_u64("alive", *alive as u64),
+            Event::SwapDone { iter, moved } => o
+                .field_u64("iter", *iter as u64)
+                .field_u64("moved", *moved as u64),
+            Event::WorkerFault { iter, worker } => o
+                .field_u64("iter", *iter as u64)
+                .field_u64("worker", *worker as u64),
+            Event::EvalDone {
+                iter,
+                is_score,
+                fid,
+            } => o
+                .field_u64("iter", *iter as u64)
+                .field_f64("is", *is_score)
+                .field_f64("fid", *fid),
+            Event::StaleUpdate {
+                iter,
+                worker,
+                staleness,
+            } => o
+                .field_u64("iter", *iter as u64)
+                .field_u64("worker", *worker as u64)
+                .field_u64("staleness", *staleness as u64),
+            Event::RoundDone { round } => o.field_u64("round", *round as u64),
+            Event::Custom { name, value } => o.field_str("name", name).field_f64("value", *value),
+        }
+        .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(Event::IterDone { iter: 0, alive: 1 }.kind(), "iter_done");
+        assert_eq!(
+            Event::StaleUpdate {
+                iter: 1,
+                worker: 2,
+                staleness: 3
+            }
+            .kind(),
+            "stale_update"
+        );
+    }
+
+    #[test]
+    fn worker_extraction() {
+        assert_eq!(Event::WorkerFault { iter: 5, worker: 3 }.worker(), Some(3));
+        assert_eq!(Event::IterDone { iter: 5, alive: 4 }.worker(), None);
+    }
+
+    #[test]
+    fn jsonl_lines_render() {
+        let e = TimedEvent {
+            t_ns: 42,
+            event: Event::EvalDone {
+                iter: 100,
+                is_score: 2.5,
+                fid: 31.0,
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"type":"eval_done","t_ns":42,"iter":100,"is":2.5,"fid":31.0}"#
+        );
+        let f = TimedEvent {
+            t_ns: 7,
+            event: Event::SwapDone { iter: 9, moved: 4 },
+        };
+        assert_eq!(
+            f.to_json(),
+            r#"{"type":"swap_done","t_ns":7,"iter":9,"moved":4}"#
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Minimal hand-rolled JSON writing.
+//!
+//! The workspace has no serde_json (offline build), and everything we
+//! export is flat records of numbers and short strings, so a tiny
+//! escape-and-format layer is all that's needed.
+
+/// Escapes `s` into a JSON string literal (with surrounding quotes).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Ensure some decimal/exponent marker so integers round-trip as floats.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Incremental `{...}` builder producing one compact JSON object.
+#[derive(Default)]
+pub struct Object {
+    body: String,
+}
+
+impl Object {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push_str(&string(key));
+        self.body.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn field_str(mut self, key: &str, value: &str) -> Self {
+        self.push_key(key);
+        self.body.push_str(&string(value));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn field_u64(mut self, key: &str, value: u64) -> Self {
+        self.push_key(key);
+        self.body.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field.
+    pub fn field_f64(mut self, key: &str, value: f64) -> Self {
+        self.push_key(key);
+        self.body.push_str(&number(value));
+        self
+    }
+
+    /// Adds a pre-rendered JSON fragment (object, array, literal).
+    pub fn field_raw(mut self, key: &str, json: &str) -> Self {
+        self.push_key(key);
+        self.body.push_str(json);
+        self
+    }
+
+    /// Finishes into `{...}`.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+/// Renders an iterator of pre-rendered JSON fragments as `[...]`.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a slice of `u64` as a JSON array.
+pub fn array_u64(items: &[u64]) -> String {
+    array(items.iter().map(|v| v.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_render() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(3.0), "3.0");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_builder_composes() {
+        let o = Object::new()
+            .field_str("name", "run")
+            .field_u64("iters", 10)
+            .field_f64("is", 2.25)
+            .field_raw("tags", &array(vec![string("a"), string("b")]))
+            .build();
+        assert_eq!(o, r#"{"name":"run","iters":10,"is":2.25,"tags":["a","b"]}"#);
+    }
+
+    #[test]
+    fn u64_array_renders() {
+        assert_eq!(array_u64(&[1, 2, 3]), "[1,2,3]");
+        assert_eq!(array_u64(&[]), "[]");
+    }
+}

@@ -1,0 +1,535 @@
+//! The [`Recorder`]: shared, lock-cheap run instrumentation.
+
+use crate::event::{Event, TimedEvent};
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Named training phases every runtime reports under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Server-side generation of the k noise batches.
+    GenForward,
+    /// Worker-side discriminator steps + feedback (error) computation.
+    DFeedback,
+    /// Server-side generator update from aggregated feedback.
+    GUpdate,
+    /// Discriminator swap between workers.
+    Swap,
+    /// Score evaluation (IS/FID proxies).
+    Eval,
+    /// Simulated-network message transfer.
+    Comm,
+    /// Worker-local full GAN step (FL-GAN / gossip baselines).
+    LocalTrain,
+}
+
+impl Phase {
+    /// All phases, in reporting order.
+    pub const ALL: [Phase; 7] = [
+        Phase::GenForward,
+        Phase::DFeedback,
+        Phase::GUpdate,
+        Phase::Swap,
+        Phase::Eval,
+        Phase::Comm,
+        Phase::LocalTrain,
+    ];
+
+    pub(crate) const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name (used in JSONL and tables).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Phase::GenForward => "gen_forward",
+            Phase::DFeedback => "d_feedback",
+            Phase::GUpdate => "g_update",
+            Phase::Swap => "swap",
+            Phase::Eval => "eval",
+            Phase::Comm => "comm",
+            Phase::LocalTrain => "local_train",
+        }
+    }
+
+    fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// Monotonic run counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Global iterations completed.
+    Iterations,
+    /// Swap rounds completed.
+    Swaps,
+    /// Worker faults observed.
+    Faults,
+    /// Evaluation passes completed.
+    Evals,
+    /// Stale async updates applied.
+    StaleUpdates,
+    /// Messages sent through the simulated network.
+    MsgsSent,
+    /// Bytes sent through the simulated network.
+    BytesSent,
+}
+
+impl Counter {
+    /// All counters, in reporting order.
+    pub const ALL: [Counter; 7] = [
+        Counter::Iterations,
+        Counter::Swaps,
+        Counter::Faults,
+        Counter::Evals,
+        Counter::StaleUpdates,
+        Counter::MsgsSent,
+        Counter::BytesSent,
+    ];
+
+    const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Counter::Iterations => "iterations",
+            Counter::Swaps => "swaps",
+            Counter::Faults => "faults",
+            Counter::Evals => "evals",
+            Counter::StaleUpdates => "stale_updates",
+            Counter::MsgsSent => "msgs_sent",
+            Counter::BytesSent => "bytes_sent",
+        }
+    }
+
+    fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// Output verbosity, usually read from the `TELEMETRY` env var.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Recording disabled; every probe is a single branch.
+    #[default]
+    Off,
+    /// Record, and print a human-readable table at [`Recorder::finish`].
+    Table,
+    /// As `Table`, plus dump retained events as JSONL to stdout.
+    Jsonl,
+}
+
+impl Verbosity {
+    /// Parses the `TELEMETRY` environment variable:
+    /// unset/`0`/`off` → `Off`, `1`/`on`/`table` → `Table`,
+    /// `2`/`jsonl`/`full` → `Jsonl`. Unknown values → `Off`.
+    pub fn from_env() -> Self {
+        match std::env::var("TELEMETRY")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
+            "1" | "on" | "table" => Verbosity::Table,
+            "2" | "jsonl" | "full" => Verbosity::Jsonl,
+            _ => Verbosity::Off,
+        }
+    }
+}
+
+/// Per-worker event tallies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Feedback batches this worker produced.
+    pub feedbacks: u64,
+    /// Faults observed on this worker.
+    pub faults: u64,
+    /// Discriminators swapped **into** this worker.
+    pub swaps_in: u64,
+    /// Stale updates this worker produced (async runtime).
+    pub stale_updates: u64,
+    /// Worker-local full GAN steps (FL-GAN / gossip baselines).
+    pub local_steps: u64,
+}
+
+struct Ring {
+    buf: VecDeque<TimedEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// Default event-ring capacity: enough for full paper-scale runs while
+/// bounding memory to a few MB.
+const DEFAULT_EVENT_CAP: usize = 16 * 1024;
+
+/// Thread-safe run recorder. Share it as `Arc<Recorder>`; all methods take
+/// `&self`. When disabled every probe is one branch — instrumentation can
+/// stay in release builds.
+pub struct Recorder {
+    enabled: bool,
+    verbosity: Verbosity,
+    start: Instant,
+    phases: [Histogram; Phase::COUNT],
+    counters: [AtomicU64; Counter::COUNT],
+    workers: Mutex<Vec<WorkerStats>>,
+    ring: Mutex<Ring>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    fn with_enabled(enabled: bool, verbosity: Verbosity) -> Self {
+        Recorder {
+            enabled,
+            verbosity,
+            start: Instant::now(),
+            phases: std::array::from_fn(|_| Histogram::new()),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            workers: Mutex::new(Vec::new()),
+            ring: Mutex::new(Ring {
+                buf: VecDeque::new(),
+                cap: DEFAULT_EVENT_CAP,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// A recorder that records nothing (all probes are one branch).
+    pub fn disabled() -> Self {
+        Self::with_enabled(false, Verbosity::Off)
+    }
+
+    /// A recording recorder with no end-of-run printing.
+    pub fn enabled() -> Self {
+        Self::with_enabled(true, Verbosity::Off)
+    }
+
+    /// A recorder honoring an explicit verbosity (recording iff not `Off`).
+    pub fn with_verbosity(v: Verbosity) -> Self {
+        Self::with_enabled(v != Verbosity::Off, v)
+    }
+
+    /// A recorder configured from the `TELEMETRY` environment variable.
+    pub fn from_env() -> Self {
+        Self::with_verbosity(Verbosity::from_env())
+    }
+
+    /// Whether probes record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The configured output verbosity.
+    pub fn verbosity(&self) -> Verbosity {
+        self.verbosity
+    }
+
+    /// Nanoseconds since this recorder was created.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Opens an RAII span; its wall time lands in `phase`'s histogram on
+    /// drop. Returns an inert guard when disabled.
+    #[must_use = "a span records on drop; binding it to _ drops immediately"]
+    pub fn span(&self, phase: Phase) -> Span<'_> {
+        Span {
+            inner: self.enabled.then(|| (self, phase, Instant::now())),
+        }
+    }
+
+    /// Records an externally measured duration into `phase`.
+    pub fn record_duration(&self, phase: Phase, d: Duration) {
+        if self.enabled {
+            self.phases[phase.index()].record(d.as_nanos() as u64);
+        }
+    }
+
+    /// Adds `n` to a counter.
+    pub fn incr(&self, counter: Counter, n: u64) {
+        if self.enabled {
+            self.counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()].load(Ordering::Relaxed)
+    }
+
+    fn with_worker(&self, worker: usize, f: impl FnOnce(&mut WorkerStats)) {
+        if !self.enabled {
+            return;
+        }
+        let mut ws = self.workers.lock().unwrap();
+        if ws.len() <= worker {
+            ws.resize(worker + 1, WorkerStats::default());
+        }
+        f(&mut ws[worker]);
+    }
+
+    /// Tallies a feedback batch produced by `worker`.
+    pub fn worker_feedback(&self, worker: usize) {
+        self.with_worker(worker, |w| w.feedbacks += 1);
+    }
+
+    /// Tallies a discriminator swapped into `worker`.
+    pub fn worker_swap_in(&self, worker: usize) {
+        self.with_worker(worker, |w| w.swaps_in += 1);
+    }
+
+    /// Tallies a worker-local full GAN step on `worker`.
+    pub fn worker_local_step(&self, worker: usize) {
+        self.with_worker(worker, |w| w.local_steps += 1);
+    }
+
+    /// Records an event: stamps it, retains it in the ring buffer (dropping
+    /// the oldest beyond capacity) and bumps the matching counters and
+    /// per-worker tallies.
+    pub fn event(&self, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        match &event {
+            Event::IterDone { .. } => self.incr(Counter::Iterations, 1),
+            Event::SwapDone { .. } => self.incr(Counter::Swaps, 1),
+            Event::WorkerFault { worker, .. } => {
+                self.incr(Counter::Faults, 1);
+                self.with_worker(*worker, |w| w.faults += 1);
+            }
+            Event::EvalDone { .. } => self.incr(Counter::Evals, 1),
+            Event::StaleUpdate { worker, .. } => {
+                self.incr(Counter::StaleUpdates, 1);
+                self.with_worker(*worker, |w| w.stale_updates += 1);
+            }
+            Event::RoundDone { .. } | Event::Custom { .. } => {}
+        }
+        let timed = TimedEvent {
+            t_ns: self.elapsed_ns(),
+            event,
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(timed);
+    }
+
+    /// Snapshot of one phase's duration histogram.
+    pub fn phase_stats(&self, phase: Phase) -> HistogramSnapshot {
+        self.phases[phase.index()].snapshot()
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.ring.lock().unwrap().buf.iter().cloned().collect()
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn events_dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Copies out per-worker tallies (index = worker id).
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.workers.lock().unwrap().clone()
+    }
+
+    /// Renders the human-readable end-of-run table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== telemetry ==\n");
+        out.push_str(&format!(
+            "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "phase", "count", "p50", "p90", "p99", "max", "total"
+        ));
+        for p in Phase::ALL {
+            let s = self.phase_stats(p);
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<12} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                p.as_str(),
+                s.count,
+                fmt_ns(s.p50),
+                fmt_ns(s.p90),
+                fmt_ns(s.p99),
+                fmt_ns(s.max),
+                fmt_ns(s.sum),
+            ));
+        }
+        let counters: Vec<String> = Counter::ALL
+            .iter()
+            .filter(|c| self.counter(**c) > 0)
+            .map(|c| format!("{}={}", c.as_str(), self.counter(*c)))
+            .collect();
+        if !counters.is_empty() {
+            out.push_str(&format!("counters: {}\n", counters.join(" ")));
+        }
+        let workers = self.worker_stats();
+        if workers.iter().any(|w| *w != WorkerStats::default()) {
+            out.push_str(&format!(
+                "{:<8} {:>10} {:>8} {:>9} {:>7} {:>12}\n",
+                "worker", "feedbacks", "faults", "swaps_in", "stale", "local_steps"
+            ));
+            for (i, w) in workers.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:<8} {:>10} {:>8} {:>9} {:>7} {:>12}\n",
+                    i, w.feedbacks, w.faults, w.swaps_in, w.stale_updates, w.local_steps
+                ));
+            }
+        }
+        let dropped = self.events_dropped();
+        if dropped > 0 {
+            out.push_str(&format!("events dropped (ring full): {dropped}\n"));
+        }
+        out
+    }
+
+    /// End-of-run hook: prints the table (verbosity `Table`+) and the
+    /// retained events as JSONL (verbosity `Jsonl`) to stdout.
+    pub fn finish(&self) {
+        if self.verbosity >= Verbosity::Table {
+            print!("{}", self.render_table());
+        }
+        if self.verbosity >= Verbosity::Jsonl {
+            for e in self.events() {
+                println!("{}", e.to_json());
+            }
+        }
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// RAII phase timer returned by [`Recorder::span`].
+pub struct Span<'a> {
+    inner: Option<(&'a Recorder, Phase, Instant)>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((rec, phase, t0)) = self.inner.take() {
+            rec.phases[phase.index()].record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        {
+            let _s = r.span(Phase::GenForward);
+        }
+        r.incr(Counter::Iterations, 3);
+        r.event(Event::IterDone { iter: 0, alive: 2 });
+        r.worker_feedback(1);
+        assert_eq!(r.phase_stats(Phase::GenForward).count, 0);
+        assert_eq!(r.counter(Counter::Iterations), 0);
+        assert!(r.events().is_empty());
+        assert!(r.worker_stats().is_empty());
+    }
+
+    #[test]
+    fn spans_feed_phase_histograms() {
+        let r = Recorder::enabled();
+        for _ in 0..5 {
+            let _s = r.span(Phase::DFeedback);
+        }
+        let s = r.phase_stats(Phase::DFeedback);
+        assert_eq!(s.count, 5);
+        assert!(s.max > 0);
+        assert_eq!(r.phase_stats(Phase::Swap).count, 0);
+    }
+
+    #[test]
+    fn events_bump_counters_and_worker_tallies() {
+        let r = Recorder::enabled();
+        r.event(Event::IterDone { iter: 0, alive: 4 });
+        r.event(Event::WorkerFault { iter: 1, worker: 2 });
+        r.event(Event::StaleUpdate {
+            iter: 2,
+            worker: 2,
+            staleness: 1,
+        });
+        r.event(Event::EvalDone {
+            iter: 2,
+            is_score: 1.0,
+            fid: 2.0,
+        });
+        r.event(Event::SwapDone { iter: 2, moved: 4 });
+        assert_eq!(r.counter(Counter::Iterations), 1);
+        assert_eq!(r.counter(Counter::Faults), 1);
+        assert_eq!(r.counter(Counter::StaleUpdates), 1);
+        assert_eq!(r.counter(Counter::Evals), 1);
+        assert_eq!(r.counter(Counter::Swaps), 1);
+        let ws = r.worker_stats();
+        assert_eq!(ws.len(), 3);
+        assert_eq!(ws[2].faults, 1);
+        assert_eq!(ws[2].stale_updates, 1);
+        assert_eq!(r.events().len(), 5);
+        // Timestamps are monotone.
+        let ts: Vec<u64> = r.events().iter().map(|e| e.t_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let r = Recorder::enabled();
+        {
+            let mut ring = r.ring.lock().unwrap();
+            ring.cap = 4;
+        }
+        for i in 0..10 {
+            r.event(Event::RoundDone { round: i });
+        }
+        let ev = r.events();
+        assert_eq!(ev.len(), 4);
+        assert_eq!(r.events_dropped(), 6);
+        assert_eq!(ev[0].event, Event::RoundDone { round: 6 });
+        assert_eq!(ev[3].event, Event::RoundDone { round: 9 });
+    }
+
+    #[test]
+    fn table_renders_active_rows_only() {
+        let r = Recorder::enabled();
+        {
+            let _s = r.span(Phase::Eval);
+        }
+        r.event(Event::IterDone { iter: 0, alive: 1 });
+        let t = r.render_table();
+        assert!(t.contains("eval"));
+        assert!(!t.contains("g_update"));
+        assert!(t.contains("iterations=1"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -1,0 +1,97 @@
+//! Concurrency stress: hammer one shared `Recorder` from many threads and
+//! assert nothing is lost — histogram counts, counters and per-worker
+//! tallies must all conserve exactly (loom-free; plain threads + atomics).
+
+use md_telemetry::{Counter, Event, Phase, Recorder};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+// A multiple of Phase::ALL.len() so the rotation spreads spans exactly
+// evenly across phases.
+const SPANS_PER_THREAD: usize = 2_100;
+const EVENTS_PER_THREAD: usize = 500;
+
+#[test]
+fn spans_counters_and_events_conserve_under_contention() {
+    let rec = Arc::new(Recorder::enabled());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for i in 0..SPANS_PER_THREAD {
+                    // Rotate phases so several histograms see contention.
+                    let phase = Phase::ALL[(t + i) % Phase::ALL.len()];
+                    let _span = rec.span(phase);
+                    rec.incr(Counter::MsgsSent, 1);
+                    rec.incr(Counter::BytesSent, 10);
+                }
+                for e in 0..EVENTS_PER_THREAD {
+                    rec.event(Event::WorkerFault { iter: e, worker: t });
+                    rec.worker_feedback(t);
+                }
+            });
+        }
+    });
+
+    // Span count conservation: every span created landed in exactly one
+    // phase histogram.
+    let total_spans: u64 = Phase::ALL.iter().map(|p| rec.phase_stats(*p).count).sum();
+    assert_eq!(total_spans, (THREADS * SPANS_PER_THREAD) as u64);
+    // Rotation distributes spans evenly across phases.
+    for p in Phase::ALL {
+        assert_eq!(
+            rec.phase_stats(p).count,
+            (THREADS * SPANS_PER_THREAD / Phase::ALL.len()) as u64,
+            "phase {}",
+            p.as_str()
+        );
+    }
+
+    // Counter conservation.
+    assert_eq!(
+        rec.counter(Counter::MsgsSent),
+        (THREADS * SPANS_PER_THREAD) as u64
+    );
+    assert_eq!(
+        rec.counter(Counter::BytesSent),
+        (THREADS * SPANS_PER_THREAD * 10) as u64
+    );
+    assert_eq!(
+        rec.counter(Counter::Faults),
+        (THREADS * EVENTS_PER_THREAD) as u64
+    );
+
+    // Per-worker tallies: each thread wrote only its own worker slot.
+    let ws = rec.worker_stats();
+    assert_eq!(ws.len(), THREADS);
+    for (i, w) in ws.iter().enumerate() {
+        assert_eq!(w.faults, EVENTS_PER_THREAD as u64, "worker {i}");
+        assert_eq!(w.feedbacks, EVENTS_PER_THREAD as u64, "worker {i}");
+    }
+
+    // Ring accounting: retained + dropped == emitted.
+    assert_eq!(
+        rec.events().len() as u64 + rec.events_dropped(),
+        (THREADS * EVENTS_PER_THREAD) as u64
+    );
+}
+
+#[test]
+fn disabled_recorder_is_inert_under_contention() {
+    let rec = Arc::new(Recorder::disabled());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for i in 0..SPANS_PER_THREAD {
+                    let _span = rec.span(Phase::Comm);
+                    rec.incr(Counter::MsgsSent, 1);
+                    rec.event(Event::IterDone { iter: i, alive: t });
+                }
+            });
+        }
+    });
+    assert_eq!(rec.phase_stats(Phase::Comm).count, 0);
+    assert_eq!(rec.counter(Counter::MsgsSent), 0);
+    assert!(rec.events().is_empty());
+}

@@ -34,7 +34,13 @@ pub const TEST_EPS: f32 = 1e-4;
 ///
 /// Used pervasively by unit tests in this crate and downstream crates.
 pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
         let diff = (x - y).abs();
         let scale = 1.0_f32.max(x.abs()).max(y.abs());

@@ -23,7 +23,10 @@ use crate::tensor::Tensor;
 pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
     assert!(stride > 0, "stride must be positive");
     let padded = input + 2 * pad;
-    assert!(padded >= kernel, "kernel {kernel} larger than padded input {padded}");
+    assert!(
+        padded >= kernel,
+        "kernel {kernel} larger than padded input {padded}"
+    );
     (padded - kernel) / stride + 1
 }
 
@@ -31,7 +34,10 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> u
 pub fn conv_transpose_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
     assert!(stride > 0, "stride must be positive");
     let full = (input - 1) * stride + kernel;
-    assert!(full >= 2 * pad, "padding {pad} too large for transposed conv output {full}");
+    assert!(
+        full >= 2 * pad,
+        "padding {pad} too large for transposed conv output {full}"
+    );
     full - 2 * pad
 }
 
@@ -54,7 +60,11 @@ pub fn im2col(
     cols: &mut [f32],
 ) {
     assert_eq!(image.len(), c * h * w, "im2col image size mismatch");
-    assert_eq!(cols.len(), c * kh * kw * oh * ow, "im2col cols size mismatch");
+    assert_eq!(
+        cols.len(),
+        c * kh * kw * oh * ow,
+        "im2col cols size mismatch"
+    );
     let ohw = oh * ow;
     for ci in 0..c {
         let img_base = ci * h * w;
@@ -102,7 +112,11 @@ pub fn col2im(
     image: &mut [f32],
 ) {
     assert_eq!(image.len(), c * h * w, "col2im image size mismatch");
-    assert_eq!(cols.len(), c * kh * kw * oh * ow, "col2im cols size mismatch");
+    assert_eq!(
+        cols.len(),
+        c * kh * kw * oh * ow,
+        "col2im cols size mismatch"
+    );
     let ohw = oh * ow;
     for ci in 0..c {
         let img_base = ci * h * w;
@@ -135,7 +149,13 @@ pub fn col2im(
 /// * `bias`: `(O,)` or empty tensor for no bias
 ///
 /// Returns `(B, O, OH, OW)`.
-pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
     let (b, c, h, w) = dims4(input, "conv2d input");
     let wd = weight.shape();
     assert_eq!(wd.len(), 4, "conv2d weight must be 4-D");
@@ -244,7 +264,10 @@ pub fn conv_transpose2d_forward(
     let wd = weight.shape();
     assert_eq!(wd.len(), 4, "conv_t weight must be 4-D");
     let (wcin, cout, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
-    assert_eq!(cin, wcin, "conv_t channel mismatch: input {cin} vs weight {wcin}");
+    assert_eq!(
+        cin, wcin,
+        "conv_t channel mismatch: input {cin} vs weight {wcin}"
+    );
     let has_bias = !bias.is_empty();
     if has_bias {
         assert_eq!(bias.len(), cout, "conv_t bias size mismatch");
@@ -365,7 +388,13 @@ mod tests {
     use crate::rng::Rng64;
 
     /// Direct (quadruple-loop) convolution reference.
-    fn conv_ref(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+    fn conv_ref(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: &Tensor,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
         let (b, c, h, w) = dims4(input, "ref input");
         let (o, _, kh, kw) = dims4(weight, "ref weight");
         let oh = conv_out_dim(h, kh, stride, pad);
@@ -375,7 +404,11 @@ mod tests {
             for oc in 0..o {
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        let mut acc = if bias.is_empty() { 0.0 } else { bias.data()[oc] };
+                        let mut acc = if bias.is_empty() {
+                            0.0
+                        } else {
+                            bias.data()[oc]
+                        };
                         for ci in 0..c {
                             for ki in 0..kh {
                                 for kj in 0..kw {
@@ -397,7 +430,13 @@ mod tests {
     }
 
     /// Direct transposed-convolution reference (scatter form).
-    fn conv_t_ref(input: &Tensor, weight: &Tensor, bias: &Tensor, stride: usize, pad: usize) -> Tensor {
+    fn conv_t_ref(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: &Tensor,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
         let (b, cin, h, w) = dims4(input, "ref input");
         let (_, cout, kh, kw) = dims4(weight, "ref weight");
         let oh = conv_transpose_out_dim(h, kh, stride, pad);
@@ -462,7 +501,10 @@ mod tests {
         col2im(y.data(), c, h, w, kh, kw, stride, pad, oh, ow, &mut img);
         let lhs: f32 = cols.iter().zip(y.data()).map(|(a, b)| a * b).sum();
         let rhs: f32 = x.data().iter().zip(&img).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]
@@ -556,7 +598,9 @@ mod tests {
         let r = Tensor::randn(out.shape(), &mut rng);
         let (gx, gw, gb) = conv_transpose2d_backward(&x, &wt, &r, s, p);
 
-        let loss = |x_: &Tensor, w_: &Tensor, b_: &Tensor| conv_transpose2d_forward(x_, w_, b_, s, p).dot(&r);
+        let loss = |x_: &Tensor, w_: &Tensor, b_: &Tensor| {
+            conv_transpose2d_forward(x_, w_, b_, s, p).dot(&r)
+        };
         let eps = 1e-2f32;
         for (idx, analytic, which) in [(5usize, &gx, 0u8), (9, &gw, 1), (0, &gb, 2)] {
             let (mut xp, mut wp, mut bp) = (x.clone(), wt.clone(), bias.clone());
@@ -604,7 +648,10 @@ mod tests {
         let cty = conv_transpose2d_forward(&y, &wt, &no_bias, s, p);
         let lhs = cx.dot(&y);
         let rhs = x.dot(&cty);
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

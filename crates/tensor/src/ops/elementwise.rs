@@ -8,7 +8,12 @@ use crate::tensor::Tensor;
 fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     // Fast path: identical shapes.
     if a.shape() == b.shape() {
-        let data = a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect();
+        let data = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| f(x, y))
+            .collect();
         return Tensor::new(a.shape(), data);
     }
     let out_shape = Shape::broadcast(a.shape_obj(), b.shape_obj())
@@ -196,7 +201,11 @@ impl Tensor {
     /// Dot product of two tensors viewed as flat vectors.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.len(), other.len(), "dot length mismatch");
-        self.data().iter().zip(other.data()).map(|(&a, &b)| a * b).sum()
+        self.data()
+            .iter()
+            .zip(other.data())
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// True iff all elements are finite (no NaN/inf) — used as a training
@@ -229,7 +238,10 @@ mod tests {
     fn broadcast_column_vector() {
         let a = Tensor::new(&[2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
         let b = Tensor::new(&[2, 1], vec![100.0, 200.0]);
-        assert_eq!(a.add(&b).data(), &[100.0, 101.0, 102.0, 203.0, 204.0, 205.0]);
+        assert_eq!(
+            a.add(&b).data(),
+            &[100.0, 101.0, 102.0, 203.0, 204.0, 205.0]
+        );
     }
 
     #[test]

@@ -16,11 +16,27 @@ impl Tensor {
     /// # Panics
     /// Panics if either operand is not 2-D or the inner dimensions differ.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape());
-        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape());
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul lhs must be 2-D, got {:?}",
+            self.shape()
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul rhs must be 2-D, got {:?}",
+            other.shape()
+        );
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
-        assert_eq!(k, k2, "matmul inner dims differ: {:?} x {:?}", self.shape(), other.shape());
+        assert_eq!(
+            k,
+            k2,
+            "matmul inner dims differ: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
 
         let mut out = vec![0.0f32; m * n];
         matmul_into(self.data(), other.data(), &mut out, m, k, n);
@@ -48,7 +64,13 @@ impl Tensor {
         assert_eq!(other.ndim(), 2);
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let (n, k2) = (other.shape()[0], other.shape()[1]);
-        assert_eq!(k, k2, "matmul_nt inner dims differ: {:?} x {:?}^T", self.shape(), other.shape());
+        assert_eq!(
+            k,
+            k2,
+            "matmul_nt inner dims differ: {:?} x {:?}^T",
+            self.shape(),
+            other.shape()
+        );
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
@@ -73,7 +95,13 @@ impl Tensor {
         assert_eq!(other.ndim(), 2);
         let (k, m) = (self.shape()[0], self.shape()[1]);
         let (k2, n) = (other.shape()[0], other.shape()[1]);
-        assert_eq!(k, k2, "matmul_tn inner dims differ: {:?}^T x {:?}", self.shape(), other.shape());
+        assert_eq!(
+            k,
+            k2,
+            "matmul_tn inner dims differ: {:?}^T x {:?}",
+            self.shape(),
+            other.shape()
+        );
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];

@@ -21,7 +21,10 @@ impl Tensor {
     /// Maximum element.
     pub fn max(&self) -> f32 {
         assert!(!self.is_empty(), "max of empty tensor");
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
@@ -127,13 +130,18 @@ impl Tensor {
     /// batch and space — the conv bias-gradient pattern.
     pub fn sum_spatial_per_channel(&self) -> Tensor {
         assert_eq!(self.ndim(), 4, "sum_spatial_per_channel requires 4-D");
-        let (b, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (b, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
         let hw = h * w;
         let mut out = vec![0.0f32; c];
         for bi in 0..b {
-            for ci in 0..c {
+            for (ci, acc) in out.iter_mut().enumerate() {
                 let base = (bi * c + ci) * hw;
-                out[ci] += self.data()[base..base + hw].iter().sum::<f32>();
+                *acc += self.data()[base..base + hw].iter().sum::<f32>();
             }
         }
         Tensor::new(&[c], out)
@@ -216,6 +224,9 @@ mod tests {
     fn channel_sum_pattern() {
         // (B=2, C=2, H=1, W=2)
         let t = Tensor::new(&[2, 2, 1, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
-        assert_eq!(t.sum_spatial_per_channel().data(), &[1.0 + 2.0 + 5.0 + 6.0, 3.0 + 4.0 + 7.0 + 8.0]);
+        assert_eq!(
+            t.sum_spatial_per_channel().data(),
+            &[1.0 + 2.0 + 5.0 + 6.0, 3.0 + 4.0 + 7.0 + 8.0]
+        );
     }
 }

@@ -25,7 +25,10 @@ pub fn max_threads() -> usize {
     if configured != 0 {
         return configured;
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -85,7 +88,12 @@ where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     assert!(n > 0, "parallel_for_chunks with n == 0");
-    assert_eq!(out.len() % n, 0, "output length {} not divisible by {n}", out.len());
+    assert_eq!(
+        out.len() % n,
+        0,
+        "output length {} not divisible by {n}",
+        out.len()
+    );
     let chunk = out.len() / n;
     let threads = max_threads();
     if threads <= 1 || n <= 1 || n.saturating_mul(work_hint.max(chunk)) < PAR_THRESHOLD {
@@ -99,7 +107,8 @@ where
     let threads = threads.min(n);
     crossbeam::thread::scope(|s| {
         // Round-robin assignment keeps chunk -> thread mapping deterministic.
-        let mut per_thread: Vec<Vec<(usize, &mut [f32])>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut per_thread: Vec<Vec<(usize, &mut [f32])>> =
+            (0..threads).map(|_| Vec::new()).collect();
         for (i, c) in chunks.drain(..).enumerate() {
             per_thread[i % threads].push((i, c));
         }

@@ -23,7 +23,10 @@ pub struct Rng64 {
 impl Rng64 {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Rng64 { inner: StdRng::seed_from_u64(seed), spare_normal: None }
+        Rng64 {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
     }
 
     /// Derives an independent child RNG; used to give each worker/node its

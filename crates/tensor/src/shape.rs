@@ -59,7 +59,12 @@ impl Shape {
         let mut off = 0usize;
         let mut acc = 1usize;
         for i in (0..self.0.len()).rev() {
-            assert!(idx[i] < self.0[i], "index {} out of bounds for dim {i} of size {}", idx[i], self.0[i]);
+            assert!(
+                idx[i] < self.0[i],
+                "index {} out of bounds for dim {i} of size {}",
+                idx[i],
+                self.0[i]
+            );
             off += idx[i] * acc;
             acc *= self.0[i];
         }
@@ -74,11 +79,19 @@ impl Shape {
     pub fn broadcast(a: &Shape, b: &Shape) -> Option<Shape> {
         let n = a.ndim().max(b.ndim());
         let mut out = vec![0usize; n];
-        for i in 0..n {
-            let da = if i < n - a.ndim() { 1 } else { a.0[i - (n - a.ndim())] };
-            let db = if i < n - b.ndim() { 1 } else { b.0[i - (n - b.ndim())] };
+        for (i, slot) in out.iter_mut().enumerate() {
+            let da = if i < n - a.ndim() {
+                1
+            } else {
+                a.0[i - (n - a.ndim())]
+            };
+            let db = if i < n - b.ndim() {
+                1
+            } else {
+                b.0[i - (n - b.ndim())]
+            };
             if da == db || da == 1 || db == 1 {
-                out[i] = da.max(db);
+                *slot = da.max(db);
             } else {
                 return None;
             }

@@ -41,7 +41,10 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let shape = Shape::new(shape);
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// A tensor filled with ones.
@@ -53,12 +56,18 @@ impl Tensor {
     pub fn full(shape: &[usize], value: f32) -> Self {
         let shape = Shape::new(shape);
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// A rank-0 (scalar) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::new(&[]), data: vec![value] }
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
     }
 
     /// Standard-normal samples (Box–Muller), seeded via the supplied RNG.
@@ -155,7 +164,12 @@ impl Tensor {
     /// # Panics
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on tensor with {} elements",
+            self.data.len()
+        );
         self.data[0]
     }
 
@@ -177,11 +191,18 @@ impl Tensor {
         let infer = dims.iter().position(|&d| d == usize::MAX);
         if let Some(i) = infer {
             let known: usize = dims.iter().filter(|&&d| d != usize::MAX).product();
-            assert!(known > 0 && self.data.len() % known == 0, "cannot infer dimension");
+            assert!(
+                known > 0 && self.data.len().is_multiple_of(known),
+                "cannot infer dimension"
+            );
             dims[i] = self.data.len() / known;
         }
         let shape = Shape::new(&dims);
-        assert_eq!(shape.numel(), self.data.len(), "reshape to {shape} changes element count");
+        assert_eq!(
+            shape.numel(),
+            self.data.len(),
+            "reshape to {shape} changes element count"
+        );
         self.shape = shape;
         self
     }
@@ -231,7 +252,11 @@ impl Tensor {
         let mut total0 = 0usize;
         let mut data = Vec::new();
         for t in items {
-            assert_eq!(&t.shape()[1..], &inner[..], "concat trailing shape mismatch");
+            assert_eq!(
+                &t.shape()[1..],
+                &inner[..],
+                "concat trailing shape mismatch"
+            );
             total0 += t.shape()[0];
             data.extend_from_slice(t.data());
         }

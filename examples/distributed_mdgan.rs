@@ -23,7 +23,10 @@ fn main() {
     let (train, test) = data.split_test(512);
     let mut rng = Rng64::seed_from_u64(1);
     let shards = train.shard_iid(workers, &mut rng);
-    println!("each worker holds m = {} local images (they never leave the worker)", shards[0].len());
+    println!(
+        "each worker holds m = {} local images (they never leave the worker)",
+        shards[0].len()
+    );
 
     let mut evaluator = Evaluator::new(&train, &test, 256, 42);
     let spec = ArchSpec::mlp_mnist_scaled(img);
@@ -32,7 +35,10 @@ fn main() {
         k: KPolicy::LogN,
         epochs_per_swap: 1.0,
         swap: SwapPolicy::Derangement,
-        hyper: GanHyper { batch: 10, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: 10,
+            ..GanHyper::default()
+        },
         iterations: 400,
         seed: 7,
         crash: Default::default(),
@@ -51,7 +57,11 @@ fn main() {
     }
 
     let t = md.traffic();
-    println!("\ntraffic after {} iterations and {} swaps:", md.iterations(), md.swaps());
+    println!(
+        "\ntraffic after {} iterations and {} swaps:",
+        md.iterations(),
+        md.swaps()
+    );
     let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
     println!(
         "  server→workers : {:8.2} MB in {} messages (2bd per worker per iteration)",
@@ -68,6 +78,9 @@ fn main() {
         mb(t.bytes(LinkClass::WorkerToWorker)),
         t.msgs(LinkClass::WorkerToWorker)
     );
-    println!("  busiest worker ingress: {:.2} MB", mb(t.max_worker_ingress()));
+    println!(
+        "  busiest worker ingress: {:.2} MB",
+        mb(t.max_worker_ingress())
+    );
     println!("  server ingress        : {:.2} MB", mb(t.server_ingress()));
 }

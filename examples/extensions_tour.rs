@@ -25,7 +25,10 @@ fn main() {
         k: KPolicy::LogN,
         epochs_per_swap: 1.0,
         swap: SwapPolicy::Derangement,
-        hyper: GanHyper { batch: 8, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: 8,
+            ..GanHyper::default()
+        },
         iterations: 40,
         seed: 7,
         crash: Default::default(),
@@ -104,12 +107,21 @@ fn main() {
     let ck = md.checkpoint();
     let path = std::env::temp_dir().join("mdgan_tour.ckpt");
     ck.save(&path).expect("save checkpoint");
-    println!("saved {} sections ({} bytes) at iteration {}", ck.sections.len(), ck.byte_size(), ck.iteration);
+    println!(
+        "saved {} sections ({} bytes) at iteration {}",
+        ck.sections.len(),
+        ck.byte_size(),
+        ck.iteration
+    );
     for _ in 0..5 {
         md.step();
     }
     let loaded = mdgan_repro::core::checkpoint::Checkpoint::load(&path).expect("load checkpoint");
     md.restore(&loaded);
-    println!("restored to iteration {} — params match: {}", md.iterations(), md.gen_params() == ck.get("generator").unwrap());
+    println!(
+        "restored to iteration {} — params match: {}",
+        md.iterations(),
+        md.gen_params() == ck.get("generator").unwrap()
+    );
     std::fs::remove_file(&path).ok();
 }

@@ -24,7 +24,10 @@ fn main() {
 
     // One crash every I/N iterations, in random order (the paper's Fig. 5).
     let schedule = CrashSchedule::every_quantile(iters, workers, &mut rng);
-    println!("crash schedule (iteration, worker): {:?}", schedule.events());
+    println!(
+        "crash schedule (iteration, worker): {:?}",
+        schedule.events()
+    );
 
     let spec = ArchSpec::mlp_mnist_scaled(img);
     let cfg = MdGanConfig {
@@ -32,7 +35,10 @@ fn main() {
         k: KPolicy::LogN,
         epochs_per_swap: 1.0,
         swap: SwapPolicy::Derangement,
-        hyper: GanHyper { batch: 10, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: 10,
+            ..GanHyper::default()
+        },
         iterations: iters,
         seed: 7,
         crash: schedule.clone(),

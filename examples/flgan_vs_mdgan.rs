@@ -21,7 +21,10 @@ fn main() {
     let (train, test) = data.split_test(512);
     let mut evaluator = Evaluator::new(&train, &test, 256, 42);
     let spec = ArchSpec::mlp_mnist_scaled(img);
-    let hyper = GanHyper { batch: 10, ..GanHyper::default() };
+    let hyper = GanHyper {
+        batch: 10,
+        ..GanHyper::default()
+    };
 
     println!("competitor            |    MS ↑ |   FID ↓ | traffic");
     println!("----------------------+---------+---------+---------");
@@ -38,7 +41,13 @@ fn main() {
     let mut fl = FlGan::new(
         &spec,
         shards,
-        FlGanConfig { workers, epochs_per_round: 1.0, hyper, iterations: iters, seed: 3 },
+        FlGanConfig {
+            workers,
+            epochs_per_round: 1.0,
+            hyper,
+            iterations: iters,
+            seed: 3,
+        },
     );
     let t = fl.train(iters, iters / 4, Some(&mut evaluator));
     let fl_mb = fl.traffic().total_bytes() as f64 / (1024.0 * 1024.0);
@@ -74,6 +83,11 @@ fn main() {
 
 fn report(label: &str, t: &mdgan_repro::core::ScoreTimeline, traffic_mb: Option<f64>) {
     let f = t.final_scores(2).expect("timeline not empty");
-    let traffic = traffic_mb.map(|m| format!("{m:7.1} MB")).unwrap_or_else(|| "      -".into());
-    println!("{label:21} | {:7.3} | {:7.2} | {traffic}", f.inception_score, f.fid);
+    let traffic = traffic_mb
+        .map(|m| format!("{m:7.1} MB"))
+        .unwrap_or_else(|| "      -".into());
+    println!(
+        "{label:21} | {:7.3} | {:7.2} | {traffic}",
+        f.inception_score, f.fid
+    );
 }

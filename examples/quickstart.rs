@@ -22,11 +22,22 @@ fn main() {
 
     println!("training the scorer classifier (the FID/IS feature extractor)...");
     let mut evaluator = Evaluator::new(&train, &test, 256, scale.seed);
-    println!("scorer accuracy on held-out data: {:.1}%", 100.0 * evaluator.scorer_accuracy(&test));
+    println!(
+        "scorer accuracy on held-out data: {:.1}%",
+        100.0 * evaluator.scorer_accuracy(&test)
+    );
 
     let spec = ArchSpec::mlp_mnist_scaled(img);
     let mut rng = Rng64::seed_from_u64(7);
-    let mut gan = StandaloneGan::new(&spec, train, GanHyper { batch: 32, ..GanHyper::default() }, &mut rng);
+    let mut gan = StandaloneGan::new(
+        &spec,
+        train,
+        GanHyper {
+            batch: 32,
+            ..GanHyper::default()
+        },
+        &mut rng,
+    );
 
     println!("\ntraining a standalone ACGAN for 600 iterations...");
     let timeline = gan.train(600, 100, Some(&mut evaluator));

@@ -1,46 +1,79 @@
 //! Runs MD-GAN on the thread-per-node runtime (one OS thread per worker,
-//! all communication through the simulated network) and verifies that it
-//! matches the deterministic sequential runtime bit-for-bit.
+//! all communication through the simulated network), verifies that it
+//! matches the deterministic sequential runtime bit-for-bit, and exports
+//! a telemetry run record to `results/`.
 //!
 //! ```text
 //! cargo run --release --example threaded_cluster
+//! TELEMETRY=1 cargo run --release --example threaded_cluster   # + table
+//! TELEMETRY=2 cargo run --release --example threaded_cluster   # + JSONL
 //! ```
 
 use mdgan_repro::core::config::{GanHyper, KPolicy, MdGanConfig, SwapPolicy};
-use mdgan_repro::core::mdgan::threaded::run_threaded;
+use mdgan_repro::core::eval::Evaluator;
+use mdgan_repro::core::mdgan::threaded::run_threaded_with;
 use mdgan_repro::core::{ArchSpec, MdGan};
 use mdgan_repro::data::synthetic::mnist_like;
+use mdgan_repro::metrics::classifier::ScorerConfig;
+use mdgan_repro::telemetry::{Recorder, RunRecord, Verbosity};
 use mdgan_repro::tensor::rng::Rng64;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     let workers = 4usize;
     let iters = 60usize;
     let img = 12usize;
-    let data = mnist_like(img, workers * 128, 42, 0.08);
+    let data = mnist_like(img, workers * 128 + 200, 42, 0.08);
+    let (train, test) = data.split_test(200);
     let spec = ArchSpec::mlp_mnist_scaled(img);
     let cfg = MdGanConfig {
         workers,
         k: KPolicy::LogN,
         epochs_per_swap: 1.0,
         swap: SwapPolicy::Derangement,
-        hyper: GanHyper { batch: 10, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: 10,
+            ..GanHyper::default()
+        },
         iterations: iters,
         seed: 9,
         crash: Default::default(),
     };
 
     let mut rng = Rng64::seed_from_u64(5);
-    let shards = data.shard_iid(workers, &mut rng);
+    let shards = train.shard_iid(workers, &mut rng);
+
+    // Record always (so the run record is written); print per TELEMETRY.
+    let verbosity = Verbosity::from_env();
+    let recorder = Arc::new(Recorder::with_verbosity(verbosity.max(Verbosity::Table)));
+    let mut evaluator = Evaluator::with_scorer_config(
+        &train,
+        &test,
+        128,
+        7,
+        ScorerConfig {
+            steps: 300,
+            ..ScorerConfig::default()
+        },
+    );
 
     println!("running {iters} iterations on the threaded runtime ({workers} worker threads)...");
     let t0 = Instant::now();
-    let threaded = run_threaded(&spec, shards.clone(), cfg.clone(), None, iters, 1_000_000);
+    let threaded = run_threaded_with(
+        &spec,
+        shards.clone(),
+        cfg.clone(),
+        Some(&mut evaluator),
+        iters,
+        20,
+        Arc::clone(&recorder),
+    );
     let threaded_time = t0.elapsed();
 
     println!("running the same training sequentially...");
     let t0 = Instant::now();
-    let mut seq = MdGan::new(&spec, shards, cfg);
+    let mut seq = MdGan::new(&spec, shards, cfg.clone());
     for _ in 0..iters {
         seq.step();
     }
@@ -51,13 +84,44 @@ fn main() {
     println!("sequential: {seq_time:?}");
     println!(
         "generators identical bit-for-bit: {}",
-        if identical { "YES ✓" } else { "NO ✗ (bug!)" }
+        if identical {
+            "YES ✓"
+        } else {
+            "NO ✗ (bug!)"
+        }
     );
     println!(
         "traffic identical: {}",
-        if threaded.traffic.class_bytes == seq.traffic().class_bytes { "YES ✓" } else { "NO ✗" }
+        if threaded.traffic.class_bytes == seq.traffic().class_bytes {
+            "YES ✓"
+        } else {
+            "NO ✗"
+        }
     );
     let mb = threaded.traffic.total_bytes() as f64 / (1024.0 * 1024.0);
     println!("total bytes moved: {mb:.2} MB");
+
+    // Export the run record: config, scores, traffic, phase histograms,
+    // per-worker tallies and the retained event history.
+    let record = RunRecord::new("threaded_cluster")
+        .with_config_json(cfg.to_json())
+        .with_scores(threaded.timeline.score_points("threaded_cluster"))
+        .with_traffic(threaded.traffic.telemetry_summary())
+        .with_metric("wall_s", threaded_time.as_secs_f64())
+        .with_metric(
+            "final_fid",
+            threaded
+                .timeline
+                .last()
+                .map(|(_, s)| s.fid)
+                .unwrap_or(f64::NAN),
+        );
+    match record.write_jsonl("results", &recorder) {
+        Ok(path) => println!("run record: {}", path.display()),
+        Err(e) => eprintln!("failed to write run record: {e}"),
+    }
+    if verbosity != Verbosity::Off {
+        recorder.finish();
+    }
     assert!(identical, "runtimes diverged");
 }

@@ -8,6 +8,7 @@
 //! * [`data`] — synthetic MNIST/CIFAR10/CelebA-like datasets and sharding.
 //! * [`metrics`] — MNIST/Inception Score and FID.
 //! * [`simnet`] — simulated cluster with byte-accurate traffic accounting.
+//! * [`telemetry`] — structured tracing, per-phase timing, run records.
 //! * [`core`] — MD-GAN itself, plus the FL-GAN and standalone baselines.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
@@ -16,5 +17,6 @@ pub use md_data as data;
 pub use md_metrics as metrics;
 pub use md_nn as nn;
 pub use md_simnet as simnet;
+pub use md_telemetry as telemetry;
 pub use md_tensor as tensor;
 pub use mdgan_core as core;

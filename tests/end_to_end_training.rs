@@ -41,8 +41,15 @@ fn assert_learned(label: &str, timeline: &mdgan_repro::core::ScoreTimeline) {
 fn standalone_gan_learns() {
     let (train, _test, mut evaluator, spec) = setup();
     let mut rng = Rng64::seed_from_u64(1);
-    let mut gan =
-        StandaloneGan::new(&spec, train, GanHyper { batch: 16, ..GanHyper::default() }, &mut rng);
+    let mut gan = StandaloneGan::new(
+        &spec,
+        train,
+        GanHyper {
+            batch: 16,
+            ..GanHyper::default()
+        },
+        &mut rng,
+    );
     let timeline = gan.train(ITERS, 50, Some(&mut evaluator));
     assert_learned("standalone", &timeline);
 }
@@ -57,7 +64,10 @@ fn mdgan_learns_across_workers() {
         k: KPolicy::LogN,
         epochs_per_swap: 1.0,
         swap: SwapPolicy::Derangement,
-        hyper: GanHyper { batch: 16, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: 16,
+            ..GanHyper::default()
+        },
         iterations: ITERS,
         seed: 3,
         crash: Default::default(),
@@ -77,7 +87,10 @@ fn flgan_learns_across_workers() {
     let cfg = FlGanConfig {
         workers: 4,
         epochs_per_round: 1.0,
-        hyper: GanHyper { batch: 16, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: 16,
+            ..GanHyper::default()
+        },
         iterations: ITERS,
         seed: 5,
     };
@@ -97,7 +110,10 @@ fn mdgan_with_crashes_keeps_training() {
         k: KPolicy::LogN,
         epochs_per_swap: 1.0,
         swap: SwapPolicy::Derangement,
-        hyper: GanHyper { batch: 16, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: 16,
+            ..GanHyper::default()
+        },
         iterations: ITERS,
         seed: 7,
         crash,

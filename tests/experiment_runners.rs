@@ -33,7 +33,12 @@ fn convergence_runner_is_deterministic() {
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.label, y.label);
-        assert_eq!(x.to_csv(), y.to_csv(), "curve {} not deterministic", x.label);
+        assert_eq!(
+            x.to_csv(),
+            y.to_csv(),
+            "curve {} not deterministic",
+            x.label
+        );
     }
 }
 
@@ -89,6 +94,18 @@ fn celeba_runner_covers_all_competitors() {
     // standalone + FL-GAN {1,5} + MD-GAN {1,5}
     assert_eq!(curves.len(), 5);
     assert!(curves.iter().any(|c| c.label.starts_with("standalone")));
-    assert!(curves.iter().filter(|c| c.label.starts_with("FL-GAN")).count() == 2);
-    assert!(curves.iter().filter(|c| c.label.starts_with("MD-GAN")).count() == 2);
+    assert!(
+        curves
+            .iter()
+            .filter(|c| c.label.starts_with("FL-GAN"))
+            .count()
+            == 2
+    );
+    assert!(
+        curves
+            .iter()
+            .filter(|c| c.label.starts_with("MD-GAN"))
+            .count()
+            == 2
+    );
 }

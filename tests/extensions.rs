@@ -28,7 +28,10 @@ fn cfg(iters: usize) -> MdGanConfig {
         k: KPolicy::LogN,
         epochs_per_swap: 1.0,
         swap: SwapPolicy::Derangement,
-        hyper: GanHyper { batch: 16, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: 16,
+            ..GanHyper::default()
+        },
         iterations: iters,
         seed: 3,
         crash: Default::default(),
@@ -48,7 +51,11 @@ fn async_mdgan_learns() {
     let timeline = amd.train(300 * WORKERS, 100 * WORKERS, Some(&mut evaluator));
     let first = timeline.points().first().unwrap().1;
     let best = timeline.best_fid().unwrap();
-    assert!(best < 0.7 * first.fid, "async MD-GAN did not learn: {} -> {best}", first.fid);
+    assert!(
+        best < 0.7 * first.fid,
+        "async MD-GAN did not learn: {} -> {best}",
+        first.fid
+    );
     assert!(amd.async_stats().updates == 300 * WORKERS as u64);
 }
 
@@ -78,7 +85,10 @@ fn compressed_training_learns_with_a_fraction_of_the_traffic() {
     for (name, t) in [("plain", &plain_t), ("coded", &coded_t)] {
         let first = t.points().first().unwrap().1.fid;
         let best = t.best_fid().unwrap();
-        assert!(best < 0.75 * first, "{name} run did not learn ({first} -> {best})");
+        assert!(
+            best < 0.75 * first,
+            "{name} run did not learn ({first} -> {best})"
+        );
     }
 }
 
@@ -103,7 +113,10 @@ fn byzantine_minority_with_median_still_learns() {
     let t = md.train(300, 100, Some(&mut evaluator));
     let first = t.points().first().unwrap().1.fid;
     let best = t.best_fid().unwrap();
-    assert!(best < 0.8 * first, "defended run did not learn ({first} -> {best})");
+    assert!(
+        best < 0.8 * first,
+        "defended run did not learn ({first} -> {best})"
+    );
     assert!(md.gen_params().iter().all(|v| v.is_finite()));
 }
 
@@ -130,7 +143,10 @@ fn gossip_gan_runs_and_mixes() {
     let fl_cfg = FlGanConfig {
         workers: WORKERS,
         epochs_per_round: 1.0,
-        hyper: GanHyper { batch: 16, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: 16,
+            ..GanHyper::default()
+        },
         iterations: 40,
         seed: 8,
     };
@@ -140,7 +156,12 @@ fn gossip_gan_runs_and_mixes() {
         gg.step();
     }
     assert_eq!(gg.exchanges(), 2 * WORKERS as u64);
-    assert!(gg.observer_generator().net.get_params_flat().iter().all(|v| v.is_finite()));
+    assert!(gg
+        .observer_generator()
+        .net
+        .get_params_flat()
+        .iter()
+        .all(|v| v.is_finite()));
     // Decentralized: zero server traffic.
     let r = gg.traffic();
     assert_eq!(r.server_ingress(), 0);

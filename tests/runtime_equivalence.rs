@@ -27,8 +27,16 @@ fn check_equivalence(cfg: MdGanConfig, iters: usize) {
         seq.step();
     }
 
-    assert_eq!(threaded.gen_params, seq.gen_params(), "generator params diverged");
-    assert_eq!(threaded.traffic.class_bytes, seq.traffic().class_bytes, "traffic diverged");
+    assert_eq!(
+        threaded.gen_params,
+        seq.gen_params(),
+        "generator params diverged"
+    );
+    assert_eq!(
+        threaded.traffic.class_bytes,
+        seq.traffic().class_bytes,
+        "traffic diverged"
+    );
     assert_eq!(threaded.alive, seq.alive_workers(), "alive sets diverged");
 }
 
@@ -38,7 +46,10 @@ fn base_cfg(workers: usize) -> MdGanConfig {
         k: KPolicy::LogN,
         epochs_per_swap: 1.0,
         swap: SwapPolicy::Derangement,
-        hyper: GanHyper { batch: 4, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: 4,
+            ..GanHyper::default()
+        },
         iterations: 10,
         seed: 21,
         crash: CrashSchedule::none(),
@@ -53,19 +64,28 @@ fn equivalent_with_swaps() {
 
 #[test]
 fn equivalent_with_k_one() {
-    let cfg = MdGanConfig { k: KPolicy::One, ..base_cfg(4) };
+    let cfg = MdGanConfig {
+        k: KPolicy::One,
+        ..base_cfg(4)
+    };
     check_equivalence(cfg, 9);
 }
 
 #[test]
 fn equivalent_with_k_all() {
-    let cfg = MdGanConfig { k: KPolicy::All, ..base_cfg(3) };
+    let cfg = MdGanConfig {
+        k: KPolicy::All,
+        ..base_cfg(3)
+    };
     check_equivalence(cfg, 9);
 }
 
 #[test]
 fn equivalent_with_ring_swap() {
-    let cfg = MdGanConfig { swap: SwapPolicy::Ring, ..base_cfg(4) };
+    let cfg = MdGanConfig {
+        swap: SwapPolicy::Ring,
+        ..base_cfg(4)
+    };
     check_equivalence(cfg, 16);
 }
 
@@ -80,6 +100,9 @@ fn equivalent_under_crashes() {
 
 #[test]
 fn equivalent_single_worker() {
-    let cfg = MdGanConfig { swap: SwapPolicy::Disabled, ..base_cfg(1) };
+    let cfg = MdGanConfig {
+        swap: SwapPolicy::Disabled,
+        ..base_cfg(1)
+    };
     check_equivalence(cfg, 6);
 }

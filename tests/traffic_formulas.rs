@@ -49,7 +49,10 @@ fn mdgan_measured_traffic_equals_formula() {
         k: KPolicy::LogN,
         epochs_per_swap: 1.0,
         swap: SwapPolicy::Derangement,
-        hyper: GanHyper { batch: B, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: B,
+            ..GanHyper::default()
+        },
         iterations: iters,
         seed: 5,
         crash: Default::default(),
@@ -61,9 +64,15 @@ fn mdgan_measured_traffic_equals_formula() {
     let r = md.traffic();
 
     // C→W: 2bdN per iteration.
-    assert_eq!(r.bytes(LinkClass::ServerToWorker), p.mdgan_c2w_server_bytes() * iters as u64);
+    assert_eq!(
+        r.bytes(LinkClass::ServerToWorker),
+        p.mdgan_c2w_server_bytes() * iters as u64
+    );
     // W→C: bdN per iteration.
-    assert_eq!(r.bytes(LinkClass::WorkerToServer), p.mdgan_w2c_server_bytes() * iters as u64);
+    assert_eq!(
+        r.bytes(LinkClass::WorkerToServer),
+        p.mdgan_w2c_server_bytes() * iters as u64
+    );
     // W→W: N messages of θ per swap round; 2 swap rounds happened.
     let swaps = (iters / md.swap_interval()) as u64;
     assert_eq!(swaps, 2);
@@ -88,7 +97,10 @@ fn flgan_measured_traffic_equals_formula() {
     let cfg = FlGanConfig {
         workers: WORKERS,
         epochs_per_round: 1.0,
-        hyper: GanHyper { batch: B, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: B,
+            ..GanHyper::default()
+        },
         iterations: iters,
         seed: 6,
     };
@@ -99,8 +111,14 @@ fn flgan_measured_traffic_equals_formula() {
     let r = fl.traffic();
     let rounds = (iters / fl.round_interval()) as u64;
     assert_eq!(rounds, 2);
-    assert_eq!(r.bytes(LinkClass::ServerToWorker), p.flgan_c2w_server_bytes() * rounds);
-    assert_eq!(r.bytes(LinkClass::WorkerToServer), p.flgan_c2w_server_bytes() * rounds);
+    assert_eq!(
+        r.bytes(LinkClass::ServerToWorker),
+        p.flgan_c2w_server_bytes() * rounds
+    );
+    assert_eq!(
+        r.bytes(LinkClass::WorkerToServer),
+        p.flgan_c2w_server_bytes() * rounds
+    );
     assert_eq!(r.bytes(LinkClass::WorkerToWorker), 0);
 }
 
@@ -115,7 +133,10 @@ fn traffic_conservation_holds_after_training() {
         k: KPolicy::One,
         epochs_per_swap: 1.0,
         swap: SwapPolicy::Ring,
-        hyper: GanHyper { batch: B, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: B,
+            ..GanHyper::default()
+        },
         iterations: 5,
         seed: 6,
         crash: Default::default(),
@@ -141,7 +162,10 @@ fn per_worker_ingress_matches_fig2_formula() {
         k: KPolicy::One,
         epochs_per_swap: 100.0, // no swap in one iteration
         swap: SwapPolicy::Derangement,
-        hyper: GanHyper { batch: B, ..GanHyper::default() },
+        hyper: GanHyper {
+            batch: B,
+            ..GanHyper::default()
+        },
         iterations: 1,
         seed: 7,
         crash: Default::default(),

@@ -1,0 +1,122 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the two pieces this workspace uses — `crossbeam::channel`
+//! (unbounded MPSC channels) and `crossbeam::thread::scope` (scoped
+//! threads) — implemented on top of `std::sync::mpsc` and
+//! `std::thread::scope`. The API shapes match crossbeam 0.8 closely enough
+//! that call sites compile unchanged.
+
+pub mod channel {
+    //! Unbounded channels (mirrors `crossbeam::channel`).
+    //!
+    //! Backed by `std::sync::mpsc`: senders are cheaply cloneable, each
+    //! receiver is owned by exactly one endpoint — exactly the topology the
+    //! simnet router builds.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+pub mod thread {
+    //! Scoped threads (mirrors `crossbeam::thread`).
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as sthread;
+
+    /// Error payload of a panicked scope (a `Box<dyn Any>` like crossbeam's).
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle; spawned closures receive a reference to it so they
+    /// can spawn further threads (crossbeam's signature).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope sthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, matching
+        /// crossbeam's `|s|` signature (callers here ignore it as `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> sthread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope whose spawned threads are all joined before
+    /// this function returns. Returns `Err` if any spawned thread (or `f`
+    /// itself) panicked, like crossbeam — callers `.expect(...)` on it.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope resumes unwinding when an unjoined scoped
+        // thread panicked; catching that reproduces crossbeam's Result.
+        catch_unwind(AssertUnwindSafe(move || {
+            sthread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn channel_roundtrip_and_try_recv() {
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.try_recv().unwrap(), 2);
+        assert!(matches!(
+            rx.try_recv(),
+            Err(crate::channel::TryRecvError::Empty)
+        ));
+        drop((tx, tx2));
+        assert!(matches!(
+            rx.try_recv(),
+            Err(crate::channel::TryRecvError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let n = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| n.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn scope_reports_child_panics_as_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("child down"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = AtomicUsize::new(0);
+        crate::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| n.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+}

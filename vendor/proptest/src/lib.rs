@@ -1,0 +1,237 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: range and
+//! tuple strategies, `collection::vec`, `ProptestConfig::with_cases`, and
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics with
+//! the assert message directly) and a fixed per-test seed derived from the
+//! test name, so failures are reproducible run-to-run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod test_runner {
+    //! The RNG handed to strategies.
+
+    use super::*;
+
+    /// Deterministic per-test generator (seeded from the test name).
+    #[derive(Clone, Debug)]
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Builds the RNG for a named test; same name, same stream.
+        pub fn deterministic(test_name: &str) -> Self {
+            // FNV-1a over the name gives each property its own stream.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in test_name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use rand::{Rng, SampleRange};
+
+    /// A recipe for generating random values (mirrors
+    /// `proptest::strategy::Strategy`, minus shrinking).
+    pub trait Strategy {
+        /// The type of value produced.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T> Strategy for core::ops::Range<T>
+    where
+        core::ops::Range<T>: SampleRange + Clone,
+    {
+        type Value = <core::ops::Range<T> as SampleRange>::Output;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for core::ops::RangeInclusive<T>
+    where
+        core::ops::RangeInclusive<T>: SampleRange + Clone,
+    {
+        type Value = <core::ops::RangeInclusive<T> as SampleRange>::Output;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with random length (mirrors
+    /// `proptest::collection::vec`).
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Vectors of `element`-drawn values whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.0.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Declares property tests (mirrors `proptest::proptest!`).
+///
+/// Each `fn name(arg in strategy, ...) { body }` item becomes a `#[test]`
+/// that samples all strategies `cases` times and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..cfg.cases {
+                    $(let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs (mirrors `proptest::prelude`).
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in 0u64..100, z in 0.5f32..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 100);
+            prop_assert!((0.5..2.0).contains(&z), "{z}");
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(1usize..4, 0..4)) {
+            prop_assert!(v.len() < 4);
+            prop_assert!(v.iter().all(|&e| (1..4).contains(&e)));
+        }
+
+        #[test]
+        fn tuples_sample_elementwise(t in (0usize..5, 0usize..5, 1u64..10_000)) {
+            let (a, b, c) = t;
+            prop_assert!(a < 5 && b < 5);
+            prop_assert!((1..10_000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn per_test_rng_is_deterministic() {
+        let mut a = TestRng::deterministic("some_test");
+        let mut b = TestRng::deterministic("some_test");
+        let s = 0usize..1000;
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names plus the derive
+//! macros (re-exported from the no-op `serde_derive`). The traits carry no
+//! methods because nothing in this workspace serializes through serde —
+//! the derives are annotations only; real persistence is hand-rolled.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+pub mod de {
+    //! Deserialization traits (name parity with real serde).
+    pub use crate::DeserializeOwned;
+}
