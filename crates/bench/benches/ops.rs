@@ -2,7 +2,7 @@
 //! matmul, conv2d forward/backward, conv-transpose2d, and the minibatch-
 //! discrimination layer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use md_nn::init::Init;
 use md_nn::layer::Layer;
 use md_nn::layers::MinibatchDiscrimination;
@@ -21,6 +21,26 @@ fn bench_matmul(c: &mut Criterion) {
         let a = Tensor::randn(&[n, n], &mut rng);
         let b = Tensor::randn(&[n, n], &mut rng);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_matmul_threads(c: &mut Criterion) {
+    // The same above-threshold product under explicit thread counts: the
+    // per-call delta is pure pool overhead (1 CPU) or speedup (many CPUs),
+    // never thread-spawn cost — the workers are created once.
+    let mut g = c.benchmark_group("matmul_256_threads");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let mut rng = Rng64::seed_from_u64(6);
+    let a = Tensor::randn(&[256, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+    for &t in &[1usize, 2, 4] {
+        let _guard = md_tensor::parallel::scoped_max_threads(t);
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, _| {
             bench.iter(|| std::hint::black_box(a.matmul(&b)));
         });
     }
@@ -105,9 +125,14 @@ fn bench_init(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_matmul_threads,
     bench_conv,
     bench_minibatch_disc,
     bench_softmax_and_reduce,
     bench_init
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    md_bench::print_pool_stats();
+}

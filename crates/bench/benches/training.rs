@@ -1,7 +1,7 @@
 //! Meso-benchmarks: the cost of one global iteration for each competitor —
 //! the quantities Table II models analytically, measured on real code.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use md_data::synthetic::mnist_like;
 use md_tensor::rng::Rng64;
 use mdgan_core::config::{FlGanConfig, GanHyper, KPolicy, MdGanConfig, SwapPolicy};
@@ -107,4 +107,8 @@ criterion_group!(
     bench_mdgan_step,
     bench_flgan_step
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    md_bench::print_pool_stats();
+}

@@ -5,7 +5,7 @@
 //! (see DESIGN.md §4 for the full index) and accepts `--key value` flags to
 //! scale between "seconds" and "paper scale".
 
-use md_telemetry::{Recorder, RunRecord, Verbosity};
+use md_telemetry::{PoolCounters, Recorder, RunRecord, Verbosity};
 use std::collections::BTreeMap;
 use std::fmt::Display;
 use std::fs;
@@ -131,10 +131,44 @@ pub fn recorder_from_env() -> Arc<Recorder> {
     ))
 }
 
+/// Samples the md-tensor worker-pool counters into the telemetry-neutral
+/// [`PoolCounters`] shape (md-telemetry itself stays zero-dependency).
+pub fn pool_counters() -> PoolCounters {
+    let s = md_tensor::pool::stats();
+    PoolCounters {
+        pool_size: s.pool_size,
+        threads_spawned: s.threads_spawned,
+        jobs: s.jobs,
+        seq_jobs: s.seq_jobs,
+        tasks: s.tasks,
+        busy_ns: s.busy_ns,
+    }
+}
+
+/// Prints the worker-pool counters as a one-line summary — used by the
+/// Criterion benches so before/after runs show whether kernels hit the
+/// pooled or the sequential path and that no threads were spawned beyond
+/// the pool itself.
+pub fn print_pool_stats() {
+    let p = pool_counters();
+    println!(
+        "tensor pool: size={} spawned={} jobs={} seq_jobs={} tasks={} busy={:.3}s (threads={})",
+        p.pool_size,
+        p.threads_spawned,
+        p.jobs,
+        p.seq_jobs,
+        p.tasks,
+        p.busy_ns as f64 / 1e9,
+        md_tensor::parallel::max_threads(),
+    );
+}
+
 /// Writes `results/<name>.telemetry.jsonl` next to the binary's CSVs,
 /// echoes the path, and prints the recorder's end-of-run table (or JSONL)
-/// when the `TELEMETRY` environment knob asks for it.
+/// when the `TELEMETRY` environment knob asks for it. The md-tensor pool
+/// counters are sampled here so every run record carries a `"pool"` line.
 pub fn emit_run_record(record: RunRecord, rec: &Recorder) {
+    let record = record.with_pool_counters(pool_counters());
     match record.write_jsonl("results", rec) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write run record: {e}"),
@@ -187,6 +221,21 @@ mod tests {
             let _s = rec.span(md_telemetry::Phase::Comm);
         }
         assert_eq!(rec.phase_stats(md_telemetry::Phase::Comm).count, 1);
+    }
+
+    #[test]
+    fn run_records_carry_pool_counters() {
+        // A small sequential kernel bumps the seq_jobs counter...
+        let a = md_tensor::Tensor::zeros(&[4, 4]);
+        let _ = a.matmul(&a);
+        let p = pool_counters();
+        assert!(p.seq_jobs > 0);
+        // ...and the counters render as a "pool" JSONL line.
+        let rec = recorder_from_env();
+        let text = md_telemetry::RunRecord::new("pooltest")
+            .with_pool_counters(p)
+            .to_jsonl(&rec);
+        assert!(text.contains(r#""type":"pool""#));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::init::{conv_fans, Init};
 use crate::layer::Layer;
 use md_tensor::ops::conv::{
-    conv2d_backward, conv2d_forward, conv_out_dim, conv_transpose2d_backward,
+    conv2d_backward_acc, conv2d_forward, conv_out_dim, conv_transpose2d_backward_acc,
     conv_transpose2d_forward, conv_transpose_out_dim,
 };
 use md_tensor::rng::Rng64;
@@ -71,10 +71,17 @@ impl Layer for Conv2d {
             .cached_input
             .as_ref()
             .expect("Conv2d::backward before forward");
-        let (gx, gw, gb) = conv2d_backward(x, &self.weight, grad_out, self.stride, self.pad);
-        self.grad_weight.add_assign(&gw);
-        self.grad_bias.add_assign(&gb);
-        gx
+        // Accumulates straight into the layer's gradient tensors — no
+        // per-step gradient allocation or extra add pass.
+        conv2d_backward_acc(
+            x,
+            &self.weight,
+            grad_out,
+            self.stride,
+            self.pad,
+            &mut self.grad_weight,
+            &mut self.grad_bias,
+        )
     }
 
     fn params(&self) -> Vec<&Tensor> {
@@ -168,11 +175,15 @@ impl Layer for ConvTranspose2d {
             .cached_input
             .as_ref()
             .expect("ConvTranspose2d::backward before forward");
-        let (gx, gw, gb) =
-            conv_transpose2d_backward(x, &self.weight, grad_out, self.stride, self.pad);
-        self.grad_weight.add_assign(&gw);
-        self.grad_bias.add_assign(&gb);
-        gx
+        conv_transpose2d_backward_acc(
+            x,
+            &self.weight,
+            grad_out,
+            self.stride,
+            self.pad,
+            &mut self.grad_weight,
+            &mut self.grad_bias,
+        )
     }
 
     fn params(&self) -> Vec<&Tensor> {

@@ -43,6 +43,28 @@ impl TrafficSummary {
     }
 }
 
+/// Neutral view of the md-tensor worker-pool counters (mirrors
+/// `md_tensor::pool::PoolStats` without depending on it — telemetry stays
+/// zero-dependency). Attached to a [`RunRecord`] this shows whether kernel
+/// calls reused the persistent pool (`threads_spawned == pool_size` in
+/// steady state) or fell back to sequential execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Live worker threads in the pool.
+    pub pool_size: u64,
+    /// OS threads spawned since process start (== `pool_size` unless a
+    /// worker died).
+    pub threads_spawned: u64,
+    /// Parallel jobs dispatched to the pool.
+    pub jobs: u64,
+    /// Kernel calls that ran sequentially (below threshold or nested).
+    pub seq_jobs: u64,
+    /// Individual task indices executed by pool workers.
+    pub tasks: u64,
+    /// Total nanoseconds pool workers spent executing tasks.
+    pub busy_ns: u64,
+}
+
 /// End-of-run artifact; build with the setters, then
 /// [`RunRecord::write_jsonl`] under `results/`.
 #[derive(Default)]
@@ -51,6 +73,7 @@ pub struct RunRecord {
     config_json: Option<String>,
     scores: Vec<ScorePoint>,
     traffic: Option<TrafficSummary>,
+    pool: Option<PoolCounters>,
     extra: Vec<(String, f64)>,
 }
 
@@ -85,6 +108,12 @@ impl RunRecord {
     /// Attaches the traffic summary.
     pub fn with_traffic(mut self, traffic: TrafficSummary) -> Self {
         self.traffic = Some(traffic);
+        self
+    }
+
+    /// Attaches worker-pool counters sampled at the end of the run.
+    pub fn with_pool_counters(mut self, pool: PoolCounters) -> Self {
+        self.pool = Some(pool);
         self
     }
 
@@ -151,6 +180,20 @@ impl RunRecord {
                     .field_u64("swaps_in", w.swaps_in)
                     .field_u64("stale_updates", w.stale_updates)
                     .field_u64("local_steps", w.local_steps)
+                    .build(),
+            );
+        }
+
+        if let Some(p) = &self.pool {
+            lines.push(
+                Object::new()
+                    .field_str("type", "pool")
+                    .field_u64("pool_size", p.pool_size)
+                    .field_u64("threads_spawned", p.threads_spawned)
+                    .field_u64("jobs", p.jobs)
+                    .field_u64("seq_jobs", p.seq_jobs)
+                    .field_u64("tasks", p.tasks)
+                    .field_u64("busy_ns", p.busy_ns)
                     .build(),
             );
         }
@@ -266,6 +309,27 @@ mod tests {
         for l in lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
         }
+    }
+
+    #[test]
+    fn pool_counters_render_as_one_line() {
+        let rec = Recorder::enabled();
+        let rr = RunRecord::new("pool").with_pool_counters(PoolCounters {
+            pool_size: 3,
+            threads_spawned: 3,
+            jobs: 40,
+            seq_jobs: 7,
+            tasks: 120,
+            busy_ns: 9000,
+        });
+        let text = rr.to_jsonl(&rec);
+        assert!(text.contains(
+            r#""type":"pool","pool_size":3,"threads_spawned":3,"jobs":40,"seq_jobs":7,"tasks":120,"busy_ns":9000"#
+        ));
+        // Omitted when never attached.
+        assert!(!RunRecord::new("nopool")
+            .to_jsonl(&rec)
+            .contains(r#""type":"pool""#));
     }
 
     #[test]

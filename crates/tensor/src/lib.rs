@@ -16,10 +16,15 @@
 //! The design intentionally favours clarity and testability over raw speed:
 //! all tensors are contiguous, ops allocate their outputs, and hot kernels
 //! (matmul, im2col) are written as cache-friendly loops that LLVM vectorizes
-//! well at `opt-level >= 2`.
+//! well at `opt-level >= 2`. Large kernels are split over a persistent
+//! worker pool ([`pool`]) — long-lived threads created lazily once, so
+//! steady-state kernel calls never spawn OS threads — with results that are
+//! bitwise identical for any thread count (see [`parallel`] and the
+//! `TENSOR_THREADS` override).
 
 pub mod ops;
 pub mod parallel;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tensor;

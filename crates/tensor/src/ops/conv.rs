@@ -14,6 +14,7 @@
 
 use crate::ops::matmul::matmul_into;
 use crate::parallel;
+use crate::pool::with_scratch;
 use crate::tensor::Tensor;
 
 /// Spatial output size of a convolution along one axis.
@@ -31,8 +32,17 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> u
 }
 
 /// Spatial output size of a transposed convolution along one axis.
+///
+/// # Panics
+/// Panics if `input == 0` (the `(input - 1) * stride` term would otherwise
+/// underflow and silently wrap in release builds), if `stride == 0`, or if
+/// the padding exceeds the produced size.
 pub fn conv_transpose_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
     assert!(stride > 0, "stride must be positive");
+    assert!(
+        input > 0,
+        "conv_transpose input dim must be positive (got 0)"
+    );
     let full = (input - 1) * stride + kernel;
     assert!(
         full >= 2 * pad,
@@ -175,10 +185,13 @@ pub fn conv2d_forward(
     let w_data = weight.data();
     let b_data = bias.data();
     parallel::parallel_for_chunks(&mut out, b, ckk * o * ohw, |bi, out_sample| {
-        let mut cols = vec![0.0f32; ckk * ohw];
-        let image = &in_data[bi * c * h * w..(bi + 1) * c * h * w];
-        im2col(image, c, h, w, kh, kw, stride, pad, oh, ow, &mut cols);
-        matmul_into(w_data, &cols, out_sample, o, ckk, ohw);
+        // Per-thread scratch: im2col fully overwrites `cols`, so the
+        // recycled buffer never leaks stale data.
+        with_scratch(ckk * ohw, |cols| {
+            let image = &in_data[bi * c * h * w..(bi + 1) * c * h * w];
+            im2col(image, c, h, w, kh, kw, stride, pad, oh, ow, cols);
+            matmul_into(w_data, cols, out_sample, o, ckk, ohw);
+        });
         if has_bias {
             for (oc, chunk) in out_sample.chunks_mut(ohw).enumerate() {
                 let bv = b_data[oc];
@@ -202,48 +215,83 @@ pub fn conv2d_backward(
     stride: usize,
     pad: usize,
 ) -> (Tensor, Tensor, Tensor) {
+    let mut grad_weight = Tensor::zeros(weight.shape());
+    let mut grad_bias = Tensor::zeros(&[weight.shape()[0]]);
+    let grad_input = conv2d_backward_acc(
+        input,
+        weight,
+        grad_out,
+        stride,
+        pad,
+        &mut grad_weight,
+        &mut grad_bias,
+    );
+    (grad_input, grad_weight, grad_bias)
+}
+
+/// As [`conv2d_backward`], but **accumulates** the weight and bias gradients
+/// into caller-owned tensors (`grad_weight += …`, `grad_bias += …`) and
+/// returns only the freshly allocated input gradient.
+///
+/// This is the hot-path entry point for training layers: it avoids
+/// allocating per-call gradient tensors and the extra accumulation pass,
+/// and reuses thread-local scratch for the `im2col` column buffers.
+pub fn conv2d_backward_acc(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    grad_weight: &mut Tensor,
+    grad_bias: &mut Tensor,
+) -> Tensor {
     let (b, c, h, w) = dims4(input, "conv2d input");
     let wd = weight.shape();
     let (o, _, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
     let (gb, go, oh, ow) = dims4(grad_out, "conv2d grad_out");
     assert_eq!(gb, b, "conv2d grad batch mismatch");
     assert_eq!(go, o, "conv2d grad channel mismatch");
+    assert_eq!(
+        grad_weight.shape(),
+        weight.shape(),
+        "conv2d grad_weight shape mismatch"
+    );
+    assert_eq!(grad_bias.len(), o, "conv2d grad_bias size mismatch");
     let ckk = c * kh * kw;
     let ohw = oh * ow;
 
     let mut grad_input = vec![0.0f32; input.len()];
-    let mut grad_weight = vec![0.0f32; weight.len()];
-    let mut grad_bias = vec![0.0f32; o];
     let w_t = weight.reshape(&[o, ckk]).t(); // (ckk, o)
+    let gw = grad_weight.data_mut();
+    let gbias = grad_bias.data_mut();
 
-    let mut cols = vec![0.0f32; ckk * ohw];
-    let mut gcols = vec![0.0f32; ckk * ohw];
-    let mut gw_sample = vec![0.0f32; o * ckk];
-    for bi in 0..b {
-        let image = &input.data()[bi * c * h * w..(bi + 1) * c * h * w];
-        let g = &grad_out.data()[bi * o * ohw..(bi + 1) * o * ohw];
-        im2col(image, c, h, w, kh, kw, stride, pad, oh, ow, &mut cols);
+    with_scratch(ckk * ohw, |cols| {
+        with_scratch(ckk * ohw, |gcols| {
+            with_scratch(o * ckk, |gw_sample| {
+                for bi in 0..b {
+                    let image = &input.data()[bi * c * h * w..(bi + 1) * c * h * w];
+                    let g = &grad_out.data()[bi * o * ohw..(bi + 1) * o * ohw];
+                    im2col(image, c, h, w, kh, kw, stride, pad, oh, ow, cols);
 
-        // grad_weight += g (o, ohw) x cols^T (ohw, ckk)
-        matmul_nt_into(g, &cols, &mut gw_sample, o, ohw, ckk);
-        for (acc, &v) in grad_weight.iter_mut().zip(&gw_sample) {
-            *acc += v;
-        }
+                    // grad_weight += g (o, ohw) x cols^T (ohw, ckk)
+                    matmul_nt_into(g, cols, gw_sample, o, ohw, ckk);
+                    for (acc, &v) in gw.iter_mut().zip(gw_sample.iter()) {
+                        *acc += v;
+                    }
 
-        // grad_cols = W^T (ckk, o) x g (o, ohw)
-        matmul_into(w_t.data(), g, &mut gcols, ckk, o, ohw);
-        let gi = &mut grad_input[bi * c * h * w..(bi + 1) * c * h * w];
-        col2im(&gcols, c, h, w, kh, kw, stride, pad, oh, ow, gi);
+                    // grad_cols = W^T (ckk, o) x g (o, ohw)
+                    matmul_into(w_t.data(), g, gcols, ckk, o, ohw);
+                    let gi = &mut grad_input[bi * c * h * w..(bi + 1) * c * h * w];
+                    col2im(gcols, c, h, w, kh, kw, stride, pad, oh, ow, gi);
 
-        for oc in 0..o {
-            grad_bias[oc] += g[oc * ohw..(oc + 1) * ohw].iter().sum::<f32>();
-        }
-    }
-    (
-        Tensor::new(input.shape(), grad_input),
-        Tensor::new(weight.shape(), grad_weight),
-        Tensor::new(&[o], grad_bias),
-    )
+                    for oc in 0..o {
+                        gbias[oc] += g[oc * ohw..(oc + 1) * ohw].iter().sum::<f32>();
+                    }
+                }
+            });
+        });
+    });
+    Tensor::new(input.shape(), grad_input)
 }
 
 /// Batched 2-D transposed convolution forward pass.
@@ -283,12 +331,14 @@ pub fn conv_transpose2d_forward(
     let in_data = input.data();
     let b_data = bias.data();
     parallel::parallel_for_chunks(&mut out, b, ckk * hw, |bi, out_sample| {
-        let mut cols = vec![0.0f32; ckk * hw];
-        let x = &in_data[bi * cin * hw..(bi + 1) * cin * hw];
-        matmul_into(w2_t.data(), x, &mut cols, ckk, cin, hw);
-        out_sample.fill(0.0);
-        // The conv whose adjoint we are: image (cout, oh, ow) -> cols over (h, w).
-        col2im(&cols, cout, oh, ow, kh, kw, stride, pad, h, w, out_sample);
+        // Per-thread scratch: matmul_into fully overwrites `cols`.
+        with_scratch(ckk * hw, |cols| {
+            let x = &in_data[bi * cin * hw..(bi + 1) * cin * hw];
+            matmul_into(w2_t.data(), x, cols, ckk, cin, hw);
+            out_sample.fill(0.0);
+            // The conv whose adjoint we are: image (cout, oh, ow) -> cols over (h, w).
+            col2im(cols, cout, oh, ow, kh, kw, stride, pad, h, w, out_sample);
+        });
         if has_bias {
             for (oc, chunk) in out_sample.chunks_mut(oh * ow).enumerate() {
                 let bv = b_data[oc];
@@ -311,49 +361,80 @@ pub fn conv_transpose2d_backward(
     stride: usize,
     pad: usize,
 ) -> (Tensor, Tensor, Tensor) {
+    let mut grad_weight = Tensor::zeros(weight.shape());
+    let mut grad_bias = Tensor::zeros(&[weight.shape()[1]]);
+    let grad_input = conv_transpose2d_backward_acc(
+        input,
+        weight,
+        grad_out,
+        stride,
+        pad,
+        &mut grad_weight,
+        &mut grad_bias,
+    );
+    (grad_input, grad_weight, grad_bias)
+}
+
+/// As [`conv_transpose2d_backward`], but **accumulates** the weight and bias
+/// gradients into caller-owned tensors and returns only the input gradient.
+/// The training layers use this to cut per-step allocations; column buffers
+/// come from thread-local scratch and the input gradient is written in
+/// place, sample by sample.
+pub fn conv_transpose2d_backward_acc(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    grad_weight: &mut Tensor,
+    grad_bias: &mut Tensor,
+) -> Tensor {
     let (b, cin, h, w) = dims4(input, "conv_t input");
     let wd = weight.shape();
     let (_, cout, kh, kw) = (wd[0], wd[1], wd[2], wd[3]);
     let (gb, gcout, oh, ow) = dims4(grad_out, "conv_t grad_out");
     assert_eq!(gb, b, "conv_t grad batch mismatch");
     assert_eq!(gcout, cout, "conv_t grad channel mismatch");
+    assert_eq!(
+        grad_weight.shape(),
+        weight.shape(),
+        "conv_t grad_weight shape mismatch"
+    );
+    assert_eq!(grad_bias.len(), cout, "conv_t grad_bias size mismatch");
     let ckk = cout * kh * kw;
     let hw = h * w;
 
     let mut grad_input = vec![0.0f32; input.len()];
-    let mut grad_weight = vec![0.0f32; weight.len()]; // (cin, ckk) flat
-    let mut grad_bias = vec![0.0f32; cout];
-
     let w2 = weight.reshape(&[cin, ckk]); // (cin, ckk)
-    let mut gcols = vec![0.0f32; ckk * hw];
-    let mut gx = vec![0.0f32; cin * hw];
-    let mut gw_sample = vec![0.0f32; cin * ckk];
-    for bi in 0..b {
-        let g = &grad_out.data()[bi * cout * oh * ow..(bi + 1) * cout * oh * ow];
-        let x = &input.data()[bi * cin * hw..(bi + 1) * cin * hw];
+    let gw = grad_weight.data_mut();
+    let gbias = grad_bias.data_mut();
 
-        // dL/dcols = im2col(dL/dout) over the adjoint conv geometry.
-        im2col(g, cout, oh, ow, kh, kw, stride, pad, h, w, &mut gcols);
+    with_scratch(ckk * hw, |gcols| {
+        with_scratch(cin * ckk, |gw_sample| {
+            for bi in 0..b {
+                let g = &grad_out.data()[bi * cout * oh * ow..(bi + 1) * cout * oh * ow];
+                let x = &input.data()[bi * cin * hw..(bi + 1) * cin * hw];
 
-        // dL/dx = W2 (cin, ckk) x gcols (ckk, hw)
-        matmul_into(w2.data(), &gcols, &mut gx, cin, ckk, hw);
-        grad_input[bi * cin * hw..(bi + 1) * cin * hw].copy_from_slice(&gx);
+                // dL/dcols = im2col(dL/dout) over the adjoint conv geometry.
+                im2col(g, cout, oh, ow, kh, kw, stride, pad, h, w, gcols);
 
-        // dL/dW2 = x (cin, hw) x gcols^T (hw, ckk)
-        matmul_nt_into(x, &gcols, &mut gw_sample, cin, hw, ckk);
-        for (acc, &v) in grad_weight.iter_mut().zip(&gw_sample) {
-            *acc += v;
-        }
+                // dL/dx = W2 (cin, ckk) x gcols (ckk, hw), straight into place.
+                let gi = &mut grad_input[bi * cin * hw..(bi + 1) * cin * hw];
+                matmul_into(w2.data(), gcols, gi, cin, ckk, hw);
 
-        for oc in 0..cout {
-            grad_bias[oc] += g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
-        }
-    }
-    (
-        Tensor::new(input.shape(), grad_input),
-        Tensor::new(weight.shape(), grad_weight),
-        Tensor::new(&[cout], grad_bias),
-    )
+                // dL/dW2 = x (cin, hw) x gcols^T (hw, ckk)
+                matmul_nt_into(x, gcols, gw_sample, cin, hw, ckk);
+                for (acc, &v) in gw.iter_mut().zip(gw_sample.iter()) {
+                    *acc += v;
+                }
+
+                for oc in 0..cout {
+                    gbias[oc] += g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+                }
+            }
+        });
+    });
+    Tensor::new(input.shape(), grad_input)
 }
 
 /// `out (m,n) = a (m,k) x b^T` where `b` is `(n,k)`, overwriting `out`.
@@ -662,6 +743,61 @@ mod tests {
         let out = conv2d_forward(&x, &wt, &Tensor::zeros(&[0]), 1, 0);
         let want = conv_ref(&x, &wt, &Tensor::zeros(&[0]), 1, 0);
         assert_close(out.data(), want.data(), 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim must be positive")]
+    fn conv_transpose_out_dim_rejects_zero_input() {
+        // Regression: `(input - 1) * stride` used to underflow (wrapping in
+        // release builds) instead of failing with a clear message.
+        conv_transpose_out_dim(0, 3, 2, 1);
+    }
+
+    #[test]
+    fn zero_batch_conv_forward_backward() {
+        // Regression: a zero-sample batch used to panic inside
+        // parallel_for_chunks ("n == 0") instead of producing empty outputs.
+        let mut rng = Rng64::seed_from_u64(7);
+        let x = Tensor::zeros(&[0, 2, 5, 5]);
+        let wt = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        let bias = Tensor::randn(&[3], &mut rng);
+        let out = conv2d_forward(&x, &wt, &bias, 2, 1);
+        assert_eq!(out.shape(), &[0, 3, 3, 3]);
+        let (gx, gw, gbias) = conv2d_backward(&x, &wt, &out, 2, 1);
+        assert_eq!(gx.shape(), x.shape());
+        assert!(gw.data().iter().all(|&v| v == 0.0));
+        assert!(gbias.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_batch_conv_transpose_forward_backward() {
+        let mut rng = Rng64::seed_from_u64(8);
+        let x = Tensor::zeros(&[0, 3, 4, 4]);
+        let wt = Tensor::randn(&[3, 2, 4, 4], &mut rng);
+        let bias = Tensor::randn(&[2], &mut rng);
+        let out = conv_transpose2d_forward(&x, &wt, &bias, 2, 1);
+        assert_eq!(out.shape(), &[0, 2, 8, 8]);
+        let (gx, gw, gbias) = conv_transpose2d_backward(&x, &wt, &out, 2, 1);
+        assert_eq!(gx.shape(), x.shape());
+        assert!(gw.data().iter().all(|&v| v == 0.0));
+        assert!(gbias.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn backward_acc_accumulates_into_existing_grads() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let x = Tensor::randn(&[2, 2, 5, 5], &mut rng);
+        let wt = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        let g = Tensor::randn(&[2, 3, 3, 3], &mut rng);
+        let (gx_ref, gw_ref, gb_ref) = conv2d_backward(&x, &wt, &g, 2, 1);
+        // Accumulating twice into non-zero grads equals 2x the fresh result.
+        let mut gw = Tensor::zeros(wt.shape());
+        let mut gbias = Tensor::zeros(&[3]);
+        let gx1 = conv2d_backward_acc(&x, &wt, &g, 2, 1, &mut gw, &mut gbias);
+        let _ = conv2d_backward_acc(&x, &wt, &g, 2, 1, &mut gw, &mut gbias);
+        crate::assert_close(gx1.data(), gx_ref.data(), 1e-5);
+        crate::assert_close(gw.data(), gw_ref.scale(2.0).data(), 1e-4);
+        crate::assert_close(gbias.data(), gb_ref.scale(2.0).data(), 1e-4);
     }
 
     #[test]

@@ -49,11 +49,13 @@ impl Tensor {
         let (m, n) = (self.shape()[0], self.shape()[1]);
         let src = self.data();
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = src[i * n + j];
+        // One output row (length m) per source column; a pure copy, so the
+        // result is thread-count independent.
+        parallel::parallel_for_chunks(&mut out, n, m, |j, orow| {
+            for (i, o) in orow.iter_mut().enumerate() {
+                *o = src[i * n + j];
             }
-        }
+        });
         Tensor::new(&[n, m], out)
     }
 
@@ -74,6 +76,9 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
+        if m == 0 || n == 0 {
+            return Tensor::new(&[m, n], out);
+        }
         parallel::parallel_for_chunks(&mut out, m, k * n, |i, row| {
             let ar = &a[i * k..(i + 1) * k];
             for (j, o) in row.iter_mut().enumerate() {
@@ -105,21 +110,24 @@ impl Tensor {
         let a = self.data();
         let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        // out[i, j] = sum_p a[p, i] * b[p, j]; accumulate row-by-row of a/b.
-        for p in 0..k {
-            let ar = &a[p * m..(p + 1) * m];
-            let br = &b[p * n..(p + 1) * n];
-            for i in 0..m {
-                let av = ar[i];
+        if m == 0 || n == 0 || k == 0 {
+            return Tensor::new(&[m, n], out);
+        }
+        // out[i, j] = sum_p a[p, i] * b[p, j]. One output row per task;
+        // each element accumulates over p in ascending order regardless of
+        // the thread count, so results are bitwise reproducible.
+        parallel::parallel_for_chunks(&mut out, m, k * n, |i, orow| {
+            for p in 0..k {
+                let av = a[p * m + i];
                 if av == 0.0 {
                     continue;
                 }
-                let orow = &mut out[i * n..(i + 1) * n];
+                let br = &b[p * n..(p + 1) * n];
                 for (o, &bv) in orow.iter_mut().zip(br) {
                     *o += av * bv;
                 }
             }
-        }
+        });
         Tensor::new(&[m, n], out)
     }
 }
@@ -255,6 +263,38 @@ mod tests {
         let b = Tensor::zeros(&[3, 2]);
         let c = a.matmul(&b);
         assert_eq!(c.shape(), &[0, 2]);
+    }
+
+    #[test]
+    fn zero_sized_matmul_nt() {
+        // Regression: m == 0 used to trip parallel_for_chunks' `n > 0`
+        // assert, and n == 0 used to panic in `chunks_mut(0)`.
+        let c = Tensor::zeros(&[0, 3]).matmul_nt(&Tensor::zeros(&[2, 3]));
+        assert_eq!(c.shape(), &[0, 2]);
+        let c = Tensor::zeros(&[2, 3]).matmul_nt(&Tensor::zeros(&[0, 3]));
+        assert_eq!(c.shape(), &[2, 0]);
+        let c = Tensor::zeros(&[2, 0]).matmul_nt(&Tensor::zeros(&[3, 0]));
+        assert_eq!(c.shape(), &[2, 3]);
+        assert!(c.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_sized_matmul_tn() {
+        let c = Tensor::zeros(&[3, 0]).matmul_tn(&Tensor::zeros(&[3, 2]));
+        assert_eq!(c.shape(), &[0, 2]);
+        let c = Tensor::zeros(&[3, 2]).matmul_tn(&Tensor::zeros(&[3, 0]));
+        assert_eq!(c.shape(), &[2, 0]);
+        let c = Tensor::zeros(&[0, 2]).matmul_tn(&Tensor::zeros(&[0, 3]));
+        assert_eq!(c.shape(), &[2, 3]);
+        assert!(c.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_sized_transpose() {
+        let t = Tensor::zeros(&[0, 4]).t();
+        assert_eq!(t.shape(), &[4, 0]);
+        let t = Tensor::zeros(&[4, 0]).t();
+        assert_eq!(t.shape(), &[0, 4]);
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Persistent worker pool backing [`crate::parallel`].
+//!
+//! The first implementation of the parallel helpers spawned fresh scoped OS
+//! threads on *every* large kernel call — tens of microseconds of spawn/join
+//! overhead on a path that GAN training hits thousands of times per run.
+//! This module replaces that with a process-wide pool of long-lived workers:
+//!
+//! * workers are created **lazily** on the first job that needs them and
+//!   then reused forever, so steady-state kernel calls spawn zero OS
+//!   threads ([`stats`] lets callers verify `threads_spawned == pool_size`);
+//! * the pool grows on demand up to the parallelism requested by
+//!   [`crate::parallel::max_threads`] (which honors `set_max_threads` and
+//!   the `TENSOR_THREADS` environment override);
+//! * jobs are dispatched over the vendored crossbeam channels, one channel
+//!   per worker, and completion is signalled with an atomic countdown plus
+//!   `park`/`unpark` — no per-job heap allocation;
+//! * task index `i` is always executed by slot `i % threads` in ascending
+//!   order, so the work → worker mapping is deterministic and, because every
+//!   task only touches data derived from its own index, results are bitwise
+//!   identical for any thread count;
+//! * the **calling thread participates** as slot 0, so a parallelism of `T`
+//!   only ever needs `T - 1` pool workers;
+//! * nested data-parallel calls (a kernel invoked from inside another
+//!   kernel's parallel body, e.g. the per-sample matmul inside the batched
+//!   conv) degrade to sequential execution on the spot — the pool can never
+//!   deadlock on itself and nesting does not change results.
+//!
+//! The module also hosts the **thread-local scratch allocator**
+//! ([`with_scratch`]) used by the convolution kernels to reuse `im2col`/
+//! `col2im` column buffers across calls instead of allocating per sample.
+
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// One queued unit of work: a pointer to the dispatching call's shared
+/// state plus the slot (strided offset) this worker should execute.
+struct Job {
+    shared: *const SharedJob,
+    slot: usize,
+}
+
+// SAFETY: `shared` points at a `SharedJob` on the dispatching thread's
+// stack. That thread blocks until every worker has decremented
+// `SharedJob::remaining`, which is each worker's final access, so the
+// pointee (and the closure it references) outlives all uses.
+unsafe impl Send for Job {}
+
+/// Per-dispatch state shared between the caller and its workers.
+struct SharedJob {
+    /// Type-erased `&(dyn Fn(usize) + Sync)` borrowed from the dispatching
+    /// call frame; valid until `remaining` reaches zero.
+    body: *const (dyn Fn(usize) + Sync),
+    /// Number of task indices.
+    n: usize,
+    /// Total slots (caller + workers); slot `s` runs `s, s+stride, ...`.
+    stride: usize,
+    /// Workers that have not finished their slice yet.
+    remaining: AtomicUsize,
+    /// Set when a worker's slice panicked.
+    panicked: AtomicBool,
+    /// Handle used by the last finishing worker to wake the caller.
+    caller: std::thread::Thread,
+}
+
+// SAFETY: all fields are either plain data, atomics, or pointers whose
+// lifetime is managed as described on `Job`.
+unsafe impl Sync for SharedJob {}
+
+/// Send half of each worker's job queue, in slot order (index 0 is slot 1).
+static POOL: Mutex<Vec<Sender<Job>>> = Mutex::new(Vec::new());
+
+static THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
+static JOBS: AtomicU64 = AtomicU64::new(0);
+static SEQ_JOBS: AtomicU64 = AtomicU64::new(0);
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// True on pool workers (always) and on callers while they execute
+    /// their own slot-0 share; gates nested parallelism to sequential.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+
+    /// Reusable f32 buffers for [`with_scratch`], a stack so nested scopes
+    /// each get their own buffer.
+    static SCRATCH: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Counters describing the pool's lifetime activity, for telemetry export.
+///
+/// In steady state `threads_spawned == pool_size`: workers are created once
+/// and reused, never respawned per call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers currently alive.
+    pub pool_size: u64,
+    /// OS threads ever created by the pool (equals `pool_size` unless the
+    /// requested parallelism grew over the process lifetime).
+    pub threads_spawned: u64,
+    /// Parallel jobs dispatched to the pool.
+    pub jobs: u64,
+    /// `parallel_*` calls that ran inline (below threshold, single thread,
+    /// or nested inside another parallel region).
+    pub seq_jobs: u64,
+    /// Task indices executed by pool workers (the caller's slot-0 share is
+    /// not counted).
+    pub tasks: u64,
+    /// Cumulative wall time pool workers spent executing job slices.
+    pub busy_ns: u64,
+}
+
+/// Snapshot of the pool counters.
+pub fn stats() -> PoolStats {
+    PoolStats {
+        pool_size: POOL.lock().unwrap_or_else(PoisonError::into_inner).len() as u64,
+        threads_spawned: THREADS_SPAWNED.load(Ordering::Relaxed),
+        jobs: JOBS.load(Ordering::Relaxed),
+        seq_jobs: SEQ_JOBS.load(Ordering::Relaxed),
+        tasks: TASKS.load(Ordering::Relaxed),
+        busy_ns: BUSY_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// True while the current thread is inside a parallel region (a pool worker,
+/// or a caller executing its slot-0 share). [`crate::parallel`] uses this to
+/// run nested data-parallel calls sequentially.
+pub(crate) fn in_parallel_region() -> bool {
+    IN_PARALLEL.with(Cell::get)
+}
+
+/// Tallies a `parallel_*` call that ran inline rather than on the pool.
+pub(crate) fn note_sequential() {
+    SEQ_JOBS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Restores the caller's `IN_PARALLEL` flag on drop.
+struct RegionGuard {
+    prev: bool,
+}
+
+impl RegionGuard {
+    fn enter() -> Self {
+        let prev = IN_PARALLEL.with(|f| f.replace(true));
+        RegionGuard { prev }
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_PARALLEL.with(|f| f.set(prev));
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>) {
+    // Workers are permanently inside a parallel region: any kernel invoked
+    // from a job body must run inline.
+    IN_PARALLEL.with(|f| f.set(true));
+    while let Ok(job) = rx.recv() {
+        let t0 = Instant::now();
+        // SAFETY: see `Job` — the caller keeps `shared` (and the closure it
+        // points to) alive until we decrement `remaining` below.
+        let shared = unsafe { &*job.shared };
+        let body = unsafe { &*shared.body };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut executed = 0u64;
+            let mut i = job.slot;
+            while i < shared.n {
+                body(i);
+                executed += 1;
+                i += shared.stride;
+            }
+            executed
+        }));
+        match outcome {
+            Ok(executed) => {
+                TASKS.fetch_add(executed, Ordering::Relaxed);
+            }
+            Err(_) => shared.panicked.store(true, Ordering::Relaxed),
+        }
+        BUSY_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // Clone the caller handle *before* the decrement: once `remaining`
+        // hits zero the caller may invalidate `shared` at any moment.
+        let caller = shared.caller.clone();
+        if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            caller.unpark();
+        }
+    }
+}
+
+/// Grows the pool to at least `helpers` workers and queues `shared` on the
+/// first `helpers` of them (slots `1..=helpers`).
+fn dispatch(shared: &SharedJob, helpers: usize) {
+    let mut pool = POOL.lock().unwrap_or_else(PoisonError::into_inner);
+    while pool.len() < helpers {
+        let (tx, rx) = unbounded::<Job>();
+        let idx = pool.len();
+        std::thread::Builder::new()
+            .name(format!("md-tensor-{idx}"))
+            .spawn(move || worker_loop(rx))
+            .expect("failed to spawn md-tensor pool worker");
+        THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
+        pool.push(tx);
+    }
+    for slot in 1..=helpers {
+        pool[slot - 1]
+            .send(Job {
+                shared: shared as *const SharedJob,
+                slot,
+            })
+            .expect("md-tensor pool worker exited");
+    }
+}
+
+/// Runs `body(i)` for every `i in 0..n` across `threads` slots: the calling
+/// thread executes slot 0 and `threads - 1` pool workers execute the rest,
+/// each slot taking indices `slot, slot + threads, ...` in ascending order.
+///
+/// Callers guarantee `threads >= 2` and that the current thread is not
+/// already inside a parallel region.
+///
+/// # Panics
+/// Re-raises a panic from the caller's own share, and panics with
+/// "pool worker panicked" if any worker's share panicked (the workers
+/// themselves survive and keep serving jobs).
+pub(crate) fn run(threads: usize, n: usize, body: &(dyn Fn(usize) + Sync)) {
+    debug_assert!(threads >= 2, "pool::run needs at least two slots");
+    debug_assert!(!in_parallel_region(), "pool::run from inside a job");
+    let helpers = threads - 1;
+    let shared = SharedJob {
+        // SAFETY: only the lifetime is erased; `shared` (and thus this
+        // pointer) is dead before `body` is, because we block on
+        // `remaining` below before returning.
+        body: unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                body,
+            )
+        },
+        n,
+        stride: threads,
+        remaining: AtomicUsize::new(helpers),
+        panicked: AtomicBool::new(false),
+        caller: std::thread::current(),
+    };
+    JOBS.fetch_add(1, Ordering::Relaxed);
+    dispatch(&shared, helpers);
+
+    // The caller takes slot 0. While it runs, nested parallel_* calls from
+    // inside `body` degrade to sequential (same policy as on the workers),
+    // so the pool can never deadlock on itself.
+    let caller_outcome = {
+        let _region = RegionGuard::enter();
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut i = 0;
+            while i < n {
+                body(i);
+                i += threads;
+            }
+        }))
+    };
+
+    // Wait for every worker even if our own share panicked: they borrow the
+    // caller's stack through `shared` until the countdown reaches zero.
+    while shared.remaining.load(Ordering::Acquire) != 0 {
+        std::thread::park();
+    }
+
+    if let Err(payload) = caller_outcome {
+        std::panic::resume_unwind(payload);
+    }
+    assert!(
+        !shared.panicked.load(Ordering::Relaxed),
+        "md-tensor pool worker panicked"
+    );
+}
+
+/// Runs `f` with a thread-local scratch buffer of exactly `len` elements.
+///
+/// The buffer's **contents are arbitrary on entry** (it is recycled across
+/// calls); callers must fully overwrite the region they read. Buffers are
+/// kept per thread — pool workers included — so steady-state kernel calls
+/// allocate nothing once warmed up. Scopes may nest: each nesting level gets
+/// its own buffer.
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+    let mut buf = SCRATCH.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    let result = f(&mut buf[..len]);
+    SCRATCH.with(|s| s.borrow_mut().push(buf));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    #[test]
+    fn run_covers_every_index_once() {
+        let hits: Vec<TestCounter> = (0..101).map(|_| TestCounter::new(0)).collect();
+        run(4, 101, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn steady_state_spawns_no_new_threads() {
+        // Warm the pool, then check repeated jobs leave the spawn counter
+        // equal to the pool size (i.e. zero per-call thread creation).
+        run(3, 16, &|_| {});
+        let before = stats();
+        for _ in 0..32 {
+            run(3, 16, &|_| {});
+        }
+        let after = stats();
+        assert_eq!(after.threads_spawned, before.threads_spawned);
+        assert!(after.pool_size >= 2);
+        assert_eq!(after.jobs, before.jobs + 32);
+        assert!(after.tasks > before.tasks);
+    }
+
+    #[test]
+    fn worker_panic_is_reported_and_pool_survives() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run(2, 8, &|i| {
+                // Index 1 lands on slot 1 (a pool worker).
+                assert!(i != 1, "boom");
+            });
+        }));
+        assert!(caught.is_err());
+        // The worker survives the panic and keeps serving jobs.
+        let hits = TestCounter::new(0);
+        run(2, 8, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn scratch_reuses_capacity_and_nests() {
+        let p1 = with_scratch(64, |a| {
+            a.fill(1.0);
+            let inner = with_scratch(32, |b| {
+                b.fill(2.0);
+                b.as_ptr() as usize
+            });
+            assert!(a.iter().all(|&v| v == 1.0), "nested scope clobbered outer");
+            (a.as_ptr() as usize, inner)
+        });
+        // Same-size reuse on the same thread returns a recycled buffer (one
+        // of the two stacked ones).
+        let p2 = with_scratch(64, |a| a.as_ptr() as usize);
+        assert!(p2 == p1.0 || p2 == p1.1);
+    }
+
+    #[test]
+    fn scratch_len_is_exact() {
+        with_scratch(100, |a| assert_eq!(a.len(), 100));
+        with_scratch(10, |a| assert_eq!(a.len(), 10));
+    }
+}

@@ -1,0 +1,178 @@
+//! Integration tests for degenerate (zero-size) kernel shapes and the
+//! bitwise-determinism guarantee of the persistent worker pool.
+//!
+//! Every kernel must (a) accept empty operands without panicking and
+//! (b) produce bitwise-identical bytes for any thread count. The
+//! determinism tests use problem sizes above `PAR_THRESHOLD` so the
+//! pooled path is actually exercised when more than one slot is allowed.
+
+use md_tensor::ops::conv::{
+    conv2d_backward, conv2d_forward, conv_transpose2d_backward, conv_transpose2d_forward,
+};
+use md_tensor::parallel::scoped_max_threads;
+use md_tensor::pool;
+use md_tensor::rng::Rng64;
+use md_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Asserts two tensors carry the same shape and the same f32 bit patterns.
+fn assert_bitwise_eq(a: &Tensor, b: &Tensor) {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "element {i} differs bitwise: {x} vs {y}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All four matmul variants accept a zero dimension anywhere and
+    /// return an empty (or all-zero) result of the right shape.
+    #[test]
+    fn matmul_family_handles_zero_dims(m in 0usize..4, k in 0usize..4, n in 0usize..4) {
+        // Force at least one dimension to zero.
+        let (m, k, n) = if m * k * n != 0 { (0, k, n) } else { (m, k, n) };
+        let mut rng = Rng64::seed_from_u64((m * 16 + k * 4 + n) as u64);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        prop_assert_eq!(a.matmul(&b).shape(), &[m, n]);
+        let bt = Tensor::randn(&[n, k], &mut rng);
+        prop_assert_eq!(a.matmul_nt(&bt).shape(), &[m, n]);
+        let at = Tensor::randn(&[k, m], &mut rng);
+        let c = at.matmul_tn(&b);
+        prop_assert_eq!(c.shape(), &[m, n]);
+        // k == 0 must yield zeros, not garbage.
+        prop_assert!(c.data().iter().all(|v| v.is_finite()));
+        prop_assert_eq!(a.t().shape(), &[k, m]);
+    }
+
+    /// Zero-batch convolutions (forward and backward) are well-defined.
+    #[test]
+    fn zero_batch_conv_round_trips(cin in 1usize..3, cout in 1usize..3, hw in 3usize..6) {
+        let mut rng = Rng64::seed_from_u64((cin * 8 + cout * 2 + hw) as u64);
+        let x = Tensor::zeros(&[0, cin, hw, hw]);
+        let w = Tensor::randn(&[cout, cin, 3, 3], &mut rng);
+        let bias = Tensor::zeros(&[cout]);
+        let y = conv2d_forward(&x, &w, &bias, 1, 1);
+        prop_assert_eq!(y.shape(), &[0, cout, hw, hw]);
+        let (gx, gw, gb) = conv2d_backward(&x, &w, &y, 1, 1);
+        prop_assert_eq!(gx.shape(), x.shape());
+        prop_assert!(gw.data().iter().all(|&v| v == 0.0));
+        prop_assert!(gb.data().iter().all(|&v| v == 0.0));
+
+        let wt = Tensor::randn(&[cin, cout, 4, 4], &mut rng);
+        let xt = Tensor::zeros(&[0, cin, hw, hw]);
+        let yt = conv_transpose2d_forward(&xt, &wt, &bias, 2, 1);
+        prop_assert_eq!(yt.shape()[0], 0);
+        let (gxt, gwt, gbt) = conv_transpose2d_backward(&xt, &wt, &yt, 2, 1);
+        prop_assert_eq!(gxt.shape(), xt.shape());
+        prop_assert!(gwt.data().iter().all(|&v| v == 0.0));
+        prop_assert!(gbt.data().iter().all(|&v| v == 0.0));
+    }
+}
+
+#[test]
+fn matmul_bitwise_identical_across_thread_counts() {
+    // 256^3 => n * work_hint = 256 * 65536 ≈ 16.7M > PAR_THRESHOLD, so the
+    // 4-slot run really goes through the pool.
+    let mut rng = Rng64::seed_from_u64(7);
+    let a = Tensor::randn(&[256, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+
+    let seq = {
+        let _g = scoped_max_threads(1);
+        (a.matmul(&b), a.matmul_nt(&b), a.matmul_tn(&b))
+    };
+    let par = {
+        let _g = scoped_max_threads(4);
+        (a.matmul(&b), a.matmul_nt(&b), a.matmul_tn(&b))
+    };
+    assert_bitwise_eq(&seq.0, &par.0);
+    assert_bitwise_eq(&seq.1, &par.1);
+    assert_bitwise_eq(&seq.2, &par.2);
+}
+
+#[test]
+fn transpose_bitwise_identical_across_thread_counts() {
+    // 3000*3000 = 9M elements > PAR_THRESHOLD (work_hint is the row length).
+    let mut rng = Rng64::seed_from_u64(11);
+    let a = Tensor::randn(&[3000, 3000], &mut rng);
+    let seq = {
+        let _g = scoped_max_threads(1);
+        a.t()
+    };
+    let par = {
+        let _g = scoped_max_threads(4);
+        a.t()
+    };
+    assert_bitwise_eq(&seq, &par);
+}
+
+#[test]
+fn conv_bitwise_identical_across_thread_counts() {
+    // b=4, cin=8, k=3 (ckk=72), cout=32, 32x32 output =>
+    // 4 * 72*32*1024 ≈ 9.4M > PAR_THRESHOLD.
+    let mut rng = Rng64::seed_from_u64(13);
+    let x = Tensor::randn(&[4, 8, 32, 32], &mut rng);
+    let w = Tensor::randn(&[32, 8, 3, 3], &mut rng);
+    let bias = Tensor::randn(&[32], &mut rng);
+
+    let run = |threads: usize| {
+        let _g = scoped_max_threads(threads);
+        let y = conv2d_forward(&x, &w, &bias, 1, 1);
+        let (gx, gw, gb) = conv2d_backward(&x, &w, &y, 1, 1);
+        (y, gx, gw, gb)
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_bitwise_eq(&seq.0, &par.0);
+    assert_bitwise_eq(&seq.1, &par.1);
+    assert_bitwise_eq(&seq.2, &par.2);
+    assert_bitwise_eq(&seq.3, &par.3);
+}
+
+#[test]
+fn conv_transpose_bitwise_identical_across_thread_counts() {
+    let mut rng = Rng64::seed_from_u64(17);
+    let x = Tensor::randn(&[4, 32, 16, 16], &mut rng);
+    let w = Tensor::randn(&[32, 16, 4, 4], &mut rng);
+    let bias = Tensor::randn(&[16], &mut rng);
+
+    let run = |threads: usize| {
+        let _g = scoped_max_threads(threads);
+        let y = conv_transpose2d_forward(&x, &w, &bias, 2, 1);
+        let (gx, gw, gb) = conv_transpose2d_backward(&x, &w, &y, 2, 1);
+        (y, gx, gw, gb)
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_bitwise_eq(&seq.0, &par.0);
+    assert_bitwise_eq(&seq.1, &par.1);
+    assert_bitwise_eq(&seq.2, &par.2);
+    assert_bitwise_eq(&seq.3, &par.3);
+}
+
+#[test]
+fn steady_state_kernels_reuse_pool_threads() {
+    let _g = scoped_max_threads(4);
+    let mut rng = Rng64::seed_from_u64(19);
+    let a = Tensor::randn(&[256, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+    // Warm the pool, then check that repeated kernel calls spawn nothing.
+    let _ = a.matmul(&b);
+    let spawned = pool::stats().threads_spawned;
+    for _ in 0..8 {
+        let _ = a.matmul(&b);
+        let _ = a.matmul_tn(&b);
+    }
+    let stats = pool::stats();
+    assert_eq!(
+        stats.threads_spawned, spawned,
+        "steady-state kernel calls must not spawn OS threads"
+    );
+    assert_eq!(stats.threads_spawned, stats.pool_size);
+}
