@@ -28,6 +28,7 @@ fn cfg(k: KPolicy, swap: SwapPolicy, l: usize) -> MdGanConfig {
         iterations: 1000,
         seed: 11,
         crash: Default::default(),
+        ..MdGanConfig::default()
     }
 }
 

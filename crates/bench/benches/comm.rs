@@ -67,7 +67,7 @@ fn bench_router_roundtrip(c: &mut Criterion) {
         let eps = router.all_endpoints();
         let payload = vec![0.0f32; 256];
         bench.iter(|| {
-            eps[0].send(1, payload.clone(), 1024);
+            eps[0].send(1, payload.clone(), 1024).unwrap();
             std::hint::black_box(eps[1].recv());
         });
     });

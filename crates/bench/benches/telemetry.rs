@@ -34,6 +34,7 @@ fn tiny_mdgan() -> (ArchSpec, Vec<md_data::Dataset>, MdGanConfig) {
         iterations: 1000,
         seed: 3,
         crash: Default::default(),
+        ..MdGanConfig::default()
     };
     (spec, shards, cfg)
 }

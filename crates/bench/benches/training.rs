@@ -63,6 +63,7 @@ fn bench_mdgan_step(c: &mut Criterion) {
             iterations: 1000,
             seed: 3,
             crash: Default::default(),
+            ..MdGanConfig::default()
         };
         let mut md = MdGan::new(&spec, shards, cfg);
         g.bench_function(name, |bench| {

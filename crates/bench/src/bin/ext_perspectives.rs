@@ -58,6 +58,7 @@ fn main() {
         iterations: iters,
         seed: seed ^ seed_x,
         crash: Default::default(),
+        ..MdGanConfig::default()
     };
     let shards = |seed_x: u64| {
         let mut rng = Rng64::seed_from_u64(seed ^ seed_x);

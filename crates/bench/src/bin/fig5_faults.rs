@@ -8,13 +8,19 @@
 //!     --family mnist --iters 800 --workers 10
 //! ```
 //!
-//! Writes `results/fig5_<family>.csv`.
+//! Writes `results/fig5_<family>.csv`, and — unless `--drops none` — also
+//! sweeps the oracle-free robust runtime over a seeded lossy network
+//! (`--drops 0,0.05,0.1,0.2` style, `--fault-seed N`), writing the
+//! degradation curve (final scores vs. drop rate, plus dropped/retry/
+//! suspected tallies) to `results/fig5_lossy_<family>.csv`.
 
 use md_bench::{emit_run_record, print_table, recorder_from_env, write_csv, Args};
 use md_data::synthetic::Family;
 use md_telemetry::{json, RunRecord};
 use mdgan_core::arch::ArchKind;
-use mdgan_core::experiments::{run_faults_with, ExperimentScale};
+use mdgan_core::experiments::{
+    run_faults_with, run_lossy_faults_with, ExperimentScale, LossyPoint,
+};
 
 fn main() {
     let args = Args::parse();
@@ -92,4 +98,73 @@ fn main() {
         }
     }
     emit_run_record(record, &recorder);
+
+    // Lossy-network variant: the same figure on the robust runtime, one run
+    // per drop rate (each with a mid-run crash the server must detect by
+    // itself), producing a degradation curve instead of a score timeline.
+    let drops_str = args.get_str("drops", "0,0.05,0.1,0.2");
+    if drops_str == "none" {
+        return;
+    }
+    let drops: Vec<f32> = drops_str
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad --drops entry {s:?}"))
+        })
+        .collect();
+    let fault_seed = args.get("fault-seed", 7u64);
+
+    eprintln!("running lossy-network sweep over drops {drops:?} (fault seed {fault_seed})");
+    let points = run_lossy_faults_with(family, arch, scale, workers, &drops, fault_seed, &recorder);
+
+    let mut csv = String::new();
+    for p in &points {
+        csv.push_str(&p.to_csv_row());
+    }
+    write_csv(
+        &format!("fig5_lossy_{fam_str}.csv"),
+        LossyPoint::csv_header().trim_end(),
+        &csv,
+    );
+
+    let rows: Vec<[String; 5]> = points
+        .iter()
+        .map(|p| {
+            [
+                format!("{:.0}%", p.drop * 100.0),
+                format!("{:.3}", p.final_scores.inception_score),
+                format!("{:.2}", p.final_scores.fid),
+                format!("{}", p.traffic.retries),
+                format!("{}", p.suspected),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 5 lossy ({fam_str}) — degradation vs drop rate (IS ↑, FID ↓)"),
+        ["drop", "IS", "FID", "retries", "suspected"],
+        &rows,
+    );
+
+    let lossy_config = json::Object::new()
+        .field_str("figure", "fig5_lossy")
+        .field_str("family", &fam_str)
+        .field_u64("workers", workers as u64)
+        .field_u64("iterations", scale.iters as u64)
+        .field_u64("seed", scale.seed)
+        .field_u64("fault_seed", fault_seed)
+        .build();
+    let mut lossy_record =
+        RunRecord::new(format!("fig5_lossy_{fam_str}")).with_config_json(lossy_config);
+    for p in &points {
+        lossy_record = lossy_record
+            .with_metric(format!("fid[drop={}]", p.drop), p.final_scores.fid)
+            .with_metric(
+                format!("dropped_bytes[drop={}]", p.drop),
+                p.traffic.dropped_bytes as f64,
+            )
+            .with_metric(format!("suspected[drop={}]", p.drop), p.suspected as f64);
+    }
+    emit_run_record(lossy_record, &recorder);
 }

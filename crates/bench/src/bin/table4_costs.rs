@@ -95,6 +95,7 @@ fn main() {
         iterations: sim_iters,
         seed: 2,
         crash: Default::default(),
+        ..MdGanConfig::default()
     };
     let recorder = recorder_from_env();
     let mut md = MdGan::new(&spec, shards.clone(), md_cfg).with_telemetry(Arc::clone(&recorder));

@@ -77,40 +77,59 @@ impl Checkpoint {
     /// Parses the wire format.
     ///
     /// # Errors
-    /// Returns a descriptive error on magic/version mismatch or truncation.
-    pub fn from_bytes(mut buf: &[u8]) -> Result<Self, String> {
+    /// Returns [`io::ErrorKind::InvalidData`] on magic/version mismatch,
+    /// truncation, or an implausible section count — never panics, so a
+    /// corrupt or hostile file cannot take the trainer down.
+    pub fn from_bytes(mut buf: &[u8]) -> io::Result<Self> {
+        fn bad(msg: String) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, msg)
+        }
         if buf.len() < 8 + 4 + 8 + 4 {
-            return Err("checkpoint truncated (header)".into());
+            return Err(bad("checkpoint truncated (header)".into()));
         }
         let mut magic = [0u8; 8];
         buf.copy_to_slice(&mut magic);
         if &magic != MAGIC {
-            return Err(format!("bad magic {magic:?}"));
+            return Err(bad(format!("bad magic {magic:?}")));
         }
         let version = buf.get_u32_le();
         if version != VERSION {
-            return Err(format!("unsupported checkpoint version {version}"));
+            return Err(bad(format!("unsupported checkpoint version {version}")));
         }
         let iteration = buf.get_u64_le();
         let n = buf.get_u32_le() as usize;
+        // Every section needs at least 8 bytes (two length prefixes), so a
+        // count exceeding that bound is corrupt; reject before preallocating.
+        if n > buf.remaining() / 8 {
+            return Err(bad(format!(
+                "section count {n} impossible for {} remaining bytes",
+                buf.remaining()
+            )));
+        }
         let mut sections = Vec::with_capacity(n);
         for i in 0..n {
             if buf.remaining() < 4 {
-                return Err(format!("checkpoint truncated at section {i} name length"));
+                return Err(bad(format!(
+                    "checkpoint truncated at section {i} name length"
+                )));
             }
             let name_len = buf.get_u32_le() as usize;
             if buf.remaining() < name_len {
-                return Err(format!("checkpoint truncated at section {i} name"));
+                return Err(bad(format!("checkpoint truncated at section {i} name")));
             }
             let name = String::from_utf8(buf[..name_len].to_vec())
-                .map_err(|e| format!("section {i} name not utf-8: {e}"))?;
+                .map_err(|e| bad(format!("section {i} name not utf-8: {e}")))?;
             buf.advance(name_len);
             if buf.remaining() < 4 {
-                return Err(format!("checkpoint truncated at section {i} data length"));
+                return Err(bad(format!(
+                    "checkpoint truncated at section {i} data length"
+                )));
             }
             let data_len = buf.get_u32_le() as usize;
-            if buf.remaining() < 4 * data_len {
-                return Err(format!("checkpoint truncated in section {name:?} data"));
+            if buf.remaining() / 4 < data_len {
+                return Err(bad(format!(
+                    "checkpoint truncated in section {name:?} data"
+                )));
             }
             let mut data = Vec::with_capacity(data_len);
             for _ in 0..data_len {
@@ -132,7 +151,7 @@ impl Checkpoint {
     /// Reads a checkpoint from a file.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
         let bytes = fs::read(path)?;
-        Self::from_bytes(&bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        Self::from_bytes(&bytes)
     }
 
     /// Total serialized size in bytes.
@@ -179,18 +198,56 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = sample().to_bytes().to_vec();
         bytes[0] = b'X';
-        assert!(Checkpoint::from_bytes(&bytes)
-            .unwrap_err()
-            .contains("bad magic"));
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bad magic"));
     }
 
     #[test]
     fn rejects_bad_version() {
         let mut bytes = sample().to_bytes().to_vec();
         bytes[8] = 99;
-        assert!(Checkpoint::from_bytes(&bytes)
-            .unwrap_err()
-            .contains("version"));
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_implausible_section_count_without_allocating() {
+        // A corrupt header claiming u32::MAX sections must fail fast instead
+        // of preallocating gigabytes or walking off the buffer.
+        let mut bytes = sample().to_bytes().to_vec();
+        bytes[20..24].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("section count"));
+    }
+
+    #[test]
+    fn rejects_short_section_data() {
+        // Section claims more f32s than the buffer holds (and more than
+        // `remaining / 4`, so the overflow-safe check must catch it).
+        let mut c = Checkpoint::new(7);
+        c.push("g", vec![1.0, 2.0]);
+        let mut bytes = c.to_bytes().to_vec();
+        let data_len_at = bytes.len() - 2 * 4 - 4;
+        bytes[data_len_at..data_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Checkpoint::from_bytes(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated in section"));
+    }
+
+    #[test]
+    fn load_reports_corrupt_file_as_invalid_data() {
+        let dir = std::env::temp_dir().join("mdgan_ckpt_test_corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.ckpt");
+        let mut bytes = sample().to_bytes().to_vec();
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

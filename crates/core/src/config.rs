@@ -2,8 +2,55 @@
 
 use md_nn::gan::GenLossMode;
 use md_nn::optim::AdamConfig;
-use md_simnet::CrashSchedule;
+use md_simnet::{CrashSchedule, FaultPlan};
 use serde::{Deserialize, Serialize};
+
+/// Knobs for the oracle-free robust runtimes: bounded retransmission,
+/// deadline-aware gathers, and timeout-based failure detection.
+///
+/// The robust path activates whenever a [`FaultPlan`] is attached or
+/// [`enabled`](RobustnessConfig::enabled) is set explicitly; otherwise the
+/// runtimes keep the fast oracle-driven path.
+#[derive(Clone, Copy, Debug)]
+pub struct RobustnessConfig {
+    /// Force the robust path even on a perfect network.
+    pub enabled: bool,
+    /// Retransmissions per data message after a drop (stop-and-wait).
+    pub retries: u32,
+    /// Server-side feedback-gather deadline per iteration.
+    pub gather_timeout_ms: u64,
+    /// Worker-side deadline for the incoming discriminator during a swap.
+    pub swap_timeout_ms: u64,
+    /// Consecutive missed feedback deadlines before a worker is suspected.
+    pub suspect_after: u32,
+    /// Probe suspected workers every this many iterations (so crashed-then
+    /// -recovered or merely slow workers can rejoin); 0 disables probing.
+    pub probe_period: usize,
+    /// Fraction of the expected feedbacks required to apply a generator
+    /// update (at least one feedback is always required).
+    pub quorum_frac: f32,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            enabled: false,
+            retries: 2,
+            gather_timeout_ms: 1000,
+            swap_timeout_ms: 250,
+            suspect_after: 2,
+            probe_period: 8,
+            quorum_frac: 0.5,
+        }
+    }
+}
+
+impl RobustnessConfig {
+    /// The quorum for `expected` awaited feedbacks.
+    pub fn quorum(&self, expected: usize) -> usize {
+        ((self.quorum_frac as f64 * expected as f64).ceil() as usize).max(1)
+    }
+}
 
 /// GAN training hyper-parameters shared by all competitors.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -97,6 +144,13 @@ pub struct MdGanConfig {
     /// Optional fail-stop crash schedule (Figure 5).
     #[serde(skip)]
     pub crash: CrashSchedule,
+    /// Seeded lossy-network fault plan; [`FaultPlan::none`] keeps the
+    /// perfect network.
+    #[serde(skip)]
+    pub fault: FaultPlan,
+    /// Robust-runtime knobs (timeouts, retries, failure detection).
+    #[serde(skip)]
+    pub robust: RobustnessConfig,
 }
 
 impl Default for MdGanConfig {
@@ -110,11 +164,19 @@ impl Default for MdGanConfig {
             iterations: 1000,
             seed: 0,
             crash: CrashSchedule::none(),
+            fault: FaultPlan::none(),
+            robust: RobustnessConfig::default(),
         }
     }
 }
 
 impl MdGanConfig {
+    /// Whether the runtimes should take the robust (oracle-free,
+    /// fault-tolerant) path: an active fault plan or an explicit opt-in.
+    pub fn is_robust(&self) -> bool {
+        self.robust.enabled || !self.fault.is_none()
+    }
+
     /// Global iterations between two swap events: `⌊m·E/b⌋` for local
     /// shard size `m` (at least 1).
     pub fn swap_interval(&self, shard_size: usize) -> usize {
@@ -134,6 +196,8 @@ impl MdGanConfig {
             .field_raw("hyper", &self.hyper.to_json())
             .field_u64("iterations", self.iterations as u64)
             .field_u64("seed", self.seed)
+            .field_f64("drop_rate", f64::from(self.fault.drop))
+            .field_bool("robust", self.is_robust())
             .build()
     }
 }

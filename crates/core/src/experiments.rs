@@ -208,6 +208,7 @@ pub fn run_convergence_with(cfg: ConvergenceConfig, telemetry: &Arc<Recorder>) -
             iterations: cfg.scale.iters,
             seed: cfg.scale.seed ^ 0x3D3D,
             crash: CrashSchedule::none(),
+            ..MdGanConfig::default()
         };
         let mut md = MdGan::new(&spec, shards, md_cfg).with_telemetry(Arc::clone(telemetry));
         let timeline = md.train(cfg.scale.iters, cfg.scale.eval_every, Some(&mut evaluator));
@@ -294,6 +295,7 @@ pub fn run_scalability_with(
                     iterations: scale.iters,
                     seed: scale.seed ^ 0x4F1,
                     crash: CrashSchedule::none(),
+                    ..MdGanConfig::default()
                 };
                 let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(telemetry));
                 let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
@@ -377,6 +379,7 @@ pub fn run_faults_with(
             iterations: scale.iters,
             seed: scale.seed ^ 0xC4,
             crash: schedule,
+            ..MdGanConfig::default()
         };
         let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(telemetry));
         let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
@@ -391,6 +394,115 @@ pub fn run_faults_with(
         });
     }
     results
+}
+
+/// One point of the lossy-network degradation sweep.
+#[derive(Clone, Debug)]
+pub struct LossyPoint {
+    /// Per-attempt drop probability the run was subjected to.
+    pub drop: f32,
+    /// Smoothed final scores.
+    pub final_scores: GanScores,
+    /// Traffic moved (including dropped/duplicated/retried bytes).
+    pub traffic: TrafficReport,
+    /// Workers the failure detector suspected during this run.
+    pub suspected: u64,
+}
+
+impl LossyPoint {
+    /// CSV row `drop,is,fid,bytes_sent,bytes_dropped,retries,suspected`.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{}\n",
+            self.drop,
+            self.final_scores.inception_score,
+            self.final_scores.fid,
+            self.traffic.bytes_sent(),
+            self.traffic.dropped_bytes,
+            self.traffic.retries,
+            self.suspected
+        )
+    }
+
+    /// CSV header matching [`to_csv_row`](Self::to_csv_row).
+    pub fn csv_header() -> &'static str {
+        "drop,is,fid,bytes_sent,bytes_dropped,retries,suspected\n"
+    }
+}
+
+/// Figure 5 extension: MD-GAN on the robust (oracle-free) runtime under a
+/// seeded lossy network, one run per drop rate, each with one mid-run
+/// worker crash. Returns the degradation curve (final scores vs drop rate).
+pub fn run_lossy_faults(
+    family: Family,
+    arch: ArchKind,
+    scale: ExperimentScale,
+    workers: usize,
+    drops: &[f32],
+    fault_seed: u64,
+) -> Vec<LossyPoint> {
+    run_lossy_faults_with(
+        family,
+        arch,
+        scale,
+        workers,
+        drops,
+        fault_seed,
+        &Arc::new(Recorder::disabled()),
+    )
+}
+
+/// [`run_lossy_faults`] with every run attached to `telemetry`; the
+/// recorder then accumulates drop/duplicate/retry/suspect counters across
+/// the whole sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn run_lossy_faults_with(
+    family: Family,
+    arch: ArchKind,
+    scale: ExperimentScale,
+    workers: usize,
+    drops: &[f32],
+    fault_seed: u64,
+    telemetry: &Arc<Recorder>,
+) -> Vec<LossyPoint> {
+    use md_simnet::FaultPlan;
+    let (train, test) = make_dataset(family, &scale);
+    let spec = arch_for(family, arch, scale.img);
+    let mut evaluator = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
+    let mut out = Vec::new();
+    for &drop in drops {
+        let mut rng = Rng64::seed_from_u64(scale.seed ^ 0x10551);
+        let shards = train.shard_iid(workers, &mut rng);
+        let mut cfg = MdGanConfig {
+            workers,
+            k: KPolicy::LogN,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Derangement,
+            hyper: GanHyper {
+                batch: 10,
+                ..GanHyper::default()
+            },
+            iterations: scale.iters,
+            seed: scale.seed ^ 0x105,
+            // One mid-run crash the robust server must *notice* (silent
+            // fail-stop, no oracle).
+            crash: CrashSchedule::new(vec![((scale.iters / 2).max(1), 1)]),
+            fault: FaultPlan::lossy(fault_seed, drop),
+            ..MdGanConfig::default()
+        };
+        cfg.robust.enabled = true;
+        let suspected_before = telemetry.counter(md_telemetry::Counter::WorkersSuspected);
+        let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(telemetry));
+        let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
+        out.push(LossyPoint {
+            drop,
+            final_scores: timeline.final_scores(3).expect("timeline has points"),
+            traffic: md.traffic(),
+            suspected: telemetry.counter(md_telemetry::Counter::WorkersSuspected)
+                - suspected_before,
+        });
+    }
+    out
 }
 
 /// Figure 6: the CelebA-like validation. Standalone and FL-GAN use
@@ -472,6 +584,7 @@ pub fn run_celeba_with(
             iterations: scale.iters,
             seed: scale.seed ^ 0x6C0 ^ (n as u64),
             crash: CrashSchedule::none(),
+            ..MdGanConfig::default()
         };
         let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(telemetry));
         let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
@@ -552,5 +665,39 @@ mod tests {
         assert!(rec.phase_stats(md_telemetry::Phase::GenForward).count >= 13);
         assert!(rec.phase_stats(md_telemetry::Phase::LocalTrain).count >= 24);
         assert!(rec.phase_stats(md_telemetry::Phase::Eval).count > 0);
+    }
+
+    #[test]
+    fn lossy_sweep_produces_degradation_curve() {
+        let mut scale = ExperimentScale::quick();
+        scale.iters = 8;
+        scale.eval_every = 4;
+        let rec = Arc::new(Recorder::enabled());
+        let points = run_lossy_faults_with(
+            Family::MnistLike,
+            ArchKind::Mlp,
+            scale,
+            3,
+            &[0.0, 0.3],
+            7,
+            &rec,
+        );
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.final_scores.fid.is_finite(), "drop {}", p.drop);
+            assert_eq!(
+                p.traffic.bytes_sent(),
+                p.traffic.bytes_delivered() + p.traffic.dropped_bytes,
+                "conservation at drop {}",
+                p.drop
+            );
+            // The silent mid-run crash was detected by missed deadlines.
+            assert!(p.suspected >= 1, "drop {}", p.drop);
+            assert!(p.to_csv_row().split(',').count() == 7);
+        }
+        assert_eq!(points[0].traffic.dropped_bytes, 0, "perfect network");
+        assert!(points[1].traffic.dropped_bytes > 0, "30% drop run");
+        assert!(rec.counter(md_telemetry::Counter::MsgsDropped) > 0);
+        assert!(rec.counter(md_telemetry::Counter::Retries) > 0);
     }
 }

@@ -30,7 +30,7 @@ use crate::mdgan::worker::MdWorker;
 use md_data::Dataset;
 use md_nn::layer::Layer;
 use md_nn::param::{batch_bytes, param_bytes};
-use md_simnet::{TrafficReport, TrafficStats};
+use md_simnet::{FaultState, TrafficReport, TrafficStats};
 use md_telemetry::{Event, Phase, Recorder};
 use md_tensor::rng::Rng64;
 use md_tensor::Tensor;
@@ -108,6 +108,9 @@ pub struct AsyncMdGan {
     swap_interval: usize,
     object_size: usize,
     telemetry: Arc<Recorder>,
+    /// Instantiated fault plan (robust configs only). The async virtual
+    /// tick is the applied-update count.
+    fault_state: Option<FaultState>,
 }
 
 impl AsyncMdGan {
@@ -119,6 +122,9 @@ impl AsyncMdGan {
         let sched_rng = swap_rng.fork(0xA51C);
         let stats = TrafficStats::new(1 + cfg.workers);
         let swap_interval = cfg.swap_interval(shard_size);
+        let fault_state = cfg
+            .is_robust()
+            .then(|| FaultState::new(cfg.fault.clone(), 1 + cfg.workers));
         AsyncMdGan {
             server,
             workers: workers.into_iter().map(Some).collect(),
@@ -134,6 +140,7 @@ impl AsyncMdGan {
             swap_interval,
             object_size,
             telemetry: Arc::new(Recorder::disabled()),
+            fault_state,
         }
     }
 
@@ -183,8 +190,26 @@ impl AsyncMdGan {
         let zd = self.server.gen.sample_z(b, &mut self.sched_rng);
         let ld = self.server.gen.sample_labels(b, &mut self.sched_rng);
         let xd = self.server.gen.generate(&zd, &ld, true);
-        self.stats
-            .record(0, wi + 1, 2 * batch_bytes(b, self.object_size));
+        if let Some(fs) = &self.fault_state {
+            let del = fs.transmit(
+                0,
+                wi + 1,
+                self.updates,
+                2 * batch_bytes(b, self.object_size),
+                self.cfg.robust.retries,
+                &self.stats,
+                Some(&self.telemetry),
+                |_| {},
+            );
+            if !del.delivered {
+                // The batches were lost; the worker sits idle until the
+                // next event re-dispatches fresh ones.
+                return;
+            }
+        } else {
+            self.stats
+                .record(0, wi + 1, 2 * batch_bytes(b, self.object_size));
+        }
         self.in_flight[wi] = Some(InFlight {
             version: self.version,
             xg,
@@ -240,25 +265,58 @@ impl AsyncMdGan {
             return None;
         }
 
-        // Fill idle workers.
+        // Fill idle workers (on a lossy network a dispatch may be dropped,
+        // leaving the worker idle for this event).
         for &wi in &alive {
             if self.in_flight[wi].is_none() {
                 self.dispatch(wi);
             }
         }
+        let ready: Vec<usize> = alive
+            .iter()
+            .copied()
+            .filter(|&w| self.in_flight[w].is_some())
+            .collect();
+        if ready.is_empty() {
+            // Every dispatch this round was lost. The event passes with no
+            // progress; the next one re-dispatches.
+            self.telemetry.event(Event::Custom {
+                name: "async_starved",
+                value: t as f64,
+            });
+            return Some(alive[0]);
+        }
 
-        let wi = self.next_reporter(&alive);
+        let wi = self.next_reporter(&ready);
         let fl = self.in_flight[wi].take().expect("reporter had work");
         let worker = self.workers[wi].as_mut().expect("reporter alive");
         let fb_span = self.telemetry.span(Phase::DFeedback);
         let feedback = worker.process(&fl.xd, &fl.xd_labels, &fl.xg, &fl.xg_labels);
         drop(fb_span);
         self.telemetry.worker_feedback(wi + 1);
-        self.stats.record(
-            wi + 1,
-            0,
-            batch_bytes(self.cfg.hyper.batch, self.object_size),
-        );
+        if let Some(fs) = &self.fault_state {
+            let up = fs.transmit(
+                wi + 1,
+                0,
+                self.updates,
+                batch_bytes(self.cfg.hyper.batch, self.object_size),
+                self.cfg.robust.retries,
+                &self.stats,
+                Some(&self.telemetry),
+                |_| {},
+            );
+            if !up.delivered {
+                // The feedback was lost on the wire: the local work is
+                // wasted and the generator never sees it.
+                return Some(wi);
+            }
+        } else {
+            self.stats.record(
+                wi + 1,
+                0,
+                batch_bytes(self.cfg.hyper.batch, self.object_size),
+            );
+        }
 
         // Staleness-aware immediate update: replay the stale batch's
         // forward pass, then apply a damped gradient.
@@ -301,8 +359,26 @@ impl AsyncMdGan {
                     .collect();
                 for (j, &src) in alive.iter().enumerate() {
                     let dst = alive[perm[j]];
-                    self.stats
-                        .record(src + 1, dst + 1, param_bytes(params[j].len()));
+                    if let Some(fs) = &self.fault_state {
+                        let del = fs.transmit(
+                            src + 1,
+                            dst + 1,
+                            self.updates,
+                            param_bytes(params[j].len()),
+                            self.cfg.robust.retries,
+                            &self.stats,
+                            Some(&self.telemetry),
+                            |_| {},
+                        );
+                        if !del.delivered {
+                            // Lost transfer: the destination keeps its old
+                            // discriminator.
+                            continue;
+                        }
+                    } else {
+                        self.stats
+                            .record(src + 1, dst + 1, param_bytes(params[j].len()));
+                    }
                     self.workers[dst]
                         .as_mut()
                         .unwrap()
@@ -388,8 +464,17 @@ mod tests {
             iterations: 100,
             seed: 7,
             crash: Default::default(),
+            ..MdGanConfig::default()
         };
         AsyncMdGan::new(&spec, shards, cfg, acfg)
+    }
+
+    fn build_lossy(drop: f32, seed: u64) -> AsyncMdGan {
+        let mut md = build(AsyncConfig::default());
+        let plan = md_simnet::FaultPlan::lossy(seed, drop);
+        md.cfg.fault = plan.clone();
+        md.fault_state = Some(FaultState::new(plan, 1 + md.cfg.workers));
+        md
     }
 
     #[test]
@@ -483,6 +568,42 @@ mod tests {
         );
         let feedbacks: u64 = rec.worker_stats().iter().map(|w| w.feedbacks).sum();
         assert_eq!(feedbacks, 60);
+    }
+
+    #[test]
+    fn lossy_async_is_seed_deterministic_and_drops_traffic() {
+        let run = || {
+            let mut md = build_lossy(0.25, 9);
+            for _ in 0..40 {
+                md.step_event();
+            }
+            (md.gen_params(), md.traffic())
+        };
+        let (p1, t1) = run();
+        let (p2, t2) = run();
+        assert_eq!(p1, p2, "same fault seed must replay identically");
+        assert_eq!(t1.dropped_bytes, t2.dropped_bytes);
+        assert!(t1.dropped_msgs > 0, "25% drop must lose messages");
+        assert_eq!(
+            t1.bytes_sent(),
+            t1.bytes_delivered() + t1.dropped_bytes,
+            "conservation"
+        );
+        assert!(p1.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn total_loss_starves_but_terminates() {
+        let mut md = build_lossy(1.0, 3);
+        md.cfg.robust.retries = 0;
+        let before = md.gen_params();
+        for _ in 0..20 {
+            assert!(md.step_event().is_some(), "alive workers keep the run up");
+        }
+        // Nothing ever arrived: the generator never moved.
+        assert_eq!(md.gen_params(), before);
+        assert_eq!(md.updates(), 0);
+        assert_eq!(md.traffic().bytes_delivered(), 0);
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub enum MdMsg {
     /// Server → worker: the two generated batches of a global iteration
     /// (`X_g` trains the generator via feedback, `X_d` trains D).
     Batches {
+        /// Global iteration these batches belong to (robust mode tags every
+        /// data message so late deliveries are detectable).
+        iter: usize,
         /// Which generated batch `X_g` came from (for feedback grouping).
         g_id: usize,
         /// Generated batch used for the error feedback.
@@ -38,6 +41,8 @@ pub enum MdMsg {
     },
     /// Worker → server: the error feedback `F_n` on `X_g`.
     Feedback {
+        /// Global iteration the feedback answers (echoed from `Batches`).
+        iter: usize,
         /// Generated-batch id this feedback refers to.
         g_id: usize,
         /// `∂B̃/∂x` for every element of the batch.
@@ -47,12 +52,21 @@ pub enum MdMsg {
     SwapTo {
         /// Destination worker id (1-based node id).
         to: usize,
+        /// Global iteration the swap fires at (the sender's virtual tick
+        /// for the discriminator transfer).
+        iter: usize,
     },
     /// Worker → worker: discriminator parameters (the gossip swap).
     Disc {
         /// Flat parameter vector `θ`.
         params: Vec<f32>,
     },
+    /// Server → worker: crash silently (robust mode's fail-stop injection).
+    ///
+    /// Unlike [`Stop`](MdMsg::Stop) the worker keeps draining its queue
+    /// without answering, so its death is observable only through missed
+    /// deadlines — exactly what the failure detector must infer.
+    Crash,
     /// Server → worker: terminate (end of training or simulated crash).
     Stop,
 }

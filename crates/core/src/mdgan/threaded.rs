@@ -7,6 +7,16 @@
 //! sequential [`MdGan`](crate::mdgan::trainer::MdGan): RNG streams are
 //! forked identically and the server sorts feedbacks by worker id before
 //! merging (an integration test asserts the equivalence).
+//!
+//! With an active [`FaultPlan`](md_simnet::FaultPlan) (or
+//! `cfg.robust.enabled`) the runtime switches to the **robust** path:
+//! data messages go through the seeded fault layer with bounded retry,
+//! the server gathers feedbacks with a deadline and proceeds on a quorum,
+//! worker liveness is inferred from missed deadlines (no crash oracle —
+//! injected crashes are silent), and discriminator swaps are routed around
+//! suspected peers. Fates are drawn per logical message from the plan's
+//! seed, so the robust path too is bit-for-bit equivalent to the
+//! sequential trainer running the same plan.
 
 use crate::arch::ArchSpec;
 use crate::config::MdGanConfig;
@@ -17,9 +27,10 @@ use crate::mdgan::worker::MdWorker;
 use crate::mdgan::MdMsg;
 use md_data::Dataset;
 use md_nn::param::{batch_bytes, param_bytes};
-use md_simnet::{Endpoint, Router, TrafficReport, SERVER};
+use md_simnet::{Endpoint, FailureDetector, Liveness, Router, TrafficReport, SERVER};
 use md_telemetry::{Event, Phase, Recorder};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Outcome of a threaded run.
 pub struct ThreadedResult {
@@ -33,13 +44,31 @@ pub struct ThreadedResult {
     pub alive: Vec<usize>,
 }
 
+/// Robust-mode knobs a worker thread needs.
+#[derive(Clone, Copy)]
+struct WorkerRobust {
+    swap_timeout: Duration,
+    retries: u32,
+}
+
 /// Worker-thread body: serve batch/swap/stop requests until stopped.
 ///
 /// Messages that arrive while the worker is blocked waiting for its swap
 /// counterpart (the next iteration's `Batches` can already be queued — the
 /// server does not wait for swaps to finish) are buffered and processed in
 /// order afterwards.
-fn worker_loop(mut worker: MdWorker, ep: Endpoint<MdMsg>, telemetry: Arc<Recorder>) {
+///
+/// In robust mode (`robust` is `Some`) the swap wait is deadline-bounded
+/// (on timeout the worker keeps its old discriminator), feedbacks and
+/// discriminators go through the fault layer, and a `Crash` message puts
+/// the worker into a silent drain loop so its death is only observable via
+/// missed deadlines.
+fn worker_loop(
+    mut worker: MdWorker,
+    ep: Endpoint<MdMsg>,
+    telemetry: Arc<Recorder>,
+    robust: Option<WorkerRobust>,
+) {
     use std::collections::VecDeque;
     // A swap counterpart's parameters may arrive before our own SwapTo.
     let mut pending_disc: Option<Vec<f32>> = None;
@@ -51,6 +80,7 @@ fn worker_loop(mut worker: MdWorker, ep: Endpoint<MdMsg>, telemetry: Arc<Recorde
         };
         match msg {
             MdMsg::Batches {
+                iter,
                 g_id,
                 xg,
                 xg_labels,
@@ -62,23 +92,58 @@ fn worker_loop(mut worker: MdWorker, ep: Endpoint<MdMsg>, telemetry: Arc<Recorde
                 drop(fb_span);
                 telemetry.worker_feedback(ep.id());
                 let bytes = (grad.len() * 4) as u64;
-                ep.send(SERVER, MdMsg::Feedback { g_id, grad }, bytes);
+                let retries = robust.map_or(0, |r| r.retries);
+                ep.send_data(
+                    SERVER,
+                    MdMsg::Feedback { iter, g_id, grad },
+                    bytes,
+                    iter as u64,
+                    retries,
+                );
             }
-            MdMsg::SwapTo { to } => {
+            MdMsg::SwapTo { to, iter } => {
                 let params = worker.disc_params();
                 let bytes = param_bytes(params.len());
-                ep.send(to, MdMsg::Disc { params }, bytes);
+                let retries = robust.map_or(0, |r| r.retries);
+                ep.send_data(to, MdMsg::Disc { params }, bytes, iter as u64, retries);
                 let incoming = match pending_disc.take() {
-                    Some(p) => p,
-                    None => loop {
-                        match ep.recv().msg {
-                            MdMsg::Disc { params } => break params,
-                            other => buffered.push_back(other),
+                    Some(p) => Some(p),
+                    None => match robust {
+                        // Oracle mode: the counterpart always answers.
+                        None => loop {
+                            match ep.recv().msg {
+                                MdMsg::Disc { params } => break Some(params),
+                                other => buffered.push_back(other),
+                            }
+                        },
+                        // Robust mode: the counterpart may be dead or its
+                        // parameters lost — wait at most swap_timeout.
+                        Some(rb) => {
+                            let deadline = Instant::now() + rb.swap_timeout;
+                            loop {
+                                let left = deadline.saturating_duration_since(Instant::now());
+                                match ep.recv_deadline(left) {
+                                    Some(env) => match env.msg {
+                                        MdMsg::Disc { params } => break Some(params),
+                                        other => buffered.push_back(other),
+                                    },
+                                    None => break None,
+                                }
+                            }
                         }
                     },
                 };
-                worker.set_disc_params(&incoming);
-                telemetry.worker_swap_in(ep.id());
+                match incoming {
+                    Some(params) => {
+                        worker.set_disc_params(&params);
+                        telemetry.worker_swap_in(ep.id());
+                    }
+                    // Timed out: keep the current discriminator.
+                    None => telemetry.event(Event::Custom {
+                        name: "swap_timeout",
+                        value: ep.id() as f64,
+                    }),
+                }
             }
             MdMsg::Disc { params } => {
                 assert!(
@@ -87,6 +152,19 @@ fn worker_loop(mut worker: MdWorker, ep: Endpoint<MdMsg>, telemetry: Arc<Recorde
                     ep.id()
                 );
                 pending_disc = Some(params);
+            }
+            MdMsg::Crash => {
+                // Fail silently: keep draining (so senders never observe
+                // the death) until the final Stop.
+                loop {
+                    let m = match buffered.pop_front() {
+                        Some(m) => m,
+                        None => ep.recv().msg,
+                    };
+                    if matches!(m, MdMsg::Stop) {
+                        return;
+                    }
+                }
             }
             MdMsg::Stop => break,
             MdMsg::Feedback { .. } => panic!("worker received a Feedback message"),
@@ -141,19 +219,29 @@ pub fn run_threaded_with(
     let k = cfg.k.resolve(cfg.workers);
     let swap_interval = cfg.swap_interval(shard_size);
     let b = cfg.hyper.batch;
+    let robust = cfg.is_robust();
 
     let mut router: Router<MdMsg> = Router::new(cfg.workers).with_telemetry(Arc::clone(&telemetry));
+    if robust {
+        router = router.with_faults(cfg.fault.clone());
+    }
     let stats = router.stats();
     let server_ep = router.endpoint(SERVER);
     let worker_eps: Vec<Endpoint<MdMsg>> = (1..=cfg.workers).map(|i| router.endpoint(i)).collect();
 
     let mut timeline = ScoreTimeline::new();
     let mut alive_mask: Vec<bool> = vec![true; cfg.workers];
+    let mut detector = FailureDetector::new(cfg.workers, cfg.robust.suspect_after);
+    let gather_timeout = Duration::from_millis(cfg.robust.gather_timeout_ms);
+    let worker_robust = robust.then_some(WorkerRobust {
+        swap_timeout: Duration::from_millis(cfg.robust.swap_timeout_ms),
+        retries: cfg.robust.retries,
+    });
 
     crossbeam::thread::scope(|scope| {
         for (worker, ep) in workers.into_iter().zip(worker_eps) {
             let telemetry = Arc::clone(&telemetry);
-            scope.spawn(move |_| worker_loop(worker, ep, telemetry));
+            scope.spawn(move |_| worker_loop(worker, ep, telemetry, worker_robust));
         }
 
         if let Some(ev) = evaluator.as_deref_mut() {
@@ -169,7 +257,10 @@ pub fn run_threaded_with(
         }
 
         for i in 0..iters {
-            // Fail-stop crashes: stop the thread; its shard is gone.
+            // Fail-stop crashes: the thread leaves the computation and its
+            // shard is gone. Oracle mode stops the thread outright; robust
+            // mode crashes it *silently* — the server must notice on its
+            // own through missed deadlines.
             for (w, alive) in alive_mask.iter_mut().enumerate() {
                 if *alive && cfg.crash.is_crashed(w + 1, i) {
                     *alive = false;
@@ -177,58 +268,183 @@ pub fn run_threaded_with(
                         iter: i,
                         worker: w + 1,
                     });
-                    server_ep.send(w + 1, MdMsg::Stop, 0);
+                    let fate = if robust { MdMsg::Crash } else { MdMsg::Stop };
+                    server_ep
+                        .send(w + 1, fate, 0)
+                        .expect("destination endpoint dropped");
                 }
             }
-            let alive: Vec<usize> = (0..cfg.workers).filter(|&w| alive_mask[w]).collect();
-            if !alive.is_empty() {
-                let gen_span = telemetry.span(Phase::GenForward);
-                let batches = server.generate_batches(k);
-                drop(gen_span);
-                for &wi in &alive {
-                    let (g_id, d_id) = MdServer::assign(wi, k);
-                    server_ep.send(
-                        wi + 1,
-                        MdMsg::Batches {
-                            g_id,
-                            xg: batches[g_id].0.clone(),
-                            xg_labels: batches[g_id].1.clone(),
-                            xd: batches[d_id].0.clone(),
-                            xd_labels: batches[d_id].1.clone(),
-                        },
-                        2 * batch_bytes(b, object_size),
-                    );
-                }
-                let envs = server_ep.recv_n_sorted(alive.len());
-                let feedbacks: Vec<(usize, md_tensor::Tensor)> = envs
-                    .into_iter()
-                    .map(|e| match e.msg {
-                        MdMsg::Feedback { g_id, grad } => (g_id, grad),
-                        other => panic!("server expected Feedback, got {other:?}"),
-                    })
-                    .collect();
-                let upd_span = telemetry.span(Phase::GUpdate);
-                server.apply_feedbacks(&feedbacks, alive.len());
-                drop(upd_span);
 
-                if (i + 1) % swap_interval == 0 {
-                    let swap_span = telemetry.span(Phase::Swap);
-                    if let Some(perm) = swap_permutation(cfg.swap, alive.len(), &mut swap_rng) {
-                        for (j, &src) in alive.iter().enumerate() {
-                            let dst = alive[perm[j]];
-                            server_ep.send(src + 1, MdMsg::SwapTo { to: dst + 1 }, 0);
+            let alive_now;
+            if robust {
+                // The server has no oracle: it talks to every worker it
+                // does not currently suspect (plus, on probe rounds, the
+                // suspected ones, so false suspects can rejoin).
+                let probe = cfg.robust.probe_period > 0
+                    && i.checked_rem(cfg.robust.probe_period) == Some(0);
+                let expected: Vec<usize> = (0..cfg.workers)
+                    .filter(|&w| !detector.is_suspected(w) || probe)
+                    .collect();
+                let mut heard_count = 0;
+                if !expected.is_empty() {
+                    let gen_span = telemetry.span(Phase::GenForward);
+                    let batches = server.generate_batches(k);
+                    drop(gen_span);
+                    for &wi in &expected {
+                        let (g_id, d_id) = MdServer::assign(wi, k);
+                        server_ep.send_data(
+                            wi + 1,
+                            MdMsg::Batches {
+                                iter: i,
+                                g_id,
+                                xg: batches[g_id].0.clone(),
+                                xg_labels: batches[g_id].1.clone(),
+                                xd: batches[d_id].0.clone(),
+                                xd_labels: batches[d_id].1.clone(),
+                            },
+                            2 * batch_bytes(b, object_size),
+                            i as u64,
+                            cfg.robust.retries,
+                        );
+                    }
+                    let expected_ids: Vec<usize> = expected.iter().map(|&w| w + 1).collect();
+                    let quorum = cfg.robust.quorum(expected_ids.len());
+                    let gather = server_ep.recv_until_quorum(
+                        &expected_ids,
+                        quorum,
+                        gather_timeout,
+                        |e| matches!(&e.msg, MdMsg::Feedback { iter, .. } if *iter == i),
+                    );
+                    for &wi in &expected {
+                        if gather.heard.contains(&(wi + 1)) {
+                            if detector.heard(wi) == Liveness::Rejoined {
+                                telemetry.event(Event::WorkerRejoined {
+                                    iter: i,
+                                    worker: wi + 1,
+                                });
+                            }
+                        } else if detector.missed(wi) == Liveness::Suspected {
+                            telemetry.event(Event::WorkerSuspected {
+                                iter: i,
+                                worker: wi + 1,
+                            });
                         }
-                        telemetry.event(Event::SwapDone {
-                            iter: i,
-                            moved: alive.len(),
+                    }
+                    heard_count = gather.heard.len();
+                    if gather.met_quorum && heard_count > 0 {
+                        let feedbacks: Vec<(usize, md_tensor::Tensor)> = gather
+                            .envelopes
+                            .into_iter()
+                            .map(|e| match e.msg {
+                                MdMsg::Feedback { g_id, grad, .. } => (g_id, grad),
+                                other => panic!("server expected Feedback, got {other:?}"),
+                            })
+                            .collect();
+                        let upd_span = telemetry.span(Phase::GUpdate);
+                        server.apply_feedbacks(&feedbacks, heard_count);
+                        drop(upd_span);
+                    } else if heard_count > 0 {
+                        telemetry.event(Event::Custom {
+                            name: "quorum_missed",
+                            value: i as f64,
                         });
                     }
-                    drop(swap_span);
+
+                    if (i + 1) % swap_interval == 0 {
+                        let swap_span = telemetry.span(Phase::Swap);
+                        // Swaps are routed around suspected peers.
+                        let candidates: Vec<usize> = (0..cfg.workers)
+                            .filter(|&w| !detector.is_suspected(w))
+                            .collect();
+                        if let Some(perm) =
+                            swap_permutation(cfg.swap, candidates.len(), &mut swap_rng)
+                        {
+                            for (j, &src) in candidates.iter().enumerate() {
+                                let dst = candidates[perm[j]];
+                                server_ep
+                                    .send(
+                                        src + 1,
+                                        MdMsg::SwapTo {
+                                            to: dst + 1,
+                                            iter: i,
+                                        },
+                                        0,
+                                    )
+                                    .expect("destination endpoint dropped");
+                            }
+                            telemetry.event(Event::SwapDone {
+                                iter: i,
+                                moved: candidates.len(),
+                            });
+                        }
+                        drop(swap_span);
+                    }
                 }
+                alive_now = heard_count;
+            } else {
+                let alive: Vec<usize> = (0..cfg.workers).filter(|&w| alive_mask[w]).collect();
+                if !alive.is_empty() {
+                    let gen_span = telemetry.span(Phase::GenForward);
+                    let batches = server.generate_batches(k);
+                    drop(gen_span);
+                    for &wi in &alive {
+                        let (g_id, d_id) = MdServer::assign(wi, k);
+                        server_ep
+                            .send(
+                                wi + 1,
+                                MdMsg::Batches {
+                                    iter: i,
+                                    g_id,
+                                    xg: batches[g_id].0.clone(),
+                                    xg_labels: batches[g_id].1.clone(),
+                                    xd: batches[d_id].0.clone(),
+                                    xd_labels: batches[d_id].1.clone(),
+                                },
+                                2 * batch_bytes(b, object_size),
+                            )
+                            .expect("destination endpoint dropped");
+                    }
+                    let envs = server_ep.recv_n_sorted(alive.len());
+                    let feedbacks: Vec<(usize, md_tensor::Tensor)> = envs
+                        .into_iter()
+                        .map(|e| match e.msg {
+                            MdMsg::Feedback { g_id, grad, .. } => (g_id, grad),
+                            other => panic!("server expected Feedback, got {other:?}"),
+                        })
+                        .collect();
+                    let upd_span = telemetry.span(Phase::GUpdate);
+                    server.apply_feedbacks(&feedbacks, alive.len());
+                    drop(upd_span);
+
+                    if (i + 1) % swap_interval == 0 {
+                        let swap_span = telemetry.span(Phase::Swap);
+                        if let Some(perm) = swap_permutation(cfg.swap, alive.len(), &mut swap_rng) {
+                            for (j, &src) in alive.iter().enumerate() {
+                                let dst = alive[perm[j]];
+                                server_ep
+                                    .send(
+                                        src + 1,
+                                        MdMsg::SwapTo {
+                                            to: dst + 1,
+                                            iter: i,
+                                        },
+                                        0,
+                                    )
+                                    .expect("destination endpoint dropped");
+                            }
+                            telemetry.event(Event::SwapDone {
+                                iter: i,
+                                moved: alive.len(),
+                            });
+                        }
+                        drop(swap_span);
+                    }
+                }
+                alive_now = alive.len();
             }
             telemetry.event(Event::IterDone {
                 iter: i,
-                alive: alive.len(),
+                alive: alive_now,
             });
 
             if let Some(ev) = evaluator.as_deref_mut() {
@@ -246,10 +462,13 @@ pub fn run_threaded_with(
             }
         }
 
-        // Shut the survivors down.
+        // Shut everyone down. Robust mode keeps crashed workers draining
+        // their queue, so they too need the final Stop.
         for (w, &alive) in alive_mask.iter().enumerate() {
-            if alive {
-                server_ep.send(w + 1, MdMsg::Stop, 0);
+            if robust || alive {
+                server_ep
+                    .send(w + 1, MdMsg::Stop, 0)
+                    .expect("destination endpoint dropped");
             }
         }
     })
@@ -271,7 +490,7 @@ mod tests {
     use super::*;
     use crate::config::{GanHyper, KPolicy, SwapPolicy};
     use md_data::synthetic::mnist_like;
-    use md_simnet::CrashSchedule;
+    use md_simnet::{CrashSchedule, FaultPlan};
     use md_tensor::rng::Rng64;
 
     fn setup(workers: usize) -> (ArchSpec, Vec<Dataset>, MdGanConfig) {
@@ -291,8 +510,16 @@ mod tests {
             iterations: 12,
             seed: 7,
             crash: CrashSchedule::none(),
+            ..MdGanConfig::default()
         };
         (spec, shards, cfg)
+    }
+
+    /// Short timeouts keep fault tests fast; they stay far above the
+    /// per-iteration compute time so deadlines never fire spuriously.
+    fn fast_robust(cfg: &mut MdGanConfig) {
+        cfg.robust.gather_timeout_ms = 400;
+        cfg.robust.swap_timeout_ms = 150;
     }
 
     #[test]
@@ -363,5 +590,64 @@ mod tests {
         let res = run_threaded(&spec, shards, cfg, None, 10, 1000);
         assert_eq!(res.alive, vec![3]);
         assert!(res.gen_params.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn robust_mode_without_faults_matches_oracle_mode_params() {
+        // On a perfect network with no crashes, the robust path performs
+        // the same logical computation: every worker answers every
+        // iteration, so the generator trajectory is identical.
+        let (spec, shards, cfg) = setup(3);
+        let oracle = run_threaded(&spec, shards.clone(), cfg.clone(), None, 10, 1000);
+        let mut rcfg = cfg;
+        rcfg.robust.enabled = true;
+        fast_robust(&mut rcfg);
+        let robust = run_threaded(&spec, shards, rcfg, None, 10, 1000);
+        assert_eq!(oracle.gen_params, robust.gen_params);
+        assert_eq!(oracle.traffic.class_bytes, robust.traffic.class_bytes);
+    }
+
+    #[test]
+    fn robust_mode_survives_silent_crash_and_suspects_worker() {
+        use md_telemetry::Counter;
+        let (spec, shards, mut cfg) = setup(3);
+        cfg.robust.enabled = true;
+        cfg.robust.suspect_after = 2;
+        cfg.robust.probe_period = 0; // no probing: the dead stay suspected
+        fast_robust(&mut cfg);
+        cfg.crash = CrashSchedule::new(vec![(3, 2)]);
+        let rec = Arc::new(Recorder::enabled());
+        let res = run_threaded_with(&spec, shards, cfg, None, 8, 1000, Arc::clone(&rec));
+        assert!(res.gen_params.iter().all(|v| v.is_finite()));
+        // Two missed deadlines (iterations 3 and 4) → suspected once.
+        assert_eq!(rec.counter(Counter::WorkersSuspected), 1);
+        let suspects: Vec<usize> = rec
+            .events()
+            .iter()
+            .filter(|e| e.event.kind() == "worker_suspected")
+            .filter_map(|e| e.event.worker())
+            .collect();
+        assert_eq!(suspects, vec![2]);
+    }
+
+    #[test]
+    fn robust_mode_tolerates_total_feedback_loss() {
+        // 100% drop: no feedback ever arrives, the gather must return at
+        // its deadline every iteration and the generator stays untouched.
+        let (spec, shards, mut cfg) = setup(2);
+        cfg.fault = FaultPlan::lossy(5, 1.0);
+        cfg.robust.retries = 0;
+        cfg.robust.gather_timeout_ms = 120;
+        cfg.robust.swap_timeout_ms = 60;
+        cfg.robust.suspect_after = 1;
+        cfg.robust.probe_period = 2;
+        let t0 = Instant::now();
+        let res = run_threaded(&spec, shards, cfg, None, 4, 1000);
+        // 4 iterations, each bounded by one gather deadline (plus probe
+        // overhead) — nowhere near a hang.
+        assert!(t0.elapsed() < Duration::from_secs(10));
+        assert!(res.gen_params.iter().all(|v| v.is_finite()));
+        assert!(res.traffic.dropped_msgs > 0);
+        assert_eq!(res.traffic.bytes_delivered(), 0);
     }
 }

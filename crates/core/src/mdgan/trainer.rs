@@ -16,7 +16,7 @@ use crate::mdgan::worker::MdWorker;
 use md_data::Dataset;
 use md_nn::gan::Generator;
 use md_nn::param::{batch_bytes, param_bytes};
-use md_simnet::{TrafficReport, TrafficStats};
+use md_simnet::{FailureDetector, FaultState, Liveness, TrafficReport, TrafficStats};
 use md_telemetry::{Event, Phase, Recorder};
 use md_tensor::rng::Rng64;
 use md_tensor::Tensor;
@@ -88,6 +88,11 @@ pub struct MdGan {
     disc_hosts: Option<Vec<usize>>,
     host_rng: Rng64,
     telemetry: Arc<Recorder>,
+    /// Instantiated fault plan; present iff the config is robust.
+    fault_state: Option<FaultState>,
+    /// Timeout-based liveness inference (robust mode only; the oracle
+    /// `workers[i].is_none()` stays invisible to the robust server loop).
+    detector: FailureDetector,
 }
 
 impl MdGan {
@@ -101,6 +106,10 @@ impl MdGan {
         let k = cfg.k.resolve(cfg.workers);
         let swap_interval = cfg.swap_interval(shard_size);
         let stats = TrafficStats::new(1 + cfg.workers);
+        let fault_state = cfg
+            .is_robust()
+            .then(|| FaultState::new(cfg.fault.clone(), 1 + cfg.workers));
+        let detector = FailureDetector::new(cfg.workers, cfg.robust.suspect_after);
         MdGan {
             server,
             workers: workers.into_iter().map(Some).collect(),
@@ -120,6 +129,8 @@ impl MdGan {
             disc_hosts: None,
             host_rng: Rng64::seed_from_u64(seed ^ 0x4057),
             telemetry: Arc::new(Recorder::disabled()),
+            fault_state,
+            detector,
         }
     }
 
@@ -275,7 +286,15 @@ impl MdGan {
     }
 
     /// One global iteration of Algorithm 1.
+    ///
+    /// In robust mode (a fault plan is set or `cfg.robust.enabled`) this
+    /// dispatches to the lossy-network iteration, which performs the same
+    /// logical computation without consulting the crash oracle.
     pub fn step(&mut self) {
+        if self.cfg.is_robust() {
+            self.step_robust();
+            return;
+        }
         let i = self.iter;
         let b = self.cfg.hyper.batch;
         let d = self.object_size;
@@ -413,6 +432,205 @@ impl MdGan {
         });
     }
 
+    /// One global iteration over the lossy network.
+    ///
+    /// Simulates exactly what the threaded runtime does under the same
+    /// [`FaultPlan`](md_simnet::FaultPlan) — same per-link fate draws in
+    /// the same order, same byte accounting, same detector transitions —
+    /// so the two produce bit-identical generators (asserted by the
+    /// equivalence tests). Crashes are *silent*: the server talks to every
+    /// worker its failure detector does not suspect, and learns about
+    /// deaths only through missed feedbacks.
+    fn step_robust(&mut self) {
+        assert!(
+            matches!(self.batch_codec, Codec::None) && matches!(self.feedback_codec, Codec::None),
+            "robust mode does not compose with codecs"
+        );
+        assert!(
+            self.attacks.iter().all(|a| matches!(a, Attack::None)),
+            "robust mode does not compose with byzantine attacks"
+        );
+        assert!(
+            matches!(self.aggregation, Aggregation::Mean),
+            "robust mode uses plain mean aggregation"
+        );
+        assert!(
+            self.disc_hosts.is_none(),
+            "robust mode hosts one discriminator per worker"
+        );
+        let i = self.iter;
+        let b = self.cfg.hyper.batch;
+        let d = self.object_size;
+        let retries = self.cfg.robust.retries;
+
+        // Fail-stop crashes are injected but not announced.
+        for idx in 0..self.workers.len() {
+            if self.workers[idx].is_some() && self.cfg.crash.is_crashed(idx + 1, i) {
+                self.workers[idx] = None;
+                self.telemetry.event(Event::WorkerFault {
+                    iter: i,
+                    worker: idx + 1,
+                });
+            }
+        }
+
+        // The server talks to every unsuspected worker; probe rounds also
+        // retry the suspected ones so false suspects can rejoin.
+        let probe =
+            self.cfg.robust.probe_period > 0 && i.is_multiple_of(self.cfg.robust.probe_period);
+        let expected: Vec<usize> = (0..self.workers.len())
+            .filter(|&w| !self.detector.is_suspected(w) || probe)
+            .collect();
+        let mut heard_count = 0;
+        if !expected.is_empty() {
+            let gen_span = self.telemetry.span(Phase::GenForward);
+            let batches = self.server.generate_batches(self.k);
+            drop(gen_span);
+            let fs = self
+                .fault_state
+                .as_ref()
+                .expect("robust mode instantiates a fault state");
+
+            // Downlink, worker compute, uplink — worker by worker in id
+            // order. Every link carries at most one logical message per
+            // iteration, so per-link fate draws happen in the same order
+            // as in the threaded runtime.
+            let mut feedbacks: Vec<(usize, Tensor)> = Vec::new();
+            let mut heard: Vec<usize> = Vec::new();
+            for &wi in &expected {
+                let (g_id, d_id) = MdServer::assign(wi, self.k);
+                let down = fs.transmit(
+                    0,
+                    wi + 1,
+                    i as u64,
+                    2 * batch_bytes(b, d),
+                    retries,
+                    &self.stats,
+                    Some(&self.telemetry),
+                    |_| {},
+                );
+                if !down.delivered {
+                    continue;
+                }
+                // A crashed worker still received the batches (the bytes
+                // moved) but computes and answers nothing.
+                let Some(worker) = self.workers[wi].as_mut() else {
+                    continue;
+                };
+                let fb_span = self.telemetry.span(Phase::DFeedback);
+                let f = worker.process(
+                    &batches[d_id].0,
+                    &batches[d_id].1,
+                    &batches[g_id].0,
+                    &batches[g_id].1,
+                );
+                drop(fb_span);
+                self.telemetry.worker_feedback(wi + 1);
+                let up = fs.transmit(
+                    wi + 1,
+                    0,
+                    i as u64,
+                    (f.len() * 4) as u64,
+                    retries,
+                    &self.stats,
+                    Some(&self.telemetry),
+                    |_| {},
+                );
+                if up.delivered {
+                    feedbacks.push((g_id, f));
+                    heard.push(wi);
+                }
+            }
+
+            // Detector transitions, exactly once per expected worker.
+            for &wi in &expected {
+                if heard.contains(&wi) {
+                    if self.detector.heard(wi) == Liveness::Rejoined {
+                        self.telemetry.event(Event::WorkerRejoined {
+                            iter: i,
+                            worker: wi + 1,
+                        });
+                    }
+                } else if self.detector.missed(wi) == Liveness::Suspected {
+                    self.telemetry.event(Event::WorkerSuspected {
+                        iter: i,
+                        worker: wi + 1,
+                    });
+                }
+            }
+            heard_count = heard.len();
+            let quorum = self.cfg.robust.quorum(expected.len());
+            if heard_count >= quorum {
+                let upd_span = self.telemetry.span(Phase::GUpdate);
+                self.server.apply_feedbacks(&feedbacks, heard_count);
+                drop(upd_span);
+            } else if heard_count > 0 {
+                self.telemetry.event(Event::Custom {
+                    name: "quorum_missed",
+                    value: i as f64,
+                });
+            }
+
+            // Swap round, routed around suspected peers. The discriminator
+            // transfer itself crosses the faulty network; a lost transfer
+            // leaves the destination on its old parameters (the threaded
+            // destination times out waiting).
+            if (i + 1).is_multiple_of(self.swap_interval) {
+                let swap_span = self.telemetry.span(Phase::Swap);
+                let candidates: Vec<usize> = (0..self.workers.len())
+                    .filter(|&w| !self.detector.is_suspected(w))
+                    .collect();
+                if let Some(perm) =
+                    swap_permutation(self.cfg.swap, candidates.len(), &mut self.swap_rng)
+                {
+                    // Pre-swap snapshots; a crashed source sends nothing.
+                    let params: Vec<Option<Vec<f32>>> = candidates
+                        .iter()
+                        .map(|&wi| self.workers[wi].as_ref().map(|w| w.disc_params()))
+                        .collect();
+                    for (j, &src) in candidates.iter().enumerate() {
+                        let dst = candidates[perm[j]];
+                        let Some(p) = params[j].as_ref() else {
+                            continue;
+                        };
+                        let del = fs.transmit(
+                            src + 1,
+                            dst + 1,
+                            i as u64,
+                            param_bytes(p.len()),
+                            retries,
+                            &self.stats,
+                            Some(&self.telemetry),
+                            |_| {},
+                        );
+                        if del.delivered {
+                            if let Some(w) = self.workers[dst].as_mut() {
+                                w.set_disc_params(p);
+                                self.telemetry.worker_swap_in(dst + 1);
+                            }
+                        } else if self.workers[dst].is_some() {
+                            self.telemetry.event(Event::Custom {
+                                name: "swap_timeout",
+                                value: (dst + 1) as f64,
+                            });
+                        }
+                    }
+                    self.swaps += 1;
+                    self.telemetry.event(Event::SwapDone {
+                        iter: i,
+                        moved: candidates.len(),
+                    });
+                }
+                drop(swap_span);
+            }
+        }
+        self.iter += 1;
+        self.telemetry.event(Event::IterDone {
+            iter: i,
+            alive: heard_count,
+        });
+    }
+
     /// Runs `iters` iterations, scoring the server generator every
     /// `eval_every` (iteration 0 included when an evaluator is given).
     pub fn train(
@@ -477,6 +695,7 @@ mod tests {
             iterations: 100,
             seed: 7,
             crash,
+            ..MdGanConfig::default()
         };
         MdGan::new(&spec, shards, cfg)
     }
@@ -810,6 +1029,116 @@ mod tests {
             .events()
             .iter()
             .any(|e| e.event == Event::WorkerFault { iter: 2, worker: 1 }));
+    }
+
+    #[test]
+    fn robust_step_on_perfect_network_matches_plain_step() {
+        use md_simnet::FaultPlan;
+        let run = |robust: bool| {
+            let mut md = build(
+                3,
+                KPolicy::LogN,
+                SwapPolicy::Derangement,
+                CrashSchedule::none(),
+            );
+            if robust {
+                md.cfg.robust.enabled = true;
+                md.cfg.fault = FaultPlan::none();
+                md.fault_state = Some(FaultState::new(FaultPlan::none(), 4));
+            }
+            for _ in 0..10 {
+                md.step();
+            }
+            (md.gen_params(), md.traffic().class_bytes)
+        };
+        let (plain_p, plain_b) = run(false);
+        let (robust_p, robust_b) = run(true);
+        assert_eq!(plain_p, robust_p, "perfect-network robust run diverged");
+        assert_eq!(plain_b, robust_b, "byte accounting diverged");
+    }
+
+    #[test]
+    fn robust_step_under_drops_stays_finite_and_counts_faults() {
+        use md_simnet::FaultPlan;
+        let data = mnist_like(12, 3 * 32, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(4);
+        let shards = data.shard_iid(3, &mut rng);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let cfg = MdGanConfig {
+            workers: 3,
+            k: KPolicy::One,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Ring,
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
+            iterations: 100,
+            seed: 7,
+            crash: CrashSchedule::none(),
+            fault: FaultPlan::lossy(11, 0.2),
+            ..MdGanConfig::default()
+        };
+        let mut md = MdGan::new(&spec, shards, cfg);
+        for _ in 0..16 {
+            md.step();
+        }
+        assert!(md.gen_params().iter().all(|v| v.is_finite()));
+        let r = md.traffic();
+        assert!(r.dropped_msgs > 0, "20% drop over 16 iters must drop");
+        assert!(r.retries > 0, "default retries must fire");
+        assert_eq!(
+            r.bytes_sent(),
+            r.bytes_delivered() + r.dropped_bytes,
+            "conservation"
+        );
+    }
+
+    #[test]
+    fn robust_seed_determinism() {
+        use md_simnet::FaultPlan;
+        let run = || {
+            let mut md = build(
+                3,
+                KPolicy::LogN,
+                SwapPolicy::Derangement,
+                CrashSchedule::none(),
+            );
+            md.cfg.fault = FaultPlan::lossy(5, 0.1);
+            md.fault_state = Some(FaultState::new(FaultPlan::lossy(5, 0.1), 4));
+            for _ in 0..10 {
+                md.step();
+            }
+            md.gen_params()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn robust_silent_crash_is_suspected_not_oracled() {
+        use md_simnet::FaultPlan;
+        use md_telemetry::Counter;
+        let rec = Arc::new(Recorder::enabled());
+        let mut md = build(
+            3,
+            KPolicy::One,
+            SwapPolicy::Disabled,
+            CrashSchedule::new(vec![(2, 1)]),
+        )
+        .with_telemetry(Arc::clone(&rec));
+        md.cfg.robust.enabled = true;
+        md.cfg.robust.suspect_after = 2;
+        md.cfg.robust.probe_period = 0;
+        md.fault_state = Some(FaultState::new(FaultPlan::none(), 4));
+        for _ in 0..6 {
+            md.step();
+        }
+        assert_eq!(rec.counter(Counter::WorkersSuspected), 1);
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| e.event == Event::WorkerSuspected { iter: 3, worker: 1 }));
+        assert!(md.gen_params().iter().all(|v| v.is_finite()));
     }
 
     #[test]

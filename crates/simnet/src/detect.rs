@@ -1,0 +1,125 @@
+//! Timeout-based failure detection.
+//!
+//! The MD-GAN server has no crash oracle in robust mode: the only liveness
+//! signal is whether a worker's feedback made it back before the gather
+//! deadline. [`FailureDetector`] turns that signal into a suspicion list —
+//! suspect after `threshold` *consecutive* misses, rejoin the moment the
+//! worker is heard again. This is the classic unreliable failure detector:
+//! suspicion is a routing hint (skip the worker's downlink, keep it out of
+//! discriminator swaps), never a verdict, so a slow-but-alive worker only
+//! loses iterations, not its shard.
+
+/// Outcome of feeding one observation to the detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Liveness {
+    /// No state transition.
+    Unchanged,
+    /// The worker just crossed the miss threshold and is now suspected.
+    Suspected,
+    /// A previously suspected worker was heard from again.
+    Rejoined,
+}
+
+/// Per-worker consecutive-miss tracking over `0..workers` worker indices.
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    misses: Vec<u32>,
+    suspected: Vec<bool>,
+    threshold: u32,
+}
+
+impl FailureDetector {
+    /// A detector over `workers` workers that suspects after `threshold`
+    /// consecutive missed deadlines (`threshold ≥ 1`).
+    pub fn new(workers: usize, threshold: u32) -> Self {
+        assert!(threshold >= 1, "suspect threshold must be at least 1");
+        FailureDetector {
+            misses: vec![0; workers],
+            suspected: vec![false; workers],
+            threshold,
+        }
+    }
+
+    /// Number of workers tracked.
+    pub fn workers(&self) -> usize {
+        self.misses.len()
+    }
+
+    /// Feeds "worker answered before its deadline".
+    pub fn heard(&mut self, worker: usize) -> Liveness {
+        self.misses[worker] = 0;
+        if std::mem::replace(&mut self.suspected[worker], false) {
+            Liveness::Rejoined
+        } else {
+            Liveness::Unchanged
+        }
+    }
+
+    /// Feeds "worker missed its deadline".
+    pub fn missed(&mut self, worker: usize) -> Liveness {
+        self.misses[worker] = self.misses[worker].saturating_add(1);
+        if !self.suspected[worker] && self.misses[worker] >= self.threshold {
+            self.suspected[worker] = true;
+            Liveness::Suspected
+        } else {
+            Liveness::Unchanged
+        }
+    }
+
+    /// Whether `worker` is currently suspected.
+    pub fn is_suspected(&self, worker: usize) -> bool {
+        self.suspected[worker]
+    }
+
+    /// Currently suspected worker indices, ascending.
+    pub fn suspected(&self) -> Vec<usize> {
+        (0..self.workers()).filter(|&w| self.suspected[w]).collect()
+    }
+
+    /// Currently unsuspected worker indices, ascending.
+    pub fn unsuspected(&self) -> Vec<usize> {
+        (0..self.workers())
+            .filter(|&w| !self.suspected[w])
+            .collect()
+    }
+
+    /// Number of currently suspected workers.
+    pub fn suspected_count(&self) -> usize {
+        self.suspected.iter().filter(|&&s| s).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suspects_after_consecutive_misses_only() {
+        let mut d = FailureDetector::new(3, 2);
+        assert_eq!(d.missed(1), Liveness::Unchanged);
+        assert_eq!(d.heard(1), Liveness::Unchanged, "heard resets the streak");
+        assert_eq!(d.missed(1), Liveness::Unchanged);
+        assert_eq!(d.missed(1), Liveness::Suspected);
+        assert!(d.is_suspected(1));
+        assert_eq!(d.missed(1), Liveness::Unchanged, "no re-suspect");
+        assert_eq!(d.suspected(), vec![1]);
+        assert_eq!(d.unsuspected(), vec![0, 2]);
+        assert_eq!(d.suspected_count(), 1);
+    }
+
+    #[test]
+    fn rejoin_on_next_message() {
+        let mut d = FailureDetector::new(2, 1);
+        assert_eq!(d.missed(0), Liveness::Suspected);
+        assert_eq!(d.heard(0), Liveness::Rejoined);
+        assert!(!d.is_suspected(0));
+        // A fresh miss streak is needed to re-suspect.
+        assert_eq!(d.missed(0), Liveness::Suspected);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threshold_rejected() {
+        FailureDetector::new(2, 0);
+    }
+}

@@ -14,12 +14,19 @@
 //!   node and per link class (server→worker, worker→server,
 //!   worker→worker), the quantities behind Tables III/IV and Figure 2,
 //! * [`fault::CrashSchedule`] — fail-stop worker crashes (worker and its
-//!   data shard disappear), the mechanism behind Figure 5.
+//!   data shard disappear), the mechanism behind Figure 5,
+//! * [`fault::FaultPlan`] / [`fault::FaultState`] — seeded, deterministic
+//!   lossy-network injection (drops, duplication, bounded delay,
+//!   partitions) applied per data send,
+//! * [`detect::FailureDetector`] — timeout-based worker suspicion for the
+//!   oracle-free robust runtimes.
 
+pub mod detect;
 pub mod fault;
 pub mod network;
 pub mod stats;
 
-pub use fault::CrashSchedule;
-pub use network::{Endpoint, Envelope, NodeId, Router, SERVER};
+pub use detect::{FailureDetector, Liveness};
+pub use fault::{CrashSchedule, Delivery, Fate, FaultPlan, FaultState, Partition, PartitionScope};
+pub use network::{Endpoint, Envelope, GatherResult, NodeId, Router, SendError, SERVER};
 pub use stats::{LinkClass, TrafficReport, TrafficStats};

@@ -37,12 +37,27 @@ impl LinkClass {
 }
 
 /// Concurrent traffic counters for a cluster of `1 + N` nodes.
+///
+/// Sent-side counters (`egress`, `class_*`) tally every attempt put on the
+/// wire; `ingress` tallies what actually reached a receiver. On a perfect
+/// network the two coincide (the legacy [`record`](Self::record) bumps
+/// both); under an injected [`FaultPlan`](crate::FaultPlan) they are
+/// reconciled by the fault counters:
+/// `bytes_sent == bytes_delivered + dropped_bytes`, with duplicated bytes
+/// accounted separately (a spurious extra copy is neither "sent" by the
+/// application nor part of its delivered payload).
 #[derive(Debug)]
 pub struct TrafficStats {
     ingress: Vec<AtomicU64>,
     egress: Vec<AtomicU64>,
     class_bytes: [AtomicU64; 3],
     class_msgs: [AtomicU64; 3],
+    dropped_msgs: AtomicU64,
+    dropped_bytes: AtomicU64,
+    dup_msgs: AtomicU64,
+    dup_bytes: AtomicU64,
+    delayed_msgs: AtomicU64,
+    retries: AtomicU64,
 }
 
 impl TrafficStats {
@@ -53,6 +68,12 @@ impl TrafficStats {
             egress: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             class_bytes: Default::default(),
             class_msgs: Default::default(),
+            dropped_msgs: AtomicU64::new(0),
+            dropped_bytes: AtomicU64::new(0),
+            dup_msgs: AtomicU64::new(0),
+            dup_bytes: AtomicU64::new(0),
+            delayed_msgs: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
         }
     }
 
@@ -61,13 +82,46 @@ impl TrafficStats {
         self.ingress.len()
     }
 
-    /// Records one message of `bytes` from `from` to `to`.
+    /// Records one message of `bytes` from `from` to `to`, sent *and*
+    /// delivered (the perfect-network path).
     pub fn record(&self, from: usize, to: usize, bytes: u64) {
+        self.record_attempt(from, to, bytes);
+        self.record_delivery(to, bytes);
+    }
+
+    /// Records the sent side of one attempt (egress + per-class totals).
+    pub fn record_attempt(&self, from: usize, to: usize, bytes: u64) {
         self.egress[from].fetch_add(bytes, Ordering::Relaxed);
-        self.ingress[to].fetch_add(bytes, Ordering::Relaxed);
         let c = LinkClass::of(from, to).index();
         self.class_bytes[c].fetch_add(bytes, Ordering::Relaxed);
         self.class_msgs[c].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the delivered side of one attempt (receiver ingress).
+    pub fn record_delivery(&self, to: usize, bytes: u64) {
+        self.ingress[to].fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one attempt lost in transit.
+    pub fn record_dropped(&self, bytes: u64) {
+        self.dropped_msgs.fetch_add(1, Ordering::Relaxed);
+        self.dropped_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one spurious duplicate copy delivered by the network.
+    pub fn record_duplicated(&self, bytes: u64) {
+        self.dup_msgs.fetch_add(1, Ordering::Relaxed);
+        self.dup_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one message delivered late.
+    pub fn record_delayed(&self) {
+        self.delayed_msgs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retransmission attempt.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Immutable snapshot of all counters.
@@ -93,6 +147,12 @@ impl TrafficStats {
                 self.class_msgs[1].load(Ordering::Relaxed),
                 self.class_msgs[2].load(Ordering::Relaxed),
             ],
+            dropped_msgs: self.dropped_msgs.load(Ordering::Relaxed),
+            dropped_bytes: self.dropped_bytes.load(Ordering::Relaxed),
+            dup_msgs: self.dup_msgs.load(Ordering::Relaxed),
+            dup_bytes: self.dup_bytes.load(Ordering::Relaxed),
+            delayed_msgs: self.delayed_msgs.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -108,9 +168,30 @@ pub struct TrafficReport {
     pub class_bytes: [u64; 3],
     /// Message counts per [`LinkClass`].
     pub class_msgs: [u64; 3],
+    /// Attempts lost to injected faults.
+    pub dropped_msgs: u64,
+    /// Bytes lost to injected faults.
+    pub dropped_bytes: u64,
+    /// Spurious duplicate copies the network delivered.
+    pub dup_msgs: u64,
+    /// Bytes moved by spurious duplicate copies.
+    pub dup_bytes: u64,
+    /// Messages delivered late.
+    pub delayed_msgs: u64,
+    /// Retransmission attempts after drops.
+    pub retries: u64,
 }
 
 impl TrafficReport {
+    /// Total bytes put on the wire by senders (attempts, retries included).
+    pub fn bytes_sent(&self) -> u64 {
+        self.egress.iter().sum()
+    }
+
+    /// Total bytes that reached a receiver, duplicates excluded.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.ingress.iter().sum()
+    }
     /// Bytes of a link class.
     pub fn bytes(&self, class: LinkClass) -> u64 {
         self.class_bytes[class.index()]
@@ -167,6 +248,12 @@ impl TrafficReport {
                 self.class_msgs[1].saturating_sub(earlier.class_msgs[1]),
                 self.class_msgs[2].saturating_sub(earlier.class_msgs[2]),
             ],
+            dropped_msgs: self.dropped_msgs.saturating_sub(earlier.dropped_msgs),
+            dropped_bytes: self.dropped_bytes.saturating_sub(earlier.dropped_bytes),
+            dup_msgs: self.dup_msgs.saturating_sub(earlier.dup_msgs),
+            dup_bytes: self.dup_bytes.saturating_sub(earlier.dup_bytes),
+            delayed_msgs: self.delayed_msgs.saturating_sub(earlier.delayed_msgs),
+            retries: self.retries.saturating_sub(earlier.retries),
         }
     }
 
@@ -274,6 +361,41 @@ mod tests {
         let r = s.report();
         assert_eq!(r.max_worker_ingress(), 60);
         assert_eq!(r.server_ingress(), 1000);
+    }
+
+    #[test]
+    fn fault_counters_reconcile_sent_and_delivered() {
+        let s = TrafficStats::new(2);
+        // Attempt 1: dropped; attempt 2 (retry): delivered + duplicated.
+        s.record_attempt(0, 1, 50);
+        s.record_dropped(50);
+        s.record_retry();
+        s.record_attempt(0, 1, 50);
+        s.record_delivery(1, 50);
+        s.record_duplicated(50);
+        s.record_delayed();
+        let r = s.report();
+        assert_eq!(r.bytes_sent(), 100);
+        assert_eq!(r.bytes_delivered(), 50);
+        assert_eq!(r.bytes_sent(), r.bytes_delivered() + r.dropped_bytes);
+        assert_eq!(r.dup_bytes, 50);
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.delayed_msgs, 1);
+        assert_eq!(r.msgs(LinkClass::ServerToWorker), 2, "both attempts sent");
+    }
+
+    #[test]
+    fn since_covers_fault_counters() {
+        let s = TrafficStats::new(2);
+        s.record_attempt(0, 1, 10);
+        s.record_dropped(10);
+        let before = s.report();
+        s.record_retry();
+        s.record_duplicated(4);
+        let d = s.report().since(&before);
+        assert_eq!(d.dropped_bytes, 0);
+        assert_eq!(d.retries, 1);
+        assert_eq!(d.dup_bytes, 4);
     }
 
     #[test]

@@ -47,6 +47,21 @@ pub enum Event {
         /// Age of the update in iterations.
         staleness: usize,
     },
+    /// The server's failure detector started suspecting a worker after
+    /// consecutive missed feedback deadlines.
+    WorkerSuspected {
+        /// Iteration the suspicion was raised at.
+        iter: usize,
+        /// The suspected worker.
+        worker: usize,
+    },
+    /// A previously suspected worker was heard from again.
+    WorkerRejoined {
+        /// Iteration the worker was heard at.
+        iter: usize,
+        /// The rejoining worker.
+        worker: usize,
+    },
     /// A federated/gossip round completed.
     RoundDone {
         /// Round index.
@@ -70,6 +85,8 @@ impl Event {
             Event::WorkerFault { .. } => "worker_fault",
             Event::EvalDone { .. } => "eval_done",
             Event::StaleUpdate { .. } => "stale_update",
+            Event::WorkerSuspected { .. } => "worker_suspected",
+            Event::WorkerRejoined { .. } => "worker_rejoined",
             Event::RoundDone { .. } => "round_done",
             Event::Custom { .. } => "custom",
         }
@@ -78,7 +95,10 @@ impl Event {
     /// The worker this event concerns, if any.
     pub fn worker(&self) -> Option<usize> {
         match self {
-            Event::WorkerFault { worker, .. } | Event::StaleUpdate { worker, .. } => Some(*worker),
+            Event::WorkerFault { worker, .. }
+            | Event::StaleUpdate { worker, .. }
+            | Event::WorkerSuspected { worker, .. }
+            | Event::WorkerRejoined { worker, .. } => Some(*worker),
             _ => None,
         }
     }
@@ -125,6 +145,9 @@ impl TimedEvent {
                 .field_u64("iter", *iter as u64)
                 .field_u64("worker", *worker as u64)
                 .field_u64("staleness", *staleness as u64),
+            Event::WorkerSuspected { iter, worker } | Event::WorkerRejoined { iter, worker } => o
+                .field_u64("iter", *iter as u64)
+                .field_u64("worker", *worker as u64),
             Event::RoundDone { round } => o.field_u64("round", *round as u64),
             Event::Custom { name, value } => o.field_str("name", name).field_f64("value", *value),
         }

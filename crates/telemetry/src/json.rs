@@ -79,6 +79,13 @@ impl Object {
         self
     }
 
+    /// Adds a boolean field.
+    pub fn field_bool(mut self, key: &str, value: bool) -> Self {
+        self.push_key(key);
+        self.body.push_str(if value { "true" } else { "false" });
+        self
+    }
+
     /// Adds a pre-rendered JSON fragment (object, array, literal).
     pub fn field_raw(mut self, key: &str, json: &str) -> Self {
         self.push_key(key);

@@ -75,11 +75,22 @@ pub enum Counter {
     MsgsSent,
     /// Bytes sent through the simulated network.
     BytesSent,
+    /// Messages lost to injected network faults.
+    MsgsDropped,
+    /// Messages spuriously duplicated by the network.
+    MsgsDuplicated,
+    /// Messages delivered late — injected delays plus messages a receiver
+    /// observed past their deadline (stale feedbacks).
+    MsgsDelayed,
+    /// Retransmission attempts after a dropped data message.
+    Retries,
+    /// Worker-suspected transitions raised by the failure detector.
+    WorkersSuspected,
 }
 
 impl Counter {
     /// All counters, in reporting order.
-    pub const ALL: [Counter; 7] = [
+    pub const ALL: [Counter; 12] = [
         Counter::Iterations,
         Counter::Swaps,
         Counter::Faults,
@@ -87,6 +98,11 @@ impl Counter {
         Counter::StaleUpdates,
         Counter::MsgsSent,
         Counter::BytesSent,
+        Counter::MsgsDropped,
+        Counter::MsgsDuplicated,
+        Counter::MsgsDelayed,
+        Counter::Retries,
+        Counter::WorkersSuspected,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -101,6 +117,11 @@ impl Counter {
             Counter::StaleUpdates => "stale_updates",
             Counter::MsgsSent => "msgs_sent",
             Counter::BytesSent => "bytes_sent",
+            Counter::MsgsDropped => "msgs_dropped",
+            Counter::MsgsDuplicated => "msgs_duplicated",
+            Counter::MsgsDelayed => "msgs_delayed",
+            Counter::Retries => "retries",
+            Counter::WorkersSuspected => "workers_suspected",
         }
     }
 
@@ -307,7 +328,8 @@ impl Recorder {
                 self.incr(Counter::StaleUpdates, 1);
                 self.with_worker(*worker, |w| w.stale_updates += 1);
             }
-            Event::RoundDone { .. } | Event::Custom { .. } => {}
+            Event::WorkerSuspected { .. } => self.incr(Counter::WorkersSuspected, 1),
+            Event::WorkerRejoined { .. } | Event::RoundDone { .. } | Event::Custom { .. } => {}
         }
         let timed = TimedEvent {
             t_ns: self.elapsed_ns(),

@@ -42,6 +42,7 @@ fn main() {
         iterations: 400,
         seed: 7,
         crash: Default::default(),
+        ..MdGanConfig::default()
     };
     let mut md = MdGan::new(&spec, shards, cfg);
     println!(

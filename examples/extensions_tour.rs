@@ -32,6 +32,7 @@ fn main() {
         iterations: 40,
         seed: 7,
         crash: Default::default(),
+        ..MdGanConfig::default()
     };
     let shards = |salt: u64| {
         let mut rng = Rng64::seed_from_u64(salt);

@@ -42,6 +42,7 @@ fn main() {
         iterations: iters,
         seed: 7,
         crash: schedule.clone(),
+        ..MdGanConfig::default()
     };
     let mut md = MdGan::new(&spec, shards, cfg);
 

@@ -68,6 +68,7 @@ fn main() {
             iterations: iters,
             seed: 3,
             crash: Default::default(),
+            ..MdGanConfig::default()
         },
     );
     let t = md.train(iters, iters / 4, Some(&mut evaluator));

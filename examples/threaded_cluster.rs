@@ -39,6 +39,7 @@ fn main() {
         iterations: iters,
         seed: 9,
         crash: Default::default(),
+        ..MdGanConfig::default()
     };
 
     let mut rng = Rng64::seed_from_u64(5);

@@ -71,6 +71,7 @@ fn mdgan_learns_across_workers() {
         iterations: ITERS,
         seed: 3,
         crash: Default::default(),
+        ..MdGanConfig::default()
     };
     let mut md = MdGan::new(&spec, shards, cfg);
     let timeline = md.train(ITERS, 50, Some(&mut evaluator));
@@ -117,6 +118,7 @@ fn mdgan_with_crashes_keeps_training() {
         iterations: ITERS,
         seed: 7,
         crash,
+        ..MdGanConfig::default()
     };
     let mut md = MdGan::new(&spec, shards, cfg);
     let timeline = md.train(ITERS, 50, Some(&mut evaluator));

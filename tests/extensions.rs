@@ -35,6 +35,7 @@ fn cfg(iters: usize) -> MdGanConfig {
         iterations: iters,
         seed: 3,
         crash: Default::default(),
+        ..MdGanConfig::default()
     }
 }
 

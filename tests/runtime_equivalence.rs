@@ -7,7 +7,7 @@ use mdgan_repro::core::mdgan::threaded::run_threaded;
 use mdgan_repro::core::{ArchSpec, MdGan};
 use mdgan_repro::data::synthetic::mnist_like;
 use mdgan_repro::data::Dataset;
-use mdgan_repro::simnet::CrashSchedule;
+use mdgan_repro::simnet::{CrashSchedule, FaultPlan, Partition};
 use mdgan_repro::tensor::rng::Rng64;
 
 fn shards(workers: usize, seed: u64) -> Vec<Dataset> {
@@ -38,6 +38,25 @@ fn check_equivalence(cfg: MdGanConfig, iters: usize) {
         "traffic diverged"
     );
     assert_eq!(threaded.alive, seq.alive_workers(), "alive sets diverged");
+
+    // Fault accounting must replay identically too (all zeros on a perfect
+    // network, so this is free for the plain variants).
+    let (t, s) = (&threaded.traffic, seq.traffic());
+    assert_eq!(t.dropped_msgs, s.dropped_msgs, "dropped_msgs diverged");
+    assert_eq!(t.dropped_bytes, s.dropped_bytes, "dropped_bytes diverged");
+    assert_eq!(t.dup_msgs, s.dup_msgs, "dup_msgs diverged");
+    assert_eq!(t.dup_bytes, s.dup_bytes, "dup_bytes diverged");
+    assert_eq!(t.delayed_msgs, s.delayed_msgs, "delayed_msgs diverged");
+    assert_eq!(t.retries, s.retries, "retries diverged");
+}
+
+/// Fault seed for the lossy variants; override with `FAULT_SEED=<n>` so CI
+/// can sweep several fate streams without recompiling.
+fn fault_seed() -> u64 {
+    std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
 }
 
 fn base_cfg(workers: usize) -> MdGanConfig {
@@ -53,6 +72,7 @@ fn base_cfg(workers: usize) -> MdGanConfig {
         iterations: 10,
         seed: 21,
         crash: CrashSchedule::none(),
+        ..MdGanConfig::default()
     }
 }
 
@@ -105,4 +125,46 @@ fn equivalent_single_worker() {
         ..base_cfg(1)
     };
     check_equivalence(cfg, 6);
+}
+
+/// A non-trivial fault plan exercising every fate: drops, duplicates,
+/// bounded delay, plus a node partition window.
+fn faulty_cfg(workers: usize) -> MdGanConfig {
+    let mut cfg = base_cfg(workers);
+    cfg.fault = FaultPlan {
+        seed: fault_seed(),
+        drop: 0.15,
+        duplicate: 0.1,
+        delay: 0.1,
+        max_delay_ticks: 2,
+        partitions: vec![Partition::node(2, 4, 6)],
+    };
+    // Generous deadlines: timeouts are safety nets, not part of the fate
+    // stream, so they must never fire on a healthy in-process run.
+    cfg.robust.gather_timeout_ms = 5_000;
+    cfg.robust.swap_timeout_ms = 2_000;
+    cfg
+}
+
+#[test]
+fn equivalent_under_lossy_network() {
+    let cfg = faulty_cfg(4);
+    check_equivalence(cfg, 12);
+}
+
+#[test]
+fn equivalent_under_faults_and_crash() {
+    let mut cfg = faulty_cfg(4);
+    cfg.crash = CrashSchedule::new(vec![(5, 2)]);
+    check_equivalence(cfg, 12);
+}
+
+#[test]
+fn equivalent_pure_drop_heavy() {
+    let mut cfg = base_cfg(3);
+    cfg.fault = FaultPlan::lossy(fault_seed() ^ 0xD0D0, 0.35);
+    cfg.robust.retries = 1;
+    cfg.robust.gather_timeout_ms = 5_000;
+    cfg.robust.swap_timeout_ms = 2_000;
+    check_equivalence(cfg, 10);
 }

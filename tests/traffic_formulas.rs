@@ -56,6 +56,7 @@ fn mdgan_measured_traffic_equals_formula() {
         iterations: iters,
         seed: 5,
         crash: Default::default(),
+        ..MdGanConfig::default()
     };
     let mut md = MdGan::new(&spec, shards, cfg);
     for _ in 0..iters {
@@ -140,6 +141,7 @@ fn traffic_conservation_holds_after_training() {
         iterations: 5,
         seed: 6,
         crash: Default::default(),
+        ..MdGanConfig::default()
     };
     let mut md = MdGan::new(&spec, shards, cfg);
     for _ in 0..5 {
@@ -169,6 +171,7 @@ fn per_worker_ingress_matches_fig2_formula() {
         iterations: 1,
         seed: 7,
         crash: Default::default(),
+        ..MdGanConfig::default()
     };
     let mut md = MdGan::new(&spec, shards, cfg);
     md.step();
