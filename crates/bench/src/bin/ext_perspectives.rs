@@ -32,7 +32,7 @@ use mdgan_core::mdgan::trainer::MdGan;
 use mdgan_core::ArchSpec;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), mdgan_core::TrainError> {
     let args = Args::parse();
     let iters = args.get("iters", 300usize);
     let eval_every = args.get("eval-every", iters.max(4) / 4);
@@ -201,7 +201,7 @@ fn main() {
     let t = gg.train(iters, eval_every, Some(&mut evaluator));
     record("gossip GAN [24]", &t, mb(gg.traffic().total_bytes()));
 
-    write_csv("ext_perspectives.csv", "label,iter,is,fid", &csv);
+    write_csv("ext_perspectives.csv", "label,iter,is,fid", &csv)?;
     print_table(
         "§VII perspectives + decentralized baseline (IS ↑, FID ↓)",
         ["variant", "IS", "FID", "traffic"],
@@ -221,4 +221,5 @@ fn main() {
         )
         .with_scores(points);
     emit_run_record(run_record, &recorder);
+    Ok(())
 }

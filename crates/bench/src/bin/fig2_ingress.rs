@@ -14,7 +14,7 @@ use md_bench::{emit_run_record, print_table, recorder_from_env, write_csv, Args}
 use md_telemetry::{json, RunRecord};
 use mdgan_core::complexity::{SysParams, D_CIFAR, D_MNIST, PAPER_CNN_CIFAR, PAPER_CNN_MNIST};
 
-fn main() {
+fn main() -> Result<(), mdgan_core::TrainError> {
     let args = Args::parse();
     let n = args.get("n", 10usize);
     let bmax = args.get("bmax", 10_000usize);
@@ -88,7 +88,7 @@ fn main() {
         "fig2_ingress.csv",
         "dataset,b,flgan_worker_bytes,flgan_server_bytes,mdgan_worker_bytes,mdgan_server_bytes",
         &csv,
-    );
+    )?;
     print_table(
         "Figure 2 crossover batch sizes (MD-GAN worker ingress > FL-GAN)",
         [
@@ -104,4 +104,5 @@ fn main() {
          and overtakes FL-GAN at a few hundred images — matching Figure 2."
     );
     emit_run_record(record, &recorder);
+    Ok(())
 }

@@ -8,15 +8,27 @@
 //!     --family mnist --arch mlp --iters 2000 --img 16 --train 4096
 //! ```
 //!
+//! With `--ckpt-dir <dir>` the run checkpoints crash-consistently every
+//! `--ckpt-every` iterations and `--resume <dir>` (an alias) picks an
+//! interrupted run back up **bit-identically**; `--max-abs-loss`,
+//! `--max-abs-param`, `--max-rollbacks` and `--lr-drop` tune the
+//! NaN/divergence guard that rolls a diverged curve back to its last good
+//! checkpoint.
+//!
 //! Writes `results/fig3_<family>_<arch>.csv` and prints the final scores.
 
 use md_bench::{emit_run_record, print_table, recorder_from_env, write_csv, Args};
 use md_data::synthetic::Family;
+use md_nn::HealthConfig;
 use md_telemetry::{json, RunRecord};
 use mdgan_core::arch::ArchKind;
-use mdgan_core::experiments::{run_convergence_with, ConvergenceConfig, ExperimentScale};
+use mdgan_core::experiments::{
+    run_convergence_resumable, run_convergence_with, ConvergenceConfig, ExperimentScale,
+    RecoveryConfig,
+};
+use mdgan_core::TrainError;
 
-fn main() {
+fn main() -> Result<(), TrainError> {
     let args = Args::parse();
     let family = match args.get_str("family", "mnist").as_str() {
         "mnist" => Family::MnistLike,
@@ -46,7 +58,30 @@ fn main() {
 
     eprintln!("running Figure 3 panel: {family:?} / {arch:?} at {scale:?}");
     let recorder = recorder_from_env();
-    let curves = run_convergence_with(cfg, &recorder);
+    // `--resume` is an alias for `--ckpt-dir`: the resumable runner always
+    // continues from whatever progress the directory already holds.
+    let ckpt_dir = ["ckpt-dir", "resume"]
+        .iter()
+        .find(|k| args.has(k))
+        .map(|k| args.get_str(k, ""));
+    let curves = match ckpt_dir {
+        Some(dir) => {
+            let defaults = HealthConfig::default();
+            let rec_cfg = RecoveryConfig {
+                every: args.get("ckpt-every", 50usize),
+                health: HealthConfig {
+                    max_abs_loss: args.get("max-abs-loss", defaults.max_abs_loss),
+                    max_abs_param: args.get("max-abs-param", defaults.max_abs_param),
+                    ..defaults
+                },
+                max_rollbacks: args.get("max-rollbacks", 3u32),
+                lr_drop: args.get("lr-drop", 1.0f32),
+                ..RecoveryConfig::new(dir)
+            };
+            run_convergence_resumable(cfg, &recorder, &rec_cfg)?
+        }
+        None => run_convergence_with(cfg, &recorder),
+    };
 
     let fam = args.get_str("family", "mnist");
     let arc = args.get_str("arch", "mlp");
@@ -54,7 +89,7 @@ fn main() {
     for c in &curves {
         csv.push_str(&c.to_csv());
     }
-    write_csv(&format!("fig3_{fam}_{arc}.csv"), "label,iter,is,fid", &csv);
+    write_csv(&format!("fig3_{fam}_{arc}.csv"), "label,iter,is,fid", &csv)?;
 
     let rows: Vec<[String; 4]> = curves
         .iter()
@@ -98,4 +133,5 @@ fn main() {
         }
     }
     emit_run_record(record, &recorder);
+    Ok(())
 }

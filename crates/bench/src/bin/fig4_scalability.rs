@@ -15,7 +15,7 @@ use md_data::synthetic::Family;
 use md_telemetry::{json, RunRecord, ScorePoint};
 use mdgan_core::experiments::{run_scalability_with, ExperimentScale, WorkloadMode};
 
-fn main() {
+fn main() -> Result<(), mdgan_core::TrainError> {
     let args = Args::parse();
     let ns: Vec<usize> = args
         .get_str("ns", "1,4,10,25")
@@ -57,7 +57,7 @@ fn main() {
             format!("{:.2}", p.final_scores.fid),
         ]);
     }
-    write_csv("fig4_scalability.csv", "n,mode,swap,batch,is,fid", &csv);
+    write_csv("fig4_scalability.csv", "n,mode,swap,batch,is,fid", &csv)?;
     print_table(
         "Figure 4 — MD-GAN final scores vs number of workers",
         ["N", "workload", "swap", "b", "MS ↑", "FID ↓"],
@@ -102,4 +102,5 @@ fn main() {
         .with_config_json(config)
         .with_scores(scores);
     emit_run_record(record, &recorder);
+    Ok(())
 }

@@ -22,7 +22,7 @@ use mdgan_core::experiments::{
     run_faults_with, run_lossy_faults_with, ExperimentScale, LossyPoint,
 };
 
-fn main() {
+fn main() -> Result<(), mdgan_core::TrainError> {
     let args = Args::parse();
     let fam_str = args.get_str("family", "mnist");
     let family = match fam_str.as_str() {
@@ -54,7 +54,7 @@ fn main() {
     for c in &curves {
         csv.push_str(&c.to_csv());
     }
-    write_csv(&format!("fig5_{fam_str}.csv"), "label,iter,is,fid", &csv);
+    write_csv(&format!("fig5_{fam_str}.csv"), "label,iter,is,fid", &csv)?;
 
     let rows: Vec<[String; 3]> = curves
         .iter()
@@ -104,7 +104,7 @@ fn main() {
     // itself), producing a degradation curve instead of a score timeline.
     let drops_str = args.get_str("drops", "0,0.05,0.1,0.2");
     if drops_str == "none" {
-        return;
+        return Ok(());
     }
     let drops: Vec<f32> = drops_str
         .split(',')
@@ -127,7 +127,7 @@ fn main() {
         &format!("fig5_lossy_{fam_str}.csv"),
         LossyPoint::csv_header().trim_end(),
         &csv,
-    );
+    )?;
 
     let rows: Vec<[String; 5]> = points
         .iter()
@@ -167,4 +167,5 @@ fn main() {
             .with_metric(format!("suspected[drop={}]", p.drop), p.suspected as f64);
     }
     emit_run_record(lossy_record, &recorder);
+    Ok(())
 }

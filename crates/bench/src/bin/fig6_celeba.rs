@@ -12,7 +12,7 @@ use md_bench::{emit_run_record, print_table, recorder_from_env, write_csv, Args}
 use md_telemetry::{json, RunRecord};
 use mdgan_core::experiments::{run_celeba_with, ExperimentScale};
 
-fn main() {
+fn main() -> Result<(), mdgan_core::TrainError> {
     let args = Args::parse();
     let scale = ExperimentScale {
         img: args.get("img", 16usize),
@@ -34,7 +34,7 @@ fn main() {
     for c in &curves {
         csv.push_str(&c.to_csv());
     }
-    write_csv("fig6_celeba.csv", "label,iter,is,fid", &csv);
+    write_csv("fig6_celeba.csv", "label,iter,is,fid", &csv)?;
 
     let rows: Vec<[String; 3]> = curves
         .iter()
@@ -74,4 +74,5 @@ fn main() {
         }
     }
     emit_run_record(record, &recorder);
+    Ok(())
 }

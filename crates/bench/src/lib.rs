@@ -111,14 +111,16 @@ pub fn print_table<const W: usize>(title: &str, header: [&str; W], rows: &[[Stri
 }
 
 /// Writes a CSV file under `results/`, creating the directory as needed,
-/// and echoes the path.
-pub fn write_csv(name: &str, header: &str, body: &str) {
+/// and echoes the path. I/O failures surface as
+/// [`TrainError`](mdgan_core::TrainError) so the binaries exit non-zero
+/// with a diagnostic instead of panicking mid-run.
+pub fn write_csv(name: &str, header: &str, body: &str) -> Result<(), mdgan_core::TrainError> {
     let dir = Path::new("results");
-    fs::create_dir_all(dir).expect("create results dir");
+    fs::create_dir_all(dir)?;
     let path = dir.join(name);
-    let content = format!("{header}\n{body}");
-    fs::write(&path, content).expect("write csv");
+    fs::write(&path, format!("{header}\n{body}"))?;
     println!("wrote {}", path.display());
+    Ok(())
 }
 
 /// Builds the shared per-binary telemetry recorder: it always records (so

@@ -69,6 +69,10 @@ pub struct GanHyper {
     pub adam_g: AdamConfig,
     /// Adam settings for the discriminator(s).
     pub adam_d: AdamConfig,
+    /// Per-layer gradient clipping: each layer's gradient is rescaled to
+    /// at most this L2 norm before the optimizer step. `0` disables
+    /// clipping (the default — bit-identical to pre-guard behavior).
+    pub clip_grad_norm: f32,
 }
 
 impl Default for GanHyper {
@@ -80,6 +84,7 @@ impl Default for GanHyper {
             aux_weight: 1.0,
             adam_g: AdamConfig::default(),
             adam_d: AdamConfig::default(),
+            clip_grad_norm: 0.0,
         }
     }
 }
@@ -212,6 +217,7 @@ impl GanHyper {
             .field_f64("aux_weight", self.aux_weight as f64)
             .field_f64("lr_g", self.adam_g.lr as f64)
             .field_f64("lr_d", self.adam_d.lr as f64)
+            .field_f64("clip_grad_norm", self.clip_grad_norm as f64)
             .build()
     }
 }

@@ -78,6 +78,20 @@ impl Evaluator {
     pub fn sample_n(&self) -> usize {
         self.sample_n
     }
+
+    /// The evaluation-noise RNG stream position. Together with
+    /// [`set_rng_state_words`](Self::set_rng_state_words) this makes
+    /// experiments resumable: an evaluator rebuilt from the same data and
+    /// seed, fast-forwarded to a saved position, produces bit-identical
+    /// scores from there on.
+    pub fn rng_state_words(&self) -> [u64; Rng64::STATE_WORDS] {
+        self.rng.state_words()
+    }
+
+    /// Restores the evaluation-noise RNG stream position.
+    pub fn set_rng_state_words(&mut self, words: [u64; Rng64::STATE_WORDS]) {
+        self.rng = Rng64::from_state_words(words);
+    }
 }
 
 /// A labelled series of `(iteration, scores)` points — one curve of a
@@ -269,6 +283,19 @@ mod tests {
         let fake = ev.evaluate(&mut g);
         assert!(real_fid < fake.fid, "real {real_fid} vs fake {}", fake.fid);
         assert!(real_is > 2.0, "real IS {real_is}");
+    }
+
+    #[test]
+    fn evaluator_rng_state_roundtrip_makes_scores_repeatable() {
+        let (mut ev, _) = quick_eval();
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let mut g = spec.build_generator(&mut Rng64::seed_from_u64(2));
+        let saved = ev.rng_state_words();
+        let a = ev.evaluate(&mut g);
+        ev.set_rng_state_words(saved);
+        let b = ev.evaluate(&mut g);
+        assert_eq!(a.inception_score, b.inception_score);
+        assert_eq!(a.fid, b.fid);
     }
 
     #[test]

@@ -5,19 +5,25 @@
 //! deterministic given its [`ExperimentScale::seed`].
 
 use crate::arch::{ArchKind, ArchSpec};
+use crate::checkpoint::Checkpoint;
 use crate::config::{FlGanConfig, GanHyper, KPolicy, MdGanConfig, SwapPolicy};
+use crate::error::TrainError;
 use crate::eval::{Evaluator, ScoreTimeline};
 use crate::flgan::FlGan;
 use crate::mdgan::trainer::MdGan;
 use crate::standalone::StandaloneGan;
+use crate::supervisor::Recoverable;
 use md_data::synthetic::{DataSpec, Family};
 use md_data::Dataset;
 use md_metrics::scores::GanScores;
+use md_nn::gan::Generator;
 use md_nn::optim::AdamConfig;
+use md_nn::{HealthConfig, HealthMonitor};
 use md_simnet::{CrashSchedule, TrafficReport};
-use md_telemetry::Recorder;
+use md_telemetry::{Event, Phase, Recorder};
 use md_tensor::rng::Rng64;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Knobs that scale an experiment between "CI seconds" and "paper scale".
@@ -219,6 +225,439 @@ pub fn run_convergence_with(cfg: ConvergenceConfig, telemetry: &Arc<Recorder>) -
         });
     }
     results
+}
+
+/// Recovery policy for [`run_convergence_resumable`]: where to persist
+/// progress, how often, and how to react to numeric divergence.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Directory holding `current.ckpt` plus one `curve_<idx>.jsonl` per
+    /// completed curve.
+    pub dir: PathBuf,
+    /// Checkpoint the in-progress curve every this many iterations
+    /// (`0` = resume-only: read existing state, never write checkpoints).
+    pub every: usize,
+    /// Divergence thresholds for the per-step health check.
+    pub health: HealthConfig,
+    /// Rollbacks allowed per curve before giving up with
+    /// [`TrainError::RetriesExhausted`].
+    pub max_rollbacks: u32,
+    /// Learning-rate factor applied after each rollback (`1.0` = keep LR).
+    pub lr_drop: f32,
+}
+
+impl RecoveryConfig {
+    /// Defaults: checkpoint every 50 iterations, default health
+    /// thresholds, 3 rollbacks, no LR drop.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        RecoveryConfig {
+            dir: dir.into(),
+            every: 50,
+            health: HealthConfig::default(),
+            max_rollbacks: 3,
+            lr_drop: 1.0,
+        }
+    }
+}
+
+/// Checkpoint sections the experiment layer adds on top of a competitor's
+/// own [`Recoverable::capture`] state. Restore paths ignore unknown
+/// sections, so the extras are invisible to the competitor itself.
+const SEC_CURVE: &str = "exp_curve";
+const SEC_EVAL_RNG: &str = "exp_eval_rng";
+const SEC_TIMELINE: &str = "exp_timeline";
+
+fn ckerr(e: std::io::Error) -> TrainError {
+    TrainError::Checkpoint(e.to_string())
+}
+
+/// Crash-consistent small-file write: temp file + fsync + atomic rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// A completed curve on disk: the exact-roundtrip JSONL timeline plus one
+/// trailing metadata line with the evaluator's RNG position *after* the
+/// curve — the next curve must resume the shared evaluator stream there.
+/// [`ScoreTimeline::from_jsonl`] skips the metadata line (no score fields).
+fn curve_doc(label: &str, timeline: &ScoreTimeline, evaluator: &Evaluator) -> String {
+    let words = evaluator
+        .rng_state_words()
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{}{{\"eval_rng\":\"{words}\"}}\n", timeline.to_jsonl(label))
+}
+
+fn parse_eval_rng(text: &str) -> Option<[u64; Rng64::STATE_WORDS]> {
+    let tag = "\"eval_rng\":\"";
+    let start = text.rfind(tag)? + tag.len();
+    let end = text[start..].find('"')? + start;
+    let mut out = [0u64; Rng64::STATE_WORDS];
+    let mut n = 0;
+    for (i, part) in text[start..end].split(',').enumerate() {
+        if i >= out.len() {
+            return None;
+        }
+        out[i] = part.parse().ok()?;
+        n = i + 1;
+    }
+    (n == out.len()).then_some(out)
+}
+
+fn capture_curve_state<G: Recoverable>(
+    gan: &G,
+    evaluator: &Evaluator,
+    timeline: &ScoreTimeline,
+    label: &str,
+    curve_idx: usize,
+) -> Checkpoint {
+    let mut ck = gan.capture();
+    ck.push_u64(SEC_CURVE, vec![curve_idx as u64]);
+    ck.push_u64(SEC_EVAL_RNG, evaluator.rng_state_words().to_vec());
+    ck.push_bytes(SEC_TIMELINE, timeline.to_jsonl(label).into_bytes());
+    ck
+}
+
+/// Restores gan + evaluator RNG + partial timeline from a curve
+/// checkpoint (used both for cross-process resume and in-memory rollback).
+fn restore_curve_state<G: Recoverable>(
+    gan: &mut G,
+    evaluator: &mut Evaluator,
+    timeline: &mut ScoreTimeline,
+    ck: &Checkpoint,
+) -> Result<(), TrainError> {
+    gan.restore(ck)?;
+    let words = ck
+        .require_u64_len(SEC_EVAL_RNG, Rng64::STATE_WORDS)
+        .map_err(ckerr)?;
+    evaluator.set_rng_state_words(std::array::from_fn(|i| words[i]));
+    let text = ck.require_bytes(SEC_TIMELINE).map_err(ckerr)?;
+    let text = std::str::from_utf8(text)
+        .map_err(|e| TrainError::Checkpoint(format!("{SEC_TIMELINE} is not UTF-8: {e}")))?;
+    *timeline = ScoreTimeline::from_jsonl(text);
+    Ok(())
+}
+
+/// Drives one curve to completion under checkpointing and health
+/// supervision, mirroring the competitors' `train()` schedule exactly
+/// (initial eval, then eval at `i % eval_every == 0 || i == iters`) so a
+/// resumed run stays bit-identical to an uninterrupted one.
+#[allow(clippy::too_many_arguments)]
+fn drive_curve_resumable<G: Recoverable>(
+    gan: &mut G,
+    gen_of: fn(&mut G) -> &mut Generator,
+    label: &str,
+    curve_idx: usize,
+    pending: Option<&Checkpoint>,
+    evaluator: &mut Evaluator,
+    iters: usize,
+    eval_every: usize,
+    telemetry: &Arc<Recorder>,
+    rec: &RecoveryConfig,
+) -> Result<ScoreTimeline, TrainError> {
+    let current = rec.dir.join("current.ckpt");
+    let mut timeline = ScoreTimeline::new();
+
+    if let Some(ck) = pending {
+        restore_curve_state(gan, evaluator, &mut timeline, ck)?;
+        telemetry.event(Event::Resumed {
+            iter: gan.iteration() as usize,
+        });
+    } else {
+        let span = telemetry.span(Phase::Eval);
+        let s = evaluator.evaluate(gen_of(gan));
+        drop(span);
+        telemetry.event(Event::EvalDone {
+            iter: gan.iteration() as usize,
+            is_score: s.inception_score,
+            fid: s.fid,
+        });
+        timeline.push(gan.iteration() as usize, s);
+    }
+
+    let mut monitor = HealthMonitor::new(rec.health);
+    let mut rollbacks = 0u32;
+    let mut last_good = capture_curve_state(gan, evaluator, &timeline, label, curve_idx);
+
+    while (gan.iteration() as usize) < iters {
+        let losses = gan.step_once();
+        let verdict = monitor.check_step(&losses, &gan.health_nets());
+        if verdict.is_diverged() {
+            let from = gan.iteration() as usize;
+            telemetry.event(Event::NanDetected {
+                iter: from,
+                verdict: verdict.as_str(),
+            });
+            if rollbacks >= rec.max_rollbacks {
+                return Err(TrainError::RetriesExhausted {
+                    attempts: rollbacks,
+                    last: verdict.as_str().to_string(),
+                });
+            }
+            restore_curve_state(gan, evaluator, &mut timeline, &last_good)?;
+            if rec.lr_drop != 1.0 {
+                gan.scale_lr(rec.lr_drop);
+            }
+            rollbacks += 1;
+            telemetry.event(Event::Rollback {
+                iter: from,
+                to_iter: gan.iteration() as usize,
+            });
+            continue;
+        }
+
+        let i = gan.iteration() as usize;
+        if i.is_multiple_of(eval_every.max(1)) || i == iters {
+            let span = telemetry.span(Phase::Eval);
+            let s = evaluator.evaluate(gen_of(gan));
+            drop(span);
+            telemetry.event(Event::EvalDone {
+                iter: i,
+                is_score: s.inception_score,
+                fid: s.fid,
+            });
+            timeline.push(i, s);
+        }
+
+        if rec.every > 0 && i.is_multiple_of(rec.every) {
+            let ck = capture_curve_state(gan, evaluator, &timeline, label, curve_idx);
+            // Only persisted state is a rollback target: rolling back to an
+            // unpersisted iteration would diverge from a crash+resume replay.
+            ck.save_atomic(&current)?;
+            telemetry.event(Event::CheckpointWritten {
+                iter: i,
+                bytes: ck.byte_size() as u64,
+            });
+            last_good = ck;
+        }
+    }
+    Ok(timeline)
+}
+
+/// Seals a completed curve: writes its JSONL (with the evaluator RNG
+/// trailer) atomically, then drops the in-progress checkpoint. A crash
+/// between the two writes leaves both files; resume prefers the sealed
+/// curve and discards the stale checkpoint.
+fn finish_curve(
+    dir: &Path,
+    curve_idx: usize,
+    label: &str,
+    timeline: &ScoreTimeline,
+    evaluator: &Evaluator,
+) -> Result<(), TrainError> {
+    let doc = curve_doc(label, timeline, evaluator);
+    write_atomic(
+        &dir.join(format!("curve_{curve_idx}.jsonl")),
+        doc.as_bytes(),
+    )?;
+    match std::fs::remove_file(dir.join("current.ckpt")) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(TrainError::Io(e)),
+    }
+}
+
+/// [`run_convergence_with`] under crash-consistent checkpointing: progress
+/// persists in `rec.dir` and a re-invocation after a crash (or SIGKILL)
+/// resumes where it stopped, producing **bit-identical** timelines to the
+/// uninterrupted run. Numeric divergence rolls the in-progress curve back
+/// to its last persisted checkpoint (at most `rec.max_rollbacks` times).
+///
+/// Curves completed in an earlier process are reloaded from their exact
+/// JSONL and carry `traffic: None` — byte accounting does not survive the
+/// process boundary.
+pub fn run_convergence_resumable(
+    cfg: ConvergenceConfig,
+    telemetry: &Arc<Recorder>,
+    rec: &RecoveryConfig,
+) -> Result<Vec<CurveResult>, TrainError> {
+    std::fs::create_dir_all(&rec.dir)?;
+    let (train, test) = make_dataset(cfg.family, &cfg.scale);
+    let spec = arch_for(cfg.family, cfg.arch, cfg.scale.img);
+    let mut evaluator = Evaluator::new(&train, &test, cfg.scale.eval_samples, cfg.scale.seed);
+
+    let current = rec.dir.join("current.ckpt");
+    let mut pending = if current.exists() {
+        Some(Checkpoint::load(&current)?)
+    } else {
+        None
+    };
+    let pending_curve = pending
+        .as_ref()
+        .and_then(|ck| ck.get_u64(SEC_CURVE))
+        .and_then(|w| w.first().copied())
+        .map(|w| w as usize);
+
+    let mut results: Vec<CurveResult> = Vec::new();
+    let mut curve_idx = 0usize;
+
+    // Reloads a completed curve from disk (restoring the evaluator RNG to
+    // its post-curve position) or reports that the curve must be trained.
+    let load_done = |curve_idx: usize,
+                     label: &str,
+                     evaluator: &mut Evaluator,
+                     pending: &mut Option<Checkpoint>|
+     -> Result<Option<CurveResult>, TrainError> {
+        let file = rec.dir.join(format!("curve_{curve_idx}.jsonl"));
+        if !file.exists() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(&file)?;
+        let words = parse_eval_rng(&text).ok_or_else(|| {
+            TrainError::Checkpoint(format!("{} has no eval_rng trailer", file.display()))
+        })?;
+        evaluator.set_rng_state_words(words);
+        if pending_curve == Some(curve_idx) {
+            // Crash hit between sealing this curve and dropping its
+            // checkpoint — the sealed curve wins.
+            *pending = None;
+        }
+        Ok(Some(CurveResult {
+            label: label.to_string(),
+            timeline: ScoreTimeline::from_jsonl(&text),
+            traffic: None,
+        }))
+    };
+
+    // Standalone, both batch sizes.
+    for b in [cfg.b_small, cfg.b_large] {
+        let label = format!("standalone b={b}");
+        if let Some(done) = load_done(curve_idx, &label, &mut evaluator, &mut pending)? {
+            results.push(done);
+        } else {
+            let hyper = GanHyper {
+                batch: b,
+                ..GanHyper::default()
+            };
+            let mut rng = Rng64::seed_from_u64(cfg.scale.seed ^ 0x57D);
+            let mut gan = StandaloneGan::new(&spec, train.clone(), hyper, &mut rng)
+                .with_telemetry(Arc::clone(telemetry));
+            let this_pending = (pending_curve == Some(curve_idx))
+                .then(|| pending.take())
+                .flatten();
+            let timeline = drive_curve_resumable(
+                &mut gan,
+                |g: &mut StandaloneGan| &mut g.gen,
+                &label,
+                curve_idx,
+                this_pending.as_ref(),
+                &mut evaluator,
+                cfg.scale.iters,
+                cfg.scale.eval_every,
+                telemetry,
+                rec,
+            )?;
+            finish_curve(&rec.dir, curve_idx, &label, &timeline, &evaluator)?;
+            results.push(CurveResult {
+                label,
+                timeline,
+                traffic: None,
+            });
+        }
+        curve_idx += 1;
+    }
+
+    // FL-GAN, both batch sizes (E = 1, as in the paper).
+    for b in [cfg.b_small, cfg.b_large] {
+        let label = format!("FL-GAN b={b}");
+        if let Some(done) = load_done(curve_idx, &label, &mut evaluator, &mut pending)? {
+            results.push(done);
+        } else {
+            let mut rng = Rng64::seed_from_u64(cfg.scale.seed ^ 0xF1);
+            let shards = train.shard_iid(cfg.workers, &mut rng);
+            let fl_cfg = FlGanConfig {
+                workers: cfg.workers,
+                epochs_per_round: 1.0,
+                hyper: GanHyper {
+                    batch: b,
+                    ..GanHyper::default()
+                },
+                iterations: cfg.scale.iters,
+                seed: cfg.scale.seed ^ 0xF1F1,
+            };
+            let mut fl = FlGan::new(&spec, shards, fl_cfg).with_telemetry(Arc::clone(telemetry));
+            let this_pending = (pending_curve == Some(curve_idx))
+                .then(|| pending.take())
+                .flatten();
+            let timeline = drive_curve_resumable(
+                &mut fl,
+                |g: &mut FlGan| &mut g.server_gen,
+                &label,
+                curve_idx,
+                this_pending.as_ref(),
+                &mut evaluator,
+                cfg.scale.iters,
+                cfg.scale.eval_every,
+                telemetry,
+                rec,
+            )?;
+            finish_curve(&rec.dir, curve_idx, &label, &timeline, &evaluator)?;
+            results.push(CurveResult {
+                label,
+                timeline,
+                traffic: Some(fl.traffic()),
+            });
+        }
+        curve_idx += 1;
+    }
+
+    // MD-GAN, k = 1 and k = ⌊log N⌋ (b = b_small, as in the paper).
+    for (k, klabel) in [(KPolicy::One, "k=1"), (KPolicy::LogN, "k=log(N)")] {
+        let label = format!("MD-GAN {klabel} b={}", cfg.b_small);
+        if let Some(done) = load_done(curve_idx, &label, &mut evaluator, &mut pending)? {
+            results.push(done);
+        } else {
+            let mut rng = Rng64::seed_from_u64(cfg.scale.seed ^ 0x3D);
+            let shards = train.shard_iid(cfg.workers, &mut rng);
+            let md_cfg = MdGanConfig {
+                workers: cfg.workers,
+                k,
+                epochs_per_swap: 1.0,
+                swap: SwapPolicy::Derangement,
+                hyper: GanHyper {
+                    batch: cfg.b_small,
+                    ..GanHyper::default()
+                },
+                iterations: cfg.scale.iters,
+                seed: cfg.scale.seed ^ 0x3D3D,
+                crash: CrashSchedule::none(),
+                ..MdGanConfig::default()
+            };
+            let mut md = MdGan::new(&spec, shards, md_cfg).with_telemetry(Arc::clone(telemetry));
+            let this_pending = (pending_curve == Some(curve_idx))
+                .then(|| pending.take())
+                .flatten();
+            let timeline = drive_curve_resumable(
+                &mut md,
+                |g: &mut MdGan| g.generator_mut(),
+                &label,
+                curve_idx,
+                this_pending.as_ref(),
+                &mut evaluator,
+                cfg.scale.iters,
+                cfg.scale.eval_every,
+                telemetry,
+                rec,
+            )?;
+            finish_curve(&rec.dir, curve_idx, &label, &timeline, &evaluator)?;
+            results.push(CurveResult {
+                label,
+                timeline,
+                traffic: Some(md.traffic()),
+            });
+        }
+        curve_idx += 1;
+    }
+    Ok(results)
 }
 
 /// Which quantity Figure 4 holds constant while `N` grows.
@@ -624,6 +1063,224 @@ mod tests {
         assert!(curves.iter().any(|c| c.label.contains("FL-GAN")));
         // Distributed curves carry traffic reports.
         assert!(curves.iter().filter(|c| c.traffic.is_some()).count() == 4);
+    }
+
+    fn tiny_convergence() -> ConvergenceConfig {
+        let mut scale = ExperimentScale::quick();
+        scale.iters = 6;
+        scale.eval_every = 3;
+        scale.train_n = 256;
+        scale.test_n = 64;
+        scale.eval_samples = 32;
+        ConvergenceConfig {
+            workers: 3,
+            b_small: 4,
+            b_large: 8,
+            ..ConvergenceConfig::new(Family::MnistLike, ArchKind::Mlp, scale)
+        }
+    }
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mdgan-exp-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn csvs(curves: &[CurveResult]) -> Vec<String> {
+        curves.iter().map(|c| c.to_csv()).collect()
+    }
+
+    #[test]
+    fn resumable_runner_matches_plain_run_convergence() {
+        let cfg = tiny_convergence();
+        let plain = run_convergence(cfg);
+
+        let dir = fresh_dir("plain-vs-resumable");
+        let rec = RecoveryConfig {
+            every: 2,
+            ..RecoveryConfig::new(&dir)
+        };
+        let tel = Arc::new(Recorder::enabled());
+        let resumable = run_convergence_resumable(cfg, &tel, &rec).unwrap();
+
+        assert_eq!(csvs(&plain), csvs(&resumable));
+        assert!(tel.counter(md_telemetry::Counter::CheckpointsWritten) > 0);
+        assert_eq!(tel.counter(md_telemetry::Counter::ResumeCount), 0);
+        // All six curves sealed, nothing left in flight.
+        for i in 0..6 {
+            assert!(dir.join(format!("curve_{i}.jsonl")).exists());
+        }
+        assert!(!dir.join("current.ckpt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resumable_runner_resumes_between_curves_bit_identically() {
+        let cfg = tiny_convergence();
+        let dir = fresh_dir("between-curves");
+        let rec = RecoveryConfig {
+            every: 2,
+            ..RecoveryConfig::new(&dir)
+        };
+        let tel = Arc::new(Recorder::disabled());
+        let reference = run_convergence_resumable(cfg, &tel, &rec).unwrap();
+
+        // Simulate a crash after curve 2 completed: later curves vanish,
+        // the rerun must retrain 3..5 with the evaluator RNG restored from
+        // curve 2's trailer.
+        for i in 3..6 {
+            std::fs::remove_file(dir.join(format!("curve_{i}.jsonl"))).unwrap();
+        }
+        let resumed = run_convergence_resumable(cfg, &tel, &rec).unwrap();
+        assert_eq!(csvs(&reference), csvs(&resumed));
+        // Reloaded completed curves drop their traffic reports.
+        assert!(resumed[2].traffic.is_none());
+        assert!(
+            resumed[4].traffic.is_some(),
+            "retrained curve keeps traffic"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drive_curve_resumes_mid_curve_bit_identically() {
+        let scale = ExperimentScale {
+            iters: 10,
+            eval_every: 5,
+            train_n: 256,
+            test_n: 64,
+            eval_samples: 32,
+            ..ExperimentScale::quick()
+        };
+        let (train, test) = make_dataset(Family::MnistLike, &scale);
+        let spec = arch_for(Family::MnistLike, ArchKind::Mlp, scale.img);
+        let hyper = GanHyper {
+            batch: 4,
+            ..GanHyper::default()
+        };
+        let tel = Arc::new(Recorder::enabled());
+        let make_gan = || {
+            let mut rng = Rng64::seed_from_u64(scale.seed ^ 0x57D);
+            StandaloneGan::new(&spec, train.clone(), hyper, &mut rng)
+        };
+        let gen_of: fn(&mut StandaloneGan) -> &mut Generator = |g| &mut g.gen;
+
+        // Uninterrupted reference: 10 iterations in one process.
+        let full_dir = fresh_dir("drive-full");
+        let full_rec = RecoveryConfig {
+            every: 3,
+            ..RecoveryConfig::new(&full_dir)
+        };
+        let mut full_ev = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
+        let mut full_gan = make_gan();
+        let full_tl = drive_curve_resumable(
+            &mut full_gan,
+            gen_of,
+            "s",
+            0,
+            None,
+            &mut full_ev,
+            10,
+            5,
+            &tel,
+            &full_rec,
+        )
+        .unwrap();
+
+        // "Killed" run: stops after iteration 7; the last durable
+        // checkpoint is at iteration 6, so the resume replays 7..10.
+        let dir = fresh_dir("drive-killed");
+        let rec = RecoveryConfig {
+            every: 3,
+            ..RecoveryConfig::new(&dir)
+        };
+        let mut ev = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
+        let mut gan = make_gan();
+        drive_curve_resumable(&mut gan, gen_of, "s", 0, None, &mut ev, 7, 5, &tel, &rec).unwrap();
+        let pending = Checkpoint::load(dir.join("current.ckpt")).unwrap();
+        assert_eq!(pending.iteration, 6);
+
+        let mut ev2 = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
+        let mut gan2 = make_gan();
+        let resumed_tl = drive_curve_resumable(
+            &mut gan2,
+            gen_of,
+            "s",
+            0,
+            Some(&pending),
+            &mut ev2,
+            10,
+            5,
+            &tel,
+            &rec,
+        )
+        .unwrap();
+
+        assert_eq!(full_tl.to_jsonl("s"), resumed_tl.to_jsonl("s"));
+        assert_eq!(full_gan.params(), gan2.params());
+        assert_eq!(full_ev.rng_state_words(), ev2.rng_state_words());
+        assert!(tel.counter(md_telemetry::Counter::ResumeCount) >= 1);
+        let _ = std::fs::remove_dir_all(&full_dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drive_curve_rolls_back_then_exhausts_retries() {
+        let scale = ExperimentScale {
+            iters: 6,
+            eval_every: 3,
+            train_n: 256,
+            test_n: 64,
+            eval_samples: 32,
+            ..ExperimentScale::quick()
+        };
+        let (train, test) = make_dataset(Family::MnistLike, &scale);
+        let spec = arch_for(Family::MnistLike, ArchKind::Mlp, scale.img);
+        let dir = fresh_dir("drive-diverge");
+        // A loss threshold of 0 makes every step count as exploded.
+        let rec = RecoveryConfig {
+            every: 2,
+            health: md_nn::HealthConfig {
+                max_abs_loss: 0.0,
+                ..md_nn::HealthConfig::default()
+            },
+            max_rollbacks: 2,
+            lr_drop: 0.5,
+            ..RecoveryConfig::new(&dir)
+        };
+        let tel = Arc::new(Recorder::enabled());
+        let mut ev = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
+        let mut rng = Rng64::seed_from_u64(scale.seed);
+        let mut gan = StandaloneGan::new(
+            &spec,
+            train.clone(),
+            GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
+            &mut rng,
+        );
+        let err = drive_curve_resumable(
+            &mut gan,
+            |g: &mut StandaloneGan| &mut g.gen,
+            "s",
+            0,
+            None,
+            &mut ev,
+            6,
+            3,
+            &tel,
+            &rec,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            TrainError::RetriesExhausted { attempts: 2, .. }
+        ));
+        assert_eq!(tel.counter(md_telemetry::Counter::NanDetected), 3);
+        assert_eq!(tel.counter(md_telemetry::Counter::Rollbacks), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

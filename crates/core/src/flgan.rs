@@ -8,7 +8,9 @@
 //! generator on the central server".
 
 use crate::arch::ArchSpec;
+use crate::checkpoint::Checkpoint;
 use crate::config::FlGanConfig;
+use crate::error::TrainError;
 use crate::eval::{Evaluator, ScoreTimeline};
 use crate::standalone::StandaloneGan;
 use md_data::Dataset;
@@ -206,6 +208,88 @@ impl FlGan {
         }
         timeline
     }
+
+    /// Captures the full federated state: the server's averaged model,
+    /// every worker's complete local trainer (nested v2 checkpoint: params,
+    /// Adam moments, RNG positions), round counter and traffic counters.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut ck = Checkpoint::new(self.iter as u64);
+        ck.push("server_gen", self.server_gen.net.get_params_flat());
+        ck.push("server_disc", self.server_disc_params.clone());
+        ck.push_u64("counters", vec![self.rounds as u64]);
+        ck.push_u64("traffic", self.stats.state_words());
+        for (i, w) in self.workers.iter().enumerate() {
+            ck.push_bytes(format!("worker_{i}"), w.checkpoint().to_bytes().to_vec());
+        }
+        ck
+    }
+
+    /// Restores a checkpoint taken by [`checkpoint`](Self::checkpoint).
+    /// Missing or length-mismatched sections are errors, not silent skips.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), TrainError> {
+        let ckerr = |e: std::io::Error| TrainError::Checkpoint(e.to_string());
+        let sg = ck
+            .require_len("server_gen", self.server_gen.num_params())
+            .map_err(ckerr)?;
+        let sd = ck
+            .require_len("server_disc", self.server_disc_params.len())
+            .map_err(ckerr)?;
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            let raw = ck.require_bytes(&format!("worker_{i}")).map_err(ckerr)?;
+            let inner = Checkpoint::from_bytes(raw)?;
+            w.restore(&inner)?;
+        }
+        self.server_gen.net.set_params_flat(sg);
+        self.server_disc_params = sd.to_vec();
+        let counters = ck.require_u64_len("counters", 1).map_err(ckerr)?;
+        self.rounds = counters[0] as usize;
+        self.stats
+            .load_state_words(ck.require_u64("traffic").map_err(ckerr)?)
+            .map_err(TrainError::Checkpoint)?;
+        self.iter = ck.iteration as usize;
+        Ok(())
+    }
+}
+
+impl crate::supervisor::Recoverable for FlGan {
+    fn iteration(&self) -> u64 {
+        self.iter as u64
+    }
+
+    fn capture(&self) -> Checkpoint {
+        self.checkpoint()
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) -> Result<(), TrainError> {
+        FlGan::restore(self, ck)
+    }
+
+    fn step_once(&mut self) -> Vec<f32> {
+        self.step();
+        Vec::new()
+    }
+
+    fn health_nets(&self) -> Vec<&md_nn::layers::Sequential> {
+        let mut nets = vec![&self.server_gen.net];
+        for w in &self.workers {
+            nets.push(&w.gen.net);
+            nets.push(&w.disc.net);
+        }
+        nets
+    }
+
+    fn scale_lr(&mut self, factor: f32) {
+        for w in &mut self.workers {
+            w.scale_lr(factor);
+        }
+    }
+
+    /// Poisons one worker's generator; the NaN propagates into the next
+    /// federated average, exercising cross-node divergence detection.
+    fn poison(&mut self) {
+        use md_nn::layer::Layer;
+        self.workers[0].gen.net.params_mut()[0].data_mut()[0] = f32::NAN;
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +403,59 @@ mod tests {
             fl.server_gen.net.get_params_flat()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical() {
+        let mut full = tiny(2, 4, 16);
+        for _ in 0..6 {
+            full.step();
+        }
+
+        let mut first = tiny(2, 4, 16);
+        for _ in 0..4 {
+            first.step();
+        }
+        let bytes = first.checkpoint().to_bytes();
+        drop(first);
+
+        let mut resumed = tiny(2, 4, 16);
+        resumed
+            .restore(&Checkpoint::from_bytes(&bytes).unwrap())
+            .unwrap();
+        assert_eq!(resumed.iterations(), 4);
+        assert_eq!(resumed.rounds(), 1); // round_interval = 4
+        for _ in 0..2 {
+            resumed.step();
+        }
+        assert_eq!(
+            resumed.server_gen.net.get_params_flat(),
+            full.server_gen.net.get_params_flat()
+        );
+        for (a, b) in resumed.workers.iter().zip(&full.workers) {
+            assert_eq!(a.params(), b.params());
+        }
+        assert_eq!(resumed.traffic(), full.traffic());
+    }
+
+    #[test]
+    fn restore_rejects_missing_worker_section() {
+        let mut fl = tiny(2, 4, 16);
+        fl.step();
+        let full = fl.checkpoint();
+        let mut partial = Checkpoint::new(full.iteration);
+        for name in full.section_names().map(String::from).collect::<Vec<_>>() {
+            if name == "worker_1" {
+                continue;
+            }
+            match full.get_section(&name).unwrap() {
+                crate::checkpoint::SectionData::F32(d) => partial.push(name, d.clone()),
+                crate::checkpoint::SectionData::U64(d) => partial.push_u64(name, d.clone()),
+                crate::checkpoint::SectionData::Bytes(d) => partial.push_bytes(name, d.clone()),
+            }
+        }
+        let err = fl.restore(&partial).unwrap_err();
+        assert!(err.to_string().contains("worker_1"), "got: {err}");
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! worker generators (an external observer's view).
 
 use crate::arch::ArchSpec;
+use crate::checkpoint::Checkpoint;
 use crate::config::FlGanConfig;
+use crate::error::TrainError;
 use crate::eval::{Evaluator, ScoreTimeline};
 use crate::standalone::StandaloneGan;
 use md_data::Dataset;
@@ -206,6 +208,84 @@ impl GossipGan {
         }
         timeline
     }
+
+    /// Captures the full decentralized state: every worker's complete
+    /// local trainer (nested v2 checkpoint), the gossip pairing RNG,
+    /// exchange counter and traffic counters. The observer generator is
+    /// derived (it is recomputed on every evaluation) and not stored.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut ck = Checkpoint::new(self.iter as u64);
+        ck.push_u64("rng_gossip", self.gossip_rng.state_words().to_vec());
+        ck.push_u64("counters", vec![self.exchanges]);
+        ck.push_u64("traffic", self.stats.state_words());
+        for (i, w) in self.workers.iter().enumerate() {
+            ck.push_bytes(format!("worker_{i}"), w.checkpoint().to_bytes().to_vec());
+        }
+        ck
+    }
+
+    /// Restores a checkpoint taken by [`checkpoint`](Self::checkpoint).
+    /// Missing or length-mismatched sections are errors, not silent skips.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), TrainError> {
+        let ckerr = |e: std::io::Error| TrainError::Checkpoint(e.to_string());
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            let raw = ck.require_bytes(&format!("worker_{i}")).map_err(ckerr)?;
+            let inner = Checkpoint::from_bytes(raw)?;
+            w.restore(&inner)?;
+        }
+        let words = ck
+            .require_u64_len("rng_gossip", Rng64::STATE_WORDS)
+            .map_err(ckerr)?;
+        self.gossip_rng = Rng64::from_state_words(std::array::from_fn(|i| words[i]));
+        let counters = ck.require_u64_len("counters", 1).map_err(ckerr)?;
+        self.exchanges = counters[0];
+        self.stats
+            .load_state_words(ck.require_u64("traffic").map_err(ckerr)?)
+            .map_err(TrainError::Checkpoint)?;
+        self.iter = ck.iteration as usize;
+        Ok(())
+    }
+}
+
+impl crate::supervisor::Recoverable for GossipGan {
+    fn iteration(&self) -> u64 {
+        self.iter as u64
+    }
+
+    fn capture(&self) -> Checkpoint {
+        self.checkpoint()
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) -> Result<(), TrainError> {
+        GossipGan::restore(self, ck)
+    }
+
+    fn step_once(&mut self) -> Vec<f32> {
+        self.step();
+        Vec::new()
+    }
+
+    fn health_nets(&self) -> Vec<&md_nn::layers::Sequential> {
+        let mut nets = Vec::with_capacity(2 * self.workers.len());
+        for w in &self.workers {
+            nets.push(&w.gen.net);
+            nets.push(&w.disc.net);
+        }
+        nets
+    }
+
+    fn scale_lr(&mut self, factor: f32) {
+        for w in &mut self.workers {
+            w.scale_lr(factor);
+        }
+    }
+
+    /// Poisons one worker's generator; gossip averaging spreads the NaN,
+    /// exercising cross-node divergence detection.
+    fn poison(&mut self) {
+        use md_nn::layer::Layer;
+        self.workers[0].gen.net.params_mut()[0].data_mut()[0] = f32::NAN;
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +371,37 @@ mod tests {
             g.observer_generator().net.get_params_flat()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical() {
+        let mut full = tiny(3);
+        for _ in 0..12 {
+            full.step();
+        }
+
+        let mut first = tiny(3);
+        for _ in 0..9 {
+            first.step();
+        }
+        let bytes = first.checkpoint().to_bytes();
+        drop(first);
+
+        let mut resumed = tiny(3);
+        resumed
+            .restore(&Checkpoint::from_bytes(&bytes).unwrap())
+            .unwrap();
+        assert_eq!(resumed.iterations(), 9);
+        assert_eq!(resumed.exchanges(), 3); // one round at iter 8
+        for _ in 0..3 {
+            resumed.step();
+        }
+        assert_eq!(
+            resumed.observer_generator().net.get_params_flat(),
+            full.observer_generator().net.get_params_flat()
+        );
+        assert_eq!(resumed.exchanges(), full.exchanges());
+        assert_eq!(resumed.traffic(), full.traffic());
     }
 
     #[test]

@@ -37,14 +37,18 @@ pub mod checkpoint;
 pub mod complexity;
 pub mod compression;
 pub mod config;
+pub mod error;
 pub mod eval;
 pub mod experiments;
 pub mod flgan;
 pub mod gossip;
 pub mod mdgan;
 pub mod standalone;
+pub mod supervisor;
 
 pub use arch::ArchSpec;
 pub use config::{GanHyper, KPolicy, MdGanConfig, SwapPolicy};
+pub use error::TrainError;
 pub use eval::{Evaluator, ScoreTimeline};
 pub use mdgan::trainer::MdGan;
+pub use supervisor::{Recoverable, SupervisorConfig, SupervisorReport, TrainSupervisor};

@@ -22,7 +22,9 @@
 //!   "speed" skew, so slow-worker staleness patterns are reproducible.
 
 use crate::arch::ArchSpec;
+use crate::checkpoint::Checkpoint;
 use crate::config::{MdGanConfig, SwapPolicy};
+use crate::error::TrainError;
 use crate::eval::{Evaluator, ScoreTimeline};
 use crate::mdgan::server::MdServer;
 use crate::mdgan::trainer::{build_parts, swap_permutation};
@@ -439,6 +441,210 @@ impl AsyncMdGan {
         }
         timeline
     }
+
+    /// Captures the full asynchronous state — including every worker's
+    /// *in-flight* batch (its tensors, labels and generator version), since
+    /// a dispatched batch has already consumed scheduler-RNG draws and
+    /// dropping it would desynchronize the resumed run.
+    ///
+    /// Robust-mode state (per-link fault RNG) is *not* captured; resuming
+    /// a lossy run restarts the link fates cold (see DESIGN.md §10).
+    pub fn checkpoint(&self) -> Checkpoint {
+        let n = self.workers.len();
+        let mut ck = Checkpoint::new(self.updates);
+        ck.push("generator", self.server.gen_params());
+        let g_opt = self.server.opt_state();
+        ck.push("opt_g_m", g_opt.m);
+        ck.push("opt_g_v", g_opt.v);
+        let mut adam_t = vec![0u64; 1 + n];
+        adam_t[0] = g_opt.t;
+        ck.push_u64("rng_server", self.server.rng_state_words().to_vec());
+        ck.push_u64("rng_swap", self.swap_rng.state_words().to_vec());
+        ck.push_u64("rng_sched", self.sched_rng.state_words().to_vec());
+        let alive: Vec<u64> = self
+            .workers
+            .iter()
+            .map(|w| u64::from(w.is_some()))
+            .collect();
+        for (i, w) in self.workers.iter().enumerate() {
+            let Some(w) = w else { continue };
+            let id = i + 1;
+            ck.push(format!("disc_{id}"), w.disc_params());
+            let d_opt = w.opt_state();
+            adam_t[id] = d_opt.t;
+            ck.push(format!("opt_d_{id}_m"), d_opt.m);
+            ck.push(format!("opt_d_{id}_v"), d_opt.v);
+            ck.push_u64(
+                format!("rng_sampler_{id}"),
+                w.sampler_state_words().to_vec(),
+            );
+        }
+        ck.push_u64("adam_t", adam_t);
+        ck.push_u64("alive", alive);
+        let in_flight: Vec<u64> = self
+            .in_flight
+            .iter()
+            .map(|f| u64::from(f.is_some()))
+            .collect();
+        for (i, fl) in self.in_flight.iter().enumerate() {
+            let Some(fl) = fl else { continue };
+            push_tensor(&mut ck, &format!("fl_{i}_xg"), &fl.xg);
+            push_tensor(&mut ck, &format!("fl_{i}_xd"), &fl.xd);
+            push_tensor(&mut ck, &format!("fl_{i}_zg"), &fl.zg);
+            ck.push_u64(
+                format!("fl_{i}_lg"),
+                fl.xg_labels.iter().map(|&l| l as u64).collect(),
+            );
+            ck.push_u64(
+                format!("fl_{i}_ld"),
+                fl.xd_labels.iter().map(|&l| l as u64).collect(),
+            );
+            ck.push_u64(format!("fl_{i}_ver"), vec![fl.version]);
+        }
+        ck.push_u64("in_flight", in_flight);
+        ck.push_u64(
+            "counters",
+            vec![
+                self.version,
+                self.updates,
+                self.async_stats.updates,
+                self.async_stats.staleness_sum,
+                self.async_stats.staleness_max,
+            ],
+        );
+        ck.push_u64("traffic", self.stats.state_words());
+        ck
+    }
+
+    /// Restores a checkpoint taken on an identically configured system.
+    /// Missing or length-mismatched sections are errors, not silent skips.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), TrainError> {
+        let ckerr = |e: std::io::Error| TrainError::Checkpoint(e.to_string());
+        let n = self.workers.len();
+        let gen = ck
+            .require_len("generator", self.server.gen_params_len())
+            .map_err(ckerr)?;
+        self.server.set_gen_params(gen);
+        let alive = ck.require_u64_len("alive", n).map_err(ckerr)?.to_vec();
+        let adam_t = ck.require_u64_len("adam_t", 1 + n).map_err(ckerr)?.to_vec();
+        let g_state = md_nn::optim::AdamState {
+            t: adam_t[0],
+            m: ck.require("opt_g_m").map_err(ckerr)?.to_vec(),
+            v: ck.require("opt_g_v").map_err(ckerr)?.to_vec(),
+        };
+        self.server
+            .import_opt_state(&g_state)
+            .map_err(TrainError::Checkpoint)?;
+        let words = |name: &str| -> Result<[u64; Rng64::STATE_WORDS], TrainError> {
+            let w = ck
+                .require_u64_len(name, Rng64::STATE_WORDS)
+                .map_err(ckerr)?;
+            Ok(std::array::from_fn(|i| w[i]))
+        };
+        self.server.set_rng_state_words(words("rng_server")?);
+        self.swap_rng = Rng64::from_state_words(words("rng_swap")?);
+        self.sched_rng = Rng64::from_state_words(words("rng_sched")?);
+
+        // Index drives three things at once: the alive bitmap, the worker
+        // slot, and the 1-based section names.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let id = i + 1;
+            if alive[i] == 0 {
+                self.workers[i] = None;
+                continue;
+            }
+            let Some(w) = self.workers[i].as_mut() else {
+                return Err(TrainError::Checkpoint(format!(
+                    "checkpoint has worker {id} alive but it already crashed here"
+                )));
+            };
+            let disc = ck
+                .require_len(&format!("disc_{id}"), w.disc_params_len())
+                .map_err(ckerr)?;
+            w.set_disc_params(disc);
+            let d_state = md_nn::optim::AdamState {
+                t: adam_t[id],
+                m: ck
+                    .require(&format!("opt_d_{id}_m"))
+                    .map_err(ckerr)?
+                    .to_vec(),
+                v: ck
+                    .require(&format!("opt_d_{id}_v"))
+                    .map_err(ckerr)?
+                    .to_vec(),
+            };
+            w.import_opt_state(&d_state)
+                .map_err(TrainError::Checkpoint)?;
+            let sw = ck
+                .require_u64_len(&format!("rng_sampler_{id}"), Rng64::STATE_WORDS)
+                .map_err(ckerr)?;
+            w.set_sampler_state_words(std::array::from_fn(|j| sw[j]));
+        }
+
+        let mask = ck.require_u64_len("in_flight", n).map_err(ckerr)?.to_vec();
+        for (i, &present) in mask.iter().enumerate() {
+            if present == 0 {
+                self.in_flight[i] = None;
+                continue;
+            }
+            let labels = |name: &str| -> Result<Vec<usize>, TrainError> {
+                Ok(ck
+                    .require_u64(name)
+                    .map_err(ckerr)?
+                    .iter()
+                    .map(|&l| l as usize)
+                    .collect())
+            };
+            self.in_flight[i] = Some(InFlight {
+                version: ck
+                    .require_u64_len(&format!("fl_{i}_ver"), 1)
+                    .map_err(ckerr)?[0],
+                xg: read_tensor(ck, &format!("fl_{i}_xg"))?,
+                xg_labels: labels(&format!("fl_{i}_lg"))?,
+                xd: read_tensor(ck, &format!("fl_{i}_xd"))?,
+                xd_labels: labels(&format!("fl_{i}_ld"))?,
+                zg: read_tensor(ck, &format!("fl_{i}_zg"))?,
+            });
+        }
+
+        let counters = ck.require_u64_len("counters", 5).map_err(ckerr)?;
+        self.version = counters[0];
+        self.updates = counters[1];
+        self.async_stats = AsyncStats {
+            updates: counters[2],
+            staleness_sum: counters[3],
+            staleness_max: counters[4],
+        };
+        self.stats
+            .load_state_words(ck.require_u64("traffic").map_err(ckerr)?)
+            .map_err(TrainError::Checkpoint)?;
+        Ok(())
+    }
+}
+
+/// Stores a tensor as a data section plus a `{name}_shape` companion.
+fn push_tensor(ck: &mut Checkpoint, name: &str, t: &Tensor) {
+    ck.push(name.to_string(), t.data().to_vec());
+    ck.push_u64(
+        format!("{name}_shape"),
+        t.shape().iter().map(|&d| d as u64).collect(),
+    );
+}
+
+/// Reads a tensor stored by [`push_tensor`], validating the element count
+/// against the recorded shape.
+fn read_tensor(ck: &Checkpoint, name: &str) -> Result<Tensor, TrainError> {
+    let ckerr = |e: std::io::Error| TrainError::Checkpoint(e.to_string());
+    let shape: Vec<usize> = ck
+        .require_u64(&format!("{name}_shape"))
+        .map_err(ckerr)?
+        .iter()
+        .map(|&d| d as usize)
+        .collect();
+    let expect: usize = shape.iter().product();
+    let data = ck.require_len(name, expect).map_err(ckerr)?;
+    Ok(Tensor::new(&shape, data.to_vec()))
 }
 
 #[cfg(test)]
@@ -568,6 +774,45 @@ mod tests {
         );
         let feedbacks: u64 = rec.worker_stats().iter().map(|w| w.feedbacks).sum();
         assert_eq!(feedbacks, 60);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical() {
+        // In-flight batches consumed scheduler-RNG draws before the cut,
+        // so this passes only if they are captured and restored exactly.
+        let mut full = build(AsyncConfig::default());
+        for _ in 0..20 {
+            full.step_event();
+        }
+
+        let mut first = build(AsyncConfig::default());
+        for _ in 0..12 {
+            first.step_event();
+        }
+        let bytes = first.checkpoint().to_bytes();
+        drop(first);
+
+        let mut resumed = build(AsyncConfig::default());
+        resumed
+            .restore(&Checkpoint::from_bytes(&bytes).unwrap())
+            .unwrap();
+        assert_eq!(resumed.updates(), 12);
+        for _ in 0..8 {
+            resumed.step_event();
+        }
+        assert_eq!(resumed.gen_params(), full.gen_params());
+        assert_eq!(resumed.traffic(), full.traffic());
+        let (a, b) = (resumed.async_stats(), full.async_stats());
+        assert_eq!(a.updates, b.updates);
+        assert_eq!(a.staleness_sum, b.staleness_sum);
+    }
+
+    #[test]
+    fn restore_rejects_missing_in_flight_tensor() {
+        let mut md = build(AsyncConfig::default());
+        md.step_event();
+        let err = md.restore(&Checkpoint::new(1)).unwrap_err();
+        assert!(err.to_string().contains("generator"), "got: {err}");
     }
 
     #[test]

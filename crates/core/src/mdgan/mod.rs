@@ -61,6 +61,28 @@ pub enum MdMsg {
         /// Flat parameter vector `θ`.
         params: Vec<f32>,
     },
+    /// Server → worker: ship your full training state (checkpoint gather).
+    ///
+    /// A control message outside the simulated network model: checkpoint
+    /// persistence must not perturb traffic accounting, or a resumed run
+    /// would stop being bit-identical to an uninterrupted one.
+    StateRequest,
+    /// Worker → server: the complete worker state answering a
+    /// [`StateRequest`](MdMsg::StateRequest).
+    WorkerState {
+        /// 1-based worker id.
+        id: usize,
+        /// Flat discriminator parameters `θ`.
+        disc: Vec<f32>,
+        /// Adam step count of the discriminator optimizer.
+        adam_t: u64,
+        /// Adam first moments.
+        opt_m: Vec<f32>,
+        /// Adam second moments.
+        opt_v: Vec<f32>,
+        /// Shard-sampler RNG stream position.
+        sampler: Vec<u64>,
+    },
     /// Server → worker: crash silently (robust mode's fail-stop injection).
     ///
     /// Unlike [`Stop`](MdMsg::Stop) the worker keeps draining its queue

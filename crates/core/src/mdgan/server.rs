@@ -4,7 +4,7 @@ use crate::arch::ArchSpec;
 use crate::config::GanHyper;
 use md_nn::gan::Generator;
 use md_nn::layer::Layer;
-use md_nn::optim::Adam;
+use md_nn::optim::{Adam, AdamState};
 use md_tensor::rng::Rng64;
 use md_tensor::Tensor;
 
@@ -101,6 +101,15 @@ impl MdServer {
             let _ = self.gen.generate(&p.z, &p.labels, true);
             self.gen.backward(&grad);
         }
+        self.clip_and_step();
+    }
+
+    fn clip_and_step(&mut self) {
+        if self.hyper.clip_grad_norm > 0.0 {
+            self.gen
+                .net
+                .clip_grad_norm_per_layer(self.hyper.clip_grad_norm);
+        }
         self.opt_g.step(&mut self.gen.net);
     }
 
@@ -143,14 +152,14 @@ impl MdServer {
             let _ = self.gen.generate(&p.z, &p.labels, true);
             self.gen.backward(&consensus);
         }
-        self.opt_g.step(&mut self.gen.net);
+        self.clip_and_step();
     }
 
     /// Applies one optimizer step using whatever gradients are currently
     /// accumulated in the generator — the asynchronous runtime (§VII.1)
     /// backpropagates each feedback itself and then calls this.
     pub fn apply_external_step(&mut self) {
-        self.opt_g.step(&mut self.gen.net);
+        self.clip_and_step();
     }
 
     /// Flat generator parameters (for tests and checkpoints).
@@ -161,6 +170,42 @@ impl MdServer {
     /// Generator parameter count `|w|`.
     pub fn gen_params_len(&self) -> usize {
         self.gen.num_params()
+    }
+
+    /// Installs flat generator parameters (checkpoint restore).
+    pub fn set_gen_params(&mut self, params: &[f32]) {
+        self.gen.net.set_params_flat(params);
+    }
+
+    /// Adam moments of the generator optimizer (checkpointing).
+    pub fn opt_state(&self) -> AdamState {
+        self.opt_g.export_state()
+    }
+
+    /// Restores the generator optimizer's Adam moments.
+    pub fn import_opt_state(&mut self, state: &AdamState) -> Result<(), String> {
+        self.opt_g.import_state(state, &self.gen.net)
+    }
+
+    /// The generator learning rate currently in effect.
+    pub fn gen_lr(&self) -> f32 {
+        self.opt_g.lr()
+    }
+
+    /// Overrides the generator learning rate (the supervisor drops it
+    /// after a rollback when configured to).
+    pub fn set_gen_lr(&mut self, lr: f32) {
+        self.opt_g.set_lr(lr);
+    }
+
+    /// Serializable noise-RNG stream position (checkpointing).
+    pub fn rng_state_words(&self) -> [u64; Rng64::STATE_WORDS] {
+        self.rng.state_words()
+    }
+
+    /// Restores the noise-RNG stream position.
+    pub fn set_rng_state_words(&mut self, words: [u64; Rng64::STATE_WORDS]) {
+        self.rng = Rng64::from_state_words(words);
     }
 }
 

@@ -19,16 +19,20 @@
 //! sequential trainer running the same plan.
 
 use crate::arch::ArchSpec;
+use crate::checkpoint::Checkpoint;
 use crate::config::MdGanConfig;
+use crate::error::TrainError;
 use crate::eval::{Evaluator, ScoreTimeline};
 use crate::mdgan::server::MdServer;
 use crate::mdgan::trainer::{build_parts, swap_permutation};
 use crate::mdgan::worker::MdWorker;
 use crate::mdgan::MdMsg;
 use md_data::Dataset;
+use md_nn::optim::AdamState;
 use md_nn::param::{batch_bytes, param_bytes};
-use md_simnet::{Endpoint, FailureDetector, Liveness, Router, TrafficReport, SERVER};
+use md_simnet::{Endpoint, FailureDetector, Liveness, Router, TrafficReport, TrafficStats, SERVER};
 use md_telemetry::{Event, Phase, Recorder};
+use md_tensor::rng::Rng64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -153,6 +157,22 @@ fn worker_loop(
                 );
                 pending_disc = Some(params);
             }
+            MdMsg::StateRequest => {
+                let opt = worker.opt_state();
+                ep.send(
+                    SERVER,
+                    MdMsg::WorkerState {
+                        id: ep.id(),
+                        disc: worker.disc_params(),
+                        adam_t: opt.t,
+                        opt_m: opt.m,
+                        opt_v: opt.v,
+                        sampler: worker.sampler_state_words().to_vec(),
+                    },
+                    0,
+                )
+                .expect("server endpoint dropped");
+            }
             MdMsg::Crash => {
                 // Fail silently: keep draining (so senders never observe
                 // the death) until the final Stop.
@@ -167,7 +187,9 @@ fn worker_loop(
                 }
             }
             MdMsg::Stop => break,
-            MdMsg::Feedback { .. } => panic!("worker received a Feedback message"),
+            MdMsg::Feedback { .. } | MdMsg::WorkerState { .. } => {
+                panic!("worker received a server-bound message")
+            }
         }
     }
 }
@@ -208,11 +230,71 @@ pub fn run_threaded_with(
     spec: &ArchSpec,
     shards: Vec<Dataset>,
     cfg: MdGanConfig,
-    mut evaluator: Option<&mut Evaluator>,
+    evaluator: Option<&mut Evaluator>,
     iters: usize,
     eval_every: usize,
     telemetry: Arc<Recorder>,
 ) -> ThreadedResult {
+    run_threaded_inner(
+        spec, shards, cfg, evaluator, iters, eval_every, telemetry, None,
+    )
+    .expect("checkpoint-free threaded run cannot fail")
+}
+
+/// Crash-consistent checkpoint policy for the threaded runtime.
+#[derive(Clone, Debug)]
+pub struct ThreadedCheckpointing {
+    /// Checkpoint file; written atomically, and loaded on start when it
+    /// already exists (resume).
+    pub path: std::path::PathBuf,
+    /// Write a checkpoint every this many global iterations
+    /// (`0` = resume-only, no periodic saves).
+    pub every: usize,
+}
+
+/// As [`run_threaded_with`], with crash-consistent checkpoint/resume.
+///
+/// The checkpoint file uses exactly the sequential runtime's section
+/// layout, so a checkpoint written here can be restored by
+/// [`MdGan::restore`](crate::mdgan::trainer::MdGan::restore) and vice
+/// versa, and a killed-and-resumed threaded run is **bit-identical** to an
+/// uninterrupted one (also to the equivalent sequential run). Robust-mode
+/// configs are rejected: the failure detector and per-link fault RNG are
+/// not checkpointed (see DESIGN.md §10).
+#[allow(clippy::too_many_arguments)]
+pub fn run_threaded_checkpointed(
+    spec: &ArchSpec,
+    shards: Vec<Dataset>,
+    cfg: MdGanConfig,
+    evaluator: Option<&mut Evaluator>,
+    iters: usize,
+    eval_every: usize,
+    telemetry: Arc<Recorder>,
+    ckpt: &ThreadedCheckpointing,
+) -> Result<ThreadedResult, TrainError> {
+    run_threaded_inner(
+        spec,
+        shards,
+        cfg,
+        evaluator,
+        iters,
+        eval_every,
+        telemetry,
+        Some(ckpt),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_threaded_inner(
+    spec: &ArchSpec,
+    shards: Vec<Dataset>,
+    cfg: MdGanConfig,
+    mut evaluator: Option<&mut Evaluator>,
+    iters: usize,
+    eval_every: usize,
+    telemetry: Arc<Recorder>,
+    ckpt: Option<&ThreadedCheckpointing>,
+) -> Result<ThreadedResult, TrainError> {
     let object_size = shards[0].object_size();
     let shard_size = shards[0].len();
     let (mut server, workers, mut swap_rng) = build_parts(spec, shards, &cfg);
@@ -220,6 +302,13 @@ pub fn run_threaded_with(
     let swap_interval = cfg.swap_interval(shard_size);
     let b = cfg.hyper.batch;
     let robust = cfg.is_robust();
+    if robust && ckpt.is_some() {
+        return Err(TrainError::Checkpoint(
+            "robust-mode threaded runs cannot checkpoint/resume: \
+             detector and fault-RNG state is not captured"
+                .into(),
+        ));
+    }
 
     let mut router: Router<MdMsg> = Router::new(cfg.workers).with_telemetry(Arc::clone(&telemetry));
     if robust {
@@ -229,34 +318,67 @@ pub fn run_threaded_with(
     let server_ep = router.endpoint(SERVER);
     let worker_eps: Vec<Endpoint<MdMsg>> = (1..=cfg.workers).map(|i| router.endpoint(i)).collect();
 
+    // Mirrors of the sequential runtime's attack/host RNG streams. The
+    // threaded runtime never draws from them, but carrying them keeps the
+    // checkpoint layout identical to `MdGan::checkpoint`, so either
+    // runtime can resume the other's files.
+    let mut attack_rng = Rng64::seed_from_u64(cfg.seed ^ 0xA77AC4);
+    let mut host_rng = Rng64::seed_from_u64(cfg.seed ^ 0x4057);
+
+    let mut workers: Vec<Option<MdWorker>> = workers.into_iter().map(Some).collect();
+    let mut start_iter = 0usize;
+    let mut swaps = 0usize;
+    if let Some(pol) = ckpt {
+        if pol.path.exists() {
+            let ck = Checkpoint::load(&pol.path)?;
+            restore_parts(
+                &ck,
+                &mut server,
+                &mut workers,
+                &mut swap_rng,
+                &mut attack_rng,
+                &mut host_rng,
+                &stats,
+                &mut swaps,
+            )?;
+            start_iter = ck.iteration as usize;
+            telemetry.event(Event::Resumed { iter: start_iter });
+        }
+    }
+
     let mut timeline = ScoreTimeline::new();
-    let mut alive_mask: Vec<bool> = vec![true; cfg.workers];
+    let mut alive_mask: Vec<bool> = workers.iter().map(|w| w.is_some()).collect();
+    let spawned: Vec<bool> = alive_mask.clone();
     let mut detector = FailureDetector::new(cfg.workers, cfg.robust.suspect_after);
     let gather_timeout = Duration::from_millis(cfg.robust.gather_timeout_ms);
     let worker_robust = robust.then_some(WorkerRobust {
         swap_timeout: Duration::from_millis(cfg.robust.swap_timeout_ms),
         retries: cfg.robust.retries,
     });
+    let mut ckpt_err: Option<TrainError> = None;
 
     crossbeam::thread::scope(|scope| {
-        for (worker, ep) in workers.into_iter().zip(worker_eps) {
+        for (slot, ep) in workers.into_iter().zip(worker_eps) {
+            let Some(worker) = slot else { continue };
             let telemetry = Arc::clone(&telemetry);
             scope.spawn(move |_| worker_loop(worker, ep, telemetry, worker_robust));
         }
 
-        if let Some(ev) = evaluator.as_deref_mut() {
-            let span = telemetry.span(Phase::Eval);
-            let s = ev.evaluate(&mut server.gen);
-            drop(span);
-            telemetry.event(Event::EvalDone {
-                iter: 0,
-                is_score: s.inception_score,
-                fid: s.fid,
-            });
-            timeline.push(0, s);
+        if start_iter == 0 {
+            if let Some(ev) = evaluator.as_deref_mut() {
+                let span = telemetry.span(Phase::Eval);
+                let s = ev.evaluate(&mut server.gen);
+                drop(span);
+                telemetry.event(Event::EvalDone {
+                    iter: 0,
+                    is_score: s.inception_score,
+                    fid: s.fid,
+                });
+                timeline.push(0, s);
+            }
         }
 
-        for i in 0..iters {
+        for i in start_iter..iters {
             // Fail-stop crashes: the thread leaves the computation and its
             // shard is gone. Oracle mode stops the thread outright; robust
             // mode crashes it *silently* — the server must notice on its
@@ -372,6 +494,7 @@ pub fn run_threaded_with(
                                     )
                                     .expect("destination endpoint dropped");
                             }
+                            swaps += 1;
                             telemetry.event(Event::SwapDone {
                                 iter: i,
                                 moved: candidates.len(),
@@ -432,6 +555,7 @@ pub fn run_threaded_with(
                                     )
                                     .expect("destination endpoint dropped");
                             }
+                            swaps += 1;
                             telemetry.event(Event::SwapDone {
                                 iter: i,
                                 moved: alive.len(),
@@ -460,12 +584,39 @@ pub fn run_threaded_with(
                     timeline.push(i + 1, s);
                 }
             }
+
+            if let Some(pol) = ckpt {
+                if pol.every > 0 && (i + 1) % pol.every == 0 {
+                    let ck = gather_checkpoint(
+                        &server_ep,
+                        &server,
+                        &alive_mask,
+                        &swap_rng,
+                        &attack_rng,
+                        &host_rng,
+                        &stats,
+                        swaps,
+                        (i + 1) as u64,
+                    );
+                    match ck.save_atomic(&pol.path) {
+                        Ok(()) => telemetry.event(Event::CheckpointWritten {
+                            iter: i + 1,
+                            bytes: ck.byte_size() as u64,
+                        }),
+                        Err(e) => {
+                            ckpt_err = Some(TrainError::Io(e));
+                            break;
+                        }
+                    }
+                }
+            }
         }
 
         // Shut everyone down. Robust mode keeps crashed workers draining
-        // their queue, so they too need the final Stop.
+        // their queue, so they too need the final Stop. Workers dead at
+        // resume time were never spawned (their endpoint is gone).
         for (w, &alive) in alive_mask.iter().enumerate() {
-            if robust || alive {
+            if spawned[w] && (robust || alive) {
                 server_ep
                     .send(w + 1, MdMsg::Stop, 0)
                     .expect("destination endpoint dropped");
@@ -474,7 +625,10 @@ pub fn run_threaded_with(
     })
     .expect("worker thread panicked");
 
-    ThreadedResult {
+    if let Some(e) = ckpt_err {
+        return Err(e);
+    }
+    Ok(ThreadedResult {
         timeline,
         gen_params: server.gen_params(),
         traffic: stats.report(),
@@ -482,7 +636,220 @@ pub fn run_threaded_with(
             .filter(|&w| alive_mask[w])
             .map(|w| w + 1)
             .collect(),
+    })
+}
+
+/// Collects the full training state into a checkpoint with exactly the
+/// sequential runtime's section layout ([`MdGan::checkpoint`]).
+///
+/// The server requests each alive worker's state over the normal message
+/// channels (`StateRequest`/`WorkerState`) — replies arrive only after the
+/// worker has drained everything queued before the request (feedbacks,
+/// in-progress swaps), so the gathered state is the post-iteration
+/// barrier state. The gather's own zero-byte control messages are then
+/// stripped from the traffic counters: checkpoint persistence must not
+/// perturb traffic accounting, or a resumed run would stop being
+/// bit-identical to an uninterrupted one.
+///
+/// [`MdGan::checkpoint`]: crate::mdgan::trainer::MdGan::checkpoint
+#[allow(clippy::too_many_arguments)]
+fn gather_checkpoint(
+    server_ep: &Endpoint<MdMsg>,
+    server: &MdServer,
+    alive_mask: &[bool],
+    swap_rng: &Rng64,
+    attack_rng: &Rng64,
+    host_rng: &Rng64,
+    stats: &TrafficStats,
+    swaps: usize,
+    iteration: u64,
+) -> Checkpoint {
+    let n = alive_mask.len();
+    let expect: Vec<usize> = (0..n).filter(|&w| alive_mask[w]).map(|w| w + 1).collect();
+    for &id in &expect {
+        server_ep
+            .send(id, MdMsg::StateRequest, 0)
+            .expect("destination endpoint dropped");
     }
+    let mut states = Vec::with_capacity(expect.len());
+    for _ in 0..expect.len() {
+        match server_ep.recv().msg {
+            MdMsg::WorkerState {
+                id,
+                disc,
+                adam_t,
+                opt_m,
+                opt_v,
+                sampler,
+            } => states.push((id, disc, adam_t, opt_m, opt_v, sampler)),
+            other => panic!("server expected WorkerState, got {other:?}"),
+        }
+    }
+    states.sort_by_key(|s| s.0);
+
+    // Every node is quiescent now (workers answered and are blocked on
+    // their queue), so this snapshot races with nothing. Strip the
+    // gather's own 2×|alive| zero-byte control messages from the message
+    // counters, both in the snapshot and in the live stats.
+    let mut traffic = stats.state_words();
+    let nodes = traffic[0] as usize;
+    let msgs_base = 1 + 2 * nodes + 3;
+    traffic[msgs_base] -= expect.len() as u64; // server→worker StateRequest
+    traffic[msgs_base + 1] -= expect.len() as u64; // worker→server WorkerState
+    stats
+        .load_state_words(&traffic)
+        .expect("snapshot from the same instance always loads");
+
+    let mut ck = Checkpoint::new(iteration);
+    ck.push("generator", server.gen_params());
+    let g_opt = server.opt_state();
+    ck.push("opt_g_m", g_opt.m);
+    ck.push("opt_g_v", g_opt.v);
+    let mut adam_t = vec![0u64; 1 + n];
+    adam_t[0] = g_opt.t;
+    ck.push_u64("rng_server", server.rng_state_words().to_vec());
+    ck.push_u64("rng_swap", swap_rng.state_words().to_vec());
+    ck.push_u64("rng_attack", attack_rng.state_words().to_vec());
+    ck.push_u64("rng_host", host_rng.state_words().to_vec());
+    for (id, disc, t, m, v, sampler) in states {
+        ck.push(format!("disc_{id}"), disc);
+        adam_t[id] = t;
+        ck.push(format!("opt_d_{id}_m"), m);
+        ck.push(format!("opt_d_{id}_v"), v);
+        ck.push_u64(format!("rng_sampler_{id}"), sampler);
+    }
+    ck.push_u64("adam_t", adam_t);
+    ck.push_u64(
+        "alive",
+        alive_mask.iter().map(|&a| u64::from(a)).collect::<Vec<_>>(),
+    );
+    ck.push_u64("counters", vec![swaps as u64]);
+    ck.push_u64("traffic", traffic);
+    ck
+}
+
+/// Restores a checkpoint into the not-yet-spawned parts of a threaded run.
+///
+/// Mirrors [`MdGan::restore`](crate::mdgan::trainer::MdGan::restore):
+/// full (v2) checkpoints restore everything for a bit-identical replay;
+/// legacy parameter-only checkpoints restore parameters and treat workers
+/// without a `disc_n` section as crashed. Checkpoints from a sequential
+/// run using discriminator-count subsetting (`disc_hosts`) are rejected —
+/// the threaded runtime does not implement that mode.
+#[allow(clippy::too_many_arguments)]
+fn restore_parts(
+    ck: &Checkpoint,
+    server: &mut MdServer,
+    workers: &mut [Option<MdWorker>],
+    swap_rng: &mut Rng64,
+    attack_rng: &mut Rng64,
+    host_rng: &mut Rng64,
+    stats: &TrafficStats,
+    swaps: &mut usize,
+) -> Result<(), TrainError> {
+    let ckerr = |e: std::io::Error| TrainError::Checkpoint(e.to_string());
+    let n = workers.len();
+    if ck.get_u64("disc_hosts").is_some() {
+        return Err(TrainError::Checkpoint(
+            "checkpoint uses discriminator-count subsetting, \
+             which the threaded runtime does not support"
+                .into(),
+        ));
+    }
+    let gen = ck
+        .require_len("generator", server.gen_params_len())
+        .map_err(ckerr)?;
+    server.set_gen_params(gen);
+
+    if ck.get_u64("alive").is_none() {
+        // Legacy parameter-only checkpoint: discriminators restore (or
+        // the worker is treated as crashed), optimizer moments and RNG
+        // streams restart fresh. The index names the 1-based section and
+        // selects the worker slot.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            match ck.get(&format!("disc_{}", i + 1)) {
+                Some(params) => {
+                    if let Some(w) = workers[i].as_mut() {
+                        if params.len() != w.disc_params_len() {
+                            return Err(TrainError::Checkpoint(format!(
+                                "disc_{} has {} params, worker expects {}",
+                                i + 1,
+                                params.len(),
+                                w.disc_params_len()
+                            )));
+                        }
+                        w.set_disc_params(params);
+                    }
+                }
+                None => workers[i] = None,
+            }
+        }
+        return Ok(());
+    }
+
+    let alive = ck.require_u64_len("alive", n).map_err(ckerr)?.to_vec();
+    let adam_t = ck.require_u64_len("adam_t", 1 + n).map_err(ckerr)?.to_vec();
+    let g_state = AdamState {
+        t: adam_t[0],
+        m: ck.require("opt_g_m").map_err(ckerr)?.to_vec(),
+        v: ck.require("opt_g_v").map_err(ckerr)?.to_vec(),
+    };
+    server
+        .import_opt_state(&g_state)
+        .map_err(TrainError::Checkpoint)?;
+
+    let words = |name: &str| -> Result<[u64; Rng64::STATE_WORDS], TrainError> {
+        let w = ck
+            .require_u64_len(name, Rng64::STATE_WORDS)
+            .map_err(ckerr)?;
+        Ok(std::array::from_fn(|i| w[i]))
+    };
+    server.set_rng_state_words(words("rng_server")?);
+    *swap_rng = Rng64::from_state_words(words("rng_swap")?);
+    *attack_rng = Rng64::from_state_words(words("rng_attack")?);
+    *host_rng = Rng64::from_state_words(words("rng_host")?);
+
+    for i in 0..n {
+        let id = i + 1;
+        if alive[i] == 0 {
+            workers[i] = None;
+            continue;
+        }
+        let Some(w) = workers[i].as_mut() else {
+            return Err(TrainError::Checkpoint(format!(
+                "checkpoint has worker {id} alive but it already crashed here"
+            )));
+        };
+        let disc = ck
+            .require_len(&format!("disc_{id}"), w.disc_params_len())
+            .map_err(ckerr)?;
+        w.set_disc_params(disc);
+        let d_state = AdamState {
+            t: adam_t[id],
+            m: ck
+                .require(&format!("opt_d_{id}_m"))
+                .map_err(ckerr)?
+                .to_vec(),
+            v: ck
+                .require(&format!("opt_d_{id}_v"))
+                .map_err(ckerr)?
+                .to_vec(),
+        };
+        w.import_opt_state(&d_state)
+            .map_err(TrainError::Checkpoint)?;
+        let sw = ck
+            .require_u64_len(&format!("rng_sampler_{id}"), Rng64::STATE_WORDS)
+            .map_err(ckerr)?;
+        w.set_sampler_state_words(std::array::from_fn(|j| sw[j]));
+    }
+
+    let counters = ck.require_u64_len("counters", 1).map_err(ckerr)?;
+    *swaps = counters[0] as usize;
+    stats
+        .load_state_words(ck.require_u64("traffic").map_err(ckerr)?)
+        .map_err(TrainError::Checkpoint)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -628,6 +995,142 @@ mod tests {
             .filter_map(|e| e.event.worker())
             .collect();
         assert_eq!(suspects, vec![2]);
+    }
+
+    fn temp_ckpt_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mdgan-threaded-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("ck.bin")
+    }
+
+    #[test]
+    fn threaded_kill_and_resume_is_bit_identical_and_cross_runtime() {
+        use md_telemetry::Counter;
+        let (spec, shards, cfg) = setup(3);
+        let path = temp_ckpt_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let pol = ThreadedCheckpointing {
+            path: path.clone(),
+            every: 4,
+        };
+
+        // Uninterrupted reference, no checkpointing involved at all.
+        let full = run_threaded(&spec, shards.clone(), cfg.clone(), None, 10, 1000);
+
+        // Phase 1: run with checkpointing up to iteration 8 — the file
+        // then holds the iteration-8 boundary state, exactly what a
+        // SIGKILL between iterations 8 and 10 would leave behind.
+        let rec1 = Arc::new(Recorder::enabled());
+        run_threaded_checkpointed(
+            &spec,
+            shards.clone(),
+            cfg.clone(),
+            None,
+            8,
+            1000,
+            Arc::clone(&rec1),
+            &pol,
+        )
+        .unwrap();
+        assert_eq!(rec1.counter(Counter::CheckpointsWritten), 2);
+        assert_eq!(rec1.counter(Counter::ResumeCount), 0);
+
+        // Phase 2: a fresh process picks up the file and finishes.
+        let rec2 = Arc::new(Recorder::enabled());
+        let resumed = run_threaded_checkpointed(
+            &spec,
+            shards.clone(),
+            cfg.clone(),
+            None,
+            10,
+            1000,
+            Arc::clone(&rec2),
+            &pol,
+        )
+        .unwrap();
+        assert_eq!(rec2.counter(Counter::ResumeCount), 1);
+        assert_eq!(resumed.gen_params, full.gen_params, "resume diverged");
+        // Checkpoint persistence left the traffic accounting untouched.
+        assert_eq!(resumed.traffic, full.traffic);
+        assert_eq!(resumed.alive, full.alive);
+
+        // Cross-runtime: the same file resumes the sequential trainer to
+        // the same generator.
+        let ck = Checkpoint::load(&path).unwrap();
+        let mut seq = crate::mdgan::trainer::MdGan::new(&spec, shards, cfg);
+        seq.restore(&ck).unwrap();
+        for _ in 8..10 {
+            seq.step();
+        }
+        assert_eq!(
+            seq.gen_params(),
+            full.gen_params,
+            "sequential resume of a threaded checkpoint diverged"
+        );
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn threaded_resumes_a_sequential_checkpoint() {
+        let (spec, shards, cfg) = setup(3);
+        let path = temp_ckpt_path("cross");
+        let _ = std::fs::remove_file(&path);
+
+        let full = run_threaded(&spec, shards.clone(), cfg.clone(), None, 10, 1000);
+
+        let mut seq = crate::mdgan::trainer::MdGan::new(&spec, shards.clone(), cfg.clone());
+        for _ in 0..6 {
+            seq.step();
+        }
+        seq.checkpoint().save_atomic(&path).unwrap();
+
+        let pol = ThreadedCheckpointing {
+            path: path.clone(),
+            every: 0, // resume-only
+        };
+        let resumed = run_threaded_checkpointed(
+            &spec,
+            shards,
+            cfg,
+            None,
+            10,
+            1000,
+            Arc::new(Recorder::disabled()),
+            &pol,
+        )
+        .unwrap();
+        assert_eq!(
+            resumed.gen_params, full.gen_params,
+            "threaded resume of a sequential checkpoint diverged"
+        );
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn robust_mode_rejects_checkpointing() {
+        let (spec, shards, mut cfg) = setup(2);
+        cfg.robust.enabled = true;
+        let pol = ThreadedCheckpointing {
+            path: std::env::temp_dir().join("mdgan-threaded-never-written.ckpt"),
+            every: 4,
+        };
+        let err = run_threaded_checkpointed(
+            &spec,
+            shards,
+            cfg,
+            None,
+            2,
+            1000,
+            Arc::new(Recorder::disabled()),
+            &pol,
+        );
+        assert!(matches!(err, Err(TrainError::Checkpoint(_))));
     }
 
     #[test]

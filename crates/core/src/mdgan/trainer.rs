@@ -10,11 +10,13 @@ use crate::arch::ArchSpec;
 use crate::byzantine::{Aggregation, Attack};
 use crate::compression::Codec;
 use crate::config::{MdGanConfig, SwapPolicy};
+use crate::error::TrainError;
 use crate::eval::{Evaluator, ScoreTimeline};
 use crate::mdgan::server::MdServer;
 use crate::mdgan::worker::MdWorker;
 use md_data::Dataset;
 use md_nn::gan::Generator;
+use md_nn::layer::Layer;
 use md_nn::param::{batch_bytes, param_bytes};
 use md_simnet::{FailureDetector, FaultState, Liveness, TrafficReport, TrafficStats};
 use md_telemetry::{Event, Phase, Recorder};
@@ -253,36 +255,175 @@ impl MdGan {
         self.stats.report()
     }
 
-    /// Captures a parameter checkpoint: the generator plus every alive
-    /// worker's discriminator.
+    /// Captures a full training checkpoint (format v2): generator and
+    /// alive discriminators *plus* Adam moments, every RNG stream
+    /// position, the alive mask, counters and traffic totals — everything
+    /// the sequential runtime needs for a bit-identical resume.
+    ///
+    /// Robust-mode state (failure detector, per-link fault RNG) is *not*
+    /// captured; resuming a robust run restarts the detector cold (see
+    /// DESIGN.md §10).
     pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        let n = self.workers.len();
         let mut ck = crate::checkpoint::Checkpoint::new(self.iter as u64);
         ck.push("generator", self.server.gen_params());
+        let g_opt = self.server.opt_state();
+        ck.push("opt_g_m", g_opt.m);
+        ck.push("opt_g_v", g_opt.v);
+        let mut adam_t = vec![0u64; 1 + n];
+        adam_t[0] = g_opt.t;
+        ck.push_u64("rng_server", self.server.rng_state_words().to_vec());
+        ck.push_u64("rng_swap", self.swap_rng.state_words().to_vec());
+        ck.push_u64("rng_attack", self.attack_rng.state_words().to_vec());
+        ck.push_u64("rng_host", self.host_rng.state_words().to_vec());
+        let alive: Vec<u64> = self
+            .workers
+            .iter()
+            .map(|w| u64::from(w.is_some()))
+            .collect();
         for (i, w) in self.workers.iter().enumerate() {
-            if let Some(w) = w {
-                ck.push(format!("disc_{}", i + 1), w.disc_params());
-            }
+            let Some(w) = w else { continue };
+            let id = i + 1;
+            ck.push(format!("disc_{id}"), w.disc_params());
+            let d_opt = w.opt_state();
+            adam_t[id] = d_opt.t;
+            ck.push(format!("opt_d_{id}_m"), d_opt.m);
+            ck.push(format!("opt_d_{id}_v"), d_opt.v);
+            ck.push_u64(
+                format!("rng_sampler_{id}"),
+                w.sampler_state_words().to_vec(),
+            );
+        }
+        ck.push_u64("adam_t", adam_t);
+        ck.push_u64("alive", alive);
+        ck.push_u64("counters", vec![self.swaps as u64]);
+        ck.push_u64("traffic", self.stats.state_words());
+        if let Some(hosts) = &self.disc_hosts {
+            ck.push_u64("disc_hosts", hosts.iter().map(|&h| h as u64).collect());
         }
         ck
     }
 
-    /// Restores parameters from a checkpoint taken on an identically
-    /// configured system. Missing discriminator sections (crashed workers)
-    /// are left untouched; optimizer moments restart fresh.
+    /// Restores a checkpoint taken on an identically configured system.
     ///
-    /// # Panics
-    /// Panics on parameter-length mismatches.
-    pub fn restore(&mut self, ck: &crate::checkpoint::Checkpoint) {
+    /// Full (v2) checkpoints restore parameters, optimizer moments, RNG
+    /// positions, the alive mask (workers dead at capture time are killed
+    /// here too), counters and traffic totals; a resumed run then replays
+    /// bit-for-bit. Missing or length-mismatched sections are errors, not
+    /// silent skips. Legacy parameter-only checkpoints (format v1, or v2
+    /// files without the full-state sections) restore parameters only: a
+    /// worker without a `disc_n` section is treated as crashed, and
+    /// optimizer moments/RNG streams restart fresh.
+    pub fn restore(&mut self, ck: &crate::checkpoint::Checkpoint) -> Result<(), TrainError> {
+        let ckerr = |e: std::io::Error| TrainError::Checkpoint(e.to_string());
+        let n = self.workers.len();
         let gen = ck
-            .get("generator")
-            .expect("checkpoint lacks a generator section");
-        self.server.gen.net.set_params_flat(gen);
-        for (i, w) in self.workers.iter_mut().enumerate() {
-            if let (Some(w), Some(params)) = (w.as_mut(), ck.get(&format!("disc_{}", i + 1))) {
-                w.set_disc_params(params);
+            .require_len("generator", self.server.gen_params_len())
+            .map_err(ckerr)?;
+        self.server.set_gen_params(gen);
+
+        if ck.get_u64("alive").is_none() {
+            // Legacy parameter-only checkpoint.
+            for i in 0..n {
+                match ck.get(&format!("disc_{}", i + 1)) {
+                    Some(params) => {
+                        if let Some(w) = self.workers[i].as_mut() {
+                            if params.len() != w.disc_params_len() {
+                                return Err(TrainError::Checkpoint(format!(
+                                    "disc_{} has {} params, worker expects {}",
+                                    i + 1,
+                                    params.len(),
+                                    w.disc_params_len()
+                                )));
+                            }
+                            w.set_disc_params(params);
+                        }
+                    }
+                    None => self.workers[i] = None,
+                }
             }
+            self.iter = ck.iteration as usize;
+            return Ok(());
         }
+
+        let alive = ck.require_u64_len("alive", n).map_err(ckerr)?.to_vec();
+        let adam_t = ck.require_u64_len("adam_t", 1 + n).map_err(ckerr)?.to_vec();
+        let g_state = md_nn::optim::AdamState {
+            t: adam_t[0],
+            m: ck.require("opt_g_m").map_err(ckerr)?.to_vec(),
+            v: ck.require("opt_g_v").map_err(ckerr)?.to_vec(),
+        };
+        self.server
+            .import_opt_state(&g_state)
+            .map_err(TrainError::Checkpoint)?;
+
+        let words = |name: &str| -> Result<[u64; Rng64::STATE_WORDS], TrainError> {
+            let w = ck
+                .require_u64_len(name, Rng64::STATE_WORDS)
+                .map_err(ckerr)?;
+            Ok(std::array::from_fn(|i| w[i]))
+        };
+        self.server.set_rng_state_words(words("rng_server")?);
+        self.swap_rng = Rng64::from_state_words(words("rng_swap")?);
+        self.attack_rng = Rng64::from_state_words(words("rng_attack")?);
+        self.host_rng = Rng64::from_state_words(words("rng_host")?);
+
+        // Index drives three things at once: the alive bitmap, the worker
+        // slot, and the 1-based section names.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let id = i + 1;
+            if alive[i] == 0 {
+                self.workers[i] = None;
+                continue;
+            }
+            let Some(w) = self.workers[i].as_mut() else {
+                return Err(TrainError::Checkpoint(format!(
+                    "checkpoint has worker {id} alive but it already crashed here"
+                )));
+            };
+            let disc = ck
+                .require_len(&format!("disc_{id}"), w.disc_params_len())
+                .map_err(ckerr)?;
+            w.set_disc_params(disc);
+            let d_state = md_nn::optim::AdamState {
+                t: adam_t[id],
+                m: ck
+                    .require(&format!("opt_d_{id}_m"))
+                    .map_err(ckerr)?
+                    .to_vec(),
+                v: ck
+                    .require(&format!("opt_d_{id}_v"))
+                    .map_err(ckerr)?
+                    .to_vec(),
+            };
+            w.import_opt_state(&d_state)
+                .map_err(TrainError::Checkpoint)?;
+            let sw = ck
+                .require_u64_len(&format!("rng_sampler_{id}"), Rng64::STATE_WORDS)
+                .map_err(ckerr)?;
+            w.set_sampler_state_words(std::array::from_fn(|j| sw[j]));
+        }
+
+        let counters = ck.require_u64_len("counters", 1).map_err(ckerr)?;
+        self.swaps = counters[0] as usize;
+        self.stats
+            .load_state_words(ck.require_u64("traffic").map_err(ckerr)?)
+            .map_err(TrainError::Checkpoint)?;
+        self.disc_hosts = match ck.get_u64("disc_hosts") {
+            None => None,
+            Some(hosts) => {
+                let hosts: Vec<usize> = hosts.iter().map(|&h| h as usize).collect();
+                if hosts.iter().any(|&h| h >= n) {
+                    return Err(TrainError::Checkpoint(
+                        "disc_hosts references an unknown worker".into(),
+                    ));
+                }
+                Some(hosts)
+            }
+        };
         self.iter = ck.iteration as usize;
+        Ok(())
     }
 
     /// One global iteration of Algorithm 1.
@@ -671,6 +812,48 @@ impl MdGan {
     }
 }
 
+impl crate::supervisor::Recoverable for MdGan {
+    fn iteration(&self) -> u64 {
+        self.iter as u64
+    }
+
+    fn capture(&self) -> crate::checkpoint::Checkpoint {
+        self.checkpoint()
+    }
+
+    fn restore(&mut self, ck: &crate::checkpoint::Checkpoint) -> Result<(), TrainError> {
+        MdGan::restore(self, ck)
+    }
+
+    /// MD-GAN's server never sees a scalar loss (workers ship gradients,
+    /// not losses), so step health rides on the parameter scans alone.
+    fn step_once(&mut self) -> Vec<f32> {
+        self.step();
+        Vec::new()
+    }
+
+    fn health_nets(&self) -> Vec<&md_nn::layers::Sequential> {
+        let mut nets = vec![&self.server.gen.net];
+        nets.extend(self.workers.iter().flatten().map(|w| w.disc_net()));
+        nets
+    }
+
+    fn scale_lr(&mut self, factor: f32) {
+        let lr = self.server.gen_lr();
+        self.server.set_gen_lr(lr * factor);
+        for w in self.workers.iter_mut().flatten() {
+            w.scale_lr(factor);
+        }
+    }
+
+    /// Corrupts one generator weight. The poison is outside the
+    /// checkpointed state's causal past: replaying the same iterations
+    /// from the last checkpoint without re-poisoning stays healthy.
+    fn poison(&mut self) {
+        self.server.gen.net.params_mut()[0].data_mut()[0] = f32::NAN;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -952,18 +1135,133 @@ mod tests {
         }
         let ck = md.checkpoint();
         assert_eq!(ck.iteration, 3);
-        assert_eq!(ck.sections.len(), 1 + 3);
+        for name in ["generator", "disc_1", "disc_2", "disc_3"] {
+            assert!(ck.get(name).is_some(), "missing {name}");
+        }
+        for name in ["rng_server", "rng_swap", "alive", "adam_t", "traffic"] {
+            assert!(ck.get_u64(name).is_some(), "missing {name}");
+        }
         let snapshot = md.gen_params();
         for _ in 0..3 {
             md.step();
         }
         assert_ne!(md.gen_params(), snapshot);
-        md.restore(&ck);
+        md.restore(&ck).unwrap();
         assert_eq!(md.gen_params(), snapshot);
         assert_eq!(md.iterations(), 3);
         // Serialization roundtrip too.
         let parsed = crate::checkpoint::Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
         assert_eq!(parsed, ck);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical() {
+        // Uninterrupted reference: 9 iterations (crossing the swap at 8).
+        let mk = || {
+            build(
+                3,
+                KPolicy::LogN,
+                SwapPolicy::Derangement,
+                CrashSchedule::none(),
+            )
+        };
+        let mut full = mk();
+        for _ in 0..9 {
+            full.step();
+        }
+        // Interrupted run: 5 iterations, checkpoint, then a *fresh* system
+        // restores it and finishes the remaining 4.
+        let mut first = mk();
+        for _ in 0..5 {
+            first.step();
+        }
+        let ck = crate::checkpoint::Checkpoint::from_bytes(&first.checkpoint().to_bytes()).unwrap();
+        drop(first);
+        let mut resumed = mk();
+        resumed.restore(&ck).unwrap();
+        assert_eq!(resumed.iterations(), 5);
+        for _ in 0..4 {
+            resumed.step();
+        }
+        assert_eq!(resumed.gen_params(), full.gen_params());
+        assert_eq!(resumed.swaps(), full.swaps());
+        assert_eq!(resumed.traffic(), full.traffic());
+        let discs = |md: &MdGan| -> Vec<Vec<f32>> {
+            (0..3)
+                .map(|i| md.workers[i].as_ref().unwrap().disc_params())
+                .collect()
+        };
+        assert_eq!(discs(&resumed), discs(&full));
+    }
+
+    #[test]
+    fn resume_preserves_crashed_workers() {
+        let crash = CrashSchedule::new(vec![(2, 1)]);
+        let mk = || build(3, KPolicy::One, SwapPolicy::Disabled, crash.clone());
+        let mut full = mk();
+        for _ in 0..6 {
+            full.step();
+        }
+        let mut first = mk();
+        for _ in 0..4 {
+            first.step();
+        }
+        assert_eq!(first.alive_workers(), vec![2, 3]);
+        let ck = first.checkpoint();
+        let mut resumed = mk();
+        resumed.restore(&ck).unwrap();
+        assert_eq!(resumed.alive_workers(), vec![2, 3]);
+        for _ in 0..2 {
+            resumed.step();
+        }
+        assert_eq!(resumed.gen_params(), full.gen_params());
+    }
+
+    #[test]
+    fn restore_rejects_missing_and_mismatched_sections() {
+        let mut md = build(2, KPolicy::One, SwapPolicy::Disabled, CrashSchedule::none());
+        md.step();
+        // Missing generator.
+        let empty = crate::checkpoint::Checkpoint::new(0);
+        let e = md.restore(&empty).unwrap_err();
+        assert!(e.to_string().contains("generator"), "{e}");
+        // Full checkpoint minus one required worker section.
+        let ck = md.checkpoint();
+        let mut partial = crate::checkpoint::Checkpoint::new(ck.iteration);
+        for name in ck.section_names() {
+            if name == "opt_d_2_m" {
+                continue;
+            }
+            match ck.get_section(name).unwrap() {
+                crate::checkpoint::SectionData::F32(d) => partial.push(name, d.clone()),
+                crate::checkpoint::SectionData::U64(d) => partial.push_u64(name, d.clone()),
+                crate::checkpoint::SectionData::Bytes(d) => partial.push_bytes(name, d.clone()),
+            }
+        }
+        let e = md.restore(&partial).unwrap_err();
+        assert!(e.to_string().contains("opt_d_2_m"), "{e}");
+        // Wrong generator length.
+        let mut short = crate::checkpoint::Checkpoint::new(1);
+        short.push("generator", vec![0.0; 3]);
+        let e = md.restore(&short).unwrap_err();
+        assert!(matches!(e, TrainError::Checkpoint(_)), "{e}");
+    }
+
+    #[test]
+    fn legacy_v1_checkpoint_restores_params_and_alive_mask() {
+        let mut md = build(2, KPolicy::One, SwapPolicy::Disabled, CrashSchedule::none());
+        md.step();
+        // A v1-era checkpoint: parameters only, worker 2 omitted (it was
+        // dead at capture time).
+        let mut ck = crate::checkpoint::Checkpoint::new(7);
+        ck.push("generator", md.gen_params());
+        ck.push("disc_1", md.workers[0].as_ref().unwrap().disc_params());
+        let gen = md.gen_params();
+        md.step();
+        md.restore(&ck).unwrap();
+        assert_eq!(md.gen_params(), gen);
+        assert_eq!(md.iterations(), 7);
+        assert_eq!(md.alive_workers(), vec![1]);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::config::GanHyper;
 use md_data::{BatchSampler, Dataset};
 use md_nn::gan::{disc_loss_fake, disc_loss_real, gen_loss, Discriminator};
 use md_nn::layer::Layer;
-use md_nn::optim::Adam;
+use md_nn::optim::{Adam, AdamState};
 use md_tensor::rng::Rng64;
 use md_tensor::Tensor;
 
@@ -80,6 +80,11 @@ impl MdWorker {
             let logits_f = self.disc.forward(xd, true);
             let (_, gf) = disc_loss_fake(&logits_f, xd_labels, classes, aux);
             self.disc.backward(&gf);
+            if self.hyper.clip_grad_norm > 0.0 {
+                self.disc
+                    .net
+                    .clip_grad_norm_per_layer(self.hyper.clip_grad_norm);
+            }
             self.opt_d.step(&mut self.disc.net);
         }
 
@@ -105,6 +110,38 @@ impl MdWorker {
     /// state stays with the worker (see DESIGN.md §2).
     pub fn set_disc_params(&mut self, params: &[f32]) {
         self.disc.net.set_params_flat(params);
+    }
+
+    /// Adam moments of the discriminator optimizer (checkpointing).
+    pub fn opt_state(&self) -> AdamState {
+        self.opt_d.export_state()
+    }
+
+    /// Restores the discriminator optimizer's Adam moments.
+    pub fn import_opt_state(&mut self, state: &AdamState) -> Result<(), String> {
+        self.opt_d.import_state(state, &self.disc.net)
+    }
+
+    /// Serializable shard-sampler RNG stream position (checkpointing).
+    pub fn sampler_state_words(&self) -> [u64; Rng64::STATE_WORDS] {
+        self.sampler.rng_state_words()
+    }
+
+    /// Restores the shard-sampler RNG stream position.
+    pub fn set_sampler_state_words(&mut self, words: [u64; Rng64::STATE_WORDS]) {
+        self.sampler.set_rng_state_words(words);
+    }
+
+    /// The discriminator network (health scans read parameter norms).
+    pub(crate) fn disc_net(&self) -> &md_nn::layers::Sequential {
+        &self.disc.net
+    }
+
+    /// Scales the discriminator learning rate by `factor` (supervisor
+    /// LR-drop after a rollback).
+    pub fn scale_lr(&mut self, factor: f32) {
+        let lr = self.opt_d.lr();
+        self.opt_d.set_lr(lr * factor);
     }
 }
 

@@ -7,12 +7,14 @@
 //! local shard.
 
 use crate::arch::ArchSpec;
+use crate::checkpoint::Checkpoint;
 use crate::config::GanHyper;
+use crate::error::TrainError;
 use crate::eval::{Evaluator, ScoreTimeline};
 use md_data::{BatchSampler, Dataset};
 use md_nn::gan::{disc_loss_fake, disc_loss_real, gen_loss, Discriminator, Generator};
 use md_nn::layer::Layer;
-use md_nn::optim::Adam;
+use md_nn::optim::{Adam, AdamState};
 use md_telemetry::{Event, Phase, Recorder};
 use md_tensor::rng::Rng64;
 use std::sync::Arc;
@@ -109,6 +111,11 @@ impl StandaloneGan {
             let logits_f = self.disc.forward(&x_fake, true);
             let (lf, gf) = disc_loss_fake(&logits_f, &y_fake, classes, aux);
             self.disc.backward(&gf);
+            if self.hyper.clip_grad_norm > 0.0 {
+                self.disc
+                    .net
+                    .clip_grad_norm_per_layer(self.hyper.clip_grad_norm);
+            }
             self.opt_d.step(&mut self.disc.net);
             disc_loss_acc += lr + lf;
         }
@@ -123,6 +130,11 @@ impl StandaloneGan {
         self.disc.net.zero_grad(); // discard D's params grads from this pass
         self.gen.net.zero_grad();
         self.gen.backward(&grad_images);
+        if self.hyper.clip_grad_norm > 0.0 {
+            self.gen
+                .net
+                .clip_grad_norm_per_layer(self.hyper.clip_grad_norm);
+        }
         self.opt_g.step(&mut self.gen.net);
 
         self.iter += 1;
@@ -188,6 +200,107 @@ impl StandaloneGan {
     pub fn set_params(&mut self, gen: &[f32], disc: &[f32]) {
         self.gen.net.set_params_flat(gen);
         self.disc.net.set_params_flat(disc);
+    }
+
+    /// Captures a full training checkpoint (format v2): both networks,
+    /// both optimizers' Adam moments and both RNG stream positions, so a
+    /// resumed run replays bit-for-bit.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut ck = Checkpoint::new(self.iter as u64);
+        let (g, d) = self.params();
+        ck.push("gen", g);
+        ck.push("disc", d);
+        let go = self.opt_g.export_state();
+        let dopt = self.opt_d.export_state();
+        ck.push_u64("adam_t", vec![go.t, dopt.t]);
+        ck.push("opt_g_m", go.m);
+        ck.push("opt_g_v", go.v);
+        ck.push("opt_d_m", dopt.m);
+        ck.push("opt_d_v", dopt.v);
+        ck.push_u64("rng", self.rng.state_words().to_vec());
+        ck.push_u64("rng_sampler", self.sampler.rng_state_words().to_vec());
+        ck
+    }
+
+    /// Restores a checkpoint taken by [`checkpoint`](Self::checkpoint).
+    /// Missing or length-mismatched sections are errors, not silent skips.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), TrainError> {
+        let ckerr = |e: std::io::Error| TrainError::Checkpoint(e.to_string());
+        let gen = ck
+            .require_len("gen", self.gen.num_params())
+            .map_err(ckerr)?;
+        let disc = ck
+            .require_len("disc", self.disc.num_params())
+            .map_err(ckerr)?;
+        self.gen.net.set_params_flat(gen);
+        self.disc.net.set_params_flat(disc);
+        let adam_t = ck.require_u64_len("adam_t", 2).map_err(ckerr)?.to_vec();
+        let go = AdamState {
+            t: adam_t[0],
+            m: ck.require("opt_g_m").map_err(ckerr)?.to_vec(),
+            v: ck.require("opt_g_v").map_err(ckerr)?.to_vec(),
+        };
+        self.opt_g
+            .import_state(&go, &self.gen.net)
+            .map_err(TrainError::Checkpoint)?;
+        let dopt = AdamState {
+            t: adam_t[1],
+            m: ck.require("opt_d_m").map_err(ckerr)?.to_vec(),
+            v: ck.require("opt_d_v").map_err(ckerr)?.to_vec(),
+        };
+        self.opt_d
+            .import_state(&dopt, &self.disc.net)
+            .map_err(TrainError::Checkpoint)?;
+        let words = |name: &str| -> Result<[u64; Rng64::STATE_WORDS], TrainError> {
+            let w = ck
+                .require_u64_len(name, Rng64::STATE_WORDS)
+                .map_err(ckerr)?;
+            Ok(std::array::from_fn(|i| w[i]))
+        };
+        self.rng = Rng64::from_state_words(words("rng")?);
+        self.sampler.set_rng_state_words(words("rng_sampler")?);
+        self.iter = ck.iteration as usize;
+        Ok(())
+    }
+
+    /// Scales both learning rates by `factor` (supervisor rollback policy).
+    pub fn scale_lr(&mut self, factor: f32) {
+        self.opt_g.set_lr(self.opt_g.lr() * factor);
+        self.opt_d.set_lr(self.opt_d.lr() * factor);
+    }
+}
+
+impl crate::supervisor::Recoverable for StandaloneGan {
+    fn iteration(&self) -> u64 {
+        self.iter as u64
+    }
+
+    fn capture(&self) -> Checkpoint {
+        self.checkpoint()
+    }
+
+    fn restore(&mut self, ck: &Checkpoint) -> Result<(), TrainError> {
+        StandaloneGan::restore(self, ck)
+    }
+
+    fn step_once(&mut self) -> Vec<f32> {
+        let losses = self.step();
+        vec![losses.disc, losses.gen]
+    }
+
+    fn health_nets(&self) -> Vec<&md_nn::layers::Sequential> {
+        vec![&self.gen.net, &self.disc.net]
+    }
+
+    fn scale_lr(&mut self, factor: f32) {
+        StandaloneGan::scale_lr(self, factor)
+    }
+
+    /// Corrupts one generator weight (test hook for the detection →
+    /// rollback path); replaying from the last checkpoint without
+    /// re-poisoning stays healthy.
+    fn poison(&mut self) {
+        self.gen.net.params_mut()[0].data_mut()[0] = f32::NAN;
     }
 }
 
@@ -286,6 +399,71 @@ mod tests {
         b.set_params(&g, &d);
         assert_eq!(b.params().0, g);
         assert_eq!(b.params().1, d);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_is_bit_identical() {
+        let mut full = tiny();
+        for _ in 0..7 {
+            full.step();
+        }
+
+        let mut first = tiny();
+        for _ in 0..4 {
+            first.step();
+        }
+        let bytes = first.checkpoint().to_bytes();
+        drop(first);
+
+        let ck = Checkpoint::from_bytes(&bytes).unwrap();
+        let mut resumed = tiny();
+        resumed.restore(&ck).unwrap();
+        assert_eq!(resumed.iterations(), 4);
+        for _ in 0..3 {
+            resumed.step();
+        }
+        assert_eq!(resumed.params(), full.params());
+    }
+
+    #[test]
+    fn restore_rejects_missing_sections() {
+        let mut gan = tiny();
+        gan.step();
+        let empty = Checkpoint::new(1);
+        let err = gan.restore(&empty).unwrap_err();
+        assert!(err.to_string().contains("gen"), "got: {err}");
+    }
+
+    #[test]
+    fn scale_lr_halves_both_rates() {
+        let mut gan = tiny();
+        let g0 = gan.opt_g.lr();
+        let d0 = gan.opt_d.lr();
+        gan.scale_lr(0.5);
+        assert_eq!(gan.opt_g.lr(), g0 * 0.5);
+        assert_eq!(gan.opt_d.lr(), d0 * 0.5);
+    }
+
+    #[test]
+    fn supervised_nan_injection_recovers_bit_identically() {
+        use crate::supervisor::{SupervisorConfig, TrainSupervisor};
+        let mut clean = tiny();
+        TrainSupervisor::new(SupervisorConfig {
+            ckpt_every: 2,
+            ..SupervisorConfig::default()
+        })
+        .run(&mut clean, 6)
+        .unwrap();
+
+        let mut faulty = tiny();
+        let mut sup = TrainSupervisor::new(SupervisorConfig {
+            ckpt_every: 2,
+            ..SupervisorConfig::default()
+        });
+        sup.inject_nan_at = Some(3);
+        let report = sup.run(&mut faulty, 6).unwrap();
+        assert_eq!(report.rollbacks, 1);
+        assert_eq!(faulty.params(), clean.params());
     }
 
     #[test]

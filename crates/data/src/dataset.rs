@@ -193,6 +193,18 @@ impl BatchSampler {
         let idx = self.rng.sample_distinct(data.len(), b);
         data.batch(&idx)
     }
+
+    /// Serializable RNG stream position (for checkpointing).
+    pub fn rng_state_words(&self) -> [u64; Rng64::STATE_WORDS] {
+        self.rng.state_words()
+    }
+
+    /// Restores the RNG stream position captured by [`rng_state_words`].
+    ///
+    /// [`rng_state_words`]: BatchSampler::rng_state_words
+    pub fn set_rng_state_words(&mut self, words: [u64; Rng64::STATE_WORDS]) {
+        self.rng = Rng64::from_state_words(words);
+    }
 }
 
 #[cfg(test)]

@@ -32,6 +32,13 @@ pub trait Layer: Send {
     /// [`Layer::params`].
     fn grads(&self) -> Vec<&Tensor>;
 
+    /// Mutable views of the accumulated parameter gradients, aligned with
+    /// [`Layer::grads`] — used by gradient clipping. Parameter-free layers
+    /// keep the empty default.
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![]
+    }
+
     /// Resets all accumulated parameter gradients to zero.
     fn zero_grad(&mut self);
 

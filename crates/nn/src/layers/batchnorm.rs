@@ -206,6 +206,10 @@ impl Layer for BatchNorm {
         vec![&self.grad_gamma, &self.grad_beta]
     }
 
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_gamma, &mut self.grad_beta]
+    }
+
     fn zero_grad(&mut self) {
         self.grad_gamma.fill(0.0);
         self.grad_beta.fill(0.0);

@@ -96,6 +96,10 @@ impl Layer for Conv2d {
         vec![&self.grad_weight, &self.grad_bias]
     }
 
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_weight, &mut self.grad_bias]
+    }
+
     fn zero_grad(&mut self) {
         self.grad_weight.fill(0.0);
         self.grad_bias.fill(0.0);
@@ -196,6 +200,10 @@ impl Layer for ConvTranspose2d {
 
     fn grads(&self) -> Vec<&Tensor> {
         vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_weight, &mut self.grad_bias]
     }
 
     fn zero_grad(&mut self) {

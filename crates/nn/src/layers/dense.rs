@@ -79,6 +79,10 @@ impl Layer for Dense {
         vec![&self.grad_weight, &self.grad_bias]
     }
 
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_weight, &mut self.grad_bias]
+    }
+
     fn zero_grad(&mut self) {
         self.grad_weight.fill(0.0);
         self.grad_bias.fill(0.0);

@@ -169,6 +169,10 @@ impl Layer for MinibatchDiscrimination {
         vec![&self.grad_t]
     }
 
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_t]
+    }
+
     fn zero_grad(&mut self) {
         self.grad_t.fill(0.0);
     }

@@ -107,6 +107,52 @@ impl Sequential {
         out
     }
 
+    /// Clips each layer's accumulated gradient to an L2 norm of at most
+    /// `max_norm` (per-layer, not global — a single exploding layer is
+    /// rescaled without muting the others). Returns how many layers were
+    /// clipped. Layers whose gradients contain NaN/Inf are left untouched
+    /// (rescaling cannot repair them; the health monitor must catch them).
+    pub fn clip_grad_norm_per_layer(&mut self, max_norm: f32) -> usize {
+        assert!(max_norm > 0.0, "clip_grad_norm_per_layer({max_norm})");
+        let mut clipped = 0;
+        for l in &mut self.layers {
+            let mut sq = 0.0f64;
+            let mut finite = true;
+            for g in l.grads() {
+                for &v in g.data() {
+                    if !v.is_finite() {
+                        finite = false;
+                    }
+                    sq += (v as f64) * (v as f64);
+                }
+            }
+            let norm = sq.sqrt() as f32;
+            if finite && norm > max_norm {
+                let scale = max_norm / norm;
+                for g in l.grads_mut() {
+                    for v in g.data_mut() {
+                        *v *= scale;
+                    }
+                }
+                clipped += 1;
+            }
+        }
+        clipped
+    }
+
+    /// Fused parameter-health probe: the maximum absolute parameter value,
+    /// or `None` if any parameter is NaN/Inf (see
+    /// [`Tensor::finite_max_abs`]).
+    pub fn params_finite_max_abs(&self) -> Option<f32> {
+        let mut mx = 0.0f32;
+        for l in &self.layers {
+            for p in l.params() {
+                mx = mx.max(p.finite_max_abs()?);
+            }
+        }
+        Some(mx)
+    }
+
     /// Applies `update` to every (parameter, aligned flat-gradient slice)
     /// pair — the bridge the optimizers use.
     pub fn visit_params_and_grads(&mut self, mut update: impl FnMut(usize, &mut Tensor, &Tensor)) {
@@ -158,6 +204,10 @@ impl Layer for Sequential {
 
     fn grads(&self) -> Vec<&Tensor> {
         self.layers.iter().flat_map(|l| l.grads()).collect()
+    }
+
+    fn grads_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(|l| l.grads_mut()).collect()
     }
 
     fn zero_grad(&mut self) {
@@ -254,6 +304,51 @@ mod tests {
         assert!(net.get_grads_flat().iter().any(|&g| g != 0.0));
         net.zero_grad();
         assert!(net.get_grads_flat().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn per_layer_clipping_rescales_only_exploding_layers() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let y = net.forward(&x, true);
+        // A huge output gradient explodes every layer's grad norm.
+        net.backward(&Tensor::full(y.shape(), 1e6));
+        let clipped = net.clip_grad_norm_per_layer(1.0);
+        assert!(clipped >= 1, "nothing clipped");
+        // Each parameterized layer's grad norm now ≤ 1 (+ float fuzz).
+        for l in &net.layers {
+            let sq: f32 = l.grads().iter().flat_map(|g| g.data()).map(|v| v * v).sum();
+            assert!(sq.sqrt() <= 1.0 + 1e-4, "layer norm {}", sq.sqrt());
+        }
+        // Already-small gradients are untouched.
+        net.zero_grad();
+        let y = net.forward(&x, true);
+        net.backward(&Tensor::full(y.shape(), 1e-8));
+        let before = net.get_grads_flat();
+        assert_eq!(net.clip_grad_norm_per_layer(1.0), 0);
+        assert_eq!(net.get_grads_flat(), before);
+    }
+
+    #[test]
+    fn clipping_leaves_non_finite_grads_for_the_monitor() {
+        let mut rng = Rng64::seed_from_u64(7);
+        let mut net = mlp(&mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let y = net.forward(&x, true);
+        net.backward(&Tensor::ones(y.shape()));
+        net.grads_mut()[0].data_mut()[0] = f32::NAN;
+        net.clip_grad_norm_per_layer(1.0);
+        assert!(net.get_grads_flat()[0].is_nan(), "NaN must survive clip");
+    }
+
+    #[test]
+    fn params_health_probe_detects_poison() {
+        let mut rng = Rng64::seed_from_u64(8);
+        let mut net = mlp(&mut rng);
+        assert!(net.params_finite_max_abs().is_some());
+        net.params_mut()[0].data_mut()[0] = f32::INFINITY;
+        assert_eq!(net.params_finite_max_abs(), None);
     }
 
     #[test]

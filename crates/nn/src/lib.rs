@@ -24,6 +24,7 @@
 //! workers send to the server as the error feedback `F_n = ∂B̃/∂x`.
 
 pub mod gan;
+pub mod health;
 pub mod init;
 pub mod layer;
 pub mod layers;
@@ -31,6 +32,7 @@ pub mod loss;
 pub mod optim;
 pub mod param;
 
+pub use health::{HealthConfig, HealthMonitor, HealthVerdict};
 pub use layer::Layer;
 pub use layers::Sequential;
 

@@ -4,6 +4,7 @@
 //! gives MD-GAN and the baselines *different* Adam hyper-parameters, which
 //! is why [`AdamConfig`] is a first-class value.
 
+use crate::layer::Layer;
 use crate::layers::Sequential;
 use md_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -78,6 +79,19 @@ impl AdamConfig {
     }
 }
 
+/// Serializable snapshot of an [`Adam`] optimizer: the step counter plus
+/// the first/second moments flattened in network parameter order — exactly
+/// what a checkpoint needs to resume training bit-identically.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AdamState {
+    /// Steps taken (`t` in the bias-correction terms).
+    pub t: u64,
+    /// First moments, flattened (empty before the first step).
+    pub m: Vec<f32>,
+    /// Second moments, flattened (empty before the first step).
+    pub v: Vec<f32>,
+}
+
 /// Adam optimizer state bound to one network's parameter layout.
 pub struct Adam {
     cfg: AdamConfig,
@@ -106,6 +120,78 @@ impl Adam {
     /// Number of steps taken.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.cfg.lr
+    }
+
+    /// Overrides the learning rate (recovery policies drop it after a
+    /// divergence rollback).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.cfg.lr = lr;
+    }
+
+    /// Snapshots the full optimizer state for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self
+                .m
+                .iter()
+                .flat_map(|t| t.data().iter().copied())
+                .collect(),
+            v: self
+                .v
+                .iter()
+                .flat_map(|t| t.data().iter().copied())
+                .collect(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Adam::export_state`]. The moment
+    /// buffers are re-shaped against `net`, which must have the parameter
+    /// layout of the network the snapshot was taken with.
+    ///
+    /// # Errors
+    /// Returns a message when the flattened moment lengths do not match
+    /// `net`'s parameter count (empty moments — a pre-first-step snapshot —
+    /// are always valid and reset the lazy buffers).
+    pub fn import_state(&mut self, state: &AdamState, net: &Sequential) -> Result<(), String> {
+        if state.m.len() != state.v.len() {
+            return Err(format!(
+                "Adam moment lengths disagree: m={} v={}",
+                state.m.len(),
+                state.v.len()
+            ));
+        }
+        if state.m.is_empty() {
+            self.t = state.t;
+            self.m.clear();
+            self.v.clear();
+            return Ok(());
+        }
+        let expect: usize = net.params().iter().map(|p| p.len()).sum();
+        if state.m.len() != expect {
+            return Err(format!(
+                "Adam moment length {} != network parameter count {expect}",
+                state.m.len()
+            ));
+        }
+        let mut m = Vec::new();
+        let mut v = Vec::new();
+        let mut off = 0;
+        for p in net.params() {
+            let n = p.len();
+            m.push(Tensor::new(p.shape(), state.m[off..off + n].to_vec()));
+            v.push(Tensor::new(p.shape(), state.v[off..off + n].to_vec()));
+            off += n;
+        }
+        self.t = state.t;
+        self.m = m;
+        self.v = v;
+        Ok(())
     }
 
     /// Applies one Adam update using the gradients accumulated in `net`.
@@ -268,6 +354,66 @@ mod tests {
             }
         }
         assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bit_identically() {
+        // Train A for 10 steps, snapshot, train 10 more; B resumes from the
+        // snapshot and must match A parameter-for-parameter (bitwise).
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut net_a = one_layer(&mut rng);
+        let xs = Tensor::randn(&[16, 2], &mut rng);
+        let ys = Tensor::randn(&[16, 1], &mut rng);
+        let mut adam_a = Adam::new(AdamConfig::default());
+        let do_step = |net: &mut Sequential, adam: &mut Adam| {
+            let pred = net.forward(&xs, true);
+            let (_, grad) = mse(&pred, &ys);
+            net.zero_grad();
+            net.backward(&grad);
+            adam.step(net);
+        };
+        for _ in 0..10 {
+            do_step(&mut net_a, &mut adam_a);
+        }
+        let snap_params = net_a.get_params_flat();
+        let snap_opt = adam_a.export_state();
+        assert_eq!(snap_opt.t, 10);
+        assert_eq!(snap_opt.m.len(), net_a.num_params());
+
+        let mut rng_b = Rng64::seed_from_u64(999);
+        let mut net_b = one_layer(&mut rng_b);
+        net_b.set_params_flat(&snap_params);
+        let mut adam_b = Adam::new(AdamConfig::default());
+        adam_b.import_state(&snap_opt, &net_b).unwrap();
+        for _ in 0..10 {
+            do_step(&mut net_a, &mut adam_a);
+            do_step(&mut net_b, &mut adam_b);
+        }
+        assert_eq!(net_a.get_params_flat(), net_b.get_params_flat());
+        assert_eq!(adam_a.export_state(), adam_b.export_state());
+    }
+
+    #[test]
+    fn adam_import_rejects_mismatched_layout() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let net = one_layer(&mut rng);
+        let mut adam = Adam::new(AdamConfig::default());
+        let bad = AdamState {
+            t: 3,
+            m: vec![0.0; 5],
+            v: vec![0.0; 5],
+        };
+        assert!(adam.import_state(&bad, &net).is_err());
+        let lopsided = AdamState {
+            t: 1,
+            m: vec![0.0; 3],
+            v: vec![0.0; 2],
+        };
+        assert!(adam.import_state(&lopsided, &net).is_err());
+        // Pre-first-step snapshots are valid and reset the lazy buffers.
+        let fresh = AdamState::default();
+        adam.import_state(&fresh, &net).unwrap();
+        assert_eq!(adam.steps(), 0);
     }
 
     #[test]

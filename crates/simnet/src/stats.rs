@@ -124,6 +124,63 @@ impl TrafficStats {
         self.retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Flattens every counter into a `u64` vector for checkpointing:
+    /// `[nodes, ingress×n, egress×n, class_bytes×3, class_msgs×3,
+    /// dropped_msgs, dropped_bytes, dup_msgs, dup_bytes, delayed_msgs,
+    /// retries]`.
+    pub fn state_words(&self) -> Vec<u64> {
+        let n = self.nodes();
+        let mut w = Vec::with_capacity(2 * n + 13);
+        w.push(n as u64);
+        w.extend(self.ingress.iter().map(|a| a.load(Ordering::Relaxed)));
+        w.extend(self.egress.iter().map(|a| a.load(Ordering::Relaxed)));
+        w.extend(self.class_bytes.iter().map(|a| a.load(Ordering::Relaxed)));
+        w.extend(self.class_msgs.iter().map(|a| a.load(Ordering::Relaxed)));
+        w.push(self.dropped_msgs.load(Ordering::Relaxed));
+        w.push(self.dropped_bytes.load(Ordering::Relaxed));
+        w.push(self.dup_msgs.load(Ordering::Relaxed));
+        w.push(self.dup_bytes.load(Ordering::Relaxed));
+        w.push(self.delayed_msgs.load(Ordering::Relaxed));
+        w.push(self.retries.load(Ordering::Relaxed));
+        w
+    }
+
+    /// Restores counters captured by [`state_words`](Self::state_words).
+    /// Errors when the word count or node count does not match this
+    /// instance.
+    pub fn load_state_words(&self, words: &[u64]) -> Result<(), String> {
+        let n = self.nodes();
+        if words.len() != 2 * n + 13 || words[0] != n as u64 {
+            return Err(format!(
+                "traffic counters for {} nodes / {} words, expected {} nodes / {} words",
+                words.first().copied().unwrap_or(0),
+                words.len(),
+                n,
+                2 * n + 13
+            ));
+        }
+        for (a, &w) in self.ingress.iter().zip(&words[1..1 + n]) {
+            a.store(w, Ordering::Relaxed);
+        }
+        for (a, &w) in self.egress.iter().zip(&words[1 + n..1 + 2 * n]) {
+            a.store(w, Ordering::Relaxed);
+        }
+        let tail = &words[1 + 2 * n..];
+        for (a, &w) in self.class_bytes.iter().zip(&tail[0..3]) {
+            a.store(w, Ordering::Relaxed);
+        }
+        for (a, &w) in self.class_msgs.iter().zip(&tail[3..6]) {
+            a.store(w, Ordering::Relaxed);
+        }
+        self.dropped_msgs.store(tail[6], Ordering::Relaxed);
+        self.dropped_bytes.store(tail[7], Ordering::Relaxed);
+        self.dup_msgs.store(tail[8], Ordering::Relaxed);
+        self.dup_bytes.store(tail[9], Ordering::Relaxed);
+        self.delayed_msgs.store(tail[10], Ordering::Relaxed);
+        self.retries.store(tail[11], Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Immutable snapshot of all counters.
     pub fn report(&self) -> TrafficReport {
         TrafficReport {
@@ -271,6 +328,24 @@ impl TrafficReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn state_words_roundtrip_restores_every_counter() {
+        let s = TrafficStats::new(3);
+        s.record(0, 1, 100);
+        s.record(2, 0, 40);
+        s.record_dropped(7);
+        s.record_duplicated(3);
+        s.record_delayed();
+        s.record_retry();
+        let words = s.state_words();
+        let fresh = TrafficStats::new(3);
+        fresh.load_state_words(&words).unwrap();
+        assert_eq!(fresh.report(), s.report());
+        // Wrong node count is rejected.
+        assert!(TrafficStats::new(4).load_state_words(&words).is_err());
+        assert!(fresh.load_state_words(&words[..5]).is_err());
+    }
 
     #[test]
     fn link_classification() {

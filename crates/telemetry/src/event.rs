@@ -67,6 +67,32 @@ pub enum Event {
         /// Round index.
         round: usize,
     },
+    /// The health monitor found a NaN/Inf or an exploded magnitude.
+    NanDetected {
+        /// Iteration at which the divergence was detected.
+        iter: usize,
+        /// Stable verdict label (`non_finite_loss`, `exploded`, ...).
+        verdict: &'static str,
+    },
+    /// The supervisor rolled training back to its last good checkpoint.
+    Rollback {
+        /// Iteration the rollback was triggered at.
+        iter: usize,
+        /// Iteration training restarted from.
+        to_iter: usize,
+    },
+    /// A checkpoint was durably written.
+    CheckpointWritten {
+        /// Iteration the checkpoint captures.
+        iter: usize,
+        /// Serialized size in bytes.
+        bytes: u64,
+    },
+    /// A run resumed from an on-disk checkpoint.
+    Resumed {
+        /// Iteration the run resumed at.
+        iter: usize,
+    },
     /// Escape hatch for runtime-specific one-offs.
     Custom {
         /// Event name (snake_case).
@@ -88,6 +114,10 @@ impl Event {
             Event::WorkerSuspected { .. } => "worker_suspected",
             Event::WorkerRejoined { .. } => "worker_rejoined",
             Event::RoundDone { .. } => "round_done",
+            Event::NanDetected { .. } => "nan_detected",
+            Event::Rollback { .. } => "rollback",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::Resumed { .. } => "resumed",
             Event::Custom { .. } => "custom",
         }
     }
@@ -149,6 +179,16 @@ impl TimedEvent {
                 .field_u64("iter", *iter as u64)
                 .field_u64("worker", *worker as u64),
             Event::RoundDone { round } => o.field_u64("round", *round as u64),
+            Event::NanDetected { iter, verdict } => o
+                .field_u64("iter", *iter as u64)
+                .field_str("verdict", verdict),
+            Event::Rollback { iter, to_iter } => o
+                .field_u64("iter", *iter as u64)
+                .field_u64("to_iter", *to_iter as u64),
+            Event::CheckpointWritten { iter, bytes } => {
+                o.field_u64("iter", *iter as u64).field_u64("bytes", *bytes)
+            }
+            Event::Resumed { iter } => o.field_u64("iter", *iter as u64),
             Event::Custom { name, value } => o.field_str("name", name).field_f64("value", *value),
         }
         .build()

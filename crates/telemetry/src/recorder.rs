@@ -86,11 +86,19 @@ pub enum Counter {
     Retries,
     /// Worker-suspected transitions raised by the failure detector.
     WorkersSuspected,
+    /// Divergences (NaN/Inf/explosion) flagged by the health monitor.
+    NanDetected,
+    /// Rollbacks to the last good checkpoint.
+    Rollbacks,
+    /// Checkpoints durably written.
+    CheckpointsWritten,
+    /// Runs resumed from an on-disk checkpoint.
+    ResumeCount,
 }
 
 impl Counter {
     /// All counters, in reporting order.
-    pub const ALL: [Counter; 12] = [
+    pub const ALL: [Counter; 16] = [
         Counter::Iterations,
         Counter::Swaps,
         Counter::Faults,
@@ -103,6 +111,10 @@ impl Counter {
         Counter::MsgsDelayed,
         Counter::Retries,
         Counter::WorkersSuspected,
+        Counter::NanDetected,
+        Counter::Rollbacks,
+        Counter::CheckpointsWritten,
+        Counter::ResumeCount,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -122,6 +134,10 @@ impl Counter {
             Counter::MsgsDelayed => "msgs_delayed",
             Counter::Retries => "retries",
             Counter::WorkersSuspected => "workers_suspected",
+            Counter::NanDetected => "nan_detected",
+            Counter::Rollbacks => "rollbacks",
+            Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::ResumeCount => "resume_count",
         }
     }
 
@@ -329,6 +345,10 @@ impl Recorder {
                 self.with_worker(*worker, |w| w.stale_updates += 1);
             }
             Event::WorkerSuspected { .. } => self.incr(Counter::WorkersSuspected, 1),
+            Event::NanDetected { .. } => self.incr(Counter::NanDetected, 1),
+            Event::Rollback { .. } => self.incr(Counter::Rollbacks, 1),
+            Event::CheckpointWritten { .. } => self.incr(Counter::CheckpointsWritten, 1),
+            Event::Resumed { .. } => self.incr(Counter::ResumeCount, 1),
             Event::WorkerRejoined { .. } | Event::RoundDone { .. } | Event::Custom { .. } => {}
         }
         let timed = TimedEvent {
@@ -515,6 +535,30 @@ mod tests {
         // Timestamps are monotone.
         let ts: Vec<u64> = r.events().iter().map(|e| e.t_ns).collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn recovery_events_bump_their_counters() {
+        let r = Recorder::enabled();
+        r.event(Event::NanDetected {
+            iter: 3,
+            verdict: "non_finite_loss",
+        });
+        r.event(Event::Rollback {
+            iter: 3,
+            to_iter: 2,
+        });
+        r.event(Event::CheckpointWritten {
+            iter: 2,
+            bytes: 128,
+        });
+        r.event(Event::Resumed { iter: 2 });
+        assert_eq!(r.counter(Counter::NanDetected), 1);
+        assert_eq!(r.counter(Counter::Rollbacks), 1);
+        assert_eq!(r.counter(Counter::CheckpointsWritten), 1);
+        assert_eq!(r.counter(Counter::ResumeCount), 1);
+        let t = r.render_table();
+        assert!(t.contains("nan_detected=1") && t.contains("rollbacks=1"));
     }
 
     #[test]

@@ -39,6 +39,29 @@ impl Tensor {
         self.data().iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / self.len() as f32
     }
 
+    /// Fused health reduction: the maximum absolute element, or `None` if
+    /// any element is NaN or ±Inf.
+    ///
+    /// One pass over the data (finiteness check fused into the max fold),
+    /// so training-health monitors can probe losses/parameters/gradients
+    /// without a second traversal. Empty tensors are vacuously healthy with
+    /// a max of `0.0`.
+    pub fn finite_max_abs(&self) -> Option<f32> {
+        let mut mx = 0.0f32;
+        for &v in self.data() {
+            // `abs` of NaN is NaN; a single comparison-based fold would
+            // silently skip it, so check finiteness explicitly.
+            if !v.is_finite() {
+                return None;
+            }
+            let a = v.abs();
+            if a > mx {
+                mx = a;
+            }
+        }
+        Some(mx)
+    }
+
     /// Sums over axis 0: `(n0, rest...) -> (rest...)`.
     pub fn sum_axis0(&self) -> Tensor {
         assert!(self.ndim() >= 1, "sum_axis0 on scalar");
@@ -160,6 +183,17 @@ mod tests {
         assert_eq!(t.mean(), 3.5);
         assert_eq!(t.max(), 6.0);
         assert_eq!(t.min(), 1.0);
+    }
+
+    #[test]
+    fn finite_max_abs_fuses_check_and_max() {
+        let t = Tensor::new(&[4], vec![1.0, -3.5, 2.0, 0.0]);
+        assert_eq!(t.finite_max_abs(), Some(3.5));
+        assert_eq!(Tensor::zeros(&[0]).finite_max_abs(), Some(0.0));
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let t = Tensor::new(&[3], vec![1.0, poison, 2.0]);
+            assert_eq!(t.finite_max_abs(), None, "{poison} not caught");
+        }
     }
 
     #[test]

@@ -110,7 +110,7 @@ fn main() {
     ck.save(&path).expect("save checkpoint");
     println!(
         "saved {} sections ({} bytes) at iteration {}",
-        ck.sections.len(),
+        ck.num_sections(),
         ck.byte_size(),
         ck.iteration
     );
@@ -118,7 +118,7 @@ fn main() {
         md.step();
     }
     let loaded = mdgan_repro::core::checkpoint::Checkpoint::load(&path).expect("load checkpoint");
-    md.restore(&loaded);
+    md.restore(&loaded).expect("restore checkpoint");
     println!(
         "restored to iteration {} — params match: {}",
         md.iterations(),

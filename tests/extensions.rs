@@ -186,7 +186,7 @@ fn checkpoint_survives_disk_roundtrip_mid_training() {
     for _ in 0..5 {
         md.step();
     }
-    md.restore(&loaded);
+    md.restore(&loaded).unwrap();
     assert_eq!(md.iterations(), 10);
     assert_eq!(md.gen_params().as_slice(), ck.get("generator").unwrap());
 }

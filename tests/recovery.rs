@@ -1,0 +1,98 @@
+//! Training-health acceptance: an injected NaN must be detected, rolled
+//! back, and the run must still complete **bit-identically** to an
+//! unperturbed run, with the recovery counters visible in the telemetry
+//! JSONL run record.
+
+use mdgan_repro::core::config::{GanHyper, KPolicy, MdGanConfig, SwapPolicy};
+use mdgan_repro::core::{MdGan, Recoverable, SupervisorConfig, TrainSupervisor};
+use mdgan_repro::data::synthetic::mnist_like;
+use mdgan_repro::data::Dataset;
+use mdgan_repro::telemetry::{Counter, Recorder, RunRecord};
+use mdgan_repro::tensor::rng::Rng64;
+use std::sync::Arc;
+
+const IMG: usize = 12;
+const WORKERS: usize = 3;
+
+fn shards() -> Vec<Dataset> {
+    let data = mnist_like(IMG, 512, 42, 0.08);
+    let mut rng = Rng64::seed_from_u64(9);
+    data.shard_iid(WORKERS, &mut rng)
+}
+
+fn make_gan(iters: usize) -> MdGan {
+    let spec = mdgan_repro::core::ArchSpec::mlp_mnist_scaled(IMG);
+    let cfg = MdGanConfig {
+        workers: WORKERS,
+        k: KPolicy::One,
+        epochs_per_swap: 1.0,
+        swap: SwapPolicy::Derangement,
+        hyper: GanHyper {
+            batch: 8,
+            ..GanHyper::default()
+        },
+        iterations: iters,
+        seed: 77,
+        ..MdGanConfig::default()
+    };
+    MdGan::new(&spec, shards(), cfg)
+}
+
+#[test]
+fn injected_nan_rolls_back_and_completes_bit_identically() {
+    // Unperturbed reference: 8 plain iterations.
+    let mut reference = make_gan(8);
+    for _ in 0..8 {
+        reference.step_once();
+    }
+
+    let dir = std::env::temp_dir().join(format!("mdgan-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("sup.ckpt");
+
+    let rec = Arc::new(Recorder::enabled());
+    let mut sup = TrainSupervisor::new(SupervisorConfig {
+        ckpt_path: Some(ckpt.clone()),
+        ckpt_every: 2,
+        ..SupervisorConfig::default()
+    })
+    .with_telemetry(Arc::clone(&rec));
+    sup.inject_nan_at = Some(5);
+
+    let mut gan = make_gan(8);
+    let report = sup.run(&mut gan, 8).unwrap();
+
+    // Detection fired once, rolled back once, and the run completed.
+    assert_eq!(report.rollbacks, 1);
+    assert_eq!(gan.iteration(), 8);
+    // The replay from the last good checkpoint erased the poison: the full
+    // captured state (params, optimizer moments, RNG streams, counters) is
+    // bit-identical to the run that never saw a NaN.
+    assert_eq!(gan.capture(), reference.capture());
+
+    // Counters surface both on the recorder and in the JSONL run record.
+    assert_eq!(rec.counter(Counter::NanDetected), 1);
+    assert_eq!(rec.counter(Counter::Rollbacks), 1);
+    assert!(rec.counter(Counter::CheckpointsWritten) >= 4);
+    let jsonl = RunRecord::new("recovery-acceptance").to_jsonl(&rec);
+    assert!(jsonl.contains(r#""nan_detected":1"#), "{jsonl}");
+    assert!(jsonl.contains(r#""rollbacks":1"#), "{jsonl}");
+
+    // A second supervised run over the same checkpoint path resumes at the
+    // target and does no further work.
+    let mut sup2 = TrainSupervisor::new(SupervisorConfig {
+        ckpt_path: Some(ckpt),
+        ckpt_every: 2,
+        ..SupervisorConfig::default()
+    })
+    .with_telemetry(Arc::clone(&rec));
+    let mut gan2 = make_gan(8);
+    let report2 = sup2.run(&mut gan2, 8).unwrap();
+    assert_eq!(report2.resumed_from, Some(8));
+    assert_eq!(report2.steps_taken, 0);
+    assert_eq!(gan2.capture(), reference.capture());
+    assert_eq!(rec.counter(Counter::ResumeCount), 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

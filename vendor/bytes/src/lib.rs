@@ -80,6 +80,19 @@ impl BytesMut {
     }
 }
 
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
 /// Byte-sink trait (mirrors `bytes::BufMut` for the methods we use).
 pub trait BufMut {
     /// Appends raw bytes.
@@ -127,6 +140,12 @@ pub trait Buf {
     fn advance(&mut self, n: usize);
     /// Copies `dest.len()` bytes out and advances.
     fn copy_to_slice(&mut self, dest: &mut [u8]);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
     /// Reads a little-endian u32.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -172,6 +191,8 @@ mod tests {
     fn write_then_read_roundtrip() {
         let mut m = BytesMut::with_capacity(32);
         m.put_slice(b"HDR");
+        m.put_u8(0xAB);
+        assert_eq!(&m[3..], &[0xAB]);
         m.put_u32_le(7);
         m.put_u64_le(u64::MAX - 1);
         m.put_f32_le(-1.5);
@@ -180,6 +201,7 @@ mod tests {
         let mut hdr = [0u8; 3];
         r.copy_to_slice(&mut hdr);
         assert_eq!(&hdr, b"HDR");
+        assert_eq!(r.get_u8(), 0xAB);
         assert_eq!(r.get_u32_le(), 7);
         assert_eq!(r.get_u64_le(), u64::MAX - 1);
         assert_eq!(r.get_f32_le(), -1.5);
