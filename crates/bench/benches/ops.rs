@@ -17,13 +17,36 @@ fn bench_matmul(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(300));
     let mut rng = Rng64::seed_from_u64(1);
-    for &n in &[32usize, 64, 128, 256] {
+    for &n in &[32usize, 64, 128, 256, 384, 512] {
         let a = Tensor::randn(&[n, n], &mut rng);
         let b = Tensor::randn(&[n, n], &mut rng);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| std::hint::black_box(a.matmul(&b)));
         });
     }
+    g.finish();
+}
+
+fn bench_matmul_variants(c: &mut Criterion) {
+    // The transposed entry points the backward passes run on: NT (dx) and
+    // TN (dW) must track the NN kernel, since all three share the packed
+    // micro-kernel and differ only in packing.
+    let mut g = c.benchmark_group("matmul_variants_256");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    let mut rng = Rng64::seed_from_u64(7);
+    let a = Tensor::randn(&[256, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+    g.bench_function("nn", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul(&b)));
+    });
+    g.bench_function("nt", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul_nt(&b)));
+    });
+    g.bench_function("tn", |bench| {
+        bench.iter(|| std::hint::black_box(a.matmul_tn(&b)));
+    });
     g.finish();
 }
 
@@ -125,6 +148,7 @@ fn bench_init(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_matmul_variants,
     bench_matmul_threads,
     bench_conv,
     bench_minibatch_disc,

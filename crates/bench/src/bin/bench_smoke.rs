@@ -1,0 +1,172 @@
+//! Fixed-size kernel and training smoke benchmark — the perf-trajectory
+//! seed uploaded by the `bench-smoke` CI job as `BENCH_PR5.json`.
+//!
+//! Two measurements, both cheap enough for CI:
+//!
+//! 1. **GEMM throughput**: square matmul at 256/384/512 through the packed
+//!    cache-blocked kernel versus the pre-PR-5 scalar kernel (kept verbatim
+//!    in this binary as the baseline), reported as GFLOP/s and a speedup
+//!    ratio.
+//! 2. **Zero-alloc steady state**: a standalone MNIST-class CNN GAN at
+//!    batch 64 runs a few warmup iterations, then the workspace miss
+//!    counter is sampled before and after a measured block — a flat
+//!    `ws_misses` means the training loop's tensor buffers are all served
+//!    by recycling.
+//!
+//! Timing numbers are recorded, never asserted: CI fails only on
+//! build/run errors, so noisy runners can't flake the job.
+
+use md_bench::Args;
+use md_tensor::ops::matmul::matmul_into;
+use md_tensor::parallel;
+use md_tensor::rng::Rng64;
+use md_tensor::Tensor;
+use mdgan_core::config::GanHyper;
+use mdgan_core::standalone::StandaloneGan;
+use mdgan_core::ArchSpec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The pre-PR-5 `matmul_into`, verbatim (blocked i-k-j scalar loop with the
+/// `av == 0.0` skip, row-parallel): the baseline the packed kernel is
+/// measured against on the same machine in the same process.
+fn baseline_matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    const BLOCK_K: usize = 64;
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), m * n);
+    out.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    parallel::parallel_for_chunks(out, m, k * n, |i, row| {
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut k0 = 0;
+        while k0 < k {
+            let k1 = (k0 + BLOCK_K).min(k);
+            for p in k0..k1 {
+                let av = a_row[p];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in row.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+            k0 = k1;
+        }
+    });
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = Args::parse();
+    let sizes: Vec<usize> = vec![256, 384, 512];
+    let train_warmup: usize = args.get("train-warmup", 3usize);
+    let train_iters: usize = args.get("train-iters", 12usize);
+
+    let mut rng = Rng64::seed_from_u64(42);
+    let mut matmul_rows = String::new();
+    println!("== GEMM throughput (packed vs pre-PR-5 baseline) ==");
+    for (i, &n) in sizes.iter().enumerate() {
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        let mut out = vec![0.0f32; n * n];
+        let flops = 2.0 * (n as f64).powi(3);
+        // Scale repetitions so each size costs roughly the same wall time.
+        let reps = ((5e8 / flops) as usize).clamp(3, 20);
+        // Warm both paths (pools, page faults) before timing.
+        baseline_matmul_into(a.data(), b.data(), &mut out, n, n, n);
+        matmul_into(a.data(), b.data(), &mut out, n, n, n);
+        let base_s = time_best(reps, || {
+            baseline_matmul_into(a.data(), b.data(), &mut out, n, n, n);
+            std::hint::black_box(&out);
+        });
+        let packed_s = time_best(reps, || {
+            matmul_into(a.data(), b.data(), &mut out, n, n, n);
+            std::hint::black_box(&out);
+        });
+        let speedup = base_s / packed_s;
+        println!(
+            "matmul {n:>3}^2: baseline {:8.2} ms ({:6.2} GFLOP/s)  packed {:8.2} ms ({:6.2} GFLOP/s)  speedup {speedup:.2}x",
+            base_s * 1e3,
+            flops / base_s / 1e9,
+            packed_s * 1e3,
+            flops / packed_s / 1e9,
+        );
+        if i > 0 {
+            matmul_rows.push_str(",\n");
+        }
+        let _ = write!(
+            matmul_rows,
+            "    {{\"n\": {n}, \"baseline_ms\": {:.4}, \"packed_ms\": {:.4}, \"baseline_gflops\": {:.3}, \"packed_gflops\": {:.3}, \"speedup\": {:.3}}}",
+            base_s * 1e3,
+            packed_s * 1e3,
+            flops / base_s / 1e9,
+            flops / packed_s / 1e9,
+            speedup,
+        );
+    }
+
+    println!("\n== steady-state allocation check (CNN GAN, batch 64) ==");
+    let spec = ArchSpec::cnn_mnist_scaled(16);
+    let data = md_data::synthetic::mnist_like(spec.img, 512, 9, 0.08);
+    let hyper = GanHyper {
+        batch: 64,
+        ..GanHyper::default()
+    };
+    let mut grng = Rng64::seed_from_u64(7);
+    let mut gan = StandaloneGan::new(&spec, data, hyper, &mut grng);
+    for _ in 0..train_warmup {
+        gan.step();
+    }
+    let warm = md_tensor::workspace::stats();
+    let t0 = Instant::now();
+    for _ in 0..train_iters {
+        gan.step();
+    }
+    let train_s = t0.elapsed().as_secs_f64();
+    let end = md_tensor::workspace::stats();
+    let miss_delta = end.misses - warm.misses;
+    let hit_delta = end.hits - warm.hits;
+    println!(
+        "{train_iters} iters in {:.2}s ({:.1} ms/iter): ws_misses {} -> {} (delta {miss_delta}), ws_hits +{hit_delta}",
+        train_s,
+        train_s * 1e3 / train_iters.max(1) as f64,
+        warm.misses,
+        end.misses,
+    );
+
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"tensor_threads\": {},\n  \"matmul\": [\n{matmul_rows}\n  ],\n  \"training\": {{\"arch\": \"cnn\", \"img\": {}, \"batch\": 64, \"warmup_iters\": {train_warmup}, \"measured_iters\": {train_iters}, \"sec_per_iter\": {:.5}, \"ws_misses_after_warmup\": {}, \"ws_misses_end\": {}, \"ws_miss_delta\": {miss_delta}, \"ws_hit_delta\": {hit_delta}}}\n}}\n",
+        parallel::max_threads(),
+        spec.img,
+        train_s / train_iters.max(1) as f64,
+        warm.misses,
+        end.misses,
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_PR5.json", json).expect("write BENCH_PR5.json");
+    println!("wrote results/BENCH_PR5.json");
+
+    // Telemetry run record with the pool + workspace counter lines.
+    let rec = md_bench::recorder_from_env();
+    md_bench::emit_run_record(
+        md_telemetry::RunRecord::new("bench_smoke")
+            .with_metric("ws_miss_delta", miss_delta as f64)
+            .with_metric("train_sec_per_iter", train_s / train_iters.max(1) as f64),
+        &rec,
+    );
+    md_bench::print_pool_stats();
+}

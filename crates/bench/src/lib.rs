@@ -5,7 +5,7 @@
 //! (see DESIGN.md §4 for the full index) and accepts `--key value` flags to
 //! scale between "seconds" and "paper scale".
 
-use md_telemetry::{PoolCounters, Recorder, RunRecord, Verbosity};
+use md_telemetry::{PoolCounters, Recorder, RunRecord, Verbosity, WorkspaceCounters};
 use std::collections::BTreeMap;
 use std::fmt::Display;
 use std::fs;
@@ -147,10 +147,22 @@ pub fn pool_counters() -> PoolCounters {
     }
 }
 
+/// Samples the md-tensor workspace (recycling buffer pool) counters into
+/// the telemetry-neutral [`WorkspaceCounters`] shape.
+pub fn workspace_counters() -> WorkspaceCounters {
+    let s = md_tensor::workspace::stats();
+    WorkspaceCounters {
+        ws_hits: s.hits,
+        ws_misses: s.misses,
+        ws_bytes_recycled: s.bytes_recycled,
+    }
+}
+
 /// Prints the worker-pool counters as a one-line summary — used by the
 /// Criterion benches so before/after runs show whether kernels hit the
 /// pooled or the sequential path and that no threads were spawned beyond
-/// the pool itself.
+/// the pool itself. A second line reports the workspace buffer pool:
+/// `ws_misses` flat between runs means steady state allocated nothing.
 pub fn print_pool_stats() {
     let p = pool_counters();
     println!(
@@ -163,14 +175,22 @@ pub fn print_pool_stats() {
         p.busy_ns as f64 / 1e9,
         md_tensor::parallel::max_threads(),
     );
+    let w = workspace_counters();
+    println!(
+        "workspace: ws_hits={} ws_misses={} ws_bytes_recycled={}",
+        w.ws_hits, w.ws_misses, w.ws_bytes_recycled,
+    );
 }
 
 /// Writes `results/<name>.telemetry.jsonl` next to the binary's CSVs,
 /// echoes the path, and prints the recorder's end-of-run table (or JSONL)
 /// when the `TELEMETRY` environment knob asks for it. The md-tensor pool
-/// counters are sampled here so every run record carries a `"pool"` line.
+/// and workspace counters are sampled here so every run record carries
+/// `"pool"` and `"workspace"` lines.
 pub fn emit_run_record(record: RunRecord, rec: &Recorder) {
-    let record = record.with_pool_counters(pool_counters());
+    let record = record
+        .with_pool_counters(pool_counters())
+        .with_workspace_counters(workspace_counters());
     match record.write_jsonl("results", rec) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write run record: {e}"),
@@ -238,6 +258,23 @@ mod tests {
             .with_pool_counters(p)
             .to_jsonl(&rec);
         assert!(text.contains(r#""type":"pool""#));
+    }
+
+    #[test]
+    fn run_records_carry_workspace_counters() {
+        // Round-trip a pooled-size tensor so the counters are non-trivial...
+        let t = md_tensor::Tensor::zeros(&[64, 64]);
+        drop(t);
+        let _t2 = md_tensor::Tensor::zeros(&[64, 64]);
+        let w = workspace_counters();
+        assert!(w.ws_hits + w.ws_misses > 0);
+        // ...and check they render as a "workspace" JSONL line.
+        let rec = recorder_from_env();
+        let text = md_telemetry::RunRecord::new("wstest")
+            .with_workspace_counters(w)
+            .to_jsonl(&rec);
+        assert!(text.contains(r#""type":"workspace""#));
+        assert!(text.contains(r#""ws_hits""#));
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         assert_eq!(x.ndim(), 4, "Conv2d expects (B,C,H,W)");
         assert_eq!(x.shape()[1], self.in_c, "Conv2d channel mismatch");
-        self.cached_input = Some(x.clone());
+        // clone_from reuses the cached buffer across steps (zero-alloc warm path).
+        match &mut self.cached_input {
+            Some(c) => c.clone_from(x),
+            None => self.cached_input = Some(x.clone()),
+        }
         conv2d_forward(x, &self.weight, &self.bias, self.stride, self.pad)
     }
 
@@ -170,7 +174,11 @@ impl Layer for ConvTranspose2d {
     fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
         assert_eq!(x.ndim(), 4, "ConvTranspose2d expects (B,C,H,W)");
         assert_eq!(x.shape()[1], self.in_c, "ConvTranspose2d channel mismatch");
-        self.cached_input = Some(x.clone());
+        // clone_from reuses the cached buffer across steps (zero-alloc warm path).
+        match &mut self.cached_input {
+            Some(c) => c.clone_from(x),
+            None => self.cached_input = Some(x.clone()),
+        }
         conv_transpose2d_forward(x, &self.weight, &self.bias, self.stride, self.pad)
     }
 

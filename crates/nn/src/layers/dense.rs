@@ -2,6 +2,7 @@
 
 use crate::init::Init;
 use crate::layer::Layer;
+use md_tensor::ops::matmul::matmul_tn_acc_into;
 use md_tensor::rng::Rng64;
 use md_tensor::Tensor;
 
@@ -47,7 +48,12 @@ impl Layer for Dense {
         assert_eq!(x.ndim(), 2, "Dense expects (B, in), got {:?}", x.shape());
         assert_eq!(x.shape()[1], self.in_features, "Dense input width mismatch");
         let y = x.matmul(&self.weight).add(&self.bias);
-        self.cached_input = Some(x.clone());
+        // clone_from reuses the cached buffer across steps (zero-alloc warm
+        // path) instead of round-tripping a fresh tensor per iteration.
+        match &mut self.cached_input {
+            Some(c) => c.clone_from(x),
+            None => self.cached_input = Some(x.clone()),
+        }
         y
     }
 
@@ -56,14 +62,29 @@ impl Layer for Dense {
             .cached_input
             .as_ref()
             .expect("Dense::backward before forward");
+        let batch = x.shape()[0];
         assert_eq!(
             grad_out.shape(),
-            &[x.shape()[0], self.out_features],
+            &[batch, self.out_features],
             "Dense grad shape mismatch"
         );
-        // dW = x^T · dy ; db = sum_batch dy ; dx = dy · W^T
-        self.grad_weight.add_assign(&x.matmul_tn(grad_out));
-        self.grad_bias.add_assign(&grad_out.sum_axis0());
+        // dW += x^T · dy, straight into the gradient tensor (no temporary);
+        // db += sum_batch dy, accumulated row by row for the same reason;
+        // dx = dy · W^T.
+        matmul_tn_acc_into(
+            x.data(),
+            grad_out.data(),
+            self.grad_weight.data_mut(),
+            self.in_features,
+            batch,
+            self.out_features,
+        );
+        let gb = self.grad_bias.data_mut();
+        for row in grad_out.data().chunks_exact(self.out_features) {
+            for (b, &g) in gb.iter_mut().zip(row) {
+                *b += g;
+            }
+        }
         grad_out.matmul_nt(&self.weight)
     }
 

@@ -1,0 +1,59 @@
+//! Steady-state zero-allocation check for a full training step: a small
+//! MLP runs forward / backward / Adam updates, and after a few warmup
+//! iterations the workspace miss counter must stay flat — every tensor
+//! buffer the step needs (activations, gradients, optimizer temporaries)
+//! is served by recycling.
+//!
+//! This file deliberately holds a **single** test: the workspace counters
+//! are process-global, and a concurrently running test binary would make
+//! flatness assertions racy.
+
+use md_nn::init::Init;
+use md_nn::layer::Layer;
+use md_nn::layers::{Dense, LeakyRelu, Sequential, Tanh};
+use md_nn::optim::{Adam, AdamConfig};
+use md_tensor::rng::Rng64;
+use md_tensor::workspace;
+use md_tensor::Tensor;
+
+fn train_step(net: &mut Sequential, opt: &mut Adam, x: &Tensor, target: &Tensor) {
+    net.zero_grad();
+    let y = net.forward(x, true);
+    // d/dy of 0.5*||y - target||^2: no loss-module allocation paths, just
+    // tensor ops, so the whole step draws from the workspace.
+    let grad = y.sub(target);
+    let _ = net.backward(&grad);
+    opt.step(net);
+}
+
+#[test]
+fn training_step_allocates_nothing_after_warmup() {
+    let mut rng = Rng64::seed_from_u64(41);
+    let mut net = Sequential::new()
+        .push(Dense::new(64, 128, Init::XavierUniform, &mut rng))
+        .push(LeakyRelu::new(0.2))
+        .push(Dense::new(128, 64, Init::XavierUniform, &mut rng))
+        .push(Tanh::new());
+    let mut opt = Adam::new(AdamConfig::default());
+    let x = Tensor::randn(&[32, 64], &mut rng);
+    let target = Tensor::randn(&[32, 64], &mut rng);
+
+    // Warmup populates the shelf (and Adam's lazily-created moments).
+    for _ in 0..3 {
+        train_step(&mut net, &mut opt, &x, &target);
+    }
+    let warm = workspace::stats();
+    for _ in 0..8 {
+        train_step(&mut net, &mut opt, &x, &target);
+    }
+    let end = workspace::stats();
+    assert_eq!(
+        end.misses, warm.misses,
+        "steady-state training step must not allocate: ws_misses went {} -> {}",
+        warm.misses, end.misses
+    );
+    assert!(
+        end.hits > warm.hits,
+        "the training step should be drawing buffers from the shelf"
+    );
+}

@@ -42,5 +42,5 @@ mod recorder;
 
 pub use event::{Event, TimedEvent};
 pub use hist::{Histogram, HistogramSnapshot};
-pub use record::{PoolCounters, RunRecord, ScorePoint, TrafficSummary};
+pub use record::{PoolCounters, RunRecord, ScorePoint, TrafficSummary, WorkspaceCounters};
 pub use recorder::{Counter, Phase, Recorder, Span, Verbosity, WorkerStats};

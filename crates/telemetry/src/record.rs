@@ -65,6 +65,21 @@ pub struct PoolCounters {
     pub busy_ns: u64,
 }
 
+/// Neutral view of the md-tensor workspace (recycling buffer pool)
+/// counters — mirrors `md_tensor::workspace::WorkspaceStats` without
+/// depending on it. Attached to a [`RunRecord`] this shows whether the
+/// run's steady state was allocation-free: once warm, `ws_misses` stops
+/// growing and every tensor buffer is served by recycling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceCounters {
+    /// Buffer requests served from the recycling pool (no allocation).
+    pub ws_hits: u64,
+    /// Buffer requests that fell through to the allocator.
+    pub ws_misses: u64,
+    /// Total bytes of allocation traffic avoided by hits.
+    pub ws_bytes_recycled: u64,
+}
+
 /// End-of-run artifact; build with the setters, then
 /// [`RunRecord::write_jsonl`] under `results/`.
 #[derive(Default)]
@@ -74,6 +89,7 @@ pub struct RunRecord {
     scores: Vec<ScorePoint>,
     traffic: Option<TrafficSummary>,
     pool: Option<PoolCounters>,
+    workspace: Option<WorkspaceCounters>,
     extra: Vec<(String, f64)>,
 }
 
@@ -114,6 +130,13 @@ impl RunRecord {
     /// Attaches worker-pool counters sampled at the end of the run.
     pub fn with_pool_counters(mut self, pool: PoolCounters) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Attaches workspace (buffer-pool) counters sampled at the end of the
+    /// run.
+    pub fn with_workspace_counters(mut self, workspace: WorkspaceCounters) -> Self {
+        self.workspace = Some(workspace);
         self
     }
 
@@ -194,6 +217,17 @@ impl RunRecord {
                     .field_u64("seq_jobs", p.seq_jobs)
                     .field_u64("tasks", p.tasks)
                     .field_u64("busy_ns", p.busy_ns)
+                    .build(),
+            );
+        }
+
+        if let Some(w) = &self.workspace {
+            lines.push(
+                Object::new()
+                    .field_str("type", "workspace")
+                    .field_u64("ws_hits", w.ws_hits)
+                    .field_u64("ws_misses", w.ws_misses)
+                    .field_u64("ws_bytes_recycled", w.ws_bytes_recycled)
                     .build(),
             );
         }
@@ -330,6 +364,24 @@ mod tests {
         assert!(!RunRecord::new("nopool")
             .to_jsonl(&rec)
             .contains(r#""type":"pool""#));
+    }
+
+    #[test]
+    fn workspace_counters_render_as_one_line() {
+        let rec = Recorder::enabled();
+        let rr = RunRecord::new("ws").with_workspace_counters(WorkspaceCounters {
+            ws_hits: 100,
+            ws_misses: 4,
+            ws_bytes_recycled: 8192,
+        });
+        let text = rr.to_jsonl(&rec);
+        assert!(text.contains(
+            r#""type":"workspace","ws_hits":100,"ws_misses":4,"ws_bytes_recycled":8192"#
+        ));
+        // Omitted when never attached.
+        assert!(!RunRecord::new("nows")
+            .to_jsonl(&rec)
+            .contains(r#""type":"workspace""#));
     }
 
     #[test]

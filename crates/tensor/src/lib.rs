@@ -28,6 +28,7 @@ pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use shape::Shape;
 pub use tensor::Tensor;

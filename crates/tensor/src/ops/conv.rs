@@ -12,10 +12,11 @@
 //! the gradient of `conv` with respect to its input, a property the unit
 //! tests check.
 
-use crate::ops::matmul::matmul_into;
+use crate::ops::matmul::{matmul_into, matmul_nt_acc_into};
 use crate::parallel;
 use crate::pool::with_scratch;
 use crate::tensor::Tensor;
+use crate::workspace;
 
 /// Spatial output size of a convolution along one axis.
 ///
@@ -180,7 +181,7 @@ pub fn conv2d_forward(
     let ckk = c * kh * kw;
     let ohw = oh * ow;
 
-    let mut out = vec![0.0f32; b * o * ohw];
+    let mut out = workspace::take_zeroed(b * o * ohw);
     let in_data = input.data();
     let w_data = weight.data();
     let b_data = bias.data();
@@ -260,35 +261,31 @@ pub fn conv2d_backward_acc(
     let ckk = c * kh * kw;
     let ohw = oh * ow;
 
-    let mut grad_input = vec![0.0f32; input.len()];
+    let mut grad_input = workspace::take_zeroed(input.len());
     let w_t = weight.reshape(&[o, ckk]).t(); // (ckk, o)
     let gw = grad_weight.data_mut();
     let gbias = grad_bias.data_mut();
 
     with_scratch(ckk * ohw, |cols| {
         with_scratch(ckk * ohw, |gcols| {
-            with_scratch(o * ckk, |gw_sample| {
-                for bi in 0..b {
-                    let image = &input.data()[bi * c * h * w..(bi + 1) * c * h * w];
-                    let g = &grad_out.data()[bi * o * ohw..(bi + 1) * o * ohw];
-                    im2col(image, c, h, w, kh, kw, stride, pad, oh, ow, cols);
+            for bi in 0..b {
+                let image = &input.data()[bi * c * h * w..(bi + 1) * c * h * w];
+                let g = &grad_out.data()[bi * o * ohw..(bi + 1) * o * ohw];
+                im2col(image, c, h, w, kh, kw, stride, pad, oh, ow, cols);
 
-                    // grad_weight += g (o, ohw) x cols^T (ohw, ckk)
-                    matmul_nt_into(g, cols, gw_sample, o, ohw, ckk);
-                    for (acc, &v) in gw.iter_mut().zip(gw_sample.iter()) {
-                        *acc += v;
-                    }
+                // grad_weight += g (o, ohw) x cols^T (ohw, ckk), straight
+                // into the caller's gradient via the shared acc kernel.
+                matmul_nt_acc_into(g, cols, gw, o, ohw, ckk);
 
-                    // grad_cols = W^T (ckk, o) x g (o, ohw)
-                    matmul_into(w_t.data(), g, gcols, ckk, o, ohw);
-                    let gi = &mut grad_input[bi * c * h * w..(bi + 1) * c * h * w];
-                    col2im(gcols, c, h, w, kh, kw, stride, pad, oh, ow, gi);
+                // grad_cols = W^T (ckk, o) x g (o, ohw)
+                matmul_into(w_t.data(), g, gcols, ckk, o, ohw);
+                let gi = &mut grad_input[bi * c * h * w..(bi + 1) * c * h * w];
+                col2im(gcols, c, h, w, kh, kw, stride, pad, oh, ow, gi);
 
-                    for oc in 0..o {
-                        gbias[oc] += g[oc * ohw..(oc + 1) * ohw].iter().sum::<f32>();
-                    }
+                for oc in 0..o {
+                    gbias[oc] += g[oc * ohw..(oc + 1) * ohw].iter().sum::<f32>();
                 }
-            });
+            }
         });
     });
     Tensor::new(input.shape(), grad_input)
@@ -327,7 +324,7 @@ pub fn conv_transpose2d_forward(
 
     // W2: (cin, ckk); we need W2^T (ckk, cin) @ x (cin, hw) per sample.
     let w2_t = weight.reshape(&[cin, ckk]).t();
-    let mut out = vec![0.0f32; b * cout * oh * ow];
+    let mut out = workspace::take_zeroed(b * cout * oh * ow);
     let in_data = input.data();
     let b_data = bias.data();
     parallel::parallel_for_chunks(&mut out, b, ckk * hw, |bi, out_sample| {
@@ -404,56 +401,33 @@ pub fn conv_transpose2d_backward_acc(
     let ckk = cout * kh * kw;
     let hw = h * w;
 
-    let mut grad_input = vec![0.0f32; input.len()];
+    let mut grad_input = workspace::take_zeroed(input.len());
     let w2 = weight.reshape(&[cin, ckk]); // (cin, ckk)
     let gw = grad_weight.data_mut();
     let gbias = grad_bias.data_mut();
 
     with_scratch(ckk * hw, |gcols| {
-        with_scratch(cin * ckk, |gw_sample| {
-            for bi in 0..b {
-                let g = &grad_out.data()[bi * cout * oh * ow..(bi + 1) * cout * oh * ow];
-                let x = &input.data()[bi * cin * hw..(bi + 1) * cin * hw];
+        for bi in 0..b {
+            let g = &grad_out.data()[bi * cout * oh * ow..(bi + 1) * cout * oh * ow];
+            let x = &input.data()[bi * cin * hw..(bi + 1) * cin * hw];
 
-                // dL/dcols = im2col(dL/dout) over the adjoint conv geometry.
-                im2col(g, cout, oh, ow, kh, kw, stride, pad, h, w, gcols);
+            // dL/dcols = im2col(dL/dout) over the adjoint conv geometry.
+            im2col(g, cout, oh, ow, kh, kw, stride, pad, h, w, gcols);
 
-                // dL/dx = W2 (cin, ckk) x gcols (ckk, hw), straight into place.
-                let gi = &mut grad_input[bi * cin * hw..(bi + 1) * cin * hw];
-                matmul_into(w2.data(), gcols, gi, cin, ckk, hw);
+            // dL/dx = W2 (cin, ckk) x gcols (ckk, hw), straight into place.
+            let gi = &mut grad_input[bi * cin * hw..(bi + 1) * cin * hw];
+            matmul_into(w2.data(), gcols, gi, cin, ckk, hw);
 
-                // dL/dW2 = x (cin, hw) x gcols^T (hw, ckk)
-                matmul_nt_into(x, gcols, gw_sample, cin, hw, ckk);
-                for (acc, &v) in gw.iter_mut().zip(gw_sample.iter()) {
-                    *acc += v;
-                }
+            // dL/dW2 += x (cin, hw) x gcols^T (hw, ckk), via the shared
+            // acc kernel directly into the caller's gradient.
+            matmul_nt_acc_into(x, gcols, gw, cin, hw, ckk);
 
-                for oc in 0..cout {
-                    gbias[oc] += g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
-                }
+            for oc in 0..cout {
+                gbias[oc] += g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
             }
-        });
+        }
     });
     Tensor::new(input.shape(), grad_input)
-}
-
-/// `out (m,n) = a (m,k) x b^T` where `b` is `(n,k)`, overwriting `out`.
-fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), n * k);
-    assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let ar = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (j, o) in orow.iter_mut().enumerate() {
-            let br = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in ar.iter().zip(br) {
-                acc += x * y;
-            }
-            *o = acc;
-        }
-    }
 }
 
 fn dims4(t: &Tensor, what: &str) -> (usize, usize, usize, usize) {

@@ -3,17 +3,14 @@
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
+use crate::workspace;
 
 /// Applies `f(a_i, b_i)` elementwise with NumPy broadcasting.
 fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
     // Fast path: identical shapes.
     if a.shape() == b.shape() {
-        let data = a
-            .data()
-            .iter()
-            .zip(b.data())
-            .map(|(&x, &y)| f(x, y))
-            .collect();
+        let mut data = workspace::take_raw(a.len());
+        data.extend(a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)));
         return Tensor::new(a.shape(), data);
     }
     let out_shape = Shape::broadcast(a.shape_obj(), b.shape_obj())
@@ -24,7 +21,7 @@ fn broadcast_zip(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor 
     let b_strides = padded_broadcast_strides(b, &out_dims);
 
     let n = out_shape.numel();
-    let mut data = Vec::with_capacity(n);
+    let mut data = workspace::take_raw(n);
     let mut idx = vec![0usize; nd];
     let mut a_off = 0usize;
     let mut b_off = 0usize;
@@ -109,7 +106,9 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::new(self.shape(), self.data().iter().map(|&x| f(x)).collect())
+        let mut data = workspace::take_raw(self.len());
+        data.extend(self.data().iter().map(|&x| f(x)));
+        Tensor::new(self.shape(), data)
     }
 
     /// Applies `f` to every element in place.

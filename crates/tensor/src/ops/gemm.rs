@@ -1,0 +1,607 @@
+//! The packed, cache-blocked GEMM micro-kernel every dense multiply in the
+//! workspace runs on: `matmul`, `matmul_nt`, `matmul_tn` and the im2col
+//! GEMMs inside `conv2d` / `conv_transpose2d` all lower to [`gemm_into`] /
+//! [`gemm_acc_into`] with a [`Layout`] tag.
+//!
+//! # Structure
+//!
+//! The kernel follows the classic three-level blocking of high-performance
+//! BLAS (Goto-style), sized for this crate's GAN workloads:
+//!
+//! * the output is cut into row blocks of [`MC`] rows — the unit of
+//!   parallelism (one row block per pool task, disjoint output slices);
+//! * the shared `k` dimension is cut into panels of [`KC`] — the packed
+//!   A block (`MC x KC`, 32 KiB) stays L1/L2-resident while it is reused
+//!   across the whole `n` extent;
+//! * the `n` dimension is cut into panels of [`NC`] — the packed B block
+//!   (`KC x NC`, 256 KiB) stays L2-resident while every row of the A block
+//!   streams over it.
+//!
+//! Both operands are **packed** into thread-local scratch before the inner
+//! loops run: A as [`MR`]-interleaved row panels (one tile *column* per
+//! `k` step), B as column *slivers* of [`NR`] = 16 columns laid out
+//! `p`-major, so the innermost loop reads both operands at stride 1
+//! regardless of the logical [`Layout`]. The micro-kernel computes an
+//! [`MR`]`x`[`NR`] = 4x16 register tile: 8 vector accumulators (AVX2 ymm)
+//! with one broadcast fused multiply-add per operand element — no loads or
+//! stores of the output inside the `k` loop, and eight independent
+//! accumulation chains to hide the FMA latency. On x86-64 with FMA the
+//! inner loop is hand-written with `core::arch` intrinsics (the exact same
+//! operation chain, see below); elsewhere a scalar `mul_add` loop compiles
+//! to the equivalent fused code.
+//!
+//! # Determinism
+//!
+//! Every output element is accumulated over `k` **in ascending order, one
+//! [`f32::mul_add`] per step** (fused, single rounding — the FMA unit is
+//! where half the machine's FLOP/s live):
+//!
+//! * k-panels are visited in ascending order and each panel resumes from
+//!   the partial sum of the previous one, so the chain of fused
+//!   multiply-adds for a given element is identical to an unblocked
+//!   in-order loop — the packed kernel is **bitwise identical to the
+//!   naive reference** ([`naive_gemm`], which uses the same `mul_add`
+//!   chain; no reassociation anywhere);
+//! * row blocks are fixed-size ([`MC`]) and each is computed entirely by
+//!   one task, so the split — and therefore every intermediate rounding —
+//!   is independent of `TENSOR_THREADS`. Results are bitwise identical for
+//!   any thread count, preserving the repo's determinism contract.
+//!
+//! There is deliberately **no zero-skip branch** (the old kernel's
+//! `if av == 0.0 { continue }`): it blocked vectorization of the inner
+//! loop and silently dropped `0.0 * NaN` / `0.0 * inf` contributions, so
+//! NaNs now propagate exactly as IEEE 754 (and the naive reference) say
+//! they must.
+//!
+//! # Allocation
+//!
+//! Packing buffers are thread-local and sized once ([`MC`]`*`[`KC`] +
+//! [`KC`]`*`[`NC`] elements, ~288 KiB per thread); steady-state GEMM calls
+//! perform zero heap allocation. Output buffers are the caller's business —
+//! the tensor-level wrappers draw them from [`crate::workspace`].
+
+use crate::parallel;
+use std::cell::RefCell;
+
+/// Rows per parallel row block (the packed A block is `MC x KC`).
+pub const MC: usize = 32;
+/// Shared-dimension panel length.
+pub const KC: usize = 256;
+/// Column panel width (the packed B block is `KC x NC`).
+pub const NC: usize = 256;
+/// Register-tile width: columns per packed B sliver (two 8-wide vector
+/// registers per row on AVX2).
+pub const NR: usize = 16;
+/// Register-tile height: rows per micro-kernel invocation, chosen so the
+/// tile holds 8 vector accumulators — eight independent fused-multiply-add
+/// dependency chains, enough to cover the FMA latency on current cores:
+/// 8x16 on AVX-512 (one zmm per row), 4x16 elsewhere (two ymm per row).
+/// The tile shape never affects results — every output element's
+/// accumulation chain is fixed by the `k` order alone.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+pub const MR: usize = 8;
+/// Register-tile height (non-AVX-512 builds): see above.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+pub const MR: usize = 4;
+
+/// Storage layout of a GEMM's operands. The logical product is always
+/// `A (m,k) x B (k,n) -> out (m,n)`; the tag says how the operand slices
+/// are laid out in memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// `a` is row-major `(m,k)`, `b` is row-major `(k,n)`.
+    NN,
+    /// `a` is row-major `(m,k)`, `b` is row-major `(n,k)` (i.e. `B = b^T`).
+    NT,
+    /// `a` is row-major `(k,m)` (i.e. `A = a^T`), `b` is row-major `(k,n)`.
+    TN,
+}
+
+thread_local! {
+    /// Per-thread packing scratch: (A block, B block). GEMM never nests
+    /// inside itself, so a plain RefCell suffices; pool workers each carry
+    /// their own pair.
+    static PACK: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// `out = A x B` (overwrite). See [`Layout`] for operand shapes.
+///
+/// Fully overwrites `out`, including when `k == 0` (zeros).
+///
+/// # Panics
+/// Panics if a slice length disagrees with `(m, k, n)` and the layout.
+pub fn gemm_into(
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm(layout, a, b, out, m, k, n, false);
+}
+
+/// `out += A x B` (accumulate into the caller's buffer). The existing
+/// contents of `out` seed the in-order accumulation chain, which is the
+/// gradient-accumulation pattern (`grad_weight += x^T · dy`) without a
+/// temporary.
+pub fn gemm_acc_into(
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm(layout, a, b, out, m, k, n, true);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm(
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    acc: bool,
+) {
+    let (a_len, b_len) = match layout {
+        Layout::NN => (m * k, k * n),
+        Layout::NT => (m * k, n * k),
+        Layout::TN => (k * m, k * n),
+    };
+    assert_eq!(a.len(), a_len, "gemm {layout:?}: a length mismatch");
+    assert_eq!(b.len(), b_len, "gemm {layout:?}: b length mismatch");
+    assert_eq!(out.len(), m * n, "gemm {layout:?}: out length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if !acc {
+            out.fill(0.0);
+        }
+        return;
+    }
+
+    let nblocks = m.div_ceil(MC);
+    let base = out.as_mut_ptr() as usize;
+    parallel::parallel_for(nblocks, MC.min(m) * k * n, |ib| {
+        let i0 = ib * MC;
+        let rows = MC.min(m - i0);
+        // SAFETY: row blocks are disjoint (`ib` is executed exactly once),
+        // and `out` outlives the blocking parallel_for call.
+        let out_block =
+            unsafe { std::slice::from_raw_parts_mut((base as *mut f32).add(i0 * n), rows * n) };
+        gemm_row_block(layout, a, b, out_block, i0, rows, k, n, acc);
+    });
+}
+
+/// Computes `rows` output rows starting at logical row `i0`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_row_block(
+    layout: Layout,
+    a: &[f32],
+    b: &[f32],
+    out_block: &mut [f32],
+    i0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    acc: bool,
+) {
+    PACK.with(|cell| {
+        let mut pack = cell.borrow_mut();
+        let (ap, bp) = &mut *pack;
+        ap.resize(MC.div_ceil(MR) * MR * KC, 0.0);
+        bp.resize(KC * NC.div_ceil(NR) * NR, 0.0);
+
+        let mut kb = 0usize;
+        let mut first = !acc;
+        while kb < k {
+            let kc = KC.min(k - kb);
+            pack_a(layout, a, ap, i0, rows, kb, kc, k);
+            let mut jb = 0usize;
+            while jb < n {
+                let nc = NC.min(n - jb);
+                pack_b(layout, b, bp, kb, kc, jb, nc, k, n);
+                macro_kernel(ap, bp, out_block, rows, kc, jb, nc, n, first);
+                jb += nc;
+            }
+            kb += kc;
+            first = false;
+        }
+    });
+}
+
+/// Packs the `rows x kc` A panel [`MR`] rows at a time, interleaved so the
+/// micro-kernel reads one tile *column* per `k` step:
+/// `ap[rp*kc*MR + p*MR + r] = A[i0 + rp*MR + r][kb + p]`, zero-padded past
+/// `rows`. The pad rows feed accumulator lanes that are never stored.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    layout: Layout,
+    a: &[f32],
+    ap: &mut [f32],
+    i0: usize,
+    rows: usize,
+    kb: usize,
+    kc: usize,
+    k: usize,
+) {
+    let npanels = rows.div_ceil(MR);
+    for rp in 0..npanels {
+        let rvalid = MR.min(rows - rp * MR);
+        let panel = &mut ap[rp * kc * MR..(rp + 1) * kc * MR];
+        if rvalid < MR {
+            panel.fill(0.0);
+        }
+        match layout {
+            // A stored row-major (m,k): scatter each row across the
+            // interleaved columns.
+            Layout::NN | Layout::NT => {
+                for r in 0..rvalid {
+                    let src = &a[(i0 + rp * MR + r) * k + kb..][..kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        panel[p * MR + r] = v;
+                    }
+                }
+            }
+            // A = a^T with a stored (k,m): each tile column is a contiguous
+            // run of `a`, one straight copy per `k` step.
+            Layout::TN => {
+                let m = a.len() / k;
+                for (p, dst) in panel.chunks_exact_mut(MR).enumerate() {
+                    let src = &a[(kb + p) * m + i0 + rp * MR..][..rvalid];
+                    dst[..rvalid].copy_from_slice(src);
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `kc x nc` B panel as NR-wide column slivers, `p`-major:
+/// `bp[(s*kc + p)*NR + jj] = B[kb + p][jb + s*NR + jj]`, zero-padded past
+/// `n`. The padding columns contribute only to discarded accumulator lanes.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    layout: Layout,
+    b: &[f32],
+    bp: &mut [f32],
+    kb: usize,
+    kc: usize,
+    jb: usize,
+    nc: usize,
+    k: usize,
+    n: usize,
+) {
+    let nslivers = nc.div_ceil(NR);
+    match layout {
+        // B stored row-major (k,n): read rows at stride 1, sliver by sliver.
+        Layout::NN | Layout::TN => {
+            for s in 0..nslivers {
+                let j0 = jb + s * NR;
+                let jw = NR.min(n - j0);
+                let sliver = &mut bp[s * kc * NR..(s + 1) * kc * NR];
+                for p in 0..kc {
+                    let src = &b[(kb + p) * n + j0..(kb + p) * n + j0 + jw];
+                    let dst = &mut sliver[p * NR..p * NR + NR];
+                    dst[..jw].copy_from_slice(src);
+                    dst[jw..].fill(0.0);
+                }
+            }
+        }
+        // B = b^T with b stored (n,k): each output column is a row of `b`,
+        // contiguous in p.
+        Layout::NT => {
+            for s in 0..nslivers {
+                let j0 = jb + s * NR;
+                let jw = NR.min(n - j0);
+                let sliver = &mut bp[s * kc * NR..(s + 1) * kc * NR];
+                for jj in 0..NR {
+                    if jj < jw {
+                        let src = &b[(j0 + jj) * k + kb..(j0 + jj) * k + kb + kc];
+                        for (p, &v) in src.iter().enumerate() {
+                            sliver[p * NR + jj] = v;
+                        }
+                    } else {
+                        for p in 0..kc {
+                            sliver[p * NR + jj] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the register-tiled micro-kernels over one packed (A block, B block)
+/// pair, updating `out_block` columns `jb..jb+nc`.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    ap: &[f32],
+    bp: &[f32],
+    out_block: &mut [f32],
+    rows: usize,
+    kc: usize,
+    jb: usize,
+    nc: usize,
+    n: usize,
+    first: bool,
+) {
+    let nslivers = nc.div_ceil(NR);
+    let npanels = rows.div_ceil(MR);
+    for s in 0..nslivers {
+        let sliver = &bp[s * kc * NR..(s + 1) * kc * NR];
+        let j0 = jb + s * NR;
+        let jw = NR.min(jb + nc - j0);
+        for rp in 0..npanels {
+            let rvalid = MR.min(rows - rp * MR);
+            micro_mr(
+                &ap[rp * kc * MR..(rp + 1) * kc * MR],
+                sliver,
+                out_block,
+                rp * MR,
+                rvalid,
+                j0,
+                jw,
+                n,
+                first,
+            );
+        }
+    }
+}
+
+/// 8x8 register tile: `out[r0..r0+rvalid][j0..j0+jw] (+)= A-panel · B-sliver`.
+///
+/// `apanel` is [`MR`]-interleaved (`apanel[p*MR + r]`, see [`pack_a`]) and
+/// zero-padded past `rvalid`; `sliver` is zero-padded past `jw`. Pad rows
+/// and pad lanes accumulate but are never loaded from or stored to `out`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_mr(
+    apanel: &[f32],
+    sliver: &[f32],
+    out: &mut [f32],
+    r0: usize,
+    rvalid: usize,
+    j0: usize,
+    jw: usize,
+    n: usize,
+    first: bool,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    if !first {
+        for (r, accr) in acc.iter_mut().enumerate().take(rvalid) {
+            let orow = &out[(r0 + r) * n + j0..(r0 + r) * n + j0 + jw];
+            accr[..jw].copy_from_slice(orow);
+        }
+    }
+    inner_k_loop(apanel, sliver, &mut acc);
+    for (r, accr) in acc.iter().enumerate().take(rvalid) {
+        let orow = &mut out[(r0 + r) * n + j0..(r0 + r) * n + j0 + jw];
+        orow.copy_from_slice(&accr[..jw]);
+    }
+}
+
+/// The `k` loop of the micro-kernel: `acc[r][jj] <- fma(apanel[p*MR+r],
+/// sliver[p*NR+jj], acc[r][jj])` for `p` ascending. Portable scalar
+/// version; the x86-64 FMA build replaces it with an intrinsics twin that
+/// performs the *identical* chain of fused operations (`_mm256_fmadd_ps`
+/// is `f32::mul_add` per lane), so results are bitwise equal across both.
+#[cfg(not(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma"
+)))]
+#[inline(always)]
+fn inner_k_loop(apanel: &[f32], sliver: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (avals, bv) in apanel.chunks_exact(MR).zip(sliver.chunks_exact(NR)) {
+        for r in 0..MR {
+            let ar = avals[r];
+            let accr = &mut acc[r];
+            for jj in 0..NR {
+                accr[jj] = ar.mul_add(bv[jj], accr[jj]);
+            }
+        }
+    }
+}
+
+/// AVX2+FMA twin of the scalar `k` loop: 8 ymm accumulators (two per row),
+/// one broadcast + two fused multiply-adds per packed A element. Enabled
+/// at compile time (the workspace builds with `target-cpu=native`).
+#[cfg(all(
+    target_arch = "x86_64",
+    target_feature = "avx2",
+    target_feature = "fma",
+    not(target_feature = "avx512f")
+))]
+#[inline(always)]
+fn inner_k_loop(apanel: &[f32], sliver: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    let kc = apanel.len() / MR;
+    debug_assert_eq!(sliver.len(), kc * NR);
+    // SAFETY: all pointer arithmetic stays inside `apanel` (kc*MR elements),
+    // `sliver` (kc*NR elements) and `acc` (MR*NR elements); AVX2/FMA are
+    // compile-time-required by the cfg gate above.
+    unsafe {
+        let mut vacc = [[_mm256_setzero_ps(); 2]; MR];
+        for (r, accr) in acc.iter().enumerate() {
+            vacc[r][0] = _mm256_loadu_ps(accr.as_ptr());
+            vacc[r][1] = _mm256_loadu_ps(accr.as_ptr().add(8));
+        }
+        let mut ap = apanel.as_ptr();
+        let mut bp = sliver.as_ptr();
+        for _ in 0..kc {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            for (r, vr) in vacc.iter_mut().enumerate() {
+                let ar = _mm256_broadcast_ss(&*ap.add(r));
+                vr[0] = _mm256_fmadd_ps(ar, b0, vr[0]);
+                vr[1] = _mm256_fmadd_ps(ar, b1, vr[1]);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        for (r, accr) in acc.iter_mut().enumerate() {
+            _mm256_storeu_ps(accr.as_mut_ptr(), vacc[r][0]);
+            _mm256_storeu_ps(accr.as_mut_ptr().add(8), vacc[r][1]);
+        }
+    }
+}
+
+/// AVX-512 twin of the scalar `k` loop: 8 zmm accumulators (one [`NR`] = 16
+/// wide register per row), one broadcast + one fused multiply-add per
+/// packed A element — same fused operation chain, so bitwise-equal output.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+#[inline(always)]
+fn inner_k_loop(apanel: &[f32], sliver: &[f32], acc: &mut [[f32; NR]; MR]) {
+    use std::arch::x86_64::*;
+    let kc = apanel.len() / MR;
+    debug_assert_eq!(sliver.len(), kc * NR);
+    // SAFETY: all pointer arithmetic stays inside `apanel` (kc*MR elements),
+    // `sliver` (kc*NR elements) and `acc` (MR*NR elements); AVX-512 is
+    // compile-time-required by the cfg gate above.
+    unsafe {
+        let mut vacc = [_mm512_setzero_ps(); MR];
+        for (r, accr) in acc.iter().enumerate() {
+            vacc[r] = _mm512_loadu_ps(accr.as_ptr());
+        }
+        let mut ap = apanel.as_ptr();
+        let mut bp = sliver.as_ptr();
+        for _ in 0..kc {
+            let b0 = _mm512_loadu_ps(bp);
+            for (r, vr) in vacc.iter_mut().enumerate() {
+                let ar = _mm512_set1_ps(*ap.add(r));
+                *vr = _mm512_fmadd_ps(ar, b0, *vr);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        for (r, accr) in acc.iter_mut().enumerate() {
+            _mm512_storeu_ps(accr.as_mut_ptr(), vacc[r]);
+        }
+    }
+}
+
+/// The unblocked in-order reference implementation the packed kernel must
+/// match **bitwise**. Used by the property tests and the bench baseline;
+/// do not "optimize" it — its accumulation chain (`mul_add` over `k` in
+/// ascending order) *is* the spec.
+pub fn naive_gemm(layout: Layout, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for p in 0..k {
+                let av = match layout {
+                    Layout::NN | Layout::NT => a[i * k + p],
+                    Layout::TN => a[p * m + i],
+                };
+                let bv = match layout {
+                    Layout::NN | Layout::TN => b[p * n + j],
+                    Layout::NT => b[j * k + p],
+                };
+                s = av.mul_add(bv, s);
+            }
+            out[i * n + j] = s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    fn randv(len: usize, rng: &mut Rng64) -> Vec<f32> {
+        (0..len).map(|_| rng.normal()).collect()
+    }
+
+    fn check_bitwise(layout: Layout, m: usize, k: usize, n: usize, seed: u64) {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let (a_len, b_len) = match layout {
+            Layout::NN => (m * k, k * n),
+            Layout::NT => (m * k, n * k),
+            Layout::TN => (k * m, k * n),
+        };
+        let a = randv(a_len, &mut rng);
+        let b = randv(b_len, &mut rng);
+        let mut out = vec![f32::NAN; m * n]; // must be fully overwritten
+        gemm_into(layout, &a, &b, &mut out, m, k, n);
+        let want = naive_gemm(layout, &a, &b, m, k, n);
+        for (i, (x, y)) in out.iter().zip(&want).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{layout:?} ({m},{k},{n}) element {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn bitwise_matches_naive_across_edges() {
+        // Hits every edge: tile-exact, sub-tile, row/col remainders,
+        // multi-KC, multi-NC, multi-MC.
+        for (i, &(m, k, n)) in [
+            (1, 1, 1),
+            (4, 8, 8),
+            (5, 7, 9),
+            (3, 300, 11),
+            (33, 17, 40),
+            (64, 64, 64),
+            (37, 257, 261),
+            (70, 300, 300),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for layout in [Layout::NN, Layout::NT, Layout::TN] {
+                check_bitwise(layout, m, k, n, 100 + i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn acc_seeds_from_existing_output() {
+        let mut rng = Rng64::seed_from_u64(9);
+        let (m, k, n) = (5, 13, 7);
+        let a = randv(m * k, &mut rng);
+        let b = randv(k * n, &mut rng);
+        let seed_out = randv(m * n, &mut rng);
+        let mut out = seed_out.clone();
+        gemm_acc_into(Layout::NN, &a, &b, &mut out, m, k, n);
+        // Reference: in-order accumulation starting from the seed value.
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = seed_out[i * n + j];
+                for p in 0..k {
+                    s = a[i * k + p].mul_add(b[p * n + j], s);
+                }
+                assert_eq!(s.to_bits(), out[i * n + j].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_k_overwrites_or_preserves() {
+        let mut out = vec![3.0f32; 6];
+        gemm_into(Layout::NN, &[], &[], &mut out, 2, 0, 3);
+        assert!(out.iter().all(|&v| v == 0.0));
+        let mut out = vec![3.0f32; 6];
+        gemm_acc_into(Layout::NN, &[], &[], &mut out, 2, 0, 3);
+        assert!(out.iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn zero_m_or_n_is_a_noop() {
+        let mut out: Vec<f32> = Vec::new();
+        gemm_into(Layout::NN, &[], &[1.0, 2.0, 3.0, 4.0], &mut out, 0, 2, 2);
+        gemm_into(Layout::NN, &[1.0, 2.0, 3.0, 4.0], &[], &mut out, 2, 2, 0);
+        gemm_into(Layout::NT, &[], &[], &mut out, 0, 0, 0);
+    }
+}

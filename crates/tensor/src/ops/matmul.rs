@@ -1,14 +1,15 @@
 //! 2-D matrix multiplication and transpose.
 //!
-//! The kernel is a blocked i-k-j loop: the inner `j` loop is contiguous in
-//! both the output row and the `b` row, which LLVM auto-vectorizes. For
-//! large problems the outer `i` loop is split over scoped threads.
+//! All three multiply variants (`A·B`, `A·Bᵀ`, `Aᵀ·B`) lower to the shared
+//! packed, cache-blocked micro-kernel in [`super::gemm`]; this module owns
+//! only the shape checking, the [`Layout`] mapping, and the output buffers
+//! (drawn from [`crate::workspace`]). The free `*_into` functions are the
+//! allocation-free entry points used by `conv2d` and the `md-nn` layers.
 
+use crate::ops::gemm::{self, Layout};
 use crate::parallel;
 use crate::tensor::Tensor;
-
-/// Cache block size for the k dimension (in f32 elements).
-const BLOCK_K: usize = 64;
+use crate::workspace;
 
 impl Tensor {
     /// Matrix product of two 2-D tensors: `(m, k) x (k, n) -> (m, n)`.
@@ -37,9 +38,8 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-
-        let mut out = vec![0.0f32; m * n];
-        matmul_into(self.data(), other.data(), &mut out, m, k, n);
+        let mut out = workspace::take_filled(m * n, 0.0);
+        gemm::gemm_into(Layout::NN, self.data(), other.data(), &mut out, m, k, n);
         Tensor::new(&[m, n], out)
     }
 
@@ -48,7 +48,7 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "t() requires a 2-D tensor");
         let (m, n) = (self.shape()[0], self.shape()[1]);
         let src = self.data();
-        let mut out = vec![0.0f32; m * n];
+        let mut out = workspace::take_filled(m * n, 0.0);
         // One output row (length m) per source column; a pure copy, so the
         // result is thread-count independent.
         parallel::parallel_for_chunks(&mut out, n, m, |j, orow| {
@@ -73,23 +73,8 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        if m == 0 || n == 0 {
-            return Tensor::new(&[m, n], out);
-        }
-        parallel::parallel_for_chunks(&mut out, m, k * n, |i, row| {
-            let ar = &a[i * k..(i + 1) * k];
-            for (j, o) in row.iter_mut().enumerate() {
-                let br = &b[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in ar.iter().zip(br) {
-                    acc += x * y;
-                }
-                *o = acc;
-            }
-        });
+        let mut out = workspace::take_filled(m * n, 0.0);
+        gemm::gemm_into(Layout::NT, self.data(), other.data(), &mut out, m, k, n);
         Tensor::new(&[m, n], out)
     }
 
@@ -107,58 +92,43 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        if m == 0 || n == 0 || k == 0 {
-            return Tensor::new(&[m, n], out);
-        }
-        // out[i, j] = sum_p a[p, i] * b[p, j]. One output row per task;
-        // each element accumulates over p in ascending order regardless of
-        // the thread count, so results are bitwise reproducible.
-        parallel::parallel_for_chunks(&mut out, m, k * n, |i, orow| {
-            for p in 0..k {
-                let av = a[p * m + i];
-                if av == 0.0 {
-                    continue;
-                }
-                let br = &b[p * n..(p + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(br) {
-                    *o += av * bv;
-                }
-            }
-        });
+        let mut out = workspace::take_filled(m * n, 0.0);
+        gemm::gemm_into(Layout::TN, self.data(), other.data(), &mut out, m, k, n);
         Tensor::new(&[m, n], out)
     }
 }
 
 /// Writes `a (m,k) x b (k,n)` into `out (m,n)`, overwriting it.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    assert_eq!(a.len(), m * k);
-    assert_eq!(b.len(), k * n);
-    assert_eq!(out.len(), m * n);
-    out.fill(0.0);
-    if m == 0 || k == 0 || n == 0 {
-        return;
-    }
-    parallel::parallel_for_chunks(out, m, k * n, |i, row| {
-        let a_row = &a[i * k..(i + 1) * k];
-        let mut k0 = 0;
-        while k0 < k {
-            let k1 = (k0 + BLOCK_K).min(k);
-            for p in k0..k1 {
-                let av = a_row[p];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[p * n..(p + 1) * n];
-                for (o, &bv) in row.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-            k0 = k1;
-        }
-    });
+    gemm::gemm_into(Layout::NN, a, b, out, m, k, n);
+}
+
+/// Writes `a (m,k) x b^T` (with `b` stored `(n,k)`) into `out (m,n)`.
+pub fn matmul_nt_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm::gemm_into(Layout::NT, a, b, out, m, k, n);
+}
+
+/// Writes `a^T x b` (with `a` stored `(k,m)`, `b` stored `(k,n)`) into
+/// `out (m,n)`.
+pub fn matmul_tn_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm::gemm_into(Layout::TN, a, b, out, m, k, n);
+}
+
+/// `out += a (m,k) x b (k,n)` — gradient accumulation without a temporary.
+pub fn matmul_acc_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm::gemm_acc_into(Layout::NN, a, b, out, m, k, n);
+}
+
+/// `out += a (m,k) x b^T` with `b` stored `(n,k)`.
+pub fn matmul_nt_acc_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm::gemm_acc_into(Layout::NT, a, b, out, m, k, n);
+}
+
+/// `out += a^T x b` with `a` stored `(k,m)`, `b` stored `(k,n)` — the
+/// weight-gradient pattern `grad_w += x^T · dy` directly into the gradient
+/// buffer.
+pub fn matmul_tn_acc_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm::gemm_acc_into(Layout::TN, a, b, out, m, k, n);
 }
 
 #[cfg(test)]
@@ -306,5 +276,80 @@ mod tests {
         let left = a.matmul(&b).matmul(&c);
         let right = a.matmul(&b.matmul(&c));
         assert_close(left.data(), right.data(), 1e-3);
+    }
+
+    /// Regression for the removed `av == 0.0` skip branch: zeros and signed
+    /// zeros multiply through like any other value, and `0 · NaN` now
+    /// propagates NaN per IEEE 754 (the old kernel silently skipped it).
+    #[test]
+    fn zeros_signed_zeros_and_nan_propagation() {
+        // Plenty of (signed) zeros in both operands: results must be
+        // bitwise what the in-order naive loop computes.
+        let a = Tensor::new(&[2, 4], vec![0.0, -0.0, 1.5, 0.0, -2.0, 0.0, -0.0, 3.0]);
+        let b = Tensor::new(&[4, 2], vec![4.0, -0.0, 0.0, 5.0, -6.0, 0.0, 0.0, -7.0]);
+        let got = a.matmul(&b);
+        let want = naive(&a, &b);
+        for (x, y) in got.data().iter().zip(want.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // A zero in `a` against a NaN in `b`: 0 * NaN = NaN must reach the
+        // output (row 0 hits the NaN with av == 0.0).
+        let a = Tensor::new(&[2, 2], vec![0.0, 1.0, 2.0, 3.0]);
+        let b = Tensor::new(&[2, 2], vec![f32::NAN, 4.0, 5.0, 6.0]);
+        let c = a.matmul(&b);
+        assert!(c.at(&[0, 0]).is_nan(), "0 * NaN must propagate");
+        assert!(c.at(&[1, 0]).is_nan());
+        assert_eq!(c.at(&[0, 1]), 6.0);
+
+        // Same contract for the transposed variants, which had the same
+        // skip (matmul_tn) or a dot-product form (matmul_nt).
+        let c = a.matmul_nt(&b.t());
+        assert!(c.at(&[0, 0]).is_nan());
+        let c = a.t().matmul_tn(&b);
+        assert!(c.at(&[0, 0]).is_nan());
+
+        // Signed-zero arithmetic is preserved exactly: (-0)·4 + 0·5 = 0
+        // with the sign the in-order sum produces.
+        let a = Tensor::new(&[1, 2], vec![-0.0, 0.0]);
+        let b = Tensor::new(&[2, 1], vec![4.0, 5.0]);
+        let want = (-0.0f32 * 4.0) + (0.0f32 * 5.0);
+        assert_eq!(a.matmul(&b).data()[0].to_bits(), want.to_bits());
+    }
+
+    /// The `*_into` / `*_acc_into` free functions agree with the tensor-level
+    /// wrappers bitwise.
+    #[test]
+    fn into_variants_match_wrappers() {
+        let mut rng = Rng64::seed_from_u64(8);
+        let (m, k, n) = (9, 11, 6);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let bt = b.t();
+        let at = a.t();
+
+        let mut out = vec![9.0f32; m * n];
+        matmul_into(a.data(), b.data(), &mut out, m, k, n);
+        assert_eq!(out, a.matmul(&b).data());
+
+        matmul_nt_into(a.data(), bt.data(), &mut out, m, k, n);
+        assert_eq!(out, a.matmul_nt(&bt).data());
+
+        matmul_tn_into(at.data(), b.data(), &mut out, m, k, n);
+        assert_eq!(out, at.matmul_tn(&b).data());
+
+        // acc variant: seed with ones, expect ones + product, computed
+        // by in-order accumulation starting from the seed.
+        let mut acc = vec![1.0f32; m * n];
+        matmul_acc_into(a.data(), b.data(), &mut acc, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 1.0f32;
+                for p in 0..k {
+                    s = a.data()[i * k + p].mul_add(b.data()[p * n + j], s);
+                }
+                assert_eq!(s.to_bits(), acc[i * n + j].to_bits());
+            }
+        }
     }
 }

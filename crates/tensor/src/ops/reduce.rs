@@ -2,6 +2,7 @@
 //! log-sum-exp (numerically stable), used by losses and metrics.
 
 use crate::tensor::Tensor;
+use crate::workspace;
 
 impl Tensor {
     /// Sum of all elements.
@@ -67,7 +68,7 @@ impl Tensor {
         assert!(self.ndim() >= 1, "sum_axis0 on scalar");
         let n0 = self.shape()[0];
         let rest: usize = self.shape()[1..].iter().product();
-        let mut out = vec![0.0f32; rest];
+        let mut out = workspace::take_zeroed(rest);
         for i in 0..n0 {
             let row = &self.data()[i * rest..(i + 1) * rest];
             for (o, &v) in out.iter_mut().zip(row) {
@@ -87,7 +88,7 @@ impl Tensor {
     pub fn sum_axis1(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "sum_axis1 requires 2-D");
         let (m, n) = (self.shape()[0], self.shape()[1]);
-        let mut out = Vec::with_capacity(m);
+        let mut out = workspace::take_raw(m);
         for i in 0..m {
             out.push(self.data()[i * n..(i + 1) * n].iter().sum());
         }
@@ -116,7 +117,7 @@ impl Tensor {
     pub fn softmax_rows(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "softmax_rows requires 2-D");
         let (m, n) = (self.shape()[0], self.shape()[1]);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = workspace::take_zeroed(m * n);
         for i in 0..m {
             let row = &self.data()[i * n..(i + 1) * n];
             let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -137,7 +138,7 @@ impl Tensor {
     pub fn log_softmax_rows(&self) -> Tensor {
         assert_eq!(self.ndim(), 2, "log_softmax_rows requires 2-D");
         let (m, n) = (self.shape()[0], self.shape()[1]);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = workspace::take_zeroed(m * n);
         for i in 0..m {
             let row = &self.data()[i * n..(i + 1) * n];
             let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -160,7 +161,7 @@ impl Tensor {
             self.shape()[3],
         );
         let hw = h * w;
-        let mut out = vec![0.0f32; c];
+        let mut out = workspace::take_zeroed(c);
         for bi in 0..b {
             for (ci, acc) in out.iter_mut().enumerate() {
                 let base = (bi * c + ci) * hw;

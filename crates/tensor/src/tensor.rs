@@ -2,6 +2,7 @@
 
 use crate::rng::Rng64;
 use crate::shape::Shape;
+use crate::workspace;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -11,10 +12,40 @@ use std::fmt;
 /// All operations allocate fresh output tensors unless suffixed `_inplace`
 /// or `_assign`. This keeps aliasing trivial and makes the library easy to
 /// reason about in the multi-threaded training code.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Backing buffers are drawn from and returned to the process-wide
+/// recycling pool in [`crate::workspace`]: dropping a tensor shelves its
+/// `Vec<f32>` for reuse and cloning draws from the shelf, so steady-state
+/// training loops allocate nothing. This is invisible at the API level —
+/// only the `workspace::stats()` counters can tell.
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: workspace::take_copy(&self.data),
+        }
+    }
+
+    /// Reuses `self`'s existing buffer when cloning into it (the layer
+    /// input-caching pattern `cached = Some(x.clone())` rewritten as
+    /// `cached.clone_from(x)` touches no allocator at all once warm).
+    fn clone_from(&mut self, source: &Self) {
+        self.shape = source.shape.clone();
+        self.data.clear();
+        self.data.extend_from_slice(&source.data);
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        workspace::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -39,12 +70,7 @@ impl Tensor {
 
     /// A tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
-        let shape = Shape::new(shape);
-        let n = shape.numel();
-        Tensor {
-            shape,
-            data: vec![0.0; n],
-        }
+        Self::full(shape, 0.0)
     }
 
     /// A tensor filled with ones.
@@ -58,7 +84,7 @@ impl Tensor {
         let n = shape.numel();
         Tensor {
             shape,
-            data: vec![value; n],
+            data: workspace::take_filled(n, value),
         }
     }
 
@@ -74,7 +100,7 @@ impl Tensor {
     pub fn randn(shape: &[usize], rng: &mut Rng64) -> Self {
         let shape = Shape::new(shape);
         let n = shape.numel();
-        let mut data = Vec::with_capacity(n);
+        let mut data = workspace::take_raw(n);
         for _ in 0..n {
             data.push(rng.normal());
         }
@@ -85,7 +111,7 @@ impl Tensor {
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut Rng64) -> Self {
         let shape = Shape::new(shape);
         let n = shape.numel();
-        let mut data = Vec::with_capacity(n);
+        let mut data = workspace::take_raw(n);
         for _ in 0..n {
             data.push(lo + (hi - lo) * rng.uniform());
         }
@@ -94,7 +120,9 @@ impl Tensor {
 
     /// `[0, 1, 2, ..., n-1]` as a 1-D tensor.
     pub fn arange(n: usize) -> Self {
-        Tensor::new(&[n], (0..n).map(|i| i as f32).collect())
+        let mut data = workspace::take_raw(n);
+        data.extend((0..n).map(|i| i as f32));
+        Tensor::new(&[n], data)
     }
 
     // ------------------------------------------------------------ accessors
@@ -142,8 +170,9 @@ impl Tensor {
     }
 
     /// Consumes the tensor, returning its backing vector.
-    pub fn into_data(self) -> Vec<f32> {
-        self.data
+    pub fn into_data(mut self) -> Vec<f32> {
+        // `Drop` then sees an empty Vec and shelves nothing.
+        std::mem::take(&mut self.data)
     }
 
     /// Element at a multi-dimensional index.
@@ -227,7 +256,7 @@ impl Tensor {
         let n0 = self.shape()[0];
         assert!(i < n0, "index {i} out of bounds for axis 0 of size {n0}");
         let stride: usize = self.shape()[1..].iter().product();
-        let data = self.data[i * stride..(i + 1) * stride].to_vec();
+        let data = workspace::take_copy(&self.data[i * stride..(i + 1) * stride]);
         Tensor::new(&self.shape()[1..], data)
     }
 
@@ -235,7 +264,7 @@ impl Tensor {
     pub fn stack(items: &[Tensor]) -> Tensor {
         assert!(!items.is_empty(), "stack of zero tensors");
         let inner = items[0].shape().to_vec();
-        let mut data = Vec::with_capacity(items.len() * items[0].len());
+        let mut data = workspace::take_raw(items.len() * items[0].len());
         for t in items {
             assert_eq!(t.shape(), &inner[..], "stack shape mismatch");
             data.extend_from_slice(t.data());
@@ -250,7 +279,7 @@ impl Tensor {
         assert!(!items.is_empty(), "concat of zero tensors");
         let inner = items[0].shape()[1..].to_vec();
         let mut total0 = 0usize;
-        let mut data = Vec::new();
+        let mut data = workspace::take_raw(items.iter().map(Tensor::len).sum());
         for t in items {
             assert_eq!(
                 &t.shape()[1..],
@@ -269,7 +298,7 @@ impl Tensor {
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
         assert!(self.ndim() >= 1);
         let stride: usize = self.shape()[1..].iter().product();
-        let mut data = Vec::with_capacity(indices.len() * stride);
+        let mut data = workspace::take_raw(indices.len() * stride);
         for &i in indices {
             assert!(i < self.shape()[0], "gather index {i} out of bounds");
             data.extend_from_slice(&self.data[i * stride..(i + 1) * stride]);

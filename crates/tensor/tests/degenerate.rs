@@ -97,6 +97,31 @@ fn matmul_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn matmul_bitwise_identical_across_thread_counts_odd_sizes() {
+    // Odd, non-tile-multiple extents: 301 rows leave a 13-row remainder
+    // block (and a 1-row remainder micro-tile), 257 crosses the KC=256
+    // panel edge, 263 leaves a 7-column sliver. Work per block
+    // 32*257*263 ≈ 2.2M over 10 blocks clears PAR_THRESHOLD, so the
+    // 4-slot run really splits across the pool.
+    let (m, k, n) = (301, 257, 263);
+    let mut rng = Rng64::seed_from_u64(23);
+    let a = Tensor::randn(&[m, k], &mut rng);
+    let b = Tensor::randn(&[k, n], &mut rng);
+    let bt = Tensor::randn(&[n, k], &mut rng);
+    let at = Tensor::randn(&[k, m], &mut rng);
+
+    let run = |threads: usize| {
+        let _g = scoped_max_threads(threads);
+        (a.matmul(&b), a.matmul_nt(&bt), at.matmul_tn(&b))
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_bitwise_eq(&seq.0, &par.0);
+    assert_bitwise_eq(&seq.1, &par.1);
+    assert_bitwise_eq(&seq.2, &par.2);
+}
+
+#[test]
 fn transpose_bitwise_identical_across_thread_counts() {
     // 3000*3000 = 9M elements > PAR_THRESHOLD (work_hint is the row length).
     let mut rng = Rng64::seed_from_u64(11);

@@ -1,0 +1,108 @@
+//! Property tests pinning the packed, cache-blocked GEMM kernel to the
+//! naive in-order reference — **bitwise** — across odd and degenerate
+//! shapes for all three [`Layout`] variants.
+//!
+//! The shapes are drawn from a set chosen to straddle every tiling edge:
+//! zero-size dims, `m = k = n = 1`, sizes just below/at/above the
+//! register-tile extents (`MR`, `NR`), and non-multiples of all of them.
+//! Larger shapes that cross the `KC`/`NC`/`MC` panel boundaries are pinned
+//! by the kernel's unit tests (`bitwise_matches_naive_across_edges`).
+
+use md_tensor::ops::gemm::{gemm_acc_into, gemm_into, naive_gemm, Layout};
+use md_tensor::rng::Rng64;
+use proptest::prelude::*;
+
+/// Dimension values straddling the micro-kernel tile edges: zero, one,
+/// sizes just below/at/above `MR`/`NR`, and non-multiples of all of them.
+const DIMS: [usize; 15] = [0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 33, 63, 65];
+
+const LAYOUTS: [Layout; 3] = [Layout::NN, Layout::NT, Layout::TN];
+
+/// Operand buffers with the storage lengths the layout dictates, seeded
+/// with normals plus a sprinkling of exact and signed zeros (the removed
+/// zero-skip branch must not reappear as a special case).
+fn operands(layout: Layout, m: usize, k: usize, n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let (a_len, b_len) = match layout {
+        Layout::NN => (m * k, k * n),
+        Layout::NT => (m * k, n * k),
+        Layout::TN => (k * m, k * n),
+    };
+    let mut rng = Rng64::seed_from_u64(seed);
+    let fill = |len: usize, rng: &mut Rng64| {
+        (0..len)
+            .map(|i| match i % 7 {
+                0 => 0.0,
+                3 => -0.0,
+                _ => rng.normal(),
+            })
+            .collect::<Vec<f32>>()
+    };
+    let a = fill(a_len, &mut rng);
+    let b = fill(b_len, &mut rng);
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `gemm_into` is bitwise identical to the unblocked in-order
+    /// reference on every shape/layout combination.
+    #[test]
+    fn packed_kernel_matches_naive_bitwise(
+        li in 0usize..3,
+        mi in 0usize..15,
+        ki in 0usize..15,
+        ni in 0usize..15,
+        seed in 0u64..1024,
+    ) {
+        let (layout, m, k, n) = (LAYOUTS[li], DIMS[mi], DIMS[ki], DIMS[ni]);
+        let (a, b) = operands(layout, m, k, n, seed);
+        let mut out = vec![f32::NAN; m * n]; // overwrite must not read this
+        gemm_into(layout, &a, &b, &mut out, m, k, n);
+        let reference = naive_gemm(layout, &a, &b, m, k, n);
+        for (i, (x, y)) in out.iter().zip(&reference).enumerate() {
+            prop_assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "element {} differs: packed {} vs naive {}",
+                i, x, y
+            );
+        }
+    }
+
+    /// `gemm_acc_into` continues the in-order chain from the existing
+    /// output value, bitwise, for every layout.
+    #[test]
+    fn acc_kernel_continues_seeded_chain_bitwise(
+        li in 0usize..3,
+        mi in 0usize..15,
+        ki in 0usize..15,
+        ni in 0usize..15,
+        seed in 0u64..1024,
+    ) {
+        let (layout, m, k, n) = (LAYOUTS[li], DIMS[mi], DIMS[ki], DIMS[ni]);
+        let (a, b) = operands(layout, m, k, n, seed);
+        let mut rng = Rng64::seed_from_u64(seed ^ 0xABCD);
+        let seed_out: Vec<f32> = (0..m * n).map(|_| rng.normal()).collect();
+        let mut out = seed_out.clone();
+        gemm_acc_into(layout, &a, &b, &mut out, m, k, n);
+        // Reference: the same fused chain, seeded from the prior value.
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = seed_out[i * n + j];
+                for p in 0..k {
+                    let av = match layout {
+                        Layout::NN | Layout::NT => a[i * k + p],
+                        Layout::TN => a[p * m + i],
+                    };
+                    let bv = match layout {
+                        Layout::NN | Layout::TN => b[p * n + j],
+                        Layout::NT => b[j * k + p],
+                    };
+                    s = av.mul_add(bv, s);
+                }
+                prop_assert_eq!(s.to_bits(), out[i * n + j].to_bits());
+            }
+        }
+    }
+}

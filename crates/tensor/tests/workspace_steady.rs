@@ -1,0 +1,52 @@
+//! Steady-state zero-allocation check for the workspace buffer pool.
+//!
+//! A fixed mix of tensor ops (matmul family, transpose, elementwise,
+//! reductions, clone) runs for a few warmup rounds, after which every
+//! buffer the mix needs exists on the shelf — so further rounds must be
+//! served entirely by recycling: `ws_misses` stays flat.
+//!
+//! This file deliberately holds a **single** test: the workspace counters
+//! are process-global, and a concurrently running test binary would make
+//! flatness assertions racy.
+
+use md_tensor::rng::Rng64;
+use md_tensor::workspace;
+use md_tensor::Tensor;
+
+fn round(a: &Tensor, b: &Tensor, w: &Tensor) {
+    let h = a.matmul(b); // (96, 64)
+    let h2 = h.matmul_nt(w); // (96, 48)
+    let ht = h2.t(); // (48, 96)
+    let g = ht.matmul(&h2); // (48, 48)
+    let s = g.sum_axis0(); // (48)
+    let sm = h2.softmax_rows();
+    let c = sm.clone();
+    let d = c.add(&sm);
+    std::hint::black_box((&h, &s, &d));
+}
+
+#[test]
+fn repeated_op_mix_allocates_nothing_after_warmup() {
+    let mut rng = Rng64::seed_from_u64(31);
+    let a = Tensor::randn(&[96, 80], &mut rng);
+    let b = Tensor::randn(&[80, 64], &mut rng);
+    let w = Tensor::randn(&[48, 64], &mut rng);
+
+    for _ in 0..3 {
+        round(&a, &b, &w);
+    }
+    let warm = workspace::stats();
+    for _ in 0..8 {
+        round(&a, &b, &w);
+    }
+    let end = workspace::stats();
+    assert_eq!(
+        end.misses, warm.misses,
+        "steady-state op mix must not allocate: ws_misses went {} -> {}",
+        warm.misses, end.misses
+    );
+    assert!(
+        end.hits > warm.hits,
+        "the op mix should be drawing buffers from the shelf"
+    );
+}
