@@ -1,7 +1,7 @@
 //! Fixed-size kernel and training smoke benchmark — the perf-trajectory
-//! seed uploaded by the `bench-smoke` CI job as `BENCH_PR5.json`.
+//! record uploaded by the `bench-smoke` CI job as `BENCH_PR6.json`.
 //!
-//! Two measurements, both cheap enough for CI:
+//! Three measurements, all cheap enough for CI:
 //!
 //! 1. **GEMM throughput**: square matmul at 256/384/512 through the packed
 //!    cache-blocked kernel versus the pre-PR-5 scalar kernel (kept verbatim
@@ -12,11 +12,16 @@
 //!    counter is sampled before and after a measured block — a flat
 //!    `ws_misses` means the training loop's tensor buffers are all served
 //!    by recycling.
+//! 3. **Tracing overhead**: the same GEMM and training hot paths measured
+//!    untraced versus with causal span capture on (a `Verbosity::Trace`
+//!    recorder plus the md-tensor pool trace hook), reported as GFLOP/s
+//!    and ns/iter deltas — the observability layer's price tag.
 //!
 //! Timing numbers are recorded, never asserted: CI fails only on
 //! build/run errors, so noisy runners can't flake the job.
 
 use md_bench::Args;
+use md_telemetry::{Recorder, Verbosity};
 use md_tensor::ops::matmul::matmul_into;
 use md_tensor::parallel;
 use md_tensor::rng::Rng64;
@@ -25,6 +30,7 @@ use mdgan_core::config::GanHyper;
 use mdgan_core::standalone::StandaloneGan;
 use mdgan_core::ArchSpec;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The pre-PR-5 `matmul_into`, verbatim (blocked i-k-j scalar loop with the
@@ -122,6 +128,7 @@ fn main() {
     println!("\n== steady-state allocation check (CNN GAN, batch 64) ==");
     let spec = ArchSpec::cnn_mnist_scaled(16);
     let data = md_data::synthetic::mnist_like(spec.img, 512, 9, 0.08);
+    let traced_data = data.clone();
     let hyper = GanHyper {
         batch: 64,
         ..GanHyper::default()
@@ -148,8 +155,59 @@ fn main() {
         end.misses,
     );
 
+    // Tracing overhead: the same hot paths with causal span capture on —
+    // a Verbosity::Trace recorder attached to the trainer and the
+    // md-tensor pool trace hook installed. The deltas quantify what the
+    // observability layer costs when it is actually enabled (its disabled
+    // cost is asserted to be a single branch by the telemetry bench).
+    println!("\n== tracing overhead (span capture + pool hook enabled) ==");
+    let traced_rec = Arc::new(Recorder::with_verbosity(Verbosity::Trace));
+    let n = 384usize;
+    let a = Tensor::randn(&[n, n], &mut rng);
+    let b = Tensor::randn(&[n, n], &mut rng);
+    let mut out = vec![0.0f32; n * n];
+    let flops = 2.0 * (n as f64).powi(3);
+    matmul_into(a.data(), b.data(), &mut out, n, n, n);
+    let gemm_plain_s = time_best(8, || {
+        matmul_into(a.data(), b.data(), &mut out, n, n, n);
+        std::hint::black_box(&out);
+    });
+    md_bench::install_pool_trace_hook(&traced_rec);
+    let gemm_traced_s = time_best(8, || {
+        matmul_into(a.data(), b.data(), &mut out, n, n, n);
+        std::hint::black_box(&out);
+    });
+    let mut grng2 = Rng64::seed_from_u64(7);
+    let mut traced_gan = StandaloneGan::new(&spec, traced_data, hyper, &mut grng2)
+        .with_telemetry(Arc::clone(&traced_rec));
+    for _ in 0..train_warmup {
+        traced_gan.step();
+    }
+    let t0 = Instant::now();
+    for _ in 0..train_iters {
+        traced_gan.step();
+    }
+    let traced_train_s = t0.elapsed().as_secs_f64();
+    md_tensor::pool::set_trace_hook(None);
+    let spans_captured = traced_rec.trace_spans().len();
+    let untraced_ns_per_iter = train_s * 1e9 / train_iters.max(1) as f64;
+    let traced_ns_per_iter = traced_train_s * 1e9 / train_iters.max(1) as f64;
+    let iter_overhead_pct = 100.0 * (traced_ns_per_iter - untraced_ns_per_iter)
+        / untraced_ns_per_iter.max(f64::MIN_POSITIVE);
+    let gemm_plain_gflops = flops / gemm_plain_s / 1e9;
+    let gemm_traced_gflops = flops / gemm_traced_s / 1e9;
+    let gemm_delta_pct =
+        100.0 * (gemm_plain_gflops - gemm_traced_gflops) / gemm_plain_gflops.max(f64::MIN_POSITIVE);
+    println!(
+        "matmul {n}^2: untraced {gemm_plain_gflops:.2} GFLOP/s, traced {gemm_traced_gflops:.2} GFLOP/s (delta {gemm_delta_pct:.2}%)"
+    );
+    println!(
+        "train: untraced {:.0} ns/iter, traced {:.0} ns/iter (overhead {iter_overhead_pct:.2}%), {spans_captured} spans captured",
+        untraced_ns_per_iter, traced_ns_per_iter,
+    );
+
     let json = format!(
-        "{{\n  \"pr\": 5,\n  \"tensor_threads\": {},\n  \"matmul\": [\n{matmul_rows}\n  ],\n  \"training\": {{\"arch\": \"cnn\", \"img\": {}, \"batch\": 64, \"warmup_iters\": {train_warmup}, \"measured_iters\": {train_iters}, \"sec_per_iter\": {:.5}, \"ws_misses_after_warmup\": {}, \"ws_misses_end\": {}, \"ws_miss_delta\": {miss_delta}, \"ws_hit_delta\": {hit_delta}}}\n}}\n",
+        "{{\n  \"pr\": 6,\n  \"tensor_threads\": {},\n  \"matmul\": [\n{matmul_rows}\n  ],\n  \"training\": {{\"arch\": \"cnn\", \"img\": {}, \"batch\": 64, \"warmup_iters\": {train_warmup}, \"measured_iters\": {train_iters}, \"sec_per_iter\": {:.5}, \"ws_misses_after_warmup\": {}, \"ws_misses_end\": {}, \"ws_miss_delta\": {miss_delta}, \"ws_hit_delta\": {hit_delta}}},\n  \"tracing\": {{\"gemm_n\": {n}, \"gemm_untraced_gflops\": {gemm_plain_gflops:.3}, \"gemm_traced_gflops\": {gemm_traced_gflops:.3}, \"gemm_delta_pct\": {gemm_delta_pct:.3}, \"train_untraced_ns_per_iter\": {untraced_ns_per_iter:.0}, \"train_traced_ns_per_iter\": {traced_ns_per_iter:.0}, \"train_overhead_pct\": {iter_overhead_pct:.3}, \"spans_captured\": {spans_captured}}}\n}}\n",
         parallel::max_threads(),
         spec.img,
         train_s / train_iters.max(1) as f64,
@@ -157,8 +215,8 @@ fn main() {
         end.misses,
     );
     std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/BENCH_PR5.json", json).expect("write BENCH_PR5.json");
-    println!("wrote results/BENCH_PR5.json");
+    std::fs::write("results/BENCH_PR6.json", json).expect("write BENCH_PR6.json");
+    println!("wrote results/BENCH_PR6.json");
 
     // Telemetry run record with the pool + workspace counter lines.
     let rec = md_bench::recorder_from_env();

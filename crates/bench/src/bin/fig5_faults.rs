@@ -13,8 +13,19 @@
 //! (`--drops 0,0.05,0.1,0.2` style, `--fault-seed N`), writing the
 //! degradation curve (final scores vs. drop rate, plus dropped/retry/
 //! suspected tallies) to `results/fig5_lossy_<family>.csv`.
+//!
+//! With `--trace` the lossy sweep additionally exports one Chrome
+//! trace-event JSON per drop rate under `results/traces/` (open in
+//! Perfetto / chrome://tracing) and prints the critical-path analysis:
+//! which worker's feedback gated each generator update, per-worker slack,
+//! and how much wall-clock the retries on the gating uplink cost. With
+//! `--expose [addr]` (or `METRICS_ADDR`) a live Prometheus-style endpoint
+//! serves the run's counters, histograms and pool gauges while it trains.
 
-use md_bench::{emit_run_record, print_table, recorder_from_env, write_csv, Args};
+use md_bench::{
+    emit_run_record, emit_trace_spans, install_pool_trace_hook, print_table,
+    recorder_from_env_traced, serve_metrics, write_csv, Args,
+};
 use md_data::synthetic::Family;
 use md_telemetry::{json, RunRecord};
 use mdgan_core::arch::ArchKind;
@@ -47,7 +58,11 @@ fn main() -> Result<(), mdgan_core::TrainError> {
     };
 
     eprintln!("running Figure 5 ({fam_str}) with {workers} workers at {scale:?}");
-    let recorder = recorder_from_env();
+    let traced = args.has("trace");
+    let recorder = recorder_from_env_traced(traced);
+    install_pool_trace_hook(&recorder);
+    // Keep the handle alive for the whole run; it shuts down on drop.
+    let _metrics = serve_metrics(&recorder, &args);
     let curves = run_faults_with(family, arch, scale, workers, &recorder);
 
     let mut csv = String::new();
@@ -119,6 +134,32 @@ fn main() -> Result<(), mdgan_core::TrainError> {
     eprintln!("running lossy-network sweep over drops {drops:?} (fault seed {fault_seed})");
     let points = run_lossy_faults_with(family, arch, scale, workers, &drops, fault_seed, &recorder);
 
+    // Per-drop trace export: one recorder captured the whole sweep, so each
+    // point's spans are isolated by its recorder-clock window (trace ids are
+    // per-iteration and repeat between runs).
+    let mut critical = None;
+    if traced {
+        let all_spans = recorder.trace_spans();
+        let dropped_spans = recorder.trace_spans_dropped();
+        if dropped_spans > 0 {
+            eprintln!("trace: ring overflow dropped {dropped_spans} spans; traces are partial");
+        }
+        for p in &points {
+            let (t0, t1) = p.trace_window;
+            let spans: Vec<_> = all_spans
+                .iter()
+                .filter(|s| s.t0_ns >= t0 && s.t0_ns <= t1)
+                .copied()
+                .collect();
+            let name = format!("fig5_lossy_{fam_str}_drop{}", p.drop);
+            if let Some(report) = emit_trace_spans(&name, &spans) {
+                println!("\n-- drop {:.0}% --", p.drop * 100.0);
+                print!("{}", report.render_table());
+                critical = Some(report);
+            }
+        }
+    }
+
     let mut csv = String::new();
     for p in &points {
         csv.push_str(&p.to_csv_row());
@@ -157,6 +198,10 @@ fn main() -> Result<(), mdgan_core::TrainError> {
         .build();
     let mut lossy_record =
         RunRecord::new(format!("fig5_lossy_{fam_str}")).with_config_json(lossy_config);
+    if let Some(report) = critical {
+        // The critical-path analysis of the sweep's last (lossiest) point.
+        lossy_record = lossy_record.with_critical_path(report);
+    }
     for p in &points {
         lossy_record = lossy_record
             .with_metric(format!("fid[drop={}]", p.drop), p.final_scores.fid)

@@ -5,7 +5,10 @@
 //! (see DESIGN.md §4 for the full index) and accepts `--key value` flags to
 //! scale between "seconds" and "paper scale".
 
-use md_telemetry::{PoolCounters, Recorder, RunRecord, Verbosity, WorkspaceCounters};
+use md_telemetry::expose::{Gauge, MetricsServer};
+use md_telemetry::{
+    CriticalPathReport, PoolCounters, Recorder, RunRecord, Verbosity, WorkspaceCounters,
+};
 use std::collections::BTreeMap;
 use std::fmt::Display;
 use std::fs;
@@ -131,6 +134,119 @@ pub fn recorder_from_env() -> Arc<Recorder> {
     Arc::new(Recorder::with_verbosity(
         Verbosity::from_env().max(Verbosity::Table),
     ))
+}
+
+/// As [`recorder_from_env`], but `force_trace` (a binary's `--trace` flag)
+/// raises the verbosity to [`Verbosity::Trace`] regardless of the
+/// `TELEMETRY` environment knob, so causal span capture is on.
+pub fn recorder_from_env_traced(force_trace: bool) -> Arc<Recorder> {
+    let mut v = Verbosity::from_env().max(Verbosity::Table);
+    if force_trace {
+        v = v.max(Verbosity::Trace);
+    }
+    Arc::new(Recorder::with_verbosity(v))
+}
+
+/// Mirrors md-tensor pool-worker activity onto `rec`'s trace timeline
+/// (one `pool-N` track per worker slot). No-op when tracing is off, so
+/// binaries can call it unconditionally. The hook stays installed for the
+/// process lifetime; call [`md_tensor::pool::set_trace_hook`]`(None)` to
+/// remove it early.
+pub fn install_pool_trace_hook(rec: &Arc<Recorder>) {
+    if !rec.trace_enabled() {
+        return;
+    }
+    let r = Arc::clone(rec);
+    md_tensor::pool::set_trace_hook(Some(Arc::new(move |slot, busy| {
+        r.trace_pool_task(slot, busy);
+    })));
+}
+
+/// The pool/workspace gauges every binary registers on its live metrics
+/// endpoint (scraped fresh per request, so mid-run values are current).
+pub fn metrics_gauges() -> Vec<Gauge> {
+    vec![
+        Gauge::new(
+            "mdgan_pool_threads",
+            "md-tensor pool workers alive.",
+            || pool_counters().pool_size as f64,
+        ),
+        Gauge::new(
+            "mdgan_pool_jobs_total",
+            "Parallel jobs dispatched to the md-tensor pool.",
+            || pool_counters().jobs as f64,
+        ),
+        Gauge::new(
+            "mdgan_pool_busy_seconds_total",
+            "Cumulative pool-worker busy time.",
+            || pool_counters().busy_ns as f64 / 1e9,
+        ),
+        Gauge::new(
+            "mdgan_workspace_hits_total",
+            "Tensor workspace buffer reuses.",
+            || workspace_counters().ws_hits as f64,
+        ),
+        Gauge::new(
+            "mdgan_workspace_misses_total",
+            "Tensor workspace buffer allocations.",
+            || workspace_counters().ws_misses as f64,
+        ),
+        Gauge::new(
+            "mdgan_workspace_recycled_bytes_total",
+            "Bytes served from recycled workspace buffers.",
+            || workspace_counters().ws_bytes_recycled as f64,
+        ),
+    ]
+}
+
+/// Spawns the live introspection endpoint when asked: the binary's
+/// `--expose [addr]` flag wins (bare `--expose` means `127.0.0.1:9464`),
+/// else the `METRICS_ADDR` environment variable. Keep the returned handle
+/// alive for the duration of the run; it shuts down on drop.
+pub fn serve_metrics(rec: &Arc<Recorder>, args: &Args) -> Option<MetricsServer> {
+    let addr = if args.has("expose") {
+        let v = args.get_str("expose", "true");
+        Some(if v == "true" {
+            "127.0.0.1:9464".to_string()
+        } else {
+            v
+        })
+    } else {
+        None
+    };
+    md_telemetry::expose::serve_if_configured(rec, addr.as_deref(), metrics_gauges())
+}
+
+/// Exports the recorder's captured spans as a Chrome trace-event JSON under
+/// `results/traces/<name>.trace.json` (loadable in Perfetto or
+/// chrome://tracing) and returns the critical-path analysis derived from
+/// the same spans. `None` when tracing was off or captured nothing.
+pub fn emit_trace(name: &str, rec: &Recorder) -> Option<CriticalPathReport> {
+    if !rec.trace_enabled() {
+        return None;
+    }
+    let dropped = rec.trace_spans_dropped();
+    if dropped > 0 {
+        eprintln!("trace: ring overflow dropped {dropped} spans; the trace is partial");
+    }
+    emit_trace_spans(name, &rec.trace_spans())
+}
+
+/// [`emit_trace`] over an explicit span slice — used when one recorder
+/// captured several runs back to back and the caller has already windowed
+/// the dump down to a single run's spans.
+pub fn emit_trace_spans(
+    name: &str,
+    spans: &[md_telemetry::SpanRecord],
+) -> Option<CriticalPathReport> {
+    if spans.is_empty() {
+        return None;
+    }
+    match md_telemetry::export::write_chrome_trace(Path::new("results/traces"), name, spans) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write trace: {e}"),
+    }
+    Some(CriticalPathReport::from_spans(spans))
 }
 
 /// Samples the md-tensor worker-pool counters into the telemetry-neutral

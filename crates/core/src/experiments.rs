@@ -846,6 +846,11 @@ pub struct LossyPoint {
     pub traffic: TrafficReport,
     /// Workers the failure detector suspected during this run.
     pub suspected: u64,
+    /// Recorder-clock window `(start_ns, end_ns)` this point's run occupied.
+    /// When the shared recorder captures traces for a whole sweep, filtering
+    /// spans to this window isolates the point's own trace (trace ids are
+    /// per-iteration and repeat across the sweep's runs).
+    pub trace_window: (u64, u64),
 }
 
 impl LossyPoint {
@@ -931,6 +936,7 @@ pub fn run_lossy_faults_with(
         };
         cfg.robust.enabled = true;
         let suspected_before = telemetry.counter(md_telemetry::Counter::WorkersSuspected);
+        let window_start = telemetry.elapsed_ns();
         let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(telemetry));
         let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
         out.push(LossyPoint {
@@ -939,6 +945,7 @@ pub fn run_lossy_faults_with(
             traffic: md.traffic(),
             suspected: telemetry.counter(md_telemetry::Counter::WorkersSuspected)
                 - suspected_before,
+            trace_window: (window_start, telemetry.elapsed_ns()),
         });
     }
     out

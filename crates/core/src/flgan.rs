@@ -17,7 +17,7 @@ use md_data::Dataset;
 use md_nn::gan::Generator;
 use md_nn::param::{average, param_bytes};
 use md_simnet::TrafficStats;
-use md_telemetry::{Counter, Event, Phase, Recorder};
+use md_telemetry::{Counter, Event, Phase, Recorder, SpanKind, TraceCtx, Track};
 use md_tensor::rng::Rng64;
 use std::sync::Arc;
 
@@ -120,7 +120,11 @@ impl FlGan {
 
     /// One local iteration on every worker; triggers a round when due.
     pub fn step(&mut self) {
-        let span = self.telemetry.span(Phase::LocalTrain);
+        let tick = self.iter as u64;
+        let telemetry = Arc::clone(&self.telemetry);
+        let root = telemetry.trace_root(tick);
+        let rctx = root.ctx();
+        let span = telemetry.span_at(Phase::LocalTrain, Track::Server, rctx, tick);
         for (i, w) in self.workers.iter_mut().enumerate() {
             w.step();
             self.telemetry.worker_local_step(1 + i);
@@ -132,13 +136,16 @@ impl FlGan {
             alive: self.workers.len(),
         });
         if self.iter.is_multiple_of(self.round_interval) {
-            self.round();
+            self.round(rctx, tick);
         }
     }
 
     /// One federated-averaging round: gather, average, broadcast.
-    fn round(&mut self) {
-        let span = self.telemetry.span(Phase::Comm);
+    fn round(&mut self, rctx: TraceCtx, tick: u64) {
+        let span = self
+            .telemetry
+            .span_at(Phase::Comm, Track::Server, rctx, tick);
+        let cctx = span.ctx();
         let mut gens = Vec::with_capacity(self.workers.len());
         let mut discs = Vec::with_capacity(self.workers.len());
         for (i, w) in self.workers.iter().enumerate() {
@@ -148,6 +155,28 @@ impl FlGan {
             self.stats.record(1 + i, 0, bytes);
             self.telemetry.incr(Counter::MsgsSent, 1);
             self.telemetry.incr(Counter::BytesSent, bytes);
+            let sent = self.telemetry.trace_instant(
+                SpanKind::Send {
+                    to: 0,
+                    bytes,
+                    attempt: 1,
+                },
+                Track::Worker((1 + i) as u32),
+                cctx,
+                tick,
+            );
+            self.telemetry.trace_instant(
+                SpanKind::Recv {
+                    from: (1 + i) as u32,
+                    bytes,
+                },
+                Track::Server,
+                TraceCtx {
+                    trace: cctx.trace,
+                    span: sent,
+                },
+                tick,
+            );
             gens.push(g);
             discs.push(d);
         }
@@ -159,6 +188,25 @@ impl FlGan {
             self.stats.record(0, 1 + i, bytes);
             self.telemetry.incr(Counter::MsgsSent, 1);
             self.telemetry.incr(Counter::BytesSent, bytes);
+            let sent = self.telemetry.trace_instant(
+                SpanKind::Send {
+                    to: (1 + i) as u32,
+                    bytes,
+                    attempt: 1,
+                },
+                Track::Server,
+                cctx,
+                tick,
+            );
+            self.telemetry.trace_instant(
+                SpanKind::Recv { from: 0, bytes },
+                Track::Worker((1 + i) as u32),
+                TraceCtx {
+                    trace: cctx.trace,
+                    span: sent,
+                },
+                tick,
+            );
             w.set_params(&avg_gen, &avg_disc);
         }
         self.server_gen.net.set_params_flat(&avg_gen);

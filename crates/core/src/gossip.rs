@@ -24,7 +24,7 @@ use md_data::Dataset;
 use md_nn::gan::Generator;
 use md_nn::param::{average, param_bytes};
 use md_simnet::{TrafficReport, TrafficStats};
-use md_telemetry::{Counter, Event, Phase, Recorder};
+use md_telemetry::{Counter, Event, Phase, Recorder, SpanKind, TraceCtx, Track};
 use md_tensor::rng::Rng64;
 use std::sync::Arc;
 
@@ -121,7 +121,11 @@ impl GossipGan {
 
     /// One local iteration on every worker; a gossip round when due.
     pub fn step(&mut self) {
-        let span = self.telemetry.span(Phase::LocalTrain);
+        let tick = self.iter as u64;
+        let telemetry = Arc::clone(&self.telemetry);
+        let root = telemetry.trace_root(tick);
+        let rctx = root.ctx();
+        let span = telemetry.span_at(Phase::LocalTrain, Track::Server, rctx, tick);
         for (i, w) in self.workers.iter_mut().enumerate() {
             w.step();
             self.telemetry.worker_local_step(1 + i);
@@ -133,19 +137,22 @@ impl GossipGan {
             alive: self.workers.len(),
         });
         if self.iter.is_multiple_of(self.round_interval) {
-            self.gossip_round();
+            self.gossip_round(rctx, tick);
         }
     }
 
     /// Each worker picks a random peer (derangement, so everyone is in
     /// exactly one directed exchange) and the pair averages both networks.
     /// Each exchange moves `|w| + |θ|` floats in each direction.
-    fn gossip_round(&mut self) {
+    fn gossip_round(&mut self, rctx: TraceCtx, tick: u64) {
         let n = self.workers.len();
         if n < 2 {
             return;
         }
-        let span = self.telemetry.span(Phase::Comm);
+        let span = self
+            .telemetry
+            .span_at(Phase::Comm, Track::Server, rctx, tick);
+        let cctx = span.ctx();
         let perm = self.gossip_rng.derangement(n);
         // Snapshot first: all exchanges use pre-round parameters (a
         // synchronous gossip round, matching the emulation methodology).
@@ -158,6 +165,28 @@ impl GossipGan {
             self.stats.record(src + 1, dst + 1, bytes);
             self.telemetry.incr(Counter::MsgsSent, 1);
             self.telemetry.incr(Counter::BytesSent, bytes);
+            let sent = self.telemetry.trace_instant(
+                SpanKind::Send {
+                    to: (dst + 1) as u32,
+                    bytes,
+                    attempt: 1,
+                },
+                Track::Worker((src + 1) as u32),
+                cctx,
+                tick,
+            );
+            self.telemetry.trace_instant(
+                SpanKind::Recv {
+                    from: (src + 1) as u32,
+                    bytes,
+                },
+                Track::Worker((dst + 1) as u32),
+                TraceCtx {
+                    trace: cctx.trace,
+                    span: sent,
+                },
+                tick,
+            );
             let new_gen = average(&[sg.clone(), dg.clone()]);
             let new_disc = average(&[sd.clone(), dd.clone()]);
             self.workers[dst].set_params(&new_gen, &new_disc);

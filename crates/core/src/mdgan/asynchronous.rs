@@ -33,7 +33,7 @@ use md_data::Dataset;
 use md_nn::layer::Layer;
 use md_nn::param::{batch_bytes, param_bytes};
 use md_simnet::{FaultState, TrafficReport, TrafficStats};
-use md_telemetry::{Event, Phase, Recorder};
+use md_telemetry::{Event, Phase, Recorder, SpanKind, TraceCtx, Track};
 use md_tensor::rng::Rng64;
 use md_tensor::Tensor;
 use std::sync::Arc;
@@ -70,6 +70,11 @@ struct InFlight {
     xd_labels: Vec<usize>,
     /// Noise that produced `xg` (for the server-side replay).
     zg: Tensor,
+    /// Trace context of the dispatch that produced this unit: the worker's
+    /// later compute + feedback hang off it, so staleness is visible as a
+    /// cross-event causal edge in the exported trace. Not checkpointed
+    /// (trace ids are transient per-process); restored units are untraced.
+    ctx: TraceCtx,
 }
 
 /// Statistics of an asynchronous run.
@@ -182,9 +187,15 @@ impl AsyncMdGan {
         self.stats.report()
     }
 
-    /// Dispatches fresh batches to a worker with no in-flight work.
-    fn dispatch(&mut self, wi: usize) {
-        let _span = self.telemetry.span(Phase::GenForward);
+    /// Dispatches fresh batches to a worker with no in-flight work. The
+    /// dispatched unit is stamped with `ctx` so the worker's eventual
+    /// compute links back to this dispatch.
+    fn dispatch(&mut self, wi: usize, ctx: TraceCtx) {
+        let wtrack = Track::Worker((wi + 1) as u32);
+        let tick = self.updates;
+        let _span = self
+            .telemetry
+            .span_at(Phase::GenForward, Track::Server, ctx, tick);
         let b = self.cfg.hyper.batch;
         let zg = self.server.gen.sample_z(b, &mut self.sched_rng);
         let lg = self.server.gen.sample_labels(b, &mut self.sched_rng);
@@ -192,16 +203,35 @@ impl AsyncMdGan {
         let zd = self.server.gen.sample_z(b, &mut self.sched_rng);
         let ld = self.server.gen.sample_labels(b, &mut self.sched_rng);
         let xd = self.server.gen.generate(&zd, &ld, true);
+        let down_bytes = 2 * batch_bytes(b, self.object_size);
+        let mut down_recv = 0u64;
         if let Some(fs) = &self.fault_state {
+            let telemetry = &self.telemetry;
             let del = fs.transmit(
                 0,
                 wi + 1,
-                self.updates,
-                2 * batch_bytes(b, self.object_size),
+                tick,
+                down_bytes,
                 self.cfg.robust.retries,
                 &self.stats,
-                Some(&self.telemetry),
-                |_| {},
+                Some(telemetry),
+                ctx,
+                |dup, sent| {
+                    if !dup && sent != 0 {
+                        down_recv = telemetry.trace_instant(
+                            SpanKind::Recv {
+                                from: 0,
+                                bytes: down_bytes,
+                            },
+                            wtrack,
+                            TraceCtx {
+                                trace: ctx.trace,
+                                span: sent,
+                            },
+                            tick,
+                        );
+                    }
+                },
             );
             if !del.delivered {
                 // The batches were lost; the worker sits idle until the
@@ -209,8 +239,29 @@ impl AsyncMdGan {
                 return;
             }
         } else {
-            self.stats
-                .record(0, wi + 1, 2 * batch_bytes(b, self.object_size));
+            self.stats.record(0, wi + 1, down_bytes);
+            let sent = self.telemetry.trace_instant(
+                SpanKind::Send {
+                    to: (wi + 1) as u32,
+                    bytes: down_bytes,
+                    attempt: 1,
+                },
+                Track::Server,
+                ctx,
+                tick,
+            );
+            down_recv = self.telemetry.trace_instant(
+                SpanKind::Recv {
+                    from: 0,
+                    bytes: down_bytes,
+                },
+                wtrack,
+                TraceCtx {
+                    trace: ctx.trace,
+                    span: sent,
+                },
+                tick,
+            );
         }
         self.in_flight[wi] = Some(InFlight {
             version: self.version,
@@ -219,6 +270,10 @@ impl AsyncMdGan {
             xd,
             xd_labels: ld,
             zg,
+            ctx: TraceCtx {
+                trace: ctx.trace,
+                span: down_recv,
+            },
         });
     }
 
@@ -267,11 +322,18 @@ impl AsyncMdGan {
             return None;
         }
 
+        // Root the event's trace on the applied-update count (the async
+        // virtual tick). A local Arc clone keeps `self` free for the
+        // `&mut self` helpers below.
+        let telemetry = Arc::clone(&self.telemetry);
+        let root = telemetry.trace_root(self.updates);
+        let rctx = root.ctx();
+
         // Fill idle workers (on a lossy network a dispatch may be dropped,
         // leaving the worker idle for this event).
         for &wi in &alive {
             if self.in_flight[wi].is_none() {
-                self.dispatch(wi);
+                self.dispatch(wi, rctx);
             }
         }
         let ready: Vec<usize> = alive
@@ -290,22 +352,47 @@ impl AsyncMdGan {
         }
 
         let wi = self.next_reporter(&ready);
+        let wtrack = Track::Worker((wi + 1) as u32);
         let fl = self.in_flight[wi].take().expect("reporter had work");
         let worker = self.workers[wi].as_mut().expect("reporter alive");
-        let fb_span = self.telemetry.span(Phase::DFeedback);
+        // The compute hangs off the dispatch that produced the unit
+        // (possibly a previous event — staleness as a causal edge).
+        let fb_span = self
+            .telemetry
+            .span_at(Phase::DFeedback, wtrack, fl.ctx, self.updates);
+        let fctx = fb_span.ctx();
         let feedback = worker.process(&fl.xd, &fl.xd_labels, &fl.xg, &fl.xg_labels);
         drop(fb_span);
         self.telemetry.worker_feedback(wi + 1);
+        let up_bytes = batch_bytes(self.cfg.hyper.batch, self.object_size);
         if let Some(fs) = &self.fault_state {
+            let telemetry = &self.telemetry;
+            let tick = self.updates;
             let up = fs.transmit(
                 wi + 1,
                 0,
-                self.updates,
-                batch_bytes(self.cfg.hyper.batch, self.object_size),
+                tick,
+                up_bytes,
                 self.cfg.robust.retries,
                 &self.stats,
-                Some(&self.telemetry),
-                |_| {},
+                Some(telemetry),
+                fctx,
+                |dup, sent| {
+                    if !dup && sent != 0 {
+                        telemetry.trace_instant(
+                            SpanKind::Recv {
+                                from: (wi + 1) as u32,
+                                bytes: up_bytes,
+                            },
+                            Track::Server,
+                            TraceCtx {
+                                trace: fctx.trace,
+                                span: sent,
+                            },
+                            tick,
+                        );
+                    }
+                },
             );
             if !up.delivered {
                 // The feedback was lost on the wire: the local work is
@@ -313,10 +400,28 @@ impl AsyncMdGan {
                 return Some(wi);
             }
         } else {
-            self.stats.record(
-                wi + 1,
-                0,
-                batch_bytes(self.cfg.hyper.batch, self.object_size),
+            self.stats.record(wi + 1, 0, up_bytes);
+            let sent = self.telemetry.trace_instant(
+                SpanKind::Send {
+                    to: 0,
+                    bytes: up_bytes,
+                    attempt: 1,
+                },
+                wtrack,
+                fctx,
+                self.updates,
+            );
+            self.telemetry.trace_instant(
+                SpanKind::Recv {
+                    from: (wi + 1) as u32,
+                    bytes: up_bytes,
+                },
+                Track::Server,
+                TraceCtx {
+                    trace: fctx.trace,
+                    span: sent,
+                },
+                self.updates,
             );
         }
 
@@ -339,7 +444,9 @@ impl AsyncMdGan {
                 staleness: staleness as usize,
             });
         }
-        let upd_span = self.telemetry.span(Phase::GUpdate);
+        let upd_span = self
+            .telemetry
+            .span_at(Phase::GUpdate, Track::Server, rctx, self.updates);
         self.server.gen.net.zero_grad();
         let _ = self.server.gen.generate(&fl.zg, &fl.xg_labels, true);
         self.server.gen.backward(&feedback.scale(scale));
@@ -353,7 +460,10 @@ impl AsyncMdGan {
         if self.cfg.swap != SwapPolicy::Disabled
             && (self.updates as usize).is_multiple_of(self.swap_interval * self.cfg.workers.max(1))
         {
-            let swap_span = self.telemetry.span(Phase::Swap);
+            let swap_span = self
+                .telemetry
+                .span_at(Phase::Swap, Track::Server, rctx, self.updates);
+            let sctx = swap_span.ctx();
             if let Some(perm) = swap_permutation(self.cfg.swap, alive.len(), &mut self.swap_rng) {
                 let params: Vec<Vec<f32>> = alive
                     .iter()
@@ -362,15 +472,34 @@ impl AsyncMdGan {
                 for (j, &src) in alive.iter().enumerate() {
                     let dst = alive[perm[j]];
                     if let Some(fs) = &self.fault_state {
+                        let telemetry = &self.telemetry;
+                        let swap_bytes = param_bytes(params[j].len());
+                        let tick = self.updates;
                         let del = fs.transmit(
                             src + 1,
                             dst + 1,
-                            self.updates,
-                            param_bytes(params[j].len()),
+                            tick,
+                            swap_bytes,
                             self.cfg.robust.retries,
                             &self.stats,
-                            Some(&self.telemetry),
-                            |_| {},
+                            Some(telemetry),
+                            sctx,
+                            |dup, sent| {
+                                if !dup && sent != 0 {
+                                    telemetry.trace_instant(
+                                        SpanKind::Recv {
+                                            from: (src + 1) as u32,
+                                            bytes: swap_bytes,
+                                        },
+                                        Track::Worker((dst + 1) as u32),
+                                        TraceCtx {
+                                            trace: sctx.trace,
+                                            span: sent,
+                                        },
+                                        tick,
+                                    );
+                                }
+                            },
                         );
                         if !del.delivered {
                             // Lost transfer: the destination keeps its old
@@ -605,6 +734,7 @@ impl AsyncMdGan {
                 xd: read_tensor(ck, &format!("fl_{i}_xd"))?,
                 xd_labels: labels(&format!("fl_{i}_ld"))?,
                 zg: read_tensor(ck, &format!("fl_{i}_zg"))?,
+                ctx: TraceCtx::NONE,
             });
         }
 

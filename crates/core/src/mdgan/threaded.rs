@@ -31,7 +31,7 @@ use md_data::Dataset;
 use md_nn::optim::AdamState;
 use md_nn::param::{batch_bytes, param_bytes};
 use md_simnet::{Endpoint, FailureDetector, Liveness, Router, TrafficReport, TrafficStats, SERVER};
-use md_telemetry::{Event, Phase, Recorder};
+use md_telemetry::{Event, Phase, Recorder, TraceCtx, Track};
 use md_tensor::rng::Rng64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -76,11 +76,16 @@ fn worker_loop(
     use std::collections::VecDeque;
     // A swap counterpart's parameters may arrive before our own SwapTo.
     let mut pending_disc: Option<Vec<f32>> = None;
-    let mut buffered: VecDeque<MdMsg> = VecDeque::new();
+    // Buffered messages keep their envelope's trace context so spans
+    // recorded later still link to the send that caused them.
+    let mut buffered: VecDeque<(MdMsg, TraceCtx)> = VecDeque::new();
     loop {
-        let msg = match buffered.pop_front() {
+        let (msg, ctx) = match buffered.pop_front() {
             Some(m) => m,
-            None => ep.recv().msg,
+            None => {
+                let e = ep.recv();
+                (e.msg, e.ctx)
+            }
         };
         match msg {
             MdMsg::Batches {
@@ -91,33 +96,44 @@ fn worker_loop(
                 xd,
                 xd_labels,
             } => {
-                let fb_span = telemetry.span(Phase::DFeedback);
+                // Parent the compute span on the server's downlink send so
+                // the trace shows batch → feedback causality; the uplink
+                // send then chains off the compute span.
+                let fb_span = telemetry.span_at(
+                    Phase::DFeedback,
+                    Track::Worker(ep.id() as u32),
+                    ctx,
+                    iter as u64,
+                );
+                let fctx = fb_span.ctx();
                 let grad = worker.process(&xd, &xd_labels, &xg, &xg_labels);
                 drop(fb_span);
                 telemetry.worker_feedback(ep.id());
                 let bytes = (grad.len() * 4) as u64;
                 let retries = robust.map_or(0, |r| r.retries);
-                ep.send_data(
+                ep.send_data_ctx(
                     SERVER,
                     MdMsg::Feedback { iter, g_id, grad },
                     bytes,
                     iter as u64,
                     retries,
+                    fctx,
                 );
             }
             MdMsg::SwapTo { to, iter } => {
                 let params = worker.disc_params();
                 let bytes = param_bytes(params.len());
                 let retries = robust.map_or(0, |r| r.retries);
-                ep.send_data(to, MdMsg::Disc { params }, bytes, iter as u64, retries);
+                ep.send_data_ctx(to, MdMsg::Disc { params }, bytes, iter as u64, retries, ctx);
                 let incoming = match pending_disc.take() {
                     Some(p) => Some(p),
                     None => match robust {
                         // Oracle mode: the counterpart always answers.
                         None => loop {
-                            match ep.recv().msg {
+                            let e = ep.recv();
+                            match e.msg {
                                 MdMsg::Disc { params } => break Some(params),
-                                other => buffered.push_back(other),
+                                other => buffered.push_back((other, e.ctx)),
                             }
                         },
                         // Robust mode: the counterpart may be dead or its
@@ -129,7 +145,7 @@ fn worker_loop(
                                 match ep.recv_deadline(left) {
                                     Some(env) => match env.msg {
                                         MdMsg::Disc { params } => break Some(params),
-                                        other => buffered.push_back(other),
+                                        other => buffered.push_back((other, env.ctx)),
                                     },
                                     None => break None,
                                 }
@@ -178,7 +194,7 @@ fn worker_loop(
                 // the death) until the final Stop.
                 loop {
                     let m = match buffered.pop_front() {
-                        Some(m) => m,
+                        Some((m, _)) => m,
                         None => ep.recv().msg,
                     };
                     if matches!(m, MdMsg::Stop) {
@@ -379,6 +395,11 @@ fn run_threaded_inner(
         }
 
         for i in start_iter..iters {
+            // Root one trace per global iteration; every span and message
+            // the iteration causes links back to it (DESIGN.md §12).
+            let tick = i as u64;
+            let root = telemetry.trace_root(tick);
+            let rctx = root.ctx();
             // Fail-stop crashes: the thread leaves the computation and its
             // shard is gone. Oracle mode stops the thread outright; robust
             // mode crashes it *silently* — the server must notice on its
@@ -409,12 +430,12 @@ fn run_threaded_inner(
                     .collect();
                 let mut heard_count = 0;
                 if !expected.is_empty() {
-                    let gen_span = telemetry.span(Phase::GenForward);
+                    let gen_span = telemetry.span_at(Phase::GenForward, Track::Server, rctx, tick);
                     let batches = server.generate_batches(k);
                     drop(gen_span);
                     for &wi in &expected {
                         let (g_id, d_id) = MdServer::assign(wi, k);
-                        server_ep.send_data(
+                        server_ep.send_data_ctx(
                             wi + 1,
                             MdMsg::Batches {
                                 iter: i,
@@ -427,6 +448,7 @@ fn run_threaded_inner(
                             2 * batch_bytes(b, object_size),
                             i as u64,
                             cfg.robust.retries,
+                            rctx,
                         );
                     }
                     let expected_ids: Vec<usize> = expected.iter().map(|&w| w + 1).collect();
@@ -462,7 +484,7 @@ fn run_threaded_inner(
                                 other => panic!("server expected Feedback, got {other:?}"),
                             })
                             .collect();
-                        let upd_span = telemetry.span(Phase::GUpdate);
+                        let upd_span = telemetry.span_at(Phase::GUpdate, Track::Server, rctx, tick);
                         server.apply_feedbacks(&feedbacks, heard_count);
                         drop(upd_span);
                     } else if heard_count > 0 {
@@ -473,7 +495,8 @@ fn run_threaded_inner(
                     }
 
                     if (i + 1) % swap_interval == 0 {
-                        let swap_span = telemetry.span(Phase::Swap);
+                        let swap_span = telemetry.span_at(Phase::Swap, Track::Server, rctx, tick);
+                        let sctx = swap_span.ctx();
                         // Swaps are routed around suspected peers.
                         let candidates: Vec<usize> = (0..cfg.workers)
                             .filter(|&w| !detector.is_suspected(w))
@@ -484,13 +507,14 @@ fn run_threaded_inner(
                             for (j, &src) in candidates.iter().enumerate() {
                                 let dst = candidates[perm[j]];
                                 server_ep
-                                    .send(
+                                    .send_ctx(
                                         src + 1,
                                         MdMsg::SwapTo {
                                             to: dst + 1,
                                             iter: i,
                                         },
                                         0,
+                                        sctx,
                                     )
                                     .expect("destination endpoint dropped");
                             }
@@ -507,13 +531,13 @@ fn run_threaded_inner(
             } else {
                 let alive: Vec<usize> = (0..cfg.workers).filter(|&w| alive_mask[w]).collect();
                 if !alive.is_empty() {
-                    let gen_span = telemetry.span(Phase::GenForward);
+                    let gen_span = telemetry.span_at(Phase::GenForward, Track::Server, rctx, tick);
                     let batches = server.generate_batches(k);
                     drop(gen_span);
                     for &wi in &alive {
                         let (g_id, d_id) = MdServer::assign(wi, k);
                         server_ep
-                            .send(
+                            .send_ctx(
                                 wi + 1,
                                 MdMsg::Batches {
                                     iter: i,
@@ -524,6 +548,7 @@ fn run_threaded_inner(
                                     xd_labels: batches[d_id].1.clone(),
                                 },
                                 2 * batch_bytes(b, object_size),
+                                rctx,
                             )
                             .expect("destination endpoint dropped");
                     }
@@ -535,23 +560,25 @@ fn run_threaded_inner(
                             other => panic!("server expected Feedback, got {other:?}"),
                         })
                         .collect();
-                    let upd_span = telemetry.span(Phase::GUpdate);
+                    let upd_span = telemetry.span_at(Phase::GUpdate, Track::Server, rctx, tick);
                     server.apply_feedbacks(&feedbacks, alive.len());
                     drop(upd_span);
 
                     if (i + 1) % swap_interval == 0 {
-                        let swap_span = telemetry.span(Phase::Swap);
+                        let swap_span = telemetry.span_at(Phase::Swap, Track::Server, rctx, tick);
+                        let sctx = swap_span.ctx();
                         if let Some(perm) = swap_permutation(cfg.swap, alive.len(), &mut swap_rng) {
                             for (j, &src) in alive.iter().enumerate() {
                                 let dst = alive[perm[j]];
                                 server_ep
-                                    .send(
+                                    .send_ctx(
                                         src + 1,
                                         MdMsg::SwapTo {
                                             to: dst + 1,
                                             iter: i,
                                         },
                                         0,
+                                        sctx,
                                     )
                                     .expect("destination endpoint dropped");
                             }
@@ -570,6 +597,7 @@ fn run_threaded_inner(
                 iter: i,
                 alive: alive_now,
             });
+            drop(root);
 
             if let Some(ev) = evaluator.as_deref_mut() {
                 if (i + 1) % eval_every.max(1) == 0 || i + 1 == iters {

@@ -19,7 +19,7 @@ use md_nn::gan::Generator;
 use md_nn::layer::Layer;
 use md_nn::param::{batch_bytes, param_bytes};
 use md_simnet::{FailureDetector, FaultState, Liveness, TrafficReport, TrafficStats};
-use md_telemetry::{Event, Phase, Recorder};
+use md_telemetry::{Event, Phase, Recorder, SpanKind, TraceCtx, Track};
 use md_tensor::rng::Rng64;
 use md_tensor::Tensor;
 use std::sync::Arc;
@@ -439,6 +439,9 @@ impl MdGan {
         let i = self.iter;
         let b = self.cfg.hyper.batch;
         let d = self.object_size;
+        let tick = i as u64;
+        let root = self.telemetry.trace_root(tick);
+        let rctx = root.ctx();
 
         // Fail-stop crashes take effect at the start of the iteration; the
         // worker's data shard disappears with it (§V-B.3).
@@ -461,7 +464,9 @@ impl MdGan {
         }
 
         // Server: generate K = {X(1..k)} and SPLIT over workers.
-        let gen_span = self.telemetry.span(Phase::GenForward);
+        let gen_span = self
+            .telemetry
+            .span_at(Phase::GenForward, Track::Server, rctx, tick);
         let batches = self.server.generate_batches(self.k);
         // With the identity codec the charged sizes are exactly the paper's
         // 2bd down / bd up; lossy codecs shrink the wire and train on the
@@ -485,10 +490,44 @@ impl MdGan {
         }
         let mut feedbacks: Vec<(usize, Tensor)> = Vec::with_capacity(participants.len());
         for &wi in &participants {
-            let fb_span = self.telemetry.span(Phase::DFeedback);
+            let wtrack = Track::Worker((wi + 1) as u32);
             let (g_id, d_id) = MdServer::assign(wi, self.k);
             let down = wire[g_id].1 + wire[d_id].1;
             self.stats.record(0, wi + 1, down);
+            // Downlink: one reliable logical message, traced as a
+            // send→recv pair so the worker's compute hangs off it.
+            let sent = self.telemetry.trace_instant(
+                SpanKind::Send {
+                    to: (wi + 1) as u32,
+                    bytes: down,
+                    attempt: 1,
+                },
+                Track::Server,
+                rctx,
+                tick,
+            );
+            let got = self.telemetry.trace_instant(
+                SpanKind::Recv {
+                    from: 0,
+                    bytes: down,
+                },
+                wtrack,
+                TraceCtx {
+                    trace: rctx.trace,
+                    span: sent,
+                },
+                tick,
+            );
+            let fb_span = self.telemetry.span_at(
+                Phase::DFeedback,
+                wtrack,
+                TraceCtx {
+                    trace: rctx.trace,
+                    span: got,
+                },
+                tick,
+            );
+            let fctx = fb_span.ctx();
             let worker = self.workers[wi].as_mut().expect("alive worker present");
             let f = worker.process(
                 &wire[d_id].0,
@@ -498,19 +537,48 @@ impl MdGan {
             );
             let f = self.attacks[wi].apply(&f, &mut self.attack_rng);
             let cf = self.feedback_codec.compress(&f);
-            self.stats.record(wi + 1, 0, cf.wire_bytes());
+            let up = cf.wire_bytes();
+            self.stats.record(wi + 1, 0, up);
             feedbacks.push((g_id, cf.decompress()));
             drop(fb_span);
+            // Uplink feedback: send on the worker track, recv on the
+            // server track — what the critical-path extractor gates on.
+            let up_sent = self.telemetry.trace_instant(
+                SpanKind::Send {
+                    to: 0,
+                    bytes: up,
+                    attempt: 1,
+                },
+                wtrack,
+                fctx,
+                tick,
+            );
+            self.telemetry.trace_instant(
+                SpanKind::Recv {
+                    from: (wi + 1) as u32,
+                    bytes: up,
+                },
+                Track::Server,
+                TraceCtx {
+                    trace: rctx.trace,
+                    span: up_sent,
+                },
+                tick,
+            );
             self.telemetry.worker_feedback(wi + 1);
         }
-        let upd_span = self.telemetry.span(Phase::GUpdate);
+        let upd_span = self
+            .telemetry
+            .span_at(Phase::GUpdate, Track::Server, rctx, tick);
         self.server
             .apply_feedbacks_robust(&feedbacks, participants.len(), self.aggregation);
         drop(upd_span);
 
         // Swap every ⌊m·E/b⌋ iterations (Algorithm 1 line 11).
         if (i + 1).is_multiple_of(self.swap_interval) {
-            let swap_span = self.telemetry.span(Phase::Swap);
+            let swap_span = self
+                .telemetry
+                .span_at(Phase::Swap, Track::Server, rctx, tick);
             match &self.disc_hosts {
                 None => {
                     if let Some(perm) =
@@ -566,6 +634,7 @@ impl MdGan {
             }
             drop(swap_span);
         }
+        drop(root);
         self.iter += 1;
         self.telemetry.event(Event::IterDone {
             iter: i,
@@ -603,6 +672,9 @@ impl MdGan {
         let b = self.cfg.hyper.batch;
         let d = self.object_size;
         let retries = self.cfg.robust.retries;
+        let tick = i as u64;
+        let root = self.telemetry.trace_root(tick);
+        let rctx = root.ctx();
 
         // Fail-stop crashes are injected but not announced.
         for idx in 0..self.workers.len() {
@@ -624,7 +696,9 @@ impl MdGan {
             .collect();
         let mut heard_count = 0;
         if !expected.is_empty() {
-            let gen_span = self.telemetry.span(Phase::GenForward);
+            let gen_span = self
+                .telemetry
+                .span_at(Phase::GenForward, Track::Server, rctx, tick);
             let batches = self.server.generate_batches(self.k);
             drop(gen_span);
             let fs = self
@@ -639,16 +713,40 @@ impl MdGan {
             let mut feedbacks: Vec<(usize, Tensor)> = Vec::new();
             let mut heard: Vec<usize> = Vec::new();
             for &wi in &expected {
+                let wtrack = Track::Worker((wi + 1) as u32);
+                let telemetry = &self.telemetry;
                 let (g_id, d_id) = MdServer::assign(wi, self.k);
+                let down_bytes = 2 * batch_bytes(b, d);
+                // The sequential runtime has no real queues, so the
+                // receive instant is recorded inside the deliver hook —
+                // exactly where the threaded runtime's endpoint records
+                // it when the envelope is popped.
+                let mut down_recv = 0u64;
                 let down = fs.transmit(
                     0,
                     wi + 1,
-                    i as u64,
-                    2 * batch_bytes(b, d),
+                    tick,
+                    down_bytes,
                     retries,
                     &self.stats,
-                    Some(&self.telemetry),
-                    |_| {},
+                    Some(telemetry),
+                    rctx,
+                    |dup, sent| {
+                        if !dup && sent != 0 {
+                            down_recv = telemetry.trace_instant(
+                                SpanKind::Recv {
+                                    from: 0,
+                                    bytes: down_bytes,
+                                },
+                                wtrack,
+                                TraceCtx {
+                                    trace: rctx.trace,
+                                    span: sent,
+                                },
+                                tick,
+                            );
+                        }
+                    },
                 );
                 if !down.delivered {
                     continue;
@@ -658,7 +756,16 @@ impl MdGan {
                 let Some(worker) = self.workers[wi].as_mut() else {
                     continue;
                 };
-                let fb_span = self.telemetry.span(Phase::DFeedback);
+                let fb_span = self.telemetry.span_at(
+                    Phase::DFeedback,
+                    wtrack,
+                    TraceCtx {
+                        trace: rctx.trace,
+                        span: down_recv,
+                    },
+                    tick,
+                );
+                let fctx = fb_span.ctx();
                 let f = worker.process(
                     &batches[d_id].0,
                     &batches[d_id].1,
@@ -667,15 +774,32 @@ impl MdGan {
                 );
                 drop(fb_span);
                 self.telemetry.worker_feedback(wi + 1);
+                let up_bytes = (f.len() * 4) as u64;
                 let up = fs.transmit(
                     wi + 1,
                     0,
-                    i as u64,
-                    (f.len() * 4) as u64,
+                    tick,
+                    up_bytes,
                     retries,
                     &self.stats,
-                    Some(&self.telemetry),
-                    |_| {},
+                    Some(telemetry),
+                    fctx,
+                    |dup, sent| {
+                        if !dup && sent != 0 {
+                            telemetry.trace_instant(
+                                SpanKind::Recv {
+                                    from: (wi + 1) as u32,
+                                    bytes: up_bytes,
+                                },
+                                Track::Server,
+                                TraceCtx {
+                                    trace: fctx.trace,
+                                    span: sent,
+                                },
+                                tick,
+                            );
+                        }
+                    },
                 );
                 if up.delivered {
                     feedbacks.push((g_id, f));
@@ -702,7 +826,9 @@ impl MdGan {
             heard_count = heard.len();
             let quorum = self.cfg.robust.quorum(expected.len());
             if heard_count >= quorum {
-                let upd_span = self.telemetry.span(Phase::GUpdate);
+                let upd_span = self
+                    .telemetry
+                    .span_at(Phase::GUpdate, Track::Server, rctx, tick);
                 self.server.apply_feedbacks(&feedbacks, heard_count);
                 drop(upd_span);
             } else if heard_count > 0 {
@@ -717,7 +843,9 @@ impl MdGan {
             // leaves the destination on its old parameters (the threaded
             // destination times out waiting).
             if (i + 1).is_multiple_of(self.swap_interval) {
-                let swap_span = self.telemetry.span(Phase::Swap);
+                let swap_span = self
+                    .telemetry
+                    .span_at(Phase::Swap, Track::Server, rctx, tick);
                 let candidates: Vec<usize> = (0..self.workers.len())
                     .filter(|&w| !self.detector.is_suspected(w))
                     .collect();
@@ -734,15 +862,34 @@ impl MdGan {
                         let Some(p) = params[j].as_ref() else {
                             continue;
                         };
+                        let telemetry = &self.telemetry;
+                        let swap_bytes = param_bytes(p.len());
+                        let sctx = swap_span.ctx();
                         let del = fs.transmit(
                             src + 1,
                             dst + 1,
-                            i as u64,
-                            param_bytes(p.len()),
+                            tick,
+                            swap_bytes,
                             retries,
                             &self.stats,
-                            Some(&self.telemetry),
-                            |_| {},
+                            Some(telemetry),
+                            sctx,
+                            |dup, sent| {
+                                if !dup && sent != 0 {
+                                    telemetry.trace_instant(
+                                        SpanKind::Recv {
+                                            from: (src + 1) as u32,
+                                            bytes: swap_bytes,
+                                        },
+                                        Track::Worker((dst + 1) as u32),
+                                        TraceCtx {
+                                            trace: sctx.trace,
+                                            span: sent,
+                                        },
+                                        tick,
+                                    );
+                                }
+                            },
                         );
                         if del.delivered {
                             if let Some(w) = self.workers[dst].as_mut() {
@@ -765,6 +912,7 @@ impl MdGan {
                 drop(swap_span);
             }
         }
+        drop(root);
         self.iter += 1;
         self.telemetry.event(Event::IterDone {
             iter: i,

@@ -15,7 +15,7 @@ use md_data::{BatchSampler, Dataset};
 use md_nn::gan::{disc_loss_fake, disc_loss_real, gen_loss, Discriminator, Generator};
 use md_nn::layer::Layer;
 use md_nn::optim::{Adam, AdamState};
-use md_telemetry::{Event, Phase, Recorder};
+use md_telemetry::{Event, Phase, Recorder, Track};
 use md_tensor::rng::Rng64;
 use std::sync::Arc;
 
@@ -90,7 +90,10 @@ impl StandaloneGan {
     /// One global iteration: `L` discriminator learning steps followed by
     /// one generator learning step (§II).
     pub fn step(&mut self) -> StepLosses {
-        let _span = self.telemetry.span(Phase::LocalTrain);
+        let tick = self.iter as u64;
+        let telemetry = Arc::clone(&self.telemetry);
+        let _root = telemetry.trace_root(tick);
+        let _span = telemetry.span_at(Phase::LocalTrain, Track::Server, _root.ctx(), tick);
         let b = self.hyper.batch;
         let classes = self.gen.num_classes;
         let aux = self.hyper.aux_weight;

@@ -14,7 +14,7 @@
 //!   interleave. Nothing here consults a clock.
 
 use crate::stats::TrafficStats;
-use md_telemetry::{Counter, Recorder};
+use md_telemetry::{Counter, Recorder, SpanKind, TraceCtx, Track};
 use md_tensor::rng::Rng64;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -310,10 +310,19 @@ impl FaultState {
     /// dropped / duplicated / delayed / retry counters in `stats` and
     /// `telemetry` — happens here, so every runtime charges identically.
     ///
-    /// `deliver` is invoked once per copy that reaches the receiver (the
-    /// argument marks spurious duplicates); callers enqueue or apply the
-    /// payload there. Injected delays are counted but delivered in place —
-    /// see [`Fate::Delay`] for why that is sound at the runtimes' barriers.
+    /// `deliver` is invoked once per copy that reaches the receiver: the
+    /// first argument marks spurious duplicates, the second is the trace
+    /// span id of the delivering send attempt (`0` when untraced); callers
+    /// enqueue or apply the payload there. Injected delays are counted but
+    /// delivered in place — see [`Fate::Delay`] for why that is sound at
+    /// the runtimes' barriers.
+    ///
+    /// When `ctx` carries a trace and `telemetry` has tracing enabled,
+    /// every attempt records an instant span on the sender's track:
+    /// dropped attempts as `drop`, retransmissions as `retry` chained to
+    /// the drop they replace, the delivering attempt as `send`/`retry`
+    /// whose span id rides to the receiver — so a dropped-then-retried
+    /// message exports as a linked causal chain.
     #[allow(clippy::too_many_arguments)]
     pub fn transmit(
         &self,
@@ -324,8 +333,14 @@ impl FaultState {
         retries: u32,
         stats: &TrafficStats,
         telemetry: Option<&Recorder>,
-        mut deliver: impl FnMut(bool),
+        ctx: TraceCtx,
+        mut deliver: impl FnMut(bool, u64),
     ) -> Delivery {
+        let track = Track::node(from);
+        // The causal chain through the retry loop: attempt N hangs off
+        // attempt N-1's span (the drop it answers); attempt 1 hangs off
+        // the caller's context.
+        let mut link = ctx;
         let mut attempts = 0u32;
         loop {
             attempts += 1;
@@ -339,6 +354,21 @@ impl FaultState {
                     stats.record_dropped(bytes);
                     if let Some(t) = telemetry {
                         t.incr(Counter::MsgsDropped, 1);
+                        let dropped = t.trace_instant(
+                            SpanKind::Dropped {
+                                to: to as u32,
+                                attempt: attempts,
+                            },
+                            track,
+                            link,
+                            tick,
+                        );
+                        if dropped != 0 {
+                            link = TraceCtx {
+                                trace: link.trace,
+                                span: dropped,
+                            };
+                        }
                     }
                     if attempts <= retries {
                         stats.record_retry();
@@ -354,42 +384,51 @@ impl FaultState {
                         attempts,
                     };
                 }
-                Fate::Deliver => {
+                fate @ (Fate::Deliver | Fate::Duplicate | Fate::Delay { .. }) => {
                     stats.record_delivery(to, bytes);
-                    deliver(false);
-                    return Delivery {
-                        delivered: true,
-                        duplicated: false,
-                        delayed: false,
-                        attempts,
-                    };
-                }
-                Fate::Duplicate => {
-                    stats.record_delivery(to, bytes);
-                    deliver(false);
-                    stats.record_duplicated(bytes);
-                    if let Some(t) = telemetry {
-                        t.incr(Counter::MsgsDuplicated, 1);
+                    let sent = telemetry.map_or(0, |t| {
+                        t.trace_instant(
+                            SpanKind::Send {
+                                to: to as u32,
+                                bytes,
+                                attempt: attempts,
+                            },
+                            track,
+                            link,
+                            tick,
+                        )
+                    });
+                    deliver(false, sent);
+                    let duplicated = fate == Fate::Duplicate;
+                    let delayed = matches!(fate, Fate::Delay { .. });
+                    if duplicated {
+                        stats.record_duplicated(bytes);
+                        if let Some(t) = telemetry {
+                            t.incr(Counter::MsgsDuplicated, 1);
+                            t.trace_instant(
+                                SpanKind::Dup { to: to as u32 },
+                                track,
+                                TraceCtx {
+                                    trace: link.trace,
+                                    span: sent,
+                                },
+                                tick,
+                            );
+                        }
+                        // The spurious copy is transport-deduped at the
+                        // receiver; it never becomes a recv span.
+                        deliver(true, 0);
                     }
-                    deliver(true);
-                    return Delivery {
-                        delivered: true,
-                        duplicated: true,
-                        delayed: false,
-                        attempts,
-                    };
-                }
-                Fate::Delay { .. } => {
-                    stats.record_delivery(to, bytes);
-                    stats.record_delayed();
-                    if let Some(t) = telemetry {
-                        t.incr(Counter::MsgsDelayed, 1);
+                    if delayed {
+                        stats.record_delayed();
+                        if let Some(t) = telemetry {
+                            t.incr(Counter::MsgsDelayed, 1);
+                        }
                     }
-                    deliver(false);
                     return Delivery {
                         delivered: true,
-                        duplicated: false,
-                        delayed: true,
+                        duplicated,
+                        delayed,
                         attempts,
                     };
                 }
@@ -536,7 +575,9 @@ mod tests {
         let state = FaultState::new(FaultPlan::lossy(1, 1.0), 3);
         let stats = TrafficStats::new(3);
         let mut delivered = 0;
-        let d = state.transmit(0, 1, 0, 100, 2, &stats, None, |_| delivered += 1);
+        let d = state.transmit(0, 1, 0, 100, 2, &stats, None, TraceCtx::NONE, |_, _| {
+            delivered += 1
+        });
         assert!(!d.delivered);
         assert_eq!(d.attempts, 3);
         assert_eq!(delivered, 0);
@@ -559,7 +600,9 @@ mod tests {
         let state = FaultState::new(plan, 2);
         let stats = TrafficStats::new(2);
         let mut copies = Vec::new();
-        let d = state.transmit(0, 1, 0, 40, 2, &stats, None, |dup| copies.push(dup));
+        let d = state.transmit(0, 1, 0, 40, 2, &stats, None, TraceCtx::NONE, |dup, _| {
+            copies.push(dup)
+        });
         assert!(d.delivered && d.duplicated);
         assert_eq!(copies, vec![false, true]);
         let r = stats.report();

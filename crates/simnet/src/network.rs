@@ -22,7 +22,7 @@
 use crate::fault::{Delivery, FaultPlan, FaultState};
 use crate::stats::TrafficStats;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use md_telemetry::{Counter, Phase, Recorder};
+use md_telemetry::{Counter, Phase, Recorder, SpanKind, TraceCtx, Track};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,6 +42,11 @@ pub struct Envelope<M> {
     /// Spurious duplicate copy injected by the fault layer. Receive paths
     /// skip these; they exist only so the wire-level counters are honest.
     pub duplicate: bool,
+    /// Causal trace context: the trace this message belongs to and the
+    /// span id of the send attempt that delivered it. [`TraceCtx::NONE`]
+    /// on untraced sends; receive paths record a `recv` instant linked to
+    /// `ctx.span` when it is set.
+    pub ctx: TraceCtx,
     /// Payload.
     pub msg: M,
 }
@@ -183,11 +188,31 @@ impl<M: Send> Endpoint<M> {
     ///
     /// Returns [`SendError`] if the destination endpoint has been dropped.
     pub fn send(&self, to: NodeId, msg: M, bytes: u64) -> Result<(), SendError> {
+        self.send_ctx(to, msg, bytes, TraceCtx::NONE)
+    }
+
+    /// [`send`](Self::send) under a trace context: when `ctx` carries a
+    /// trace and tracing is on, the attempt records a `send` instant on
+    /// this node's track and its span id rides on the envelope, linking
+    /// the receiver's `recv` back to it.
+    pub fn send_ctx(&self, to: NodeId, msg: M, bytes: u64, ctx: TraceCtx) -> Result<(), SendError> {
         assert_ne!(to, self.id, "node {to} sending to itself");
         let _span = self.telemetry.as_deref().map(|t| {
             t.incr(Counter::MsgsSent, 1);
             t.incr(Counter::BytesSent, bytes);
             t.span(Phase::Comm)
+        });
+        let sent = self.telemetry.as_deref().map_or(0, |t| {
+            t.trace_instant(
+                SpanKind::Send {
+                    to: to as u32,
+                    bytes,
+                    attempt: 1,
+                },
+                Track::node(self.id),
+                ctx,
+                ctx.trace.saturating_sub(1),
+            )
         });
         self.stats.record(self.id, to, bytes);
         self.senders[to]
@@ -195,6 +220,10 @@ impl<M: Send> Endpoint<M> {
                 from: self.id,
                 bytes,
                 duplicate: false,
+                ctx: TraceCtx {
+                    trace: ctx.trace,
+                    span: sent,
+                },
                 msg,
             })
             .map_err(|_| SendError { to })
@@ -213,9 +242,28 @@ impl<M: Send> Endpoint<M> {
     where
         M: Clone,
     {
+        self.send_data_ctx(to, msg, bytes, tick, retries, TraceCtx::NONE)
+    }
+
+    /// [`send_data`](Self::send_data) under a trace context: every fault
+    /// attempt (drops, retransmissions, the delivering send) records an
+    /// instant span chained to its predecessor, and the delivering
+    /// attempt's span id rides on the envelope.
+    pub fn send_data_ctx(
+        &self,
+        to: NodeId,
+        msg: M,
+        bytes: u64,
+        tick: u64,
+        retries: u32,
+        ctx: TraceCtx,
+    ) -> Delivery
+    where
+        M: Clone,
+    {
         assert_ne!(to, self.id, "node {to} sending to itself");
         let Some(faults) = self.faults.as_deref() else {
-            let ok = self.send(to, msg, bytes).is_ok();
+            let ok = self.send_ctx(to, msg, bytes, ctx).is_ok();
             return Delivery {
                 delivered: ok,
                 duplicated: false,
@@ -233,12 +281,17 @@ impl<M: Send> Endpoint<M> {
             retries,
             &self.stats,
             self.telemetry.as_deref(),
-            |duplicate| {
+            ctx,
+            |duplicate, sent| {
                 enqueued &= self.senders[to]
                     .send(Envelope {
                         from: self.id,
                         bytes,
                         duplicate,
+                        ctx: TraceCtx {
+                            trace: ctx.trace,
+                            span: sent,
+                        },
                         msg: msg.clone(),
                     })
                     .is_ok();
@@ -248,11 +301,31 @@ impl<M: Send> Endpoint<M> {
         d
     }
 
+    /// Records a `recv` instant on this node's track, linked to the send
+    /// attempt that delivered `e`. A no-op for untraced envelopes.
+    fn note_recv(&self, e: &Envelope<M>) {
+        if e.ctx.span == 0 {
+            return;
+        }
+        if let Some(t) = self.telemetry.as_deref() {
+            t.trace_instant(
+                SpanKind::Recv {
+                    from: e.from as u32,
+                    bytes: e.bytes,
+                },
+                Track::node(self.id),
+                e.ctx,
+                e.ctx.trace.saturating_sub(1),
+            );
+        }
+    }
+
     /// Blocking receive (duplicate copies are skipped).
     pub fn recv(&self) -> Envelope<M> {
         loop {
             let e = self.rx.recv().expect("all senders dropped");
             if !e.duplicate {
+                self.note_recv(&e);
                 return e;
             }
         }
@@ -263,7 +336,10 @@ impl<M: Send> Endpoint<M> {
         loop {
             match self.rx.try_recv() {
                 Ok(e) if e.duplicate => continue,
-                Ok(e) => return Some(e),
+                Ok(e) => {
+                    self.note_recv(&e);
+                    return Some(e);
+                }
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return None,
             }
         }
@@ -278,7 +354,10 @@ impl<M: Send> Endpoint<M> {
             let left = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(left) {
                 Ok(e) if e.duplicate => continue,
-                Ok(e) => return Some(e),
+                Ok(e) => {
+                    self.note_recv(&e);
+                    return Some(e);
+                }
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
                     return None
                 }
@@ -322,6 +401,7 @@ impl<M: Send> Endpoint<M> {
             if e.duplicate {
                 continue;
             }
+            self.note_recv(&e);
             let fresh = expected.contains(&e.from) && !envelopes.iter().any(|h| h.from == e.from);
             if fresh && accept(&e) {
                 envelopes.push(e);
@@ -501,6 +581,84 @@ mod tests {
         assert!(eps[1].try_recv().is_none());
         assert_eq!(router.stats().report().dup_msgs, 1);
         assert_eq!(rec.counter(Counter::MsgsDuplicated), 1);
+    }
+
+    #[test]
+    fn traced_send_links_recv_to_the_send_attempt() {
+        let rec = Arc::new(Recorder::traced());
+        let mut router: Router<u8> = Router::new(1).with_telemetry(Arc::clone(&rec));
+        let eps = router.all_endpoints();
+        let root = rec.trace_root(0);
+        eps[1].send_ctx(SERVER, 7, 16, root.ctx()).unwrap();
+        eps[0].recv();
+        drop(root);
+        let spans = rec.trace_spans();
+        let send = spans
+            .iter()
+            .find(|s| matches!(s.kind, SpanKind::Send { .. }))
+            .expect("send span");
+        let recv = spans
+            .iter()
+            .find(|s| matches!(s.kind, SpanKind::Recv { .. }))
+            .expect("recv span");
+        assert_eq!(send.track, Track::Worker(1));
+        assert_eq!(recv.track, Track::Server);
+        assert_eq!(recv.parent, send.span, "recv links to the delivering send");
+        assert_eq!(recv.trace, send.trace);
+    }
+
+    #[test]
+    fn traced_retry_chain_is_causally_linked() {
+        // Find a seed whose first fate on link 1→0 drops and second
+        // delivers, so one retransmission resolves the send.
+        let seed = (0..1000)
+            .find(|&s| {
+                let p = FaultPlan::lossy(s, 0.5);
+                p.fate(1, 0, 0, 0) == crate::fault::Fate::Drop
+                    && p.fate(1, 0, 1, 0) == crate::fault::Fate::Deliver
+            })
+            .expect("some seed drops first and delivers second");
+        let rec = Arc::new(Recorder::traced());
+        let mut router: Router<u8> = Router::new(1)
+            .with_faults(FaultPlan::lossy(seed, 0.5))
+            .with_telemetry(Arc::clone(&rec));
+        let eps = router.all_endpoints();
+        let root = rec.trace_root(0);
+        let d = eps[1].send_data_ctx(SERVER, 9, 32, 0, 2, root.ctx());
+        assert!(d.delivered);
+        assert_eq!(d.attempts, 2);
+        eps[0].recv();
+        drop(root);
+        let spans = rec.trace_spans();
+        let dropped = spans
+            .iter()
+            .find(|s| matches!(s.kind, SpanKind::Dropped { .. }))
+            .expect("drop span");
+        let retry = spans
+            .iter()
+            .find(|s| matches!(s.kind, SpanKind::Send { attempt: 2, .. }))
+            .expect("retry span");
+        let recv = spans
+            .iter()
+            .find(|s| matches!(s.kind, SpanKind::Recv { .. }))
+            .expect("recv span");
+        // drop → retry → recv, one causal chain.
+        assert_eq!(retry.parent, dropped.span);
+        assert_eq!(recv.parent, retry.span);
+        assert_eq!(dropped.trace, recv.trace);
+    }
+
+    #[test]
+    fn untraced_sends_record_no_spans() {
+        let rec = Arc::new(Recorder::traced());
+        let mut router: Router<u8> = Router::new(1).with_telemetry(Arc::clone(&rec));
+        let eps = router.all_endpoints();
+        eps[0].send(1, 1, 8).unwrap();
+        eps[1].recv();
+        let d = eps[0].send_data(1, 2, 8, 0, 0);
+        assert!(d.delivered);
+        eps[1].recv();
+        assert!(rec.trace_spans().is_empty(), "NONE ctx stays untraced");
     }
 
     #[test]

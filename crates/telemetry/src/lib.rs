@@ -16,10 +16,18 @@
 //!    timeline, traffic report, per-phase histograms and per-worker stats,
 //!    written as JSONL under `results/`.
 //!
+//! PR 6 adds a fourth layer, **causal tracing** ([`trace`]): per-iteration
+//! trace/span ids propagated through message envelopes, per-thread span
+//! buffers, a Chrome-trace exporter ([`export`]), a critical-path
+//! extractor ([`CriticalPathReport`]) and a live Prometheus-style
+//! introspection endpoint ([`expose`]).
+//!
 //! Verbosity is controlled by the `TELEMETRY` environment variable
-//! (see [`Verbosity::from_env`]): unset/`0`/`off` disables recording,
-//! `1`/`table` prints a human-readable end-of-run table, `2`/`jsonl`
-//! additionally dumps retained events as JSONL to stdout.
+//! (see [`Verbosity::from_env`], the canonical tier table):
+//! unset/`0`/`off` disables recording, `1`/`table` prints a
+//! human-readable end-of-run table, `2`/`jsonl` additionally dumps
+//! retained events as JSONL to stdout, and `3`/`trace` additionally
+//! captures causal spans for trace export.
 //!
 //! ```
 //! use md_telemetry::{Phase, Recorder};
@@ -35,12 +43,18 @@
 //! ```
 
 mod event;
+pub mod export;
+pub mod expose;
 mod hist;
 pub mod json;
 mod record;
 mod recorder;
+pub mod trace;
 
 pub use event::{Event, TimedEvent};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use record::{PoolCounters, RunRecord, ScorePoint, TrafficSummary, WorkspaceCounters};
-pub use recorder::{Counter, Phase, Recorder, Span, Verbosity, WorkerStats};
+pub use recorder::{Counter, Phase, Recorder, Span, TraceSpan, Verbosity, WorkerStats};
+pub use trace::{
+    CriticalPathReport, IterCritical, SpanKind, SpanRecord, TraceCtx, Track, WorkerCritical,
+};

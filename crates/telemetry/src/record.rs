@@ -8,6 +8,7 @@
 
 use crate::json::{self, Object};
 use crate::recorder::{Counter, Phase, Recorder};
+use crate::trace::CriticalPathReport;
 use std::io::Write;
 use std::path::Path;
 
@@ -90,6 +91,7 @@ pub struct RunRecord {
     traffic: Option<TrafficSummary>,
     pool: Option<PoolCounters>,
     workspace: Option<WorkspaceCounters>,
+    critical: Option<CriticalPathReport>,
     extra: Vec<(String, f64)>,
 }
 
@@ -137,6 +139,14 @@ impl RunRecord {
     /// run.
     pub fn with_workspace_counters(mut self, workspace: WorkspaceCounters) -> Self {
         self.workspace = Some(workspace);
+        self
+    }
+
+    /// Attaches the critical-path analysis extracted from a traced run:
+    /// per-iteration `critical_iter` lines (which worker gated the
+    /// generator update) plus per-worker `straggler` rollup lines.
+    pub fn with_critical_path(mut self, report: CriticalPathReport) -> Self {
+        self.critical = Some(report);
         self
     }
 
@@ -242,6 +252,34 @@ impl RunRecord {
                     .field_u64("total_bytes", t.total_bytes())
                     .build(),
             );
+        }
+
+        if let Some(cp) = &self.critical {
+            for it in &cp.iters {
+                lines.push(
+                    Object::new()
+                        .field_str("type", "critical_iter")
+                        .field_u64("iter", it.iter)
+                        .field_u64("gating_worker", u64::from(it.gating_worker))
+                        .field_u64("gate_ns", it.gate_ns)
+                        .field_u64("retries", u64::from(it.retries))
+                        .field_u64("retry_delay_ns", it.retry_delay_ns)
+                        .build(),
+                );
+            }
+            for w in &cp.per_worker {
+                lines.push(
+                    Object::new()
+                        .field_str("type", "straggler")
+                        .field_u64("worker", u64::from(w.worker))
+                        .field_u64("gated", w.gated)
+                        .field_u64("observed", w.observed)
+                        .field_u64("slack_mean_ns", w.slack_mean_ns())
+                        .field_u64("slack_max_ns", w.slack_max_ns)
+                        .field_u64("retries", w.retries)
+                        .build(),
+                );
+            }
         }
 
         for s in &self.scores {

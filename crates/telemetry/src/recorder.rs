@@ -2,6 +2,7 @@
 
 use crate::event::{Event, TimedEvent};
 use crate::hist::{Histogram, HistogramSnapshot};
+use crate::trace::{SpanKind, SpanRecord, TraceCtx, Tracer, Track};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -147,6 +148,17 @@ impl Counter {
 }
 
 /// Output verbosity, usually read from the `TELEMETRY` env var.
+///
+/// The tiers are cumulative — each includes everything below it. This is
+/// the single source of truth for what each tier means (the README table
+/// is generated from the [`Verbosity::from_env`] contract):
+///
+/// | `TELEMETRY`          | tier    | behavior |
+/// |----------------------|---------|----------|
+/// | unset, `0`, `off`    | `Off`   | recording disabled; every probe is one branch |
+/// | `1`, `on`, `table`   | `Table` | record; print the end-of-run table |
+/// | `2`, `jsonl`, `full` | `Jsonl` | as `Table`, plus dump retained events as JSONL |
+/// | `3`, `trace`         | `Trace` | as `Jsonl`, plus capture causal spans for Chrome-trace export |
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Verbosity {
     /// Recording disabled; every probe is a single branch.
@@ -156,12 +168,16 @@ pub enum Verbosity {
     Table,
     /// As `Table`, plus dump retained events as JSONL to stdout.
     Jsonl,
+    /// As `Jsonl`, plus capture causal spans (see [`crate::trace`]) for
+    /// Chrome-trace export.
+    Trace,
 }
 
 impl Verbosity {
     /// Parses the `TELEMETRY` environment variable:
     /// unset/`0`/`off` → `Off`, `1`/`on`/`table` → `Table`,
-    /// `2`/`jsonl`/`full` → `Jsonl`. Unknown values → `Off`.
+    /// `2`/`jsonl`/`full` → `Jsonl`, `3`/`trace` → `Trace`.
+    /// Unknown values → `Off`.
     pub fn from_env() -> Self {
         match std::env::var("TELEMETRY")
             .unwrap_or_default()
@@ -170,6 +186,7 @@ impl Verbosity {
         {
             "1" | "on" | "table" => Verbosity::Table,
             "2" | "jsonl" | "full" => Verbosity::Jsonl,
+            "3" | "trace" => Verbosity::Trace,
             _ => Verbosity::Off,
         }
     }
@@ -211,6 +228,7 @@ pub struct Recorder {
     counters: [AtomicU64; Counter::COUNT],
     workers: Mutex<Vec<WorkerStats>>,
     ring: Mutex<Ring>,
+    tracer: Tracer,
 }
 
 impl Default for Recorder {
@@ -233,6 +251,7 @@ impl Recorder {
                 cap: DEFAULT_EVENT_CAP,
                 dropped: 0,
             }),
+            tracer: Tracer::new(enabled && verbosity >= Verbosity::Trace),
         }
     }
 
@@ -244,6 +263,14 @@ impl Recorder {
     /// A recording recorder with no end-of-run printing.
     pub fn enabled() -> Self {
         Self::with_enabled(true, Verbosity::Off)
+    }
+
+    /// A recording recorder with span capture on and no end-of-run
+    /// printing (programmatic alternative to `TELEMETRY=3`).
+    pub fn traced() -> Self {
+        let mut r = Self::with_enabled(true, Verbosity::Off);
+        r.tracer = Tracer::new(true);
+        r
     }
 
     /// A recorder honoring an explicit verbosity (recording iff not `Off`).
@@ -277,7 +304,139 @@ impl Recorder {
     pub fn span(&self, phase: Phase) -> Span<'_> {
         Span {
             inner: self.enabled.then(|| (self, phase, Instant::now())),
+            trace: None,
         }
+    }
+
+    /// Whether causal span capture is on (`TELEMETRY=3` or
+    /// [`Recorder::traced`]).
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Opens the root span of generator iteration `iter` on the server
+    /// track; children nest under the guard's [`TraceSpan::ctx`]. Inert
+    /// (and `ctx()` is [`TraceCtx::NONE`]) when tracing is off.
+    #[must_use = "a trace span records on drop; binding it to _ drops immediately"]
+    pub fn trace_root(&self, iter: u64) -> TraceSpan<'_> {
+        self.trace_span_inner(
+            SpanKind::Iter,
+            Track::Server,
+            TraceCtx {
+                trace: iter + 1,
+                span: 0,
+            },
+            iter,
+        )
+    }
+
+    /// Opens a child trace span under `parent` on `track` at virtual tick
+    /// `tick`. Inert when tracing is off or `parent` is untraced.
+    #[must_use = "a trace span records on drop; binding it to _ drops immediately"]
+    pub fn trace_span(
+        &self,
+        kind: SpanKind,
+        track: Track,
+        parent: TraceCtx,
+        tick: u64,
+    ) -> TraceSpan<'_> {
+        if parent.is_none() {
+            return TraceSpan { inner: None };
+        }
+        self.trace_span_inner(kind, track, parent, tick)
+    }
+
+    fn trace_span_inner(
+        &self,
+        kind: SpanKind,
+        track: Track,
+        parent: TraceCtx,
+        tick: u64,
+    ) -> TraceSpan<'_> {
+        TraceSpan {
+            inner: self.tracer.is_enabled().then(|| TraceSlot {
+                rec: self,
+                kind,
+                track,
+                trace: parent.trace,
+                span: self.tracer.mint(),
+                parent: parent.span,
+                tick,
+                t0_ns: self.elapsed_ns(),
+            }),
+        }
+    }
+
+    /// Records an instant (zero-duration) span and returns its id, or 0
+    /// when tracing is off or `parent` is untraced. The id is what message
+    /// envelopes carry so receivers can link back to the send attempt.
+    pub fn trace_instant(&self, kind: SpanKind, track: Track, parent: TraceCtx, tick: u64) -> u64 {
+        if !self.tracer.is_enabled() || parent.is_none() {
+            return 0;
+        }
+        let span = self.tracer.mint();
+        let t = self.elapsed_ns();
+        self.tracer.push(SpanRecord {
+            trace: parent.trace,
+            span,
+            parent: parent.span,
+            kind,
+            track,
+            t0_ns: t,
+            t1_ns: t,
+            tick,
+        });
+        span
+    }
+
+    /// Records a tensor-pool job slice of duration `busy` that just ended
+    /// on helper thread `slot` (the pool's trace hook calls this).
+    pub fn trace_pool_task(&self, slot: usize, busy: Duration) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let t1 = self.elapsed_ns();
+        let d = busy.as_nanos() as u64;
+        self.tracer.push(SpanRecord {
+            trace: 0,
+            span: self.tracer.mint(),
+            parent: 0,
+            kind: SpanKind::PoolTask,
+            track: Track::Pool(slot as u32),
+            t0_ns: t1.saturating_sub(d),
+            t1_ns: t1,
+            tick: 0,
+        });
+    }
+
+    /// Like [`Recorder::span`], but the phase timing additionally lands in
+    /// the causal trace as a span on `track` under `parent` (when tracing
+    /// is on). Use [`Span::ctx`] to nest message sends under it.
+    #[must_use = "a span records on drop; binding it to _ drops immediately"]
+    pub fn span_at(&self, phase: Phase, track: Track, parent: TraceCtx, tick: u64) -> Span<'_> {
+        Span {
+            inner: self.enabled.then(|| (self, phase, Instant::now())),
+            trace: (self.tracer.is_enabled() && !parent.is_none()).then(|| TraceSlot {
+                rec: self,
+                kind: SpanKind::Phase(phase),
+                track,
+                trace: parent.trace,
+                span: self.tracer.mint(),
+                parent: parent.span,
+                tick,
+                t0_ns: self.elapsed_ns(),
+            }),
+        }
+    }
+
+    /// Copies out every captured span, ordered by start time.
+    pub fn trace_spans(&self) -> Vec<SpanRecord> {
+        self.tracer.collect()
+    }
+
+    /// Spans discarded because the capture cap was reached.
+    pub fn trace_spans_dropped(&self) -> u64 {
+        self.tracer.dropped()
     }
 
     /// Records an externally measured duration into `phase`.
@@ -462,15 +621,85 @@ pub(crate) fn fmt_ns(ns: u64) -> String {
     }
 }
 
-/// RAII phase timer returned by [`Recorder::span`].
+/// The trace half of an open span: everything needed to emit its
+/// [`SpanRecord`] on drop.
+struct TraceSlot<'a> {
+    rec: &'a Recorder,
+    kind: SpanKind,
+    track: Track,
+    trace: u64,
+    span: u64,
+    parent: u64,
+    tick: u64,
+    t0_ns: u64,
+}
+
+impl TraceSlot<'_> {
+    fn finish(self) {
+        let t1_ns = self.rec.elapsed_ns();
+        self.rec.tracer.push(SpanRecord {
+            trace: self.trace,
+            span: self.span,
+            parent: self.parent,
+            kind: self.kind,
+            track: self.track,
+            t0_ns: self.t0_ns,
+            t1_ns,
+            tick: self.tick,
+        });
+    }
+}
+
+/// RAII phase timer returned by [`Recorder::span`] / [`Recorder::span_at`].
 pub struct Span<'a> {
     inner: Option<(&'a Recorder, Phase, Instant)>,
+    trace: Option<TraceSlot<'a>>,
+}
+
+impl Span<'_> {
+    /// The context to record children (e.g. message sends) under:
+    /// this span's own coordinates, or [`TraceCtx::NONE`] when untraced.
+    pub fn ctx(&self) -> TraceCtx {
+        self.trace.as_ref().map_or(TraceCtx::NONE, |t| TraceCtx {
+            trace: t.trace,
+            span: t.span,
+        })
+    }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some((rec, phase, t0)) = self.inner.take() {
             rec.phases[phase.index()].record(t0.elapsed().as_nanos() as u64);
+        }
+        if let Some(trace) = self.trace.take() {
+            trace.finish();
+        }
+    }
+}
+
+/// RAII causal span returned by [`Recorder::trace_root`] /
+/// [`Recorder::trace_span`]. Purely a trace artifact: it feeds no
+/// histogram.
+pub struct TraceSpan<'a> {
+    inner: Option<TraceSlot<'a>>,
+}
+
+impl TraceSpan<'_> {
+    /// The context to record children under ([`TraceCtx::NONE`] when
+    /// untraced).
+    pub fn ctx(&self) -> TraceCtx {
+        self.inner.as_ref().map_or(TraceCtx::NONE, |t| TraceCtx {
+            trace: t.trace,
+            span: t.span,
+        })
+    }
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.inner.take() {
+            slot.finish();
         }
     }
 }
@@ -589,6 +818,96 @@ mod tests {
         assert!(t.contains("eval"));
         assert!(!t.contains("g_update"));
         assert!(t.contains("iterations=1"));
+    }
+
+    #[test]
+    fn tracing_off_yields_inert_guards() {
+        // Enabled-but-untraced: histograms record, spans don't.
+        let r = Recorder::enabled();
+        assert!(!r.trace_enabled());
+        let root = r.trace_root(0);
+        assert_eq!(root.ctx(), TraceCtx::NONE);
+        {
+            let s = r.span_at(Phase::GUpdate, Track::Server, root.ctx(), 0);
+            assert_eq!(s.ctx(), TraceCtx::NONE);
+        }
+        assert_eq!(
+            r.trace_instant(
+                SpanKind::Send {
+                    to: 1,
+                    bytes: 8,
+                    attempt: 1
+                },
+                Track::Server,
+                root.ctx(),
+                0
+            ),
+            0
+        );
+        drop(root);
+        assert_eq!(r.phase_stats(Phase::GUpdate).count, 1);
+        assert!(r.trace_spans().is_empty());
+    }
+
+    #[test]
+    fn traced_spans_nest_under_the_iteration_root() {
+        let r = Recorder::traced();
+        assert!(r.trace_enabled());
+        let root_id;
+        let phase_id;
+        {
+            let root = r.trace_root(4);
+            root_id = root.ctx().span;
+            assert_eq!(root.ctx().trace, 5);
+            let s = r.span_at(Phase::DFeedback, Track::Worker(2), root.ctx(), 4);
+            phase_id = s.ctx().span;
+            let sent = r.trace_instant(
+                SpanKind::Send {
+                    to: 0,
+                    bytes: 64,
+                    attempt: 1,
+                },
+                Track::Worker(2),
+                s.ctx(),
+                4,
+            );
+            assert_ne!(sent, 0);
+        }
+        let spans = r.trace_spans();
+        assert_eq!(spans.len(), 3);
+        assert!(spans.iter().all(|s| s.trace == 5 && s.tick == 4));
+        let send = spans
+            .iter()
+            .find(|s| matches!(s.kind, SpanKind::Send { .. }))
+            .unwrap();
+        assert_eq!(send.parent, phase_id);
+        assert_eq!(send.t0_ns, send.t1_ns, "instant span");
+        let phase = spans.iter().find(|s| s.span == phase_id).unwrap();
+        assert_eq!(phase.parent, root_id);
+        assert!(phase.t1_ns >= phase.t0_ns);
+        // The phase span also fed its histogram.
+        assert_eq!(r.phase_stats(Phase::DFeedback).count, 1);
+        assert_eq!(r.trace_spans_dropped(), 0);
+    }
+
+    #[test]
+    fn verbosity_trace_enables_capture() {
+        let r = Recorder::with_verbosity(Verbosity::Trace);
+        assert!(r.is_enabled() && r.trace_enabled());
+        let _ = r.trace_root(0);
+        assert_eq!(r.trace_spans().len(), 1);
+        assert!(Verbosity::Trace > Verbosity::Jsonl);
+    }
+
+    #[test]
+    fn pool_task_spans_land_on_pool_tracks() {
+        let r = Recorder::traced();
+        r.trace_pool_task(3, Duration::from_nanos(500));
+        let spans = r.trace_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].kind, SpanKind::PoolTask);
+        assert_eq!(spans[0].track, Track::Pool(3));
+        assert_eq!(spans[0].t1_ns - spans[0].t0_ns, 500);
     }
 
     #[test]

@@ -32,8 +32,8 @@
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -79,6 +79,41 @@ static JOBS: AtomicU64 = AtomicU64::new(0);
 static SEQ_JOBS: AtomicU64 = AtomicU64::new(0);
 static TASKS: AtomicU64 = AtomicU64::new(0);
 static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// Observer invoked with `(slot, busy)` after each pool-worker job slice.
+///
+/// Distributed-training harnesses install one to mirror pool activity onto
+/// their tracing timeline (one track per pool thread). The `AtomicBool`
+/// fast-gate keeps the cost of the common no-hook case to a single relaxed
+/// load per slice — the `Mutex` is only touched while a hook is installed.
+pub type PoolTraceHook = Arc<dyn Fn(usize, Duration) + Send + Sync>;
+
+static TRACE_HOOK_SET: AtomicBool = AtomicBool::new(false);
+static TRACE_HOOK: Mutex<Option<PoolTraceHook>> = Mutex::new(None);
+
+/// Installs (or with `None`, removes) the process-wide pool trace hook.
+///
+/// The hook runs on pool-worker threads after every job slice; it must not
+/// dispatch parallel work itself. Replacing an existing hook is allowed;
+/// in-flight slices may still report to the hook they started under.
+pub fn set_trace_hook(hook: Option<PoolTraceHook>) {
+    let mut slot = TRACE_HOOK.lock().unwrap_or_else(PoisonError::into_inner);
+    TRACE_HOOK_SET.store(hook.is_some(), Ordering::Release);
+    *slot = hook;
+}
+
+/// Fires the trace hook for a finished slice; one branch when no hook is set.
+fn note_pool_slice(slot: usize, busy: Duration) {
+    if TRACE_HOOK_SET.load(Ordering::Relaxed) {
+        let hook = TRACE_HOOK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if let Some(h) = hook {
+            h(slot, busy);
+        }
+    }
+}
 
 thread_local! {
     /// True on pool workers (always) and on callers while they execute
@@ -182,7 +217,9 @@ fn worker_loop(rx: Receiver<Job>) {
             }
             Err(_) => shared.panicked.store(true, Ordering::Relaxed),
         }
-        BUSY_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let busy = t0.elapsed();
+        BUSY_NS.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        note_pool_slice(job.slot, busy);
         // Clone the caller handle *before* the decrement: once `remaining`
         // hits zero the caller may invalidate `shared` at any moment.
         let caller = shared.caller.clone();
@@ -357,6 +394,24 @@ mod tests {
         // of the two stacked ones).
         let p2 = with_scratch(64, |a| a.as_ptr() as usize);
         assert!(p2 == p1.0 || p2 == p1.1);
+    }
+
+    #[test]
+    fn trace_hook_sees_worker_slices_and_uninstalls() {
+        let fired = Arc::new(TestCounter::new(0));
+        let seen = Arc::clone(&fired);
+        set_trace_hook(Some(Arc::new(move |slot, busy| {
+            assert!(slot >= 1, "only pool workers report, caller is slot 0");
+            assert!(busy <= Duration::from_secs(60));
+            seen.fetch_add(1, Ordering::Relaxed);
+        })));
+        run(3, 32, &|_| {});
+        set_trace_hook(None);
+        let after = fired.load(Ordering::Relaxed);
+        // Two helper slots each executed one slice.
+        assert!(after >= 2, "hook fired {after} times");
+        run(3, 32, &|_| {});
+        assert_eq!(fired.load(Ordering::Relaxed), after, "hook not removed");
     }
 
     #[test]
