@@ -2,7 +2,7 @@
 
 use md_nn::gan::GenLossMode;
 use md_nn::optim::AdamConfig;
-use md_simnet::{CrashSchedule, FaultPlan};
+use md_simnet::{ChurnPlan, CrashSchedule, FaultPlan};
 use serde::{Deserialize, Serialize};
 
 /// Knobs for the oracle-free robust runtimes: bounded retransmission,
@@ -29,6 +29,11 @@ pub struct RobustnessConfig {
     /// Fraction of the expected feedbacks required to apply a generator
     /// update (at least one feedback is always required).
     pub quorum_frac: f32,
+    /// Consecutive misses a *suspected* worker accumulates before it is
+    /// permanently evicted from the cluster (`suspect_after + evict_after`
+    /// total misses). `0` disables eviction — suspicion then stays
+    /// indefinitely reversible, the pre-elastic behavior.
+    pub evict_after: u32,
 }
 
 impl Default for RobustnessConfig {
@@ -41,6 +46,7 @@ impl Default for RobustnessConfig {
             suspect_after: 2,
             probe_period: 8,
             quorum_frac: 0.5,
+            evict_after: 0,
         }
     }
 }
@@ -156,6 +162,10 @@ pub struct MdGanConfig {
     /// Robust-runtime knobs (timeouts, retries, failure detection).
     #[serde(skip)]
     pub robust: RobustnessConfig,
+    /// Elastic-membership schedule (joins, graceful leaves, crashes);
+    /// [`ChurnPlan::none`] keeps the paper's fixed N-worker star.
+    #[serde(skip)]
+    pub churn: ChurnPlan,
 }
 
 impl Default for MdGanConfig {
@@ -171,6 +181,7 @@ impl Default for MdGanConfig {
             crash: CrashSchedule::none(),
             fault: FaultPlan::none(),
             robust: RobustnessConfig::default(),
+            churn: ChurnPlan::none(),
         }
     }
 }
@@ -180,6 +191,13 @@ impl MdGanConfig {
     /// fault-tolerant) path: an active fault plan or an explicit opt-in.
     pub fn is_robust(&self) -> bool {
         self.robust.enabled || !self.fault.is_none()
+    }
+
+    /// Total worker slots a run needs: the `workers` initial members plus
+    /// one pre-allocated slot per planned joiner, so every runtime builds
+    /// the same worker universe (models, RNG forks, shards) up front.
+    pub fn total_workers(&self) -> usize {
+        self.churn.max_workers(self.workers)
     }
 
     /// Global iterations between two swap events: `⌊m·E/b⌋` for local

@@ -951,6 +951,135 @@ pub fn run_lossy_faults_with(
     out
 }
 
+/// One point of the elastic-membership degradation sweep.
+#[derive(Clone, Debug)]
+pub struct ElasticPoint {
+    /// Initial cluster size `N` the run started with.
+    pub workers: usize,
+    /// Per-iteration per-kind churn probability the plan was seeded with.
+    pub churn_rate: f64,
+    /// Join events the plan fired.
+    pub joins: usize,
+    /// Graceful-leave events the plan fired.
+    pub leaves: usize,
+    /// Crash events the plan fired.
+    pub crashes: usize,
+    /// Workers alive when the run ended.
+    pub final_alive: usize,
+    /// Smoothed final scores.
+    pub final_scores: GanScores,
+    /// Traffic moved (bootstrap transfers included).
+    pub traffic: TrafficReport,
+}
+
+impl ElasticPoint {
+    /// CSV row
+    /// `workers,churn_rate,joins,leaves,crashes,final_alive,is,fid,bytes_sent`.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            self.workers,
+            self.churn_rate,
+            self.joins,
+            self.leaves,
+            self.crashes,
+            self.final_alive,
+            self.final_scores.inception_score,
+            self.final_scores.fid,
+            self.traffic.bytes_sent(),
+        )
+    }
+
+    /// CSV header matching [`to_csv_row`](Self::to_csv_row).
+    pub fn csv_header() -> &'static str {
+        "workers,churn_rate,joins,leaves,crashes,final_alive,is,fid,bytes_sent\n"
+    }
+}
+
+/// Elastic-membership sweep: MD-GAN (sequential runtime, oracle mode)
+/// under seeded churn, one run per (cluster size × churn rate) cell. Each
+/// run draws its own [`ChurnPlan`](md_simnet::ChurnPlan) from `churn_seed`
+/// with equal join/leave/crash rates; the returned degradation grid shows
+/// final scores against how much of the cluster turned over.
+pub fn run_elastic(
+    family: Family,
+    arch: ArchKind,
+    scale: ExperimentScale,
+    workers: &[usize],
+    churn_rates: &[f64],
+    churn_seed: u64,
+) -> Vec<ElasticPoint> {
+    run_elastic_with(
+        family,
+        arch,
+        scale,
+        workers,
+        churn_rates,
+        churn_seed,
+        &Arc::new(Recorder::disabled()),
+    )
+}
+
+/// [`run_elastic`] with every run attached to `telemetry`; the recorder
+/// then accumulates join/leave/eviction/bootstrap counters across the
+/// whole sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn run_elastic_with(
+    family: Family,
+    arch: ArchKind,
+    scale: ExperimentScale,
+    workers: &[usize],
+    churn_rates: &[f64],
+    churn_seed: u64,
+    telemetry: &Arc<Recorder>,
+) -> Vec<ElasticPoint> {
+    use md_simnet::{ChurnKind, ChurnPlan};
+    let (train, test) = make_dataset(family, &scale);
+    let spec = arch_for(family, arch, scale.img);
+    let mut evaluator = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
+    let mut out = Vec::new();
+    for &n in workers {
+        for &rate in churn_rates {
+            let churn = ChurnPlan::seeded(churn_seed, n, scale.iters, rate, rate, rate);
+            let (joins, leaves, crashes) = (
+                churn.joins(),
+                churn.count(ChurnKind::Leave),
+                churn.count(ChurnKind::Crash),
+            );
+            let total = churn.max_workers(n);
+            let mut rng = Rng64::seed_from_u64(scale.seed ^ 0xE1A57);
+            let shards = train.shard_iid(total, &mut rng);
+            let cfg = MdGanConfig {
+                workers: n,
+                k: KPolicy::LogN,
+                epochs_per_swap: 1.0,
+                swap: SwapPolicy::Derangement,
+                hyper: GanHyper {
+                    batch: 10,
+                    ..GanHyper::default()
+                },
+                iterations: scale.iters,
+                seed: scale.seed ^ 0xE1A,
+                churn,
+                ..MdGanConfig::default()
+            };
+            let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(telemetry));
+            let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
+            out.push(ElasticPoint {
+                workers: n,
+                churn_rate: rate,
+                joins,
+                leaves,
+                crashes,
+                final_alive: md.membership().alive_count(),
+                final_scores: timeline.final_scores(3).expect("timeline has points"),
+                traffic: md.traffic(),
+            });
+        }
+    }
+    out
+}
+
 /// Figure 6: the CelebA-like validation. Standalone and FL-GAN use
 /// `b_large` with the paper's baseline Adam settings; MD-GAN uses
 /// `b_large / 5` with its own settings (the paper's 200 vs 40), over
@@ -1363,5 +1492,49 @@ mod tests {
         assert!(points[1].traffic.dropped_bytes > 0, "30% drop run");
         assert!(rec.counter(md_telemetry::Counter::MsgsDropped) > 0);
         assert!(rec.counter(md_telemetry::Counter::Retries) > 0);
+    }
+
+    #[test]
+    fn elastic_sweep_produces_degradation_grid() {
+        let mut scale = ExperimentScale::quick();
+        scale.iters = 10;
+        scale.eval_every = 5;
+        let rec = Arc::new(Recorder::enabled());
+        let points = run_elastic_with(
+            Family::MnistLike,
+            ArchKind::Mlp,
+            scale,
+            &[3, 4],
+            &[0.0, 0.25],
+            7,
+            &rec,
+        );
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(
+                p.final_scores.fid.is_finite(),
+                "cell ({}, {})",
+                p.workers,
+                p.churn_rate
+            );
+            assert_eq!(p.to_csv_row().split(',').count(), 9);
+            if p.churn_rate == 0.0 {
+                assert_eq!((p.joins, p.leaves, p.crashes), (0, 0, 0));
+                assert_eq!(p.final_alive, p.workers);
+            } else {
+                assert_eq!(p.final_alive, p.workers + p.joins - p.leaves - p.crashes);
+            }
+        }
+        // The 25%-per-kind cells actually churned and telemetry saw it.
+        assert!(points.iter().any(|p| p.joins > 0));
+        assert_eq!(
+            rec.counter(md_telemetry::Counter::WorkersJoined),
+            points.iter().map(|p| p.joins as u64).sum::<u64>()
+        );
+        assert_eq!(
+            rec.counter(md_telemetry::Counter::Bootstraps),
+            rec.counter(md_telemetry::Counter::WorkersJoined),
+            "every joiner found an alive bootstrap source"
+        );
     }
 }

@@ -23,7 +23,9 @@ use crate::standalone::StandaloneGan;
 use md_data::Dataset;
 use md_nn::gan::Generator;
 use md_nn::param::{average, param_bytes};
-use md_simnet::{TrafficReport, TrafficStats};
+use md_simnet::{
+    ChurnEvent, ChurnKind, ChurnPlan, MemberStatus, Membership, TrafficReport, TrafficStats,
+};
 use md_telemetry::{Counter, Event, Phase, Recorder, SpanKind, TraceCtx, Track};
 use md_tensor::rng::Rng64;
 use std::sync::Arc;
@@ -34,6 +36,8 @@ pub struct GossipGan {
     /// A scoring-only generator holding the current all-worker average.
     observer_gen: Generator,
     cfg: FlGanConfig,
+    churn: ChurnPlan,
+    membership: Membership,
     stats: TrafficStats,
     gossip_rng: Rng64,
     round_interval: usize,
@@ -46,7 +50,27 @@ impl GossipGan {
     /// Builds N independent local GANs (no initial synchronization — the
     /// gossip protocol has no coordinator to broadcast from).
     pub fn new(spec: &ArchSpec, shards: Vec<Dataset>, cfg: FlGanConfig) -> Self {
-        assert_eq!(shards.len(), cfg.workers, "one shard per worker required");
+        Self::new_elastic(spec, shards, cfg, ChurnPlan::none())
+    }
+
+    /// Builds an elastic gossip system whose membership follows `churn`.
+    /// `shards` must cover every worker that will *ever* exist (initial
+    /// members plus planned joiners); joiner slots sit idle (`Pending`,
+    /// never trained, never gossiped with) until their join fires.
+    pub fn new_elastic(
+        spec: &ArchSpec,
+        shards: Vec<Dataset>,
+        cfg: FlGanConfig,
+        churn: ChurnPlan,
+    ) -> Self {
+        let churn = ChurnPlan::from_events(cfg.workers, churn.events().to_vec())
+            .expect("invalid churn plan");
+        let total = churn.max_workers(cfg.workers);
+        assert_eq!(
+            shards.len(),
+            total,
+            "one shard per worker (including planned joiners) required"
+        );
         assert!(cfg.workers > 0, "gossip GAN needs at least one worker");
         let mut master = Rng64::seed_from_u64(cfg.seed ^ 0x605517);
         let shard_size = shards[0].len();
@@ -61,12 +85,15 @@ impl GossipGan {
             })
             .collect();
         let round_interval = cfg.round_interval(shard_size);
-        let stats = TrafficStats::new(1 + cfg.workers);
+        let stats = TrafficStats::new(1 + total);
         let gossip_rng = master.fork(0x605);
+        let membership = Membership::new(cfg.workers, total);
         GossipGan {
             workers,
             observer_gen,
             cfg,
+            churn,
+            membership,
             stats,
             gossip_rng,
             round_interval,
@@ -112,32 +139,97 @@ impl GossipGan {
         self.stats.report()
     }
 
+    /// The current membership view (epoch-numbered; all-alive when no
+    /// churn plan is attached).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
     /// The observer's averaged generator (refreshed lazily on evaluation).
+    /// Only currently-alive workers contribute: departed peers hold stale
+    /// parameters and pending joiners hold untrained ones.
     pub fn observer_generator(&mut self) -> &mut Generator {
-        let gens: Vec<Vec<f32>> = self.workers.iter().map(|w| w.params().0).collect();
+        let gens: Vec<Vec<f32>> = self
+            .membership
+            .alive()
+            .into_iter()
+            .map(|s| self.workers[s].params().0)
+            .collect();
         self.observer_gen.net.set_params_flat(&average(&gens));
         &mut self.observer_gen
     }
 
-    /// One local iteration on every worker; a gossip round when due.
+    /// One local iteration on every alive worker; a gossip round when due.
+    /// Churn events scheduled for this iteration fire first (there is no
+    /// server to sequence them, so all kinds apply at the step boundary).
     pub fn step(&mut self) {
         let tick = self.iter as u64;
         let telemetry = Arc::clone(&self.telemetry);
         let root = telemetry.trace_root(tick);
         let rctx = root.ctx();
+        let events: Vec<ChurnEvent> = self.churn.events_at(self.iter).copied().collect();
+        for ev in events {
+            self.apply_churn(ev);
+        }
         let span = telemetry.span_at(Phase::LocalTrain, Track::Server, rctx, tick);
-        for (i, w) in self.workers.iter_mut().enumerate() {
-            w.step();
-            self.telemetry.worker_local_step(1 + i);
+        for slot in self.membership.alive() {
+            self.workers[slot].step();
+            self.telemetry.worker_local_step(1 + slot);
         }
         drop(span);
         self.iter += 1;
         self.telemetry.event(Event::IterDone {
             iter: self.iter - 1,
-            alive: self.workers.len(),
+            alive: self.membership.alive_count(),
         });
         if self.iter.is_multiple_of(self.round_interval) {
             self.gossip_round(rctx, tick);
+        }
+    }
+
+    /// Applies one membership transition. A joiner bootstraps by copying
+    /// both networks from its lowest-id alive peer — a real peer-to-peer
+    /// transfer charged at full parameter cost on the W→W link (gossip has
+    /// no server to hold a snapshot). With no alive peer the joiner keeps
+    /// its fresh deterministic initialization.
+    fn apply_churn(&mut self, ev: ChurnEvent) {
+        let slot = ev.worker - 1;
+        self.membership
+            .apply(&ev)
+            .expect("churn plan validated at construction");
+        match ev.kind {
+            ChurnKind::Crash => {
+                self.telemetry.event(Event::WorkerFault {
+                    iter: self.iter,
+                    worker: slot + 1,
+                });
+            }
+            ChurnKind::Join => {
+                self.telemetry.event(Event::WorkerJoined {
+                    iter: self.iter,
+                    worker: slot + 1,
+                });
+                if let Some(src) = self.membership.alive().into_iter().find(|&s| s != slot) {
+                    let (g, d) = self.workers[src].params();
+                    let bytes = param_bytes(g.len() + d.len());
+                    self.stats.record(src + 1, slot + 1, bytes);
+                    self.telemetry.incr(Counter::MsgsSent, 1);
+                    self.telemetry.incr(Counter::BytesSent, bytes);
+                    self.workers[slot].set_params(&g, &d);
+                    self.telemetry.event(Event::BootstrapDone {
+                        iter: self.iter,
+                        worker: slot + 1,
+                        bytes,
+                    });
+                }
+            }
+            ChurnKind::Leave => {
+                self.stats.retire(slot + 1);
+                self.telemetry.event(Event::WorkerLeft {
+                    iter: self.iter,
+                    worker: slot + 1,
+                });
+            }
         }
     }
 
@@ -145,7 +237,8 @@ impl GossipGan {
     /// exactly one directed exchange) and the pair averages both networks.
     /// Each exchange moves `|w| + |θ|` floats in each direction.
     fn gossip_round(&mut self, rctx: TraceCtx, tick: u64) {
-        let n = self.workers.len();
+        let alive = self.membership.alive();
+        let n = alive.len();
         if n < 2 {
             return;
         }
@@ -153,13 +246,19 @@ impl GossipGan {
             .telemetry
             .span_at(Phase::Comm, Track::Server, rctx, tick);
         let cctx = span.ctx();
+        // The derangement runs over *positions in the alive view*, so the
+        // pairing RNG consumes exactly one draw per round regardless of
+        // which slots the members occupy (and is unchanged from the fixed-
+        // membership behaviour when no churn plan is attached).
         let perm = self.gossip_rng.derangement(n);
         // Snapshot first: all exchanges use pre-round parameters (a
         // synchronous gossip round, matching the emulation methodology).
-        let params: Vec<(Vec<f32>, Vec<f32>)> = self.workers.iter().map(|w| w.params()).collect();
-        for (src, &dst) in perm.iter().enumerate() {
-            let (sg, sd) = &params[src];
-            let (dg, dd) = &params[dst];
+        let params: Vec<(Vec<f32>, Vec<f32>)> =
+            alive.iter().map(|&s| self.workers[s].params()).collect();
+        for (spos, &dpos) in perm.iter().enumerate() {
+            let (src, dst) = (alive[spos], alive[dpos]);
+            let (sg, sd) = &params[spos];
+            let (dg, dd) = &params[dpos];
             // src pushes to dst; dst's post state averages the two.
             let bytes = param_bytes(sg.len() + sd.len());
             self.stats.record(src + 1, dst + 1, bytes);
@@ -247,6 +346,12 @@ impl GossipGan {
         ck.push_u64("rng_gossip", self.gossip_rng.state_words().to_vec());
         ck.push_u64("counters", vec![self.exchanges]);
         ck.push_u64("traffic", self.stats.state_words());
+        if !self.churn.is_none() {
+            // Membership only exists as a section when a churn plan is
+            // attached, keeping churn-free checkpoints byte-identical to
+            // the pre-elastic format.
+            ck.push_u64("membership", self.membership.state_words());
+        }
         for (i, w) in self.workers.iter().enumerate() {
             ck.push_bytes(format!("worker_{i}"), w.checkpoint().to_bytes().to_vec());
         }
@@ -271,6 +376,17 @@ impl GossipGan {
         self.stats
             .load_state_words(ck.require_u64("traffic").map_err(ckerr)?)
             .map_err(TrainError::Checkpoint)?;
+        if !self.churn.is_none() {
+            self.membership
+                .load_state_words(ck.require_u64("membership").map_err(ckerr)?)
+                .map_err(TrainError::Checkpoint)?;
+            // Traffic retirement is derived state: re-freeze departed slots.
+            for slot in 0..self.workers.len() {
+                if self.membership.status(slot) == MemberStatus::Left {
+                    self.stats.retire(slot + 1);
+                }
+            }
+        }
         self.iter = ck.iteration as usize;
         Ok(())
     }
@@ -449,6 +565,147 @@ mod tests {
             .events()
             .iter()
             .any(|e| e.event == Event::RoundDone { round: 0 }));
+    }
+
+    fn tiny_elastic() -> GossipGan {
+        let events = vec![
+            ChurnEvent {
+                iter: 2,
+                worker: 4,
+                kind: ChurnKind::Join,
+            },
+            ChurnEvent {
+                iter: 5,
+                worker: 1,
+                kind: ChurnKind::Crash,
+            },
+            ChurnEvent {
+                iter: 9,
+                worker: 2,
+                kind: ChurnKind::Leave,
+            },
+        ];
+        let churn = ChurnPlan::from_events(3, events).unwrap();
+        let total = churn.max_workers(3);
+        let data = mnist_like(12, total * 32, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(9);
+        let shards = data.shard_iid(total, &mut rng);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let cfg = FlGanConfig {
+            workers: 3,
+            epochs_per_round: 0.5,
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
+            iterations: 64,
+            seed: 5,
+        };
+        GossipGan::new_elastic(&spec, shards, cfg, churn)
+    }
+
+    #[test]
+    fn elastic_churn_evolves_view_and_pairs_alive_only() {
+        let rec = Arc::new(Recorder::enabled());
+        let mut g = tiny_elastic().with_telemetry(Arc::clone(&rec));
+        assert_eq!(g.round_interval(), 4);
+        for _ in 0..12 {
+            g.step();
+        }
+        use md_simnet::MemberStatus;
+        assert_eq!(g.membership().status(0), MemberStatus::Crashed);
+        assert_eq!(g.membership().status(1), MemberStatus::Left);
+        assert_eq!(g.membership().status(3), MemberStatus::Alive);
+        assert_eq!(g.membership().alive(), vec![2, 3]);
+        assert_eq!(g.membership().epoch(), 3);
+        // Rounds at 4 (4 alive), 8 (3 alive), 12 (2 alive).
+        assert_eq!(g.exchanges(), 9);
+        assert_eq!(rec.counter(Counter::WorkersJoined), 1);
+        assert_eq!(rec.counter(Counter::WorkersLeft), 1);
+        assert_eq!(rec.counter(Counter::Bootstraps), 1);
+        // The bootstrap transfer is a real W→W charge: one extra message
+        // of (|w| + |θ|) parameters on top of the 9 exchanges.
+        let per_msg = param_bytes(g.workers[2].params().0.len() + g.workers[2].params().1.len());
+        assert_eq!(g.traffic().bytes(LinkClass::WorkerToWorker), 10 * per_msg);
+        assert!(rec.events().iter().any(|e| matches!(
+            e.event,
+            Event::BootstrapDone {
+                iter: 2,
+                worker: 4,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn elastic_run_is_deterministic_and_resumable() {
+        let run = |steps: usize| {
+            let mut g = tiny_elastic();
+            for _ in 0..steps {
+                g.step();
+            }
+            g
+        };
+        let mut full = run(12);
+        let mut again = run(12);
+        assert_eq!(
+            full.observer_generator().net.get_params_flat(),
+            again.observer_generator().net.get_params_flat()
+        );
+
+        let first = run(6);
+        let ck = first.checkpoint();
+        assert!(ck.get_u64("membership").is_some());
+        let bytes = ck.to_bytes();
+        drop(first);
+        let mut resumed = tiny_elastic();
+        resumed
+            .restore(&Checkpoint::from_bytes(&bytes).unwrap())
+            .unwrap();
+        assert_eq!(resumed.membership().alive(), vec![1, 2, 3]);
+        for _ in 0..6 {
+            resumed.step();
+        }
+        assert_eq!(
+            resumed.observer_generator().net.get_params_flat(),
+            full.observer_generator().net.get_params_flat()
+        );
+        assert_eq!(resumed.traffic(), full.traffic());
+        assert_eq!(resumed.membership(), full.membership());
+    }
+
+    #[test]
+    fn churn_free_elastic_matches_plain_byte_for_byte() {
+        let build_plain = || tiny(3);
+        let build_none = || {
+            let data = mnist_like(12, 3 * 32, 1, 0.08);
+            let mut rng = Rng64::seed_from_u64(9);
+            let shards = data.shard_iid(3, &mut rng);
+            let spec = ArchSpec::mlp_mnist_scaled(12);
+            let cfg = FlGanConfig {
+                workers: 3,
+                epochs_per_round: 1.0,
+                hyper: GanHyper {
+                    batch: 4,
+                    ..GanHyper::default()
+                },
+                iterations: 64,
+                seed: 5,
+            };
+            GossipGan::new_elastic(&spec, shards, cfg, ChurnPlan::none())
+        };
+        let mut a = build_plain();
+        let mut b = build_none();
+        for _ in 0..10 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(
+            a.observer_generator().net.get_params_flat(),
+            b.observer_generator().net.get_params_flat()
+        );
+        assert_eq!(a.traffic(), b.traffic());
+        assert_eq!(a.checkpoint().to_bytes(), b.checkpoint().to_bytes());
     }
 
     #[test]

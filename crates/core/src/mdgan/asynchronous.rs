@@ -32,7 +32,7 @@ use crate::mdgan::worker::MdWorker;
 use md_data::Dataset;
 use md_nn::layer::Layer;
 use md_nn::param::{batch_bytes, param_bytes};
-use md_simnet::{FaultState, TrafficReport, TrafficStats};
+use md_simnet::{ChurnKind, ChurnPlan, FaultState, Membership, TrafficReport, TrafficStats};
 use md_telemetry::{Event, Phase, Recorder, SpanKind, TraceCtx, Track};
 use md_tensor::rng::Rng64;
 use md_tensor::Tensor;
@@ -118,6 +118,12 @@ pub struct AsyncMdGan {
     /// Instantiated fault plan (robust configs only). The async virtual
     /// tick is the applied-update count.
     fault_state: Option<FaultState>,
+    /// Epoch-numbered cluster view. Churn-plan iterations are interpreted
+    /// in *update* time (the async notion of a tick): an event with
+    /// `iter = t` fires before the event that applies update `t`.
+    membership: Membership,
+    /// Index of the next unapplied churn event (events are kept sorted).
+    churn_cursor: usize,
 }
 
 impl AsyncMdGan {
@@ -125,17 +131,23 @@ impl AsyncMdGan {
     pub fn new(spec: &ArchSpec, shards: Vec<Dataset>, cfg: MdGanConfig, acfg: AsyncConfig) -> Self {
         let object_size = shards[0].object_size();
         let shard_size = shards[0].len();
+        if !cfg.churn.is_none() {
+            ChurnPlan::from_events(cfg.workers, cfg.churn.events().to_vec())
+                .expect("invalid churn plan");
+        }
+        let total = cfg.total_workers();
         let (server, workers, mut swap_rng) = build_parts(spec, shards, &cfg);
         let sched_rng = swap_rng.fork(0xA51C);
-        let stats = TrafficStats::new(1 + cfg.workers);
+        let stats = TrafficStats::new(1 + total);
         let swap_interval = cfg.swap_interval(shard_size);
         let fault_state = cfg
             .is_robust()
-            .then(|| FaultState::new(cfg.fault.clone(), 1 + cfg.workers));
+            .then(|| FaultState::new(cfg.fault.clone(), 1 + total));
+        let membership = Membership::new(cfg.workers, total);
         AsyncMdGan {
             server,
             workers: workers.into_iter().map(Some).collect(),
-            in_flight: (0..cfg.workers).map(|_| None).collect(),
+            in_flight: (0..total).map(|_| None).collect(),
             cfg,
             acfg,
             stats,
@@ -148,7 +160,14 @@ impl AsyncMdGan {
             object_size,
             telemetry: Arc::new(Recorder::disabled()),
             fault_state,
+            membership,
+            churn_cursor: 0,
         }
+    }
+
+    /// The current membership view (epoch-numbered).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
     }
 
     /// Attaches a telemetry recorder (the default is a disabled no-op one).
@@ -277,6 +296,34 @@ impl AsyncMdGan {
         });
     }
 
+    /// Bootstraps a joining worker from the lowest-id alive worker, with
+    /// the same byte charges as the synchronous runtimes: the snapshot
+    /// travels W→C at full parameter cost, then C→W as a checkpoint-v2
+    /// blob. The transfer is control-plane reliable (never dropped), even
+    /// on a lossy data network.
+    fn bootstrap_joiner(&mut self, t: usize, slot: usize) {
+        let src = self
+            .membership
+            .alive()
+            .into_iter()
+            .find(|&s| s != slot && self.workers[s].is_some());
+        let Some(src) = src else { return };
+        let params = self.workers[src].as_ref().unwrap().disc_params();
+        self.stats.record(src + 1, 0, param_bytes(params.len()));
+        let blob = crate::mdgan::bootstrap_blob(t as u64, &params);
+        let blob_len = blob.len() as u64;
+        self.stats.record(0, slot + 1, blob_len);
+        let disc = crate::mdgan::bootstrap_disc(&blob).expect("fresh blob decodes");
+        if let Some(w) = self.workers[slot].as_mut() {
+            w.set_disc_params(&disc);
+        }
+        self.telemetry.event(Event::BootstrapDone {
+            iter: t,
+            worker: slot + 1,
+            bytes: blob_len,
+        });
+    }
+
     /// Picks which alive worker reports next. With `speed_skew = s`, the
     /// weight of the j-th alive worker is `(1-s)^j` — low ids finish first
     /// in expectation, so high ids accumulate staleness.
@@ -309,14 +356,56 @@ impl AsyncMdGan {
             if self.workers[idx].is_some() && self.cfg.crash.is_crashed(idx + 1, t) {
                 self.workers[idx] = None;
                 self.in_flight[idx] = None;
+                self.membership.crash(idx);
                 self.telemetry.event(Event::WorkerFault {
                     iter: t,
                     worker: idx + 1,
                 });
             }
         }
+        // Churn events fire once their update-time tick is reached. There
+        // is no synchronous iteration to drain through, so a graceful
+        // leave takes effect at the event boundary: the leaver's pending
+        // work is released and its traffic counters freeze.
+        let events: Vec<md_simnet::ChurnEvent> = self.cfg.churn.events().to_vec();
+        while self.churn_cursor < events.len() && events[self.churn_cursor].iter <= t {
+            let ev = events[self.churn_cursor];
+            self.churn_cursor += 1;
+            let slot = ev.worker - 1;
+            match ev.kind {
+                ChurnKind::Crash => {
+                    if self.membership.apply(&ev).is_ok() {
+                        self.workers[slot] = None;
+                        self.in_flight[slot] = None;
+                        self.telemetry.event(Event::WorkerFault {
+                            iter: t,
+                            worker: ev.worker,
+                        });
+                    }
+                }
+                ChurnKind::Join => {
+                    self.membership.apply(&ev).expect("validated churn plan");
+                    self.telemetry.event(Event::WorkerJoined {
+                        iter: t,
+                        worker: ev.worker,
+                    });
+                    self.bootstrap_joiner(t, slot);
+                }
+                ChurnKind::Leave => {
+                    if self.membership.apply(&ev).is_ok() {
+                        self.workers[slot] = None;
+                        self.in_flight[slot] = None;
+                        self.stats.retire(slot + 1);
+                        self.telemetry.event(Event::WorkerLeft {
+                            iter: t,
+                            worker: ev.worker,
+                        });
+                    }
+                }
+            }
+        }
         let alive: Vec<usize> = (0..self.workers.len())
-            .filter(|&w| self.workers[w].is_some())
+            .filter(|&w| self.workers[w].is_some() && self.membership.is_alive(w))
             .collect();
         if alive.is_empty() {
             return None;
@@ -642,6 +731,12 @@ impl AsyncMdGan {
             ],
         );
         ck.push_u64("traffic", self.stats.state_words());
+        // Only churn-enabled runs carry membership state, keeping the
+        // default-path checkpoint format byte-identical.
+        if !self.cfg.churn.is_none() {
+            ck.push_u64("membership", self.membership.state_words());
+            ck.push_u64("churn_cursor", vec![self.churn_cursor as u64]);
+        }
         ck
     }
 
@@ -749,6 +844,17 @@ impl AsyncMdGan {
         self.stats
             .load_state_words(ck.require_u64("traffic").map_err(ckerr)?)
             .map_err(TrainError::Checkpoint)?;
+        if !self.cfg.churn.is_none() {
+            self.membership
+                .load_state_words(ck.require_u64("membership").map_err(ckerr)?)
+                .map_err(TrainError::Checkpoint)?;
+            self.churn_cursor = ck.require_u64_len("churn_cursor", 1).map_err(ckerr)?[0] as usize;
+            for slot in 0..self.membership.len() {
+                if self.membership.status(slot) == md_simnet::MemberStatus::Left {
+                    self.stats.retire(slot + 1);
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -979,6 +1085,95 @@ mod tests {
         assert_eq!(md.gen_params(), before);
         assert_eq!(md.updates(), 0);
         assert_eq!(md.traffic().bytes_delivered(), 0);
+    }
+
+    fn build_churn() -> AsyncMdGan {
+        use md_simnet::ChurnEvent;
+        let events = vec![
+            ChurnEvent {
+                iter: 5,
+                worker: 5,
+                kind: ChurnKind::Join,
+            },
+            ChurnEvent {
+                iter: 10,
+                worker: 2,
+                kind: ChurnKind::Crash,
+            },
+            ChurnEvent {
+                iter: 15,
+                worker: 1,
+                kind: ChurnKind::Leave,
+            },
+        ];
+        let churn = ChurnPlan::from_events(4, events).unwrap();
+        let total = churn.max_workers(4);
+        let data = mnist_like(12, total * 32, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(4);
+        let shards = data.shard_iid(total, &mut rng);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let cfg = MdGanConfig {
+            workers: 4,
+            k: KPolicy::One,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Derangement,
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
+            iterations: 100,
+            seed: 7,
+            crash: Default::default(),
+            churn,
+            ..MdGanConfig::default()
+        };
+        AsyncMdGan::new(&spec, shards, cfg, AsyncConfig::default())
+    }
+
+    #[test]
+    fn churn_evolves_view_and_stays_deterministic() {
+        let run = || {
+            let mut md = build_churn();
+            for _ in 0..25 {
+                md.step_event();
+            }
+            (md.gen_params(), md.membership().clone(), md.traffic())
+        };
+        let (p1, m1, t1) = run();
+        let (p2, m2, t2) = run();
+        assert_eq!(p1, p2, "churned async run must be seed-deterministic");
+        assert_eq!(m1, m2);
+        assert_eq!(t1, t2);
+        // 4 initial → join (5) → crash (4) → leave (3).
+        assert_eq!(m1.alive_count(), 3);
+        assert_eq!(m1.epoch(), 3);
+        assert!(p1.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn churn_resume_is_bit_identical() {
+        let mut full = build_churn();
+        for _ in 0..20 {
+            full.step_event();
+        }
+        let mut first = build_churn();
+        for _ in 0..12 {
+            first.step_event();
+        }
+        let ck = first.checkpoint();
+        assert!(ck.get_u64("membership").is_some());
+        let bytes = ck.to_bytes();
+        drop(first);
+        let mut resumed = build_churn();
+        resumed
+            .restore(&Checkpoint::from_bytes(&bytes).unwrap())
+            .unwrap();
+        for _ in 0..8 {
+            resumed.step_event();
+        }
+        assert_eq!(resumed.gen_params(), full.gen_params());
+        assert_eq!(resumed.traffic(), full.traffic());
+        assert_eq!(resumed.membership(), full.membership());
     }
 
     #[test]

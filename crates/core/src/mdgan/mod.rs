@@ -89,6 +89,37 @@ pub enum MdMsg {
     /// without answering, so its death is observable only through missed
     /// deadlines — exactly what the failure detector must infer.
     Crash,
+    /// Server → worker: ship your discriminator parameters so a joining
+    /// worker can bootstrap from them. The worker answers with
+    /// [`Disc`](MdMsg::Disc) charged at full parameter cost — unlike
+    /// [`StateRequest`](MdMsg::StateRequest) this *is* part of the
+    /// simulated network (a join really moves a snapshot over the wire).
+    DiscPull {
+        /// Global iteration of the join (the reply's virtual tick).
+        iter: usize,
+    },
+    /// Server → joining worker: a discriminator snapshot serialized as a
+    /// checkpoint-v2 blob (see [`bootstrap_blob`]). The joiner installs it
+    /// before processing its first batches.
+    Bootstrap {
+        /// Checkpoint-v2 bytes holding one `disc` section.
+        blob: Vec<u8>,
+    },
     /// Server → worker: terminate (end of training or simulated crash).
     Stop,
+}
+
+/// Serializes a discriminator snapshot for bootstrap-on-join, reusing the
+/// checkpoint-v2 section format (CRC-protected, versioned) so the wire
+/// blob and the on-disk format stay one codebase.
+pub fn bootstrap_blob(iter: u64, disc: &[f32]) -> Vec<u8> {
+    let mut ck = crate::checkpoint::Checkpoint::new(iter);
+    ck.push("disc", disc.to_vec());
+    ck.to_bytes().to_vec()
+}
+
+/// Decodes a [`bootstrap_blob`] back into flat discriminator parameters.
+pub fn bootstrap_disc(blob: &[u8]) -> std::io::Result<Vec<f32>> {
+    let ck = crate::checkpoint::Checkpoint::from_bytes(blob)?;
+    Ok(ck.require("disc")?.to_vec())
 }

@@ -66,6 +66,20 @@ impl MdServer {
         (worker_index % k, (worker_index + 1) % k)
     }
 
+    /// SPLIT rebalanced over an explicit alive view (elastic membership):
+    /// the worker at position `p` of the ascending alive list gets the
+    /// paper's formula applied to `p` rather than to its absolute slot, so
+    /// batch load stays balanced as workers come and go. Reduces to
+    /// [`assign`](Self::assign) when the view is the full `0..n`.
+    ///
+    /// Returns `None` for workers outside the view.
+    pub fn assign_in_view(alive: &[usize], slot: usize, k: usize) -> Option<(usize, usize)> {
+        alive
+            .iter()
+            .position(|&w| w == slot)
+            .map(|p| Self::assign(p, k))
+    }
+
     /// Algorithm 1, server lines 36-40: merges the feedbacks
     /// `F_n = ∂B̃(X_g^n)/∂x` into `Δw` and applies one Adam update.
     ///
@@ -249,6 +263,67 @@ mod tests {
         assert_eq!(MdServer::assign(3, 3), (0, 1));
         // k = 1: both batches are the single one.
         assert_eq!(MdServer::assign(5, 1), (0, 0));
+    }
+
+    #[test]
+    fn assign_in_view_rebalances_over_alive_positions() {
+        // View {0, 2, 5} with k = 2: positions 0, 1, 2 get the formula.
+        let alive = [0usize, 2, 5];
+        assert_eq!(MdServer::assign_in_view(&alive, 0, 2), Some((0, 1)));
+        assert_eq!(MdServer::assign_in_view(&alive, 2, 2), Some((1, 0)));
+        assert_eq!(MdServer::assign_in_view(&alive, 5, 2), Some((0, 1)));
+        // Departed workers get nothing.
+        assert_eq!(MdServer::assign_in_view(&alive, 1, 2), None);
+    }
+
+    #[test]
+    fn assign_in_view_reduces_to_paper_formula_on_full_view() {
+        for n in 1..=12usize {
+            let alive: Vec<usize> = (0..n).collect();
+            for k in 1..=n {
+                for w in 0..n {
+                    assert_eq!(
+                        MdServer::assign_in_view(&alive, w, k),
+                        Some(MdServer::assign(w, k)),
+                        "n={n} k={k} w={w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_conservation_over_arbitrary_views() {
+        // For any alive set and any valid k: every alive worker gets
+        // exactly one (X_g, X_d) pair, every batch is consumed, and the
+        // per-batch load spread is at most one worker.
+        let views: [&[usize]; 5] = [
+            &[0],
+            &[3, 7],
+            &[0, 1, 4, 5, 9],
+            &[2, 3, 5, 8, 13, 21, 34],
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 15, 17, 19, 23],
+        ];
+        for alive in views {
+            let n = alive.len();
+            for k in 1..=n {
+                let mut g_load = vec![0usize; k];
+                let mut d_load = vec![0usize; k];
+                for &w in alive {
+                    let (g, d) = MdServer::assign_in_view(alive, w, k).unwrap();
+                    assert!(g < k && d < k, "batch ids stay in range");
+                    g_load[g] += 1;
+                    d_load[d] += 1;
+                }
+                assert_eq!(g_load.iter().sum::<usize>(), n, "one X_g per worker");
+                assert_eq!(d_load.iter().sum::<usize>(), n, "one X_d per worker");
+                for load in [&g_load, &d_load] {
+                    assert!(load.iter().all(|&c| c >= 1), "every batch consumed");
+                    let spread = load.iter().max().unwrap() - load.iter().min().unwrap();
+                    assert!(spread <= 1, "balanced within one: {load:?}");
+                }
+            }
+        }
     }
 
     #[test]

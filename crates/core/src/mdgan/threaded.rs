@@ -30,7 +30,10 @@ use crate::mdgan::MdMsg;
 use md_data::Dataset;
 use md_nn::optim::AdamState;
 use md_nn::param::{batch_bytes, param_bytes};
-use md_simnet::{Endpoint, FailureDetector, Liveness, Router, TrafficReport, TrafficStats, SERVER};
+use md_simnet::{
+    ChurnKind, ChurnPlan, Endpoint, FailureDetector, Liveness, Membership, Router, TrafficReport,
+    TrafficStats, SERVER,
+};
 use md_telemetry::{Event, Phase, Recorder, TraceCtx, Track};
 use md_tensor::rng::Rng64;
 use std::sync::Arc;
@@ -173,6 +176,27 @@ fn worker_loop(
                 );
                 pending_disc = Some(params);
             }
+            MdMsg::DiscPull { iter } => {
+                // Bootstrap-on-join: ship the snapshot to the server at
+                // full parameter cost (this is real simulated traffic,
+                // unlike the zero-byte StateRequest control path).
+                let params = worker.disc_params();
+                let bytes = param_bytes(params.len());
+                let retries = robust.map_or(0, |r| r.retries);
+                ep.send_data_ctx(
+                    SERVER,
+                    MdMsg::Disc { params },
+                    bytes,
+                    iter as u64,
+                    retries,
+                    ctx,
+                );
+            }
+            MdMsg::Bootstrap { blob } => {
+                let disc = crate::mdgan::bootstrap_disc(&blob)
+                    .expect("server-built bootstrap blob decodes");
+                worker.set_disc_params(&disc);
+            }
             MdMsg::StateRequest => {
                 let opt = worker.opt_state();
                 ep.send(
@@ -313,6 +337,12 @@ fn run_threaded_inner(
 ) -> Result<ThreadedResult, TrainError> {
     let object_size = shards[0].object_size();
     let shard_size = shards[0].len();
+    let churned = !cfg.churn.is_none();
+    if churned {
+        ChurnPlan::from_events(cfg.workers, cfg.churn.events().to_vec())
+            .expect("invalid churn plan");
+    }
+    let total = cfg.total_workers();
     let (mut server, workers, mut swap_rng) = build_parts(spec, shards, &cfg);
     let k = cfg.k.resolve(cfg.workers);
     let swap_interval = cfg.swap_interval(shard_size);
@@ -325,14 +355,30 @@ fn run_threaded_inner(
                 .into(),
         ));
     }
+    if churned && ckpt.is_some() {
+        return Err(TrainError::Checkpoint(
+            "elastic threaded runs cannot checkpoint/resume: \
+             the membership gather is not implemented"
+                .into(),
+        ));
+    }
+    assert!(
+        !robust
+            || cfg
+                .churn
+                .events()
+                .iter()
+                .all(|e| e.kind == ChurnKind::Crash),
+        "robust mode supports crash-only churn plans (joins and leaves need the oracle path)"
+    );
 
-    let mut router: Router<MdMsg> = Router::new(cfg.workers).with_telemetry(Arc::clone(&telemetry));
+    let mut router: Router<MdMsg> = Router::new(total).with_telemetry(Arc::clone(&telemetry));
     if robust {
         router = router.with_faults(cfg.fault.clone());
     }
     let stats = router.stats();
     let server_ep = router.endpoint(SERVER);
-    let worker_eps: Vec<Endpoint<MdMsg>> = (1..=cfg.workers).map(|i| router.endpoint(i)).collect();
+    let worker_eps: Vec<Endpoint<MdMsg>> = (1..=total).map(|i| router.endpoint(i)).collect();
 
     // Mirrors of the sequential runtime's attack/host RNG streams. The
     // threaded runtime never draws from them, but carrying them keeps the
@@ -365,7 +411,12 @@ fn run_threaded_inner(
     let mut timeline = ScoreTimeline::new();
     let mut alive_mask: Vec<bool> = workers.iter().map(|w| w.is_some()).collect();
     let spawned: Vec<bool> = alive_mask.clone();
-    let mut detector = FailureDetector::new(cfg.workers, cfg.robust.suspect_after);
+    // Pending joiners are spawned up front but kept out of the view until
+    // their join event fires; the membership is the source of truth.
+    let mut membership = Membership::new(cfg.workers, total);
+    let mut detector = FailureDetector::new(cfg.workers, cfg.robust.suspect_after)
+        .expect("suspect_after must be at least 1")
+        .with_eviction(cfg.robust.evict_after);
     let gather_timeout = Duration::from_millis(cfg.robust.gather_timeout_ms);
     let worker_robust = robust.then_some(WorkerRobust {
         swap_timeout: Duration::from_millis(cfg.robust.swap_timeout_ms),
@@ -407,6 +458,7 @@ fn run_threaded_inner(
             for (w, alive) in alive_mask.iter_mut().enumerate() {
                 if *alive && cfg.crash.is_crashed(w + 1, i) {
                     *alive = false;
+                    membership.crash(w);
                     telemetry.event(Event::WorkerFault {
                         iter: i,
                         worker: w + 1,
@@ -417,6 +469,68 @@ fn run_threaded_inner(
                         .expect("destination endpoint dropped");
                 }
             }
+            // Churn-plan crashes and joins fire at the start of the
+            // iteration, mirroring the sequential trainer exactly (same
+            // events, same bootstrap byte charges). Graceful leaves drain
+            // through the iteration and depart at the end.
+            if churned {
+                let evs: Vec<md_simnet::ChurnEvent> = cfg.churn.events_at(i).copied().collect();
+                for ev in &evs {
+                    let slot = ev.worker - 1;
+                    match ev.kind {
+                        ChurnKind::Crash => {
+                            if membership.apply(ev).is_ok() {
+                                alive_mask[slot] = false;
+                                telemetry.event(Event::WorkerFault {
+                                    iter: i,
+                                    worker: ev.worker,
+                                });
+                                let fate = if robust { MdMsg::Crash } else { MdMsg::Stop };
+                                server_ep
+                                    .send(ev.worker, fate, 0)
+                                    .expect("destination endpoint dropped");
+                            }
+                        }
+                        ChurnKind::Join => {
+                            membership.apply(ev).expect("validated churn plan");
+                            telemetry.event(Event::WorkerJoined {
+                                iter: i,
+                                worker: ev.worker,
+                            });
+                            // Bootstrap from the lowest-id alive worker:
+                            // pull its snapshot (charged W→C), wrap it in a
+                            // checkpoint-v2 blob, forward it to the joiner
+                            // (charged C→W at blob size).
+                            let src = membership
+                                .alive()
+                                .into_iter()
+                                .find(|&s| s != slot && alive_mask[s]);
+                            if let Some(src) = src {
+                                server_ep
+                                    .send_ctx(src + 1, MdMsg::DiscPull { iter: i }, 0, rctx)
+                                    .expect("destination endpoint dropped");
+                                let params = match server_ep.recv().msg {
+                                    MdMsg::Disc { params } => params,
+                                    other => {
+                                        panic!("server expected a bootstrap Disc, got {other:?}")
+                                    }
+                                };
+                                let blob = crate::mdgan::bootstrap_blob(i as u64, &params);
+                                let blob_len = blob.len() as u64;
+                                server_ep
+                                    .send_ctx(ev.worker, MdMsg::Bootstrap { blob }, blob_len, rctx)
+                                    .expect("destination endpoint dropped");
+                                telemetry.event(Event::BootstrapDone {
+                                    iter: i,
+                                    worker: ev.worker,
+                                    bytes: blob_len,
+                                });
+                            }
+                        }
+                        ChurnKind::Leave => {}
+                    }
+                }
+            }
 
             let alive_now;
             if robust {
@@ -425,8 +539,8 @@ fn run_threaded_inner(
                 // suspected ones, so false suspects can rejoin).
                 let probe = cfg.robust.probe_period > 0
                     && i.checked_rem(cfg.robust.probe_period) == Some(0);
-                let expected: Vec<usize> = (0..cfg.workers)
-                    .filter(|&w| !detector.is_suspected(w) || probe)
+                let expected: Vec<usize> = (0..total)
+                    .filter(|&w| !detector.is_evicted(w) && (!detector.is_suspected(w) || probe))
                     .collect();
                 let mut heard_count = 0;
                 if !expected.is_empty() {
@@ -467,11 +581,24 @@ fn run_threaded_inner(
                                     worker: wi + 1,
                                 });
                             }
-                        } else if detector.missed(wi) == Liveness::Suspected {
-                            telemetry.event(Event::WorkerSuspected {
-                                iter: i,
-                                worker: wi + 1,
-                            });
+                        } else {
+                            match detector.missed(wi) {
+                                Liveness::Suspected => {
+                                    telemetry.event(Event::WorkerSuspected {
+                                        iter: i,
+                                        worker: wi + 1,
+                                    });
+                                }
+                                Liveness::Evicted => {
+                                    membership.evict(wi);
+                                    stats.retire(wi + 1);
+                                    telemetry.event(Event::WorkerEvicted {
+                                        iter: i,
+                                        worker: wi + 1,
+                                    });
+                                }
+                                _ => {}
+                            }
                         }
                     }
                     heard_count = gather.heard.len();
@@ -498,9 +625,8 @@ fn run_threaded_inner(
                         let swap_span = telemetry.span_at(Phase::Swap, Track::Server, rctx, tick);
                         let sctx = swap_span.ctx();
                         // Swaps are routed around suspected peers.
-                        let candidates: Vec<usize> = (0..cfg.workers)
-                            .filter(|&w| !detector.is_suspected(w))
-                            .collect();
+                        let candidates: Vec<usize> =
+                            (0..total).filter(|&w| !detector.is_suspected(w)).collect();
                         if let Some(perm) =
                             swap_permutation(cfg.swap, candidates.len(), &mut swap_rng)
                         {
@@ -529,13 +655,27 @@ fn run_threaded_inner(
                 }
                 alive_now = heard_count;
             } else {
-                let alive: Vec<usize> = (0..cfg.workers).filter(|&w| alive_mask[w]).collect();
+                let alive: Vec<usize> = (0..total)
+                    .filter(|&w| alive_mask[w] && membership.is_alive(w))
+                    .collect();
                 if !alive.is_empty() {
+                    // With churn the k-batch SPLIT re-resolves over the
+                    // current view; without it the construction-time k is
+                    // kept (bit-identical to the pre-elastic behavior).
+                    let k_now = if churned {
+                        cfg.k.resolve(alive.len())
+                    } else {
+                        k
+                    };
                     let gen_span = telemetry.span_at(Phase::GenForward, Track::Server, rctx, tick);
-                    let batches = server.generate_batches(k);
+                    let batches = server.generate_batches(k_now);
                     drop(gen_span);
-                    for &wi in &alive {
-                        let (g_id, d_id) = MdServer::assign(wi, k);
+                    for (pos, &wi) in alive.iter().enumerate() {
+                        let (g_id, d_id) = if churned {
+                            MdServer::assign(pos, k_now)
+                        } else {
+                            MdServer::assign(wi, k)
+                        };
                         server_ep
                             .send_ctx(
                                 wi + 1,
@@ -589,6 +729,26 @@ fn run_threaded_inner(
                             });
                         }
                         drop(swap_span);
+                    }
+                }
+                // Graceful leaves depart at the end of the iteration: the
+                // leaver already drained its batches, sent its final
+                // feedback and took part in any swap above.
+                if churned {
+                    let evs: Vec<md_simnet::ChurnEvent> = cfg.churn.events_at(i).copied().collect();
+                    for ev in evs.iter().filter(|e| e.kind == ChurnKind::Leave) {
+                        if membership.apply(ev).is_ok() {
+                            let slot = ev.worker - 1;
+                            alive_mask[slot] = false;
+                            server_ep
+                                .send(ev.worker, MdMsg::Stop, 0)
+                                .expect("destination endpoint dropped");
+                            stats.retire(ev.worker);
+                            telemetry.event(Event::WorkerLeft {
+                                iter: i,
+                                worker: ev.worker,
+                            });
+                        }
                     }
                 }
                 alive_now = alive.len();
@@ -660,8 +820,8 @@ fn run_threaded_inner(
         timeline,
         gen_params: server.gen_params(),
         traffic: stats.report(),
-        alive: (0..cfg.workers)
-            .filter(|&w| alive_mask[w])
+        alive: (0..total)
+            .filter(|&w| alive_mask[w] && membership.is_alive(w))
             .map(|w| w + 1)
             .collect(),
     })
@@ -1159,6 +1319,62 @@ mod tests {
             &pol,
         );
         assert!(matches!(err, Err(TrainError::Checkpoint(_))));
+    }
+
+    #[test]
+    fn threaded_elastic_churn_equals_sequential_bit_for_bit() {
+        use md_simnet::{ChurnEvent, ChurnPlan};
+        let workers = 3;
+        let events = vec![
+            ChurnEvent {
+                iter: 2,
+                worker: 4,
+                kind: ChurnKind::Join,
+            },
+            ChurnEvent {
+                iter: 4,
+                worker: 1,
+                kind: ChurnKind::Crash,
+            },
+            ChurnEvent {
+                iter: 6,
+                worker: 2,
+                kind: ChurnKind::Leave,
+            },
+        ];
+        let churn = ChurnPlan::from_events(workers, events).unwrap();
+        let total = churn.max_workers(workers);
+        let data = mnist_like(12, total * 24, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(4);
+        let shards = data.shard_iid(total, &mut rng);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let cfg = MdGanConfig {
+            workers,
+            k: KPolicy::LogN,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Derangement,
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
+            iterations: 10,
+            seed: 7,
+            crash: CrashSchedule::none(),
+            churn,
+            ..MdGanConfig::default()
+        };
+        let res = run_threaded(&spec, shards.clone(), cfg.clone(), None, 10, 1000);
+        let mut seq = crate::mdgan::trainer::MdGan::new(&spec, shards, cfg);
+        for _ in 0..10 {
+            seq.step();
+        }
+        assert_eq!(
+            res.gen_params,
+            seq.gen_params(),
+            "elastic runtimes diverged"
+        );
+        assert_eq!(res.traffic.class_bytes, seq.traffic().class_bytes);
+        assert_eq!(res.alive, seq.alive_workers());
     }
 
     #[test]

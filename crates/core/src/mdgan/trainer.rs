@@ -18,7 +18,10 @@ use md_data::Dataset;
 use md_nn::gan::Generator;
 use md_nn::layer::Layer;
 use md_nn::param::{batch_bytes, param_bytes};
-use md_simnet::{FailureDetector, FaultState, Liveness, TrafficReport, TrafficStats};
+use md_simnet::{
+    ChurnEvent, ChurnKind, ChurnPlan, FailureDetector, FaultState, Liveness, MemberStatus,
+    Membership, TrafficReport, TrafficStats,
+};
 use md_telemetry::{Event, Phase, Recorder, SpanKind, TraceCtx, Track};
 use md_tensor::rng::Rng64;
 use md_tensor::Tensor;
@@ -32,7 +35,14 @@ pub(crate) fn build_parts(
     shards: Vec<Dataset>,
     cfg: &MdGanConfig,
 ) -> (MdServer, Vec<MdWorker>, Rng64) {
-    assert_eq!(shards.len(), cfg.workers, "one shard per worker required");
+    // With an elastic plan the joiners' workers (and shards) are built up
+    // front with their canonical RNG forks, so a joiner's fresh init is
+    // bit-identical across runtimes regardless of when it joins.
+    assert_eq!(
+        shards.len(),
+        cfg.total_workers(),
+        "one shard per worker (including planned joiners) required"
+    );
     assert!(cfg.workers > 0, "MD-GAN needs at least one worker");
     let mut master = Rng64::seed_from_u64(cfg.seed);
     let mut srv_rng = master.fork(0);
@@ -95,6 +105,9 @@ pub struct MdGan {
     /// Timeout-based liveness inference (robust mode only; the oracle
     /// `workers[i].is_none()` stays invisible to the robust server loop).
     detector: FailureDetector,
+    /// Epoch-numbered cluster view; tracks churn-plan joins/leaves/crashes
+    /// (and robust-mode evictions). With churn disabled it never changes.
+    membership: Membership,
 }
 
 impl MdGan {
@@ -102,16 +115,23 @@ impl MdGan {
     pub fn new(spec: &ArchSpec, shards: Vec<Dataset>, cfg: MdGanConfig) -> Self {
         let object_size = shards[0].object_size();
         let shard_size = shards[0].len();
-        let workers_n = cfg.workers;
         let seed = cfg.seed;
+        if !cfg.churn.is_none() {
+            ChurnPlan::from_events(cfg.workers, cfg.churn.events().to_vec())
+                .expect("invalid churn plan");
+        }
+        let total = cfg.total_workers();
         let (server, workers, swap_rng) = build_parts(spec, shards, &cfg);
         let k = cfg.k.resolve(cfg.workers);
         let swap_interval = cfg.swap_interval(shard_size);
-        let stats = TrafficStats::new(1 + cfg.workers);
+        let stats = TrafficStats::new(1 + total);
         let fault_state = cfg
             .is_robust()
-            .then(|| FaultState::new(cfg.fault.clone(), 1 + cfg.workers));
-        let detector = FailureDetector::new(cfg.workers, cfg.robust.suspect_after);
+            .then(|| FaultState::new(cfg.fault.clone(), 1 + total));
+        let detector = FailureDetector::new(cfg.workers, cfg.robust.suspect_after)
+            .expect("suspect_after must be at least 1")
+            .with_eviction(cfg.robust.evict_after);
+        let membership = Membership::new(cfg.workers, total);
         MdGan {
             server,
             workers: workers.into_iter().map(Some).collect(),
@@ -125,7 +145,7 @@ impl MdGan {
             object_size,
             feedback_codec: Codec::None,
             batch_codec: Codec::None,
-            attacks: vec![Attack::None; workers_n],
+            attacks: vec![Attack::None; total],
             attack_rng: Rng64::seed_from_u64(seed ^ 0xA77AC4),
             aggregation: Aggregation::Mean,
             disc_hosts: None,
@@ -133,6 +153,7 @@ impl MdGan {
             telemetry: Arc::new(Recorder::disabled()),
             fault_state,
             detector,
+            membership,
         }
     }
 
@@ -195,6 +216,10 @@ impl MdGan {
             m >= 1 && m <= self.workers.len(),
             "disc count must be in [1, N]"
         );
+        assert!(
+            self.cfg.churn.is_none(),
+            "fewer-discriminators mode does not compose with elastic churn"
+        );
         self.disc_hosts = Some((0..m).collect());
         self
     }
@@ -231,13 +256,21 @@ impl MdGan {
         self.swaps
     }
 
-    /// Worker ids (1-based) still alive.
+    /// Worker ids (1-based) currently alive: the worker exists *and* the
+    /// membership view admits it (planned joiners are built up front but
+    /// stay `Pending` until their join fires).
     pub fn alive_workers(&self) -> Vec<usize> {
         self.workers
             .iter()
             .enumerate()
-            .filter_map(|(i, w)| w.as_ref().map(|_| i + 1))
+            .filter(|(i, w)| w.is_some() && self.membership.is_alive(*i))
+            .map(|(i, _)| i + 1)
             .collect()
+    }
+
+    /// The current membership view (epoch-numbered).
+    pub fn membership(&self) -> &Membership {
+        &self.membership
     }
 
     /// The single server-side generator.
@@ -298,6 +331,11 @@ impl MdGan {
         ck.push_u64("alive", alive);
         ck.push_u64("counters", vec![self.swaps as u64]);
         ck.push_u64("traffic", self.stats.state_words());
+        // Only churn-enabled runs carry a membership section, so default-
+        // path checkpoints stay byte-identical to the pre-elastic format.
+        if !self.cfg.churn.is_none() {
+            ck.push_u64("membership", self.membership.state_words());
+        }
         if let Some(hosts) = &self.disc_hosts {
             ck.push_u64("disc_hosts", hosts.iter().map(|&h| h as u64).collect());
         }
@@ -410,6 +448,21 @@ impl MdGan {
         self.stats
             .load_state_words(ck.require_u64("traffic").map_err(ckerr)?)
             .map_err(TrainError::Checkpoint)?;
+        if !self.cfg.churn.is_none() {
+            self.membership
+                .load_state_words(ck.require_u64("membership").map_err(ckerr)?)
+                .map_err(TrainError::Checkpoint)?;
+            // Retirement flags are not part of the traffic state words
+            // (format stability); re-derive them from the restored view.
+            for slot in 0..self.membership.len() {
+                if matches!(
+                    self.membership.status(slot),
+                    MemberStatus::Left | MemberStatus::Evicted
+                ) {
+                    self.stats.retire(slot + 1);
+                }
+            }
+        }
         self.disc_hosts = match ck.get_u64("disc_hosts") {
             None => None,
             Some(hosts) => {
@@ -448,26 +501,72 @@ impl MdGan {
         for idx in 0..self.workers.len() {
             if self.workers[idx].is_some() && self.cfg.crash.is_crashed(idx + 1, i) {
                 self.workers[idx] = None;
+                self.membership.crash(idx);
                 self.telemetry.event(Event::WorkerFault {
                     iter: i,
                     worker: idx + 1,
                 });
             }
         }
+        // Churn-plan crashes and joins fire at the start of the iteration
+        // (graceful leaves drain through it and depart at the end).
+        let churned = !self.cfg.churn.is_none();
+        if churned {
+            let evs: Vec<ChurnEvent> = self.cfg.churn.events_at(i).copied().collect();
+            for ev in &evs {
+                let slot = ev.worker - 1;
+                match ev.kind {
+                    ChurnKind::Crash => {
+                        if self.membership.apply(ev).is_ok() {
+                            self.workers[slot] = None;
+                            self.telemetry.event(Event::WorkerFault {
+                                iter: i,
+                                worker: ev.worker,
+                            });
+                        }
+                    }
+                    ChurnKind::Join => {
+                        self.membership.apply(ev).expect("validated churn plan");
+                        self.detector.track(slot);
+                        self.telemetry.event(Event::WorkerJoined {
+                            iter: i,
+                            worker: ev.worker,
+                        });
+                        Self::bootstrap_joiner(
+                            &mut self.workers,
+                            &self.membership,
+                            &self.stats,
+                            &self.telemetry,
+                            i,
+                            slot,
+                        );
+                    }
+                    ChurnKind::Leave => {}
+                }
+            }
+        }
         let alive: Vec<usize> = (0..self.workers.len())
-            .filter(|&w| self.workers[w].is_some())
+            .filter(|&w| self.workers[w].is_some() && self.membership.is_alive(w))
             .collect();
         if alive.is_empty() {
             self.iter += 1;
             self.telemetry.event(Event::IterDone { iter: i, alive: 0 });
             return;
         }
+        // With churn the k-batch SPLIT is re-resolved over the *current*
+        // view each iteration; without churn the construction-time k is
+        // kept so default-path outputs stay byte-identical.
+        let k_now = if churned {
+            self.cfg.k.resolve(alive.len())
+        } else {
+            self.k
+        };
 
         // Server: generate K = {X(1..k)} and SPLIT over workers.
         let gen_span = self
             .telemetry
             .span_at(Phase::GenForward, Track::Server, rctx, tick);
-        let batches = self.server.generate_batches(self.k);
+        let batches = self.server.generate_batches(k_now);
         // With the identity codec the charged sizes are exactly the paper's
         // 2bd down / bd up; lossy codecs shrink the wire and train on the
         // reconstructed approximations.
@@ -489,9 +588,16 @@ impl MdGan {
             return;
         }
         let mut feedbacks: Vec<(usize, Tensor)> = Vec::with_capacity(participants.len());
-        for &wi in &participants {
+        for (pos, &wi) in participants.iter().enumerate() {
             let wtrack = Track::Worker((wi + 1) as u32);
-            let (g_id, d_id) = MdServer::assign(wi, self.k);
+            // With churn the SPLIT rebalances over the worker's *position*
+            // in the alive view (same formula, dense index); without it the
+            // absolute slot keeps the pre-elastic assignment bit-for-bit.
+            let (g_id, d_id) = if churned {
+                MdServer::assign(pos, k_now)
+            } else {
+                MdServer::assign(wi, self.k)
+            };
             let down = wire[g_id].1 + wire[d_id].1;
             self.stats.record(0, wi + 1, down);
             // Downlink: one reliable logical message, traced as a
@@ -634,11 +740,63 @@ impl MdGan {
             }
             drop(swap_span);
         }
+        // Graceful leaves depart at the *end* of the iteration: the leaver
+        // drained its batches, sent its final feedback and took part in any
+        // swap above before its slot is released.
+        if churned {
+            let evs: Vec<ChurnEvent> = self.cfg.churn.events_at(i).copied().collect();
+            for ev in evs.iter().filter(|e| e.kind == ChurnKind::Leave) {
+                if self.membership.apply(ev).is_ok() {
+                    let slot = ev.worker - 1;
+                    self.workers[slot] = None;
+                    self.detector.forget(slot);
+                    self.stats.retire(slot + 1);
+                    self.telemetry.event(Event::WorkerLeft {
+                        iter: i,
+                        worker: ev.worker,
+                    });
+                }
+            }
+        }
         drop(root);
         self.iter += 1;
         self.telemetry.event(Event::IterDone {
             iter: i,
             alive: alive.len(),
+        });
+    }
+
+    /// Bootstraps a joining worker's discriminator from the lowest-id alive
+    /// worker: the source ships its parameters to the server (charged W→C
+    /// at full parameter cost), the server wraps them in a checkpoint-v2
+    /// blob and forwards it to the joiner (charged C→W at blob size). With
+    /// no alive source the joiner keeps its fresh deterministic init.
+    fn bootstrap_joiner(
+        workers: &mut [Option<MdWorker>],
+        membership: &Membership,
+        stats: &TrafficStats,
+        telemetry: &Recorder,
+        iter: usize,
+        slot: usize,
+    ) {
+        let src = membership
+            .alive()
+            .into_iter()
+            .find(|&s| s != slot && workers[s].is_some());
+        let Some(src) = src else { return };
+        let params = workers[src].as_ref().unwrap().disc_params();
+        stats.record(src + 1, 0, param_bytes(params.len()));
+        let blob = crate::mdgan::bootstrap_blob(iter as u64, &params);
+        let blob_len = blob.len() as u64;
+        stats.record(0, slot + 1, blob_len);
+        let disc = crate::mdgan::bootstrap_disc(&blob).expect("fresh blob decodes");
+        if let Some(w) = workers[slot].as_mut() {
+            w.set_disc_params(&disc);
+        }
+        telemetry.event(Event::BootstrapDone {
+            iter,
+            worker: slot + 1,
+            bytes: blob_len,
         });
     }
 
@@ -668,6 +826,14 @@ impl MdGan {
             self.disc_hosts.is_none(),
             "robust mode hosts one discriminator per worker"
         );
+        assert!(
+            self.cfg
+                .churn
+                .events()
+                .iter()
+                .all(|e| e.kind == ChurnKind::Crash),
+            "robust mode supports crash-only churn plans (joins and leaves need the oracle path)"
+        );
         let i = self.iter;
         let b = self.cfg.hyper.batch;
         let d = self.object_size;
@@ -680,19 +846,33 @@ impl MdGan {
         for idx in 0..self.workers.len() {
             if self.workers[idx].is_some() && self.cfg.crash.is_crashed(idx + 1, i) {
                 self.workers[idx] = None;
+                self.membership.crash(idx);
                 self.telemetry.event(Event::WorkerFault {
                     iter: i,
                     worker: idx + 1,
                 });
             }
         }
+        // Churn-plan crashes are equally silent: the ground truth changes,
+        // the server learns about it only through the failure detector.
+        let evs: Vec<ChurnEvent> = self.cfg.churn.events_at(i).copied().collect();
+        for ev in evs.iter().filter(|e| e.kind == ChurnKind::Crash) {
+            if self.membership.apply(ev).is_ok() {
+                self.workers[ev.worker - 1] = None;
+                self.telemetry.event(Event::WorkerFault {
+                    iter: i,
+                    worker: ev.worker,
+                });
+            }
+        }
 
         // The server talks to every unsuspected worker; probe rounds also
-        // retry the suspected ones so false suspects can rejoin.
+        // retry the suspected ones so false suspects can rejoin. Evicted
+        // workers are out permanently — not even probed.
         let probe =
             self.cfg.robust.probe_period > 0 && i.is_multiple_of(self.cfg.robust.probe_period);
         let expected: Vec<usize> = (0..self.workers.len())
-            .filter(|&w| !self.detector.is_suspected(w) || probe)
+            .filter(|&w| !self.detector.is_evicted(w) && (!self.detector.is_suspected(w) || probe))
             .collect();
         let mut heard_count = 0;
         if !expected.is_empty() {
@@ -816,11 +996,27 @@ impl MdGan {
                             worker: wi + 1,
                         });
                     }
-                } else if self.detector.missed(wi) == Liveness::Suspected {
-                    self.telemetry.event(Event::WorkerSuspected {
-                        iter: i,
-                        worker: wi + 1,
-                    });
+                } else {
+                    match self.detector.missed(wi) {
+                        Liveness::Suspected => {
+                            self.telemetry.event(Event::WorkerSuspected {
+                                iter: i,
+                                worker: wi + 1,
+                            });
+                        }
+                        Liveness::Evicted => {
+                            // Permanent: the membership view records the
+                            // eviction and the peer's traffic counters
+                            // freeze at their last values.
+                            self.membership.evict(wi);
+                            self.stats.retire(wi + 1);
+                            self.telemetry.event(Event::WorkerEvicted {
+                                iter: i,
+                                worker: wi + 1,
+                            });
+                        }
+                        _ => {}
+                    }
                 }
             }
             heard_count = heard.len();
@@ -1592,6 +1788,208 @@ mod tests {
         let mut md = build(4, KPolicy::All, SwapPolicy::Disabled, CrashSchedule::none());
         assert_eq!(md.k(), 4);
         md.step();
+        assert!(md.gen_params().iter().all(|v| v.is_finite()));
+    }
+
+    fn build_elastic(workers: usize, events: Vec<ChurnEvent>) -> MdGan {
+        let churn = ChurnPlan::from_events(workers, events).unwrap();
+        let total = churn.max_workers(workers);
+        let data = mnist_like(12, total * 32, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(4);
+        let shards = data.shard_iid(total, &mut rng);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let cfg = MdGanConfig {
+            workers,
+            k: KPolicy::LogN,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Derangement,
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
+            iterations: 100,
+            seed: 7,
+            churn,
+            ..MdGanConfig::default()
+        };
+        MdGan::new(&spec, shards, cfg)
+    }
+
+    #[test]
+    fn join_bootstraps_and_contributes_same_iteration() {
+        use md_telemetry::Counter;
+        let rec = Arc::new(Recorder::enabled());
+        let mut md = build_elastic(
+            3,
+            vec![ChurnEvent {
+                iter: 2,
+                worker: 4,
+                kind: ChurnKind::Join,
+            }],
+        )
+        .with_telemetry(Arc::clone(&rec));
+        md.step();
+        md.step();
+        assert_eq!(md.alive_workers(), vec![1, 2, 3]);
+        let epoch_before = md.membership().epoch();
+        md.step(); // iter 2: worker 4 joins, bootstraps, feeds back
+        assert_eq!(md.alive_workers(), vec![1, 2, 3, 4]);
+        assert_eq!(md.membership().epoch(), epoch_before + 1);
+        assert_eq!(rec.counter(Counter::WorkersJoined), 1);
+        assert_eq!(rec.counter(Counter::Bootstraps), 1);
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| e.event == Event::WorkerJoined { iter: 2, worker: 4 }));
+        assert!(rec.events().iter().any(
+            |e| matches!(e.event, Event::BootstrapDone { iter: 2, worker: 4, bytes } if bytes > 0)
+        ));
+        // The joiner contributed feedback within its join iteration.
+        assert_eq!(rec.worker_stats()[4].feedbacks, 1);
+        assert!(md.gen_params().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn graceful_leave_drains_then_departs() {
+        use md_telemetry::Counter;
+        let rec = Arc::new(Recorder::enabled());
+        let mut md = build_elastic(
+            3,
+            vec![ChurnEvent {
+                iter: 1,
+                worker: 2,
+                kind: ChurnKind::Leave,
+            }],
+        )
+        .with_telemetry(Arc::clone(&rec));
+        md.step();
+        md.step(); // iter 1: worker 2 feeds back one last time, then leaves
+        assert_eq!(md.alive_workers(), vec![1, 3]);
+        assert_eq!(rec.counter(Counter::WorkersLeft), 1);
+        // Drained: the leaver contributed in both iterations 0 and 1.
+        assert_eq!(rec.worker_stats()[2].feedbacks, 2);
+        assert_eq!(md.membership().status(1), MemberStatus::Left);
+        // Frozen, not dropped: its traffic totals survive departure.
+        let link_to_2 = md.traffic();
+        md.step();
+        assert_eq!(
+            md.traffic().bytes(md_simnet::LinkClass::WorkerToServer)
+                - link_to_2.bytes(md_simnet::LinkClass::WorkerToServer),
+            // Only two workers feed back after the leave.
+            2 * 4 * (12 * 12) * 4
+        );
+    }
+
+    #[test]
+    fn churn_crash_rebalances_split_over_survivors() {
+        let mut md = build_elastic(
+            4,
+            vec![ChurnEvent {
+                iter: 1,
+                worker: 3,
+                kind: ChurnKind::Crash,
+            }],
+        );
+        md.step();
+        md.step();
+        assert_eq!(md.alive_workers(), vec![1, 2, 4]);
+        assert_eq!(md.membership().status(2), MemberStatus::Crashed);
+        let before = md.gen_params();
+        md.step();
+        assert_ne!(before, md.gen_params());
+        assert!(md.gen_params().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn churn_run_is_deterministic_and_resumable() {
+        let events = vec![
+            ChurnEvent {
+                iter: 2,
+                worker: 4,
+                kind: ChurnKind::Join,
+            },
+            ChurnEvent {
+                iter: 4,
+                worker: 1,
+                kind: ChurnKind::Crash,
+            },
+            ChurnEvent {
+                iter: 6,
+                worker: 2,
+                kind: ChurnKind::Leave,
+            },
+        ];
+        let mk = || build_elastic(3, events.clone());
+        let mut full = mk();
+        for _ in 0..9 {
+            full.step();
+        }
+        let mut first = mk();
+        for _ in 0..5 {
+            first.step();
+        }
+        let ck = crate::checkpoint::Checkpoint::from_bytes(&first.checkpoint().to_bytes()).unwrap();
+        assert!(ck.get_u64("membership").is_some());
+        let mut resumed = mk();
+        resumed.restore(&ck).unwrap();
+        assert_eq!(resumed.alive_workers(), vec![2, 3, 4]);
+        for _ in 0..4 {
+            resumed.step();
+        }
+        assert_eq!(resumed.gen_params(), full.gen_params());
+        assert_eq!(resumed.traffic(), full.traffic());
+        assert_eq!(resumed.alive_workers(), full.alive_workers());
+        assert_eq!(resumed.membership(), full.membership());
+    }
+
+    #[test]
+    fn churn_disabled_checkpoint_has_no_membership_section() {
+        let mut md = build(3, KPolicy::One, SwapPolicy::Disabled, CrashSchedule::none());
+        md.step();
+        assert!(md.checkpoint().get_u64("membership").is_none());
+    }
+
+    #[test]
+    fn robust_eviction_is_permanent_and_recorded() {
+        use md_simnet::FaultPlan;
+        use md_telemetry::Counter;
+        let rec = Arc::new(Recorder::enabled());
+        let data = mnist_like(12, 3 * 32, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(4);
+        let shards = data.shard_iid(3, &mut rng);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let mut cfg = MdGanConfig {
+            workers: 3,
+            k: KPolicy::One,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Disabled,
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
+            iterations: 100,
+            seed: 7,
+            crash: CrashSchedule::new(vec![(2, 1)]),
+            ..MdGanConfig::default()
+        };
+        cfg.robust.enabled = true;
+        cfg.robust.suspect_after = 2;
+        cfg.robust.evict_after = 2;
+        // Probing every round keeps the miss streak advancing past the
+        // suspicion threshold and into eviction territory.
+        cfg.robust.probe_period = 1;
+        let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(&rec));
+        md.fault_state = Some(FaultState::new(FaultPlan::none(), 4));
+        for _ in 0..10 {
+            md.step();
+        }
+        assert_eq!(rec.counter(Counter::WorkersSuspected), 1);
+        assert_eq!(rec.counter(Counter::WorkersEvicted), 1);
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::WorkerEvicted { worker: 1, .. })));
+        assert_eq!(md.membership().status(0), MemberStatus::Evicted);
         assert!(md.gen_params().iter().all(|v| v.is_finite()));
     }
 }

@@ -248,8 +248,9 @@ impl FaultPlan {
     }
 }
 
-/// SplitMix64 finalizer — the fate hash.
-fn splitmix(mut z: u64) -> u64 {
+/// SplitMix64 finalizer — the fate hash (shared with the churn-plan
+/// generator in [`crate::membership`]).
+pub(crate) fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -18,15 +18,20 @@
 //! * [`fault::FaultPlan`] / [`fault::FaultState`] — seeded, deterministic
 //!   lossy-network injection (drops, duplication, bounded delay,
 //!   partitions) applied per data send,
-//! * [`detect::FailureDetector`] — timeout-based worker suspicion for the
-//!   oracle-free robust runtimes.
+//! * [`detect::FailureDetector`] — timeout-based worker suspicion (with
+//!   optional permanent eviction) for the oracle-free robust runtimes,
+//! * [`membership::ChurnPlan`] / [`membership::Membership`] — seeded
+//!   join/leave/crash schedules and the epoch-numbered alive view that
+//!   elastic runs rebalance the SPLIT and swap schedules over.
 
 pub mod detect;
 pub mod fault;
+pub mod membership;
 pub mod network;
 pub mod stats;
 
 pub use detect::{FailureDetector, Liveness};
 pub use fault::{CrashSchedule, Delivery, Fate, FaultPlan, FaultState, Partition, PartitionScope};
+pub use membership::{ChurnEvent, ChurnKind, ChurnPlan, MemberStatus, Membership};
 pub use network::{Endpoint, Envelope, GatherResult, NodeId, Router, SendError, SERVER};
 pub use stats::{LinkClass, TrafficReport, TrafficStats};

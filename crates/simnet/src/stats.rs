@@ -4,7 +4,7 @@
 //! runtime can update them concurrently. The per-class totals correspond
 //! exactly to the rows of the paper's Table III (`C→W`, `W→C`, `W→W`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Which logical link a message travelled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -46,10 +46,18 @@ impl LinkClass {
 /// `bytes_sent == bytes_delivered + dropped_bytes`, with duplicated bytes
 /// accounted separately (a spurious extra copy is neither "sent" by the
 /// application nor part of its delivered payload).
+///
+/// Under elastic membership, links can point at workers that are no
+/// longer (or not yet) part of the cluster. Recording is therefore
+/// tolerant rather than panicking: attempts touching an out-of-range
+/// node id are ignored, and [`retire`](Self::retire)d nodes have their
+/// counters *frozen* — historical totals stay in every report, but no
+/// new traffic is accounted against a departed peer.
 #[derive(Debug)]
 pub struct TrafficStats {
     ingress: Vec<AtomicU64>,
     egress: Vec<AtomicU64>,
+    retired: Vec<AtomicBool>,
     class_bytes: [AtomicU64; 3],
     class_msgs: [AtomicU64; 3],
     dropped_msgs: AtomicU64,
@@ -66,6 +74,7 @@ impl TrafficStats {
         TrafficStats {
             ingress: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             egress: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            retired: (0..nodes).map(|_| AtomicBool::new(false)).collect(),
             class_bytes: Default::default(),
             class_msgs: Default::default(),
             dropped_msgs: AtomicU64::new(0),
@@ -82,15 +91,43 @@ impl TrafficStats {
         self.ingress.len()
     }
 
+    /// Freezes a departed node's counters: its historical totals remain
+    /// in every report and checkpoint, but subsequent attempts touching
+    /// it are ignored on both ends. Irreversible (a re-used id would
+    /// conflate two lifetimes of traffic).
+    pub fn retire(&self, node: usize) {
+        if let Some(r) = self.retired.get(node) {
+            r.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether a node's counters are frozen (out-of-range ids count as
+    /// retired: traffic to them is never accounted).
+    pub fn is_retired(&self, node: usize) -> bool {
+        self.retired
+            .get(node)
+            .map(|r| r.load(Ordering::Relaxed))
+            .unwrap_or(true)
+    }
+
     /// Records one message of `bytes` from `from` to `to`, sent *and*
-    /// delivered (the perfect-network path).
+    /// delivered (the perfect-network path). Ignored entirely when either
+    /// endpoint is retired or out of range, so the sent/delivered
+    /// reconciliation invariants keep holding per attempt.
     pub fn record(&self, from: usize, to: usize, bytes: u64) {
+        if self.is_retired(from) || self.is_retired(to) {
+            return;
+        }
         self.record_attempt(from, to, bytes);
         self.record_delivery(to, bytes);
     }
 
     /// Records the sent side of one attempt (egress + per-class totals).
+    /// Ignored when either endpoint is retired or out of range.
     pub fn record_attempt(&self, from: usize, to: usize, bytes: u64) {
+        if self.is_retired(from) || self.is_retired(to) {
+            return;
+        }
         self.egress[from].fetch_add(bytes, Ordering::Relaxed);
         let c = LinkClass::of(from, to).index();
         self.class_bytes[c].fetch_add(bytes, Ordering::Relaxed);
@@ -98,7 +135,11 @@ impl TrafficStats {
     }
 
     /// Records the delivered side of one attempt (receiver ingress).
+    /// Ignored when the receiver is retired or out of range.
     pub fn record_delivery(&self, to: usize, bytes: u64) {
+        if self.is_retired(to) {
+            return;
+        }
         self.ingress[to].fetch_add(bytes, Ordering::Relaxed);
     }
 
@@ -127,7 +168,9 @@ impl TrafficStats {
     /// Flattens every counter into a `u64` vector for checkpointing:
     /// `[nodes, ingress×n, egress×n, class_bytes×3, class_msgs×3,
     /// dropped_msgs, dropped_bytes, dup_msgs, dup_bytes, delayed_msgs,
-    /// retries]`.
+    /// retries]`. Retirement flags are *not* persisted — they are
+    /// membership state, re-derived from the restored view — so the wire
+    /// format is unchanged from pre-elastic checkpoints.
     pub fn state_words(&self) -> Vec<u64> {
         let n = self.nodes();
         let mut w = Vec::with_capacity(2 * n + 13);
@@ -471,6 +514,60 @@ mod tests {
         assert_eq!(d.dropped_bytes, 0);
         assert_eq!(d.retries, 1);
         assert_eq!(d.dup_bytes, 4);
+    }
+
+    #[test]
+    fn out_of_range_links_are_ignored_not_panicking() {
+        let s = TrafficStats::new(3);
+        // A link to a worker slot that no longer (or does not yet) exist.
+        s.record(0, 7, 100);
+        s.record(7, 0, 100);
+        s.record_attempt(0, 9, 10);
+        s.record_delivery(9, 10);
+        let r = s.report();
+        assert_eq!(r.bytes_sent(), 0);
+        assert_eq!(r.bytes_delivered(), 0);
+        assert_eq!(r.total_bytes(), 0);
+    }
+
+    #[test]
+    fn retired_peer_counters_freeze_not_drop() {
+        let s = TrafficStats::new(3);
+        s.record(0, 2, 100);
+        s.record(2, 0, 40);
+        s.retire(2);
+        assert!(s.is_retired(2));
+        // New traffic touching the retired peer is unaccounted on both
+        // ends (no server egress for a dead downlink either).
+        s.record(0, 2, 999);
+        s.record(2, 0, 999);
+        s.record(1, 2, 999);
+        let r = s.report();
+        // Historical totals survive — frozen, not dropped.
+        assert_eq!(r.ingress[2], 100);
+        assert_eq!(r.egress[2], 40);
+        assert_eq!(r.server_ingress(), 40);
+        assert_eq!(r.egress[0], 100);
+        assert_eq!(r.total_bytes(), 140);
+        // Other links keep accounting normally.
+        s.record(0, 1, 7);
+        assert_eq!(s.report().ingress[1], 7);
+        // Conservation still holds: no half-recorded attempts.
+        let r = s.report();
+        assert_eq!(r.bytes_sent(), r.bytes_delivered());
+    }
+
+    #[test]
+    fn retired_flags_do_not_change_checkpoint_format() {
+        let s = TrafficStats::new(3);
+        s.record(0, 1, 10);
+        s.retire(1);
+        let words = s.state_words();
+        assert_eq!(words.len(), 2 * 3 + 13, "wire format unchanged");
+        let fresh = TrafficStats::new(3);
+        fresh.load_state_words(&words).unwrap();
+        assert_eq!(fresh.report(), s.report());
+        assert!(!fresh.is_retired(1), "retirement is not persisted");
     }
 
     #[test]

@@ -62,6 +62,38 @@ pub enum Event {
         /// The rejoining worker.
         worker: usize,
     },
+    /// A new worker joined the cluster (elastic membership).
+    WorkerJoined {
+        /// Iteration the join took effect at.
+        iter: usize,
+        /// The joining worker.
+        worker: usize,
+    },
+    /// A worker departed gracefully after draining its final feedback.
+    WorkerLeft {
+        /// Iteration of the worker's last contribution.
+        iter: usize,
+        /// The departing worker.
+        worker: usize,
+    },
+    /// The failure detector permanently evicted a worker after its
+    /// eviction timeout expired (suspicion became a verdict).
+    WorkerEvicted {
+        /// Iteration the eviction was decided at.
+        iter: usize,
+        /// The evicted worker.
+        worker: usize,
+    },
+    /// A joining worker finished bootstrapping its discriminator from a
+    /// snapshot held by the server or a peer.
+    BootstrapDone {
+        /// Iteration the bootstrap completed at.
+        iter: usize,
+        /// The bootstrapped worker.
+        worker: usize,
+        /// Snapshot size moved over the wire, in bytes.
+        bytes: u64,
+    },
     /// A federated/gossip round completed.
     RoundDone {
         /// Round index.
@@ -113,6 +145,10 @@ impl Event {
             Event::StaleUpdate { .. } => "stale_update",
             Event::WorkerSuspected { .. } => "worker_suspected",
             Event::WorkerRejoined { .. } => "worker_rejoined",
+            Event::WorkerJoined { .. } => "worker_joined",
+            Event::WorkerLeft { .. } => "worker_left",
+            Event::WorkerEvicted { .. } => "worker_evicted",
+            Event::BootstrapDone { .. } => "bootstrap_done",
             Event::RoundDone { .. } => "round_done",
             Event::NanDetected { .. } => "nan_detected",
             Event::Rollback { .. } => "rollback",
@@ -128,7 +164,11 @@ impl Event {
             Event::WorkerFault { worker, .. }
             | Event::StaleUpdate { worker, .. }
             | Event::WorkerSuspected { worker, .. }
-            | Event::WorkerRejoined { worker, .. } => Some(*worker),
+            | Event::WorkerRejoined { worker, .. }
+            | Event::WorkerJoined { worker, .. }
+            | Event::WorkerLeft { worker, .. }
+            | Event::WorkerEvicted { worker, .. }
+            | Event::BootstrapDone { worker, .. } => Some(*worker),
             _ => None,
         }
     }
@@ -175,9 +215,21 @@ impl TimedEvent {
                 .field_u64("iter", *iter as u64)
                 .field_u64("worker", *worker as u64)
                 .field_u64("staleness", *staleness as u64),
-            Event::WorkerSuspected { iter, worker } | Event::WorkerRejoined { iter, worker } => o
+            Event::WorkerSuspected { iter, worker }
+            | Event::WorkerRejoined { iter, worker }
+            | Event::WorkerJoined { iter, worker }
+            | Event::WorkerLeft { iter, worker }
+            | Event::WorkerEvicted { iter, worker } => o
                 .field_u64("iter", *iter as u64)
                 .field_u64("worker", *worker as u64),
+            Event::BootstrapDone {
+                iter,
+                worker,
+                bytes,
+            } => o
+                .field_u64("iter", *iter as u64)
+                .field_u64("worker", *worker as u64)
+                .field_u64("bytes", *bytes),
             Event::RoundDone { round } => o.field_u64("round", *round as u64),
             Event::NanDetected { iter, verdict } => o
                 .field_u64("iter", *iter as u64)

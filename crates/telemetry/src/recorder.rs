@@ -95,11 +95,19 @@ pub enum Counter {
     CheckpointsWritten,
     /// Runs resumed from an on-disk checkpoint.
     ResumeCount,
+    /// Workers that joined the cluster mid-run (elastic membership).
+    WorkersJoined,
+    /// Workers that departed gracefully (drain + final feedback).
+    WorkersLeft,
+    /// Workers permanently evicted by the failure detector.
+    WorkersEvicted,
+    /// Discriminator bootstraps completed for joining workers.
+    Bootstraps,
 }
 
 impl Counter {
     /// All counters, in reporting order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 20] = [
         Counter::Iterations,
         Counter::Swaps,
         Counter::Faults,
@@ -116,6 +124,10 @@ impl Counter {
         Counter::Rollbacks,
         Counter::CheckpointsWritten,
         Counter::ResumeCount,
+        Counter::WorkersJoined,
+        Counter::WorkersLeft,
+        Counter::WorkersEvicted,
+        Counter::Bootstraps,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -139,6 +151,10 @@ impl Counter {
             Counter::Rollbacks => "rollbacks",
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::ResumeCount => "resume_count",
+            Counter::WorkersJoined => "workers_joined",
+            Counter::WorkersLeft => "workers_left",
+            Counter::WorkersEvicted => "workers_evicted",
+            Counter::Bootstraps => "bootstraps",
         }
     }
 
@@ -508,6 +524,10 @@ impl Recorder {
             Event::Rollback { .. } => self.incr(Counter::Rollbacks, 1),
             Event::CheckpointWritten { .. } => self.incr(Counter::CheckpointsWritten, 1),
             Event::Resumed { .. } => self.incr(Counter::ResumeCount, 1),
+            Event::WorkerJoined { .. } => self.incr(Counter::WorkersJoined, 1),
+            Event::WorkerLeft { .. } => self.incr(Counter::WorkersLeft, 1),
+            Event::WorkerEvicted { .. } => self.incr(Counter::WorkersEvicted, 1),
+            Event::BootstrapDone { .. } => self.incr(Counter::Bootstraps, 1),
             Event::WorkerRejoined { .. } | Event::RoundDone { .. } | Event::Custom { .. } => {}
         }
         let timed = TimedEvent {

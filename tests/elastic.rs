@@ -1,0 +1,208 @@
+//! Elastic-membership acceptance: a 16-worker cluster under a seeded
+//! churn plan (joins that bootstrap from a live snapshot, graceful leaves
+//! that drain, fail-stop crashes) must complete on all three MD-GAN
+//! runtimes, with the sequential and threaded runtimes bit-identical for
+//! the same churn seed, and the SPLIT always covering exactly the alive
+//! view.
+
+use mdgan_repro::core::config::{GanHyper, KPolicy, MdGanConfig, SwapPolicy};
+use mdgan_repro::core::mdgan::asynchronous::{AsyncConfig, AsyncMdGan};
+use mdgan_repro::core::mdgan::threaded::run_threaded;
+use mdgan_repro::core::{ArchSpec, MdGan};
+use mdgan_repro::data::synthetic::mnist_like;
+use mdgan_repro::data::Dataset;
+use mdgan_repro::simnet::{ChurnEvent, ChurnKind, ChurnPlan, MemberStatus};
+use mdgan_repro::telemetry::{Counter, Event, Recorder};
+use mdgan_repro::tensor::rng::Rng64;
+use std::sync::Arc;
+
+const WORKERS: usize = 16;
+const ITERS: usize = 14;
+
+/// Churn seed; override with `CHURN_SEED=<n>` so CI can sweep several
+/// fate streams without recompiling (the matrix runs 7, 21 and 1337).
+fn churn_seed() -> u64 {
+    std::env::var("CHURN_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn plan() -> ChurnPlan {
+    ChurnPlan::seeded(churn_seed(), WORKERS, ITERS, 0.4, 0.2, 0.4)
+}
+
+fn shards(total: usize) -> Vec<Dataset> {
+    let data = mnist_like(12, total * 32, 11, 0.08);
+    let mut rng = Rng64::seed_from_u64(11);
+    data.shard_iid(total, &mut rng)
+}
+
+fn cfg(churn: ChurnPlan) -> MdGanConfig {
+    MdGanConfig {
+        workers: WORKERS,
+        k: KPolicy::LogN,
+        epochs_per_swap: 1.0,
+        swap: SwapPolicy::Derangement,
+        hyper: GanHyper {
+            batch: 4,
+            ..GanHyper::default()
+        },
+        iterations: ITERS,
+        seed: 21,
+        churn,
+        ..MdGanConfig::default()
+    }
+}
+
+/// The CI seeds must all produce genuinely elastic runs: several joins,
+/// several crashes and at least one graceful leave, all strictly mid-run.
+#[test]
+fn seeded_plan_has_required_churn() {
+    let p = plan();
+    assert!(p.joins() >= 3, "seed {}: {} joins", churn_seed(), p.joins());
+    assert!(
+        p.count(ChurnKind::Crash) >= 3,
+        "seed {}: {} crashes",
+        churn_seed(),
+        p.count(ChurnKind::Crash)
+    );
+    assert!(
+        p.count(ChurnKind::Leave) >= 1,
+        "seed {}: {} leaves",
+        churn_seed(),
+        p.count(ChurnKind::Leave)
+    );
+    for e in p.events() {
+        assert!(e.iter >= 1 && e.iter < ITERS, "event {e:?} not mid-run");
+    }
+}
+
+/// Sequential and threaded runtimes replay the same churn plan into
+/// bit-identical generators, byte-identical traffic (bootstrap transfers
+/// included) and the same surviving membership view.
+#[test]
+fn sequential_threaded_bit_identical_under_churn() {
+    let p = plan();
+    let total = p.max_workers(WORKERS);
+    let sh = shards(total);
+    let spec = ArchSpec::mlp_mnist_scaled(12);
+
+    let threaded = run_threaded(&spec, sh.clone(), cfg(p.clone()), None, ITERS, 1_000_000);
+
+    let mut seq = MdGan::new(&spec, sh, cfg(p.clone()));
+    for _ in 0..ITERS {
+        seq.step();
+    }
+
+    assert_eq!(
+        threaded.gen_params,
+        seq.gen_params(),
+        "generator params diverged under churn seed {}",
+        churn_seed()
+    );
+    assert_eq!(
+        threaded.traffic.class_bytes,
+        seq.traffic().class_bytes,
+        "traffic diverged"
+    );
+    assert_eq!(threaded.alive, seq.alive_workers(), "alive sets diverged");
+
+    let expected_alive =
+        WORKERS + p.joins() - p.count(ChurnKind::Leave) - p.count(ChurnKind::Crash);
+    assert_eq!(seq.membership().alive_count(), expected_alive);
+    assert_eq!(seq.alive_workers().len(), expected_alive);
+}
+
+/// The event-driven async runtime takes the same plan (keyed on its
+/// update counter), completes, and is run-to-run deterministic.
+#[test]
+fn async_completes_and_is_deterministic_under_churn() {
+    let p = plan();
+    let total = p.max_workers(WORKERS);
+    let spec = ArchSpec::mlp_mnist_scaled(12);
+    let run = || {
+        let mut md = AsyncMdGan::new(&spec, shards(total), cfg(p.clone()), AsyncConfig::default());
+        for _ in 0..3 * ITERS {
+            md.step_event();
+        }
+        (md.gen_params(), md.membership().clone())
+    };
+    let (p1, m1) = run();
+    let (p2, m2) = run();
+    assert_eq!(p1, p2, "async churn run must be seed-deterministic");
+    assert_eq!(m1, m2);
+    assert!(p1.iter().all(|v| v.is_finite()));
+    assert_eq!(
+        m1.alive_count(),
+        WORKERS + p.joins() - p.count(ChurnKind::Leave) - p.count(ChurnKind::Crash)
+    );
+}
+
+/// A mid-run join bootstraps from a server-held snapshot and contributes
+/// feedback within the very iteration it joined.
+#[test]
+fn join_bootstraps_and_contributes_within_one_epoch() {
+    let p = ChurnPlan::from_events(
+        WORKERS,
+        vec![ChurnEvent {
+            iter: 3,
+            worker: WORKERS + 1,
+            kind: ChurnKind::Join,
+        }],
+    )
+    .unwrap();
+    let total = p.max_workers(WORKERS);
+    let spec = ArchSpec::mlp_mnist_scaled(12);
+    let rec = Arc::new(Recorder::enabled());
+    let mut md = MdGan::new(&spec, shards(total), cfg(p)).with_telemetry(Arc::clone(&rec));
+    for _ in 0..4 {
+        md.step();
+    }
+    assert!(rec.events().iter().any(|e| matches!(
+        e.event,
+        Event::BootstrapDone {
+            iter: 3,
+            worker: 17,
+            ..
+        }
+    )));
+    assert_eq!(rec.counter(Counter::WorkersJoined), 1);
+    assert_eq!(rec.counter(Counter::Bootstraps), 1);
+    // The joiner produced feedback in iteration 3 — the same iteration its
+    // join fired (one feedback per participated iteration).
+    assert_eq!(rec.worker_stats()[WORKERS + 1].feedbacks, 1);
+    assert_eq!(md.membership().status(WORKERS), MemberStatus::Alive);
+}
+
+/// Robust mode (no crash oracle): a silently-crashed worker is suspected
+/// by missed deadlines, then permanently evicted, and the SPLIT keeps
+/// covering the survivors (the run completes with finite parameters).
+#[test]
+fn crash_is_evicted_and_split_covers_survivors() {
+    let p = ChurnPlan::from_events(
+        WORKERS,
+        vec![ChurnEvent {
+            iter: 2,
+            worker: 5,
+            kind: ChurnKind::Crash,
+        }],
+    )
+    .unwrap();
+    let spec = ArchSpec::mlp_mnist_scaled(12);
+    let mut c = cfg(p);
+    c.robust.enabled = true;
+    c.robust.suspect_after = 2;
+    c.robust.evict_after = 2;
+    c.robust.probe_period = 1;
+    let rec = Arc::new(Recorder::enabled());
+    let mut md = MdGan::new(&spec, shards(WORKERS), c).with_telemetry(Arc::clone(&rec));
+    for _ in 0..10 {
+        md.step();
+    }
+    assert_eq!(rec.counter(Counter::WorkersSuspected), 1);
+    assert_eq!(rec.counter(Counter::WorkersEvicted), 1);
+    assert_eq!(md.membership().status(4), MemberStatus::Evicted);
+    assert_eq!(md.membership().alive_count(), WORKERS - 1);
+    assert!(md.gen_params().iter().all(|v| v.is_finite()));
+}

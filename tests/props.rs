@@ -120,6 +120,58 @@ proptest! {
         prop_assert!(l2_distance(&again, &avg) < 1e-7);
     }
 
+    /// SPLIT conservation under elastic membership: over any alive view,
+    /// the rebalanced assignment stays in `0..k`, spreads workers across
+    /// the k generated batches as evenly as possible (max/min load differ
+    /// by at most one, every batch covered once the view is k wide), and
+    /// reduces to the paper's fixed formula on the full `0..n` view.
+    #[test]
+    fn split_rebalance_conserves_batches(alive_bits in proptest::collection::vec(0usize..2, 1..24),
+                                         k_raw in 0usize..8) {
+        use mdgan_repro::core::mdgan::server::MdServer;
+        let mut alive: Vec<usize> = alive_bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == 1).then_some(i))
+            .collect();
+        if alive.is_empty() {
+            alive.push(0);
+        }
+        let n = alive.len();
+        let k = 1 + k_raw % n;
+
+        let mut g_load = vec![0usize; k];
+        for (pos, &slot) in alive.iter().enumerate() {
+            let (g, d) = MdServer::assign_in_view(&alive, slot, k)
+                .expect("alive slot must be assigned");
+            prop_assert!(g < k && d < k, "assignment out of range");
+            prop_assert_eq!((g, d), MdServer::assign(pos, k), "not position-based");
+            g_load[g] += 1;
+        }
+        // Dead slots get nothing.
+        for slot in 0..alive_bits.len() {
+            if !alive.contains(&slot) {
+                prop_assert_eq!(MdServer::assign_in_view(&alive, slot, k), None);
+            }
+        }
+        // Conservation: every generated batch is consumed (n >= k always
+        // holds here), and the load is balanced to within one worker.
+        let (mn, mx) = (g_load.iter().min().unwrap(), g_load.iter().max().unwrap());
+        prop_assert!(*mn >= 1, "batch starved: {:?}", g_load);
+        prop_assert!(mx - mn <= 1, "unbalanced: {:?}", g_load);
+        prop_assert_eq!(g_load.iter().sum::<usize>(), n);
+
+        // Full-view reduction: with everyone alive the elastic formula is
+        // the fixed-membership one, slot for slot.
+        let full: Vec<usize> = (0..n).collect();
+        for slot in 0..n {
+            prop_assert_eq!(
+                MdServer::assign_in_view(&full, slot, k),
+                Some(MdServer::assign(slot, k))
+            );
+        }
+    }
+
     /// Derangements of any size n >= 2 are fixed-point-free permutations.
     #[test]
     fn derangement_property(seed in 0u64..2000, n in 2usize..40) {
