@@ -1,5 +1,7 @@
 //! Hyper-parameter records for MD-GAN and its competitors.
 
+use crate::byzantine::{Aggregation, Attack};
+use crate::defense::DefenseConfig;
 use md_nn::gan::GenLossMode;
 use md_nn::optim::AdamConfig;
 use md_simnet::{ChurnPlan, CrashSchedule, FaultPlan};
@@ -166,6 +168,18 @@ pub struct MdGanConfig {
     /// [`ChurnPlan::none`] keeps the paper's fixed N-worker star.
     #[serde(skip)]
     pub churn: ChurnPlan,
+    /// Per-worker byzantine/free-rider attack assignment (§VII.3);
+    /// shorter lists are padded with [`Attack::None`], empty keeps every
+    /// worker honest.
+    #[serde(skip)]
+    pub attacks: Vec<Attack>,
+    /// Server-side feedback aggregation rule ([`Aggregation::Mean`] is
+    /// the paper's plain average).
+    #[serde(skip)]
+    pub aggregation: Aggregation,
+    /// Server-side free-rider feedback forensics (disabled by default).
+    #[serde(skip)]
+    pub defense: DefenseConfig,
 }
 
 impl Default for MdGanConfig {
@@ -182,15 +196,19 @@ impl Default for MdGanConfig {
             fault: FaultPlan::none(),
             robust: RobustnessConfig::default(),
             churn: ChurnPlan::none(),
+            attacks: Vec::new(),
+            aggregation: Aggregation::Mean,
+            defense: DefenseConfig::default(),
         }
     }
 }
 
 impl MdGanConfig {
     /// Whether the runtimes should take the robust (oracle-free,
-    /// fault-tolerant) path: an active fault plan or an explicit opt-in.
+    /// fault-tolerant) path: an active fault plan, the free-rider
+    /// defense, or an explicit opt-in.
     pub fn is_robust(&self) -> bool {
-        self.robust.enabled || !self.fault.is_none()
+        self.robust.enabled || !self.fault.is_none() || self.defense.enabled
     }
 
     /// Total worker slots a run needs: the `workers` initial members plus
@@ -221,6 +239,12 @@ impl MdGanConfig {
             .field_u64("seed", self.seed)
             .field_f64("drop_rate", f64::from(self.fault.drop))
             .field_bool("robust", self.is_robust())
+            .field_str("aggregation", &format!("{:?}", self.aggregation))
+            .field_u64(
+                "attackers",
+                self.attacks.iter().filter(|a| **a != Attack::None).count() as u64,
+            )
+            .field_bool("defense", self.defense.enabled)
             .build()
     }
 }

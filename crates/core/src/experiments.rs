@@ -5,6 +5,7 @@
 //! deterministic given its [`ExperimentScale::seed`].
 
 use crate::arch::{ArchKind, ArchSpec};
+use crate::byzantine::Attack;
 use crate::checkpoint::Checkpoint;
 use crate::config::{FlGanConfig, GanHyper, KPolicy, MdGanConfig, SwapPolicy};
 use crate::error::TrainError;
@@ -1172,6 +1173,153 @@ pub fn run_celeba_with(
     results
 }
 
+/// One cell of the free-rider degradation/defense grid.
+#[derive(Clone, Debug)]
+pub struct FreeriderPoint {
+    /// Cluster size `N` the run started with.
+    pub workers: usize,
+    /// Attack strategy name (`noise`, `echo`, or `mimic`).
+    pub strategy: String,
+    /// Fraction of workers running the attack (first `round(frac·N)` slots).
+    pub frac: f32,
+    /// Whether the server-side feedback-forensics defense was enabled.
+    pub defended: bool,
+    /// Workers the forensics flagged during this run (counter delta).
+    pub flagged: u64,
+    /// Free-riders permanently evicted during this run (counter delta).
+    pub evicted: u64,
+    /// Workers alive when the run ended.
+    pub final_alive: usize,
+    /// Smoothed final scores.
+    pub final_scores: GanScores,
+}
+
+impl FreeriderPoint {
+    /// CSV row
+    /// `workers,strategy,frac,defended,flagged,evicted,final_alive,is,fid`.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            self.workers,
+            self.strategy,
+            self.frac,
+            self.defended,
+            self.flagged,
+            self.evicted,
+            self.final_alive,
+            self.final_scores.inception_score,
+            self.final_scores.fid,
+        )
+    }
+
+    /// CSV header matching [`to_csv_row`](Self::to_csv_row).
+    pub fn csv_header() -> &'static str {
+        "workers,strategy,frac,defended,flagged,evicted,final_alive,is,fid\n"
+    }
+}
+
+/// Maps a sweep strategy name to its [`Attack`]. Panics on unknown names so
+/// CLI typos fail loudly instead of silently running an honest baseline.
+pub fn freerider_attack(strategy: &str) -> Attack {
+    match strategy {
+        "noise" => Attack::PureNoise { std: 5.0 },
+        "echo" => Attack::DelayedEcho,
+        "mimic" => Attack::PretrainedMimic,
+        other => panic!("unknown free-rider strategy {other:?} (want noise|echo|mimic)"),
+    }
+}
+
+/// Free-rider sweep: MD-GAN under data-free workers, one run per
+/// (strategy × fraction × defense on/off) cell. The first `round(frac·N)`
+/// slots run the attack; defended cells route feedbacks through the
+/// forensics so flagged free-riders graduate into membership eviction,
+/// undefended cells take the attack at face value.
+pub fn run_freerider(
+    family: Family,
+    arch: ArchKind,
+    scale: ExperimentScale,
+    workers: usize,
+    fracs: &[f32],
+    strategies: &[&str],
+) -> Vec<FreeriderPoint> {
+    run_freerider_with(
+        family,
+        arch,
+        scale,
+        workers,
+        fracs,
+        strategies,
+        &Arc::new(Recorder::disabled()),
+    )
+}
+
+/// [`run_freerider`] with every run attached to `telemetry`; the recorder
+/// then accumulates flag/clear/eviction counters across the whole sweep.
+#[allow(clippy::too_many_arguments)]
+pub fn run_freerider_with(
+    family: Family,
+    arch: ArchKind,
+    scale: ExperimentScale,
+    workers: usize,
+    fracs: &[f32],
+    strategies: &[&str],
+    telemetry: &Arc<Recorder>,
+) -> Vec<FreeriderPoint> {
+    use md_telemetry::Counter;
+    let (train, test) = make_dataset(family, &scale);
+    let spec = arch_for(family, arch, scale.img);
+    let mut evaluator = Evaluator::new(&train, &test, scale.eval_samples, scale.seed);
+    let mut out = Vec::new();
+    for &strategy in strategies {
+        let attack = freerider_attack(strategy);
+        for &frac in fracs {
+            // Round (not ceil): the forensics' population medians break
+            // down at 50% contamination, and ceil would turn "30% of 4"
+            // into half the cluster.
+            let n_attackers = ((frac * workers as f32).round() as usize).min(workers);
+            for defended in [false, true] {
+                let mut rng = Rng64::seed_from_u64(scale.seed ^ 0xF12E);
+                let shards = train.shard_iid(workers, &mut rng);
+                let mut cfg = MdGanConfig {
+                    workers,
+                    // One shared noise batch per iteration so the forensics'
+                    // peer-cosine signal sees a single comparable group.
+                    k: KPolicy::One,
+                    epochs_per_swap: 1.0,
+                    swap: SwapPolicy::Disabled,
+                    hyper: GanHyper {
+                        batch: 10,
+                        ..GanHyper::default()
+                    },
+                    iterations: scale.iters,
+                    seed: scale.seed ^ 0xF12,
+                    attacks: vec![attack; n_attackers],
+                    ..MdGanConfig::default()
+                };
+                cfg.defense.enabled = defended;
+                cfg.robust.suspect_after = 2;
+                cfg.robust.evict_after = 2;
+                cfg.robust.probe_period = 1;
+                let flagged_before = telemetry.counter(Counter::WorkersFlagged);
+                let evicted_before = telemetry.counter(Counter::FreeridersEvicted);
+                let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(telemetry));
+                let timeline = md.train(scale.iters, scale.eval_every, Some(&mut evaluator));
+                out.push(FreeriderPoint {
+                    workers,
+                    strategy: strategy.to_string(),
+                    frac,
+                    defended,
+                    flagged: telemetry.counter(Counter::WorkersFlagged) - flagged_before,
+                    evicted: telemetry.counter(Counter::FreeridersEvicted) - evicted_before,
+                    final_alive: md.membership().alive_count(),
+                    final_scores: timeline.final_scores(3).expect("timeline has points"),
+                });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1536,5 +1684,45 @@ mod tests {
             rec.counter(md_telemetry::Counter::WorkersJoined),
             "every joiner found an alive bootstrap source"
         );
+    }
+
+    #[test]
+    fn freerider_sweep_defends_and_exports_counters() {
+        let mut scale = ExperimentScale::quick();
+        scale.iters = 20;
+        scale.eval_every = 10;
+        let rec = Arc::new(Recorder::enabled());
+        let points = run_freerider_with(
+            Family::MnistLike,
+            ArchKind::Mlp,
+            scale,
+            4,
+            &[0.25],
+            &["noise"],
+            &rec,
+        );
+        assert_eq!(points.len(), 2, "defended off/on for one cell");
+        let undefended = &points[0];
+        let defended = &points[1];
+        assert!(!undefended.defended && defended.defended);
+        assert_eq!(undefended.evicted, 0, "no forensics, no eviction");
+        assert_eq!(undefended.final_alive, 4);
+        assert_eq!(defended.evicted, 1, "the lone free-rider was evicted");
+        assert!(defended.flagged >= 1);
+        assert_eq!(defended.final_alive, 3);
+        for p in &points {
+            assert!(p.final_scores.fid.is_finite());
+            assert_eq!(p.to_csv_row().split(',').count(), 9);
+        }
+        assert_eq!(
+            rec.counter(md_telemetry::Counter::FreeridersEvicted),
+            points.iter().map(|p| p.evicted).sum::<u64>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown free-rider strategy")]
+    fn freerider_attack_rejects_typos() {
+        freerider_attack("nois");
     }
 }

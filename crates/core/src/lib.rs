@@ -37,6 +37,7 @@ pub mod checkpoint;
 pub mod complexity;
 pub mod compression;
 pub mod config;
+pub mod defense;
 pub mod error;
 pub mod eval;
 pub mod experiments;

@@ -22,8 +22,10 @@
 //!   "speed" skew, so slow-worker staleness patterns are reproducible.
 
 use crate::arch::ArchSpec;
+use crate::byzantine::{resolve_attacks, Attack, AttackState};
 use crate::checkpoint::Checkpoint;
 use crate::config::{MdGanConfig, SwapPolicy};
+use crate::defense::FeedbackForensics;
 use crate::error::TrainError;
 use crate::eval::{Evaluator, ScoreTimeline};
 use crate::mdgan::server::MdServer;
@@ -124,6 +126,11 @@ pub struct AsyncMdGan {
     membership: Membership,
     /// Index of the next unapplied churn event (events are kept sorted).
     churn_cursor: usize,
+    /// Stateful per-worker attack execution (free-rider strategies).
+    attack_states: Vec<AttackState>,
+    /// Server-side free-rider forensics. The async runtime has no failure
+    /// detector, so a freshly flagged worker is evicted immediately.
+    forensics: FeedbackForensics,
 }
 
 impl AsyncMdGan {
@@ -144,6 +151,16 @@ impl AsyncMdGan {
             .is_robust()
             .then(|| FaultState::new(cfg.fault.clone(), 1 + total));
         let membership = Membership::new(cfg.workers, total);
+        let attacks = resolve_attacks(&cfg.attacks, total);
+        let attack_states: Vec<AttackState> = attacks
+            .iter()
+            .enumerate()
+            .map(|(wi, &a)| {
+                let snap = matches!(a, Attack::PretrainedMimic).then(|| workers[wi].disc_params());
+                AttackState::new(a, cfg.seed, wi, snap)
+            })
+            .collect();
+        let forensics = FeedbackForensics::new(cfg.defense, total);
         AsyncMdGan {
             server,
             workers: workers.into_iter().map(Some).collect(),
@@ -162,6 +179,8 @@ impl AsyncMdGan {
             fault_state,
             membership,
             churn_cursor: 0,
+            attack_states,
+            forensics,
         }
     }
 
@@ -451,6 +470,7 @@ impl AsyncMdGan {
             .span_at(Phase::DFeedback, wtrack, fl.ctx, self.updates);
         let fctx = fb_span.ctx();
         let feedback = worker.process(&fl.xd, &fl.xd_labels, &fl.xg, &fl.xg_labels);
+        let feedback = self.attack_states[wi].apply(worker, &feedback, &fl.xg, &fl.xg_labels);
         drop(fb_span);
         self.telemetry.worker_feedback(wi + 1);
         let up_bytes = batch_bytes(self.cfg.hyper.batch, self.object_size);
@@ -512,6 +532,44 @@ impl AsyncMdGan {
                 },
                 self.updates,
             );
+        }
+
+        // Feedback forensics on the single delivered feedback: the async
+        // server scores each arrival against the running population norms
+        // and the sender's own history (no same-iteration peer group
+        // exists, so the peer-cosine signal stays unscored). There is no
+        // failure detector on this path, so a freshly flagged worker is
+        // evicted on the spot — the membership view drops it and its
+        // pending work is released.
+        if self.cfg.defense.enabled {
+            let verdict = self.forensics.observe(&[(wi, 0, &feedback)])[0];
+            if verdict.newly_flagged {
+                self.telemetry.event(Event::WorkerFlagged {
+                    iter: t,
+                    worker: wi + 1,
+                    norm_score: f64::from(verdict.norm_score),
+                    self_cos: f64::from(verdict.self_cos),
+                    peer_cos: f64::from(verdict.peer_cos),
+                });
+                self.membership.evict(wi);
+                self.stats.retire(wi + 1);
+                self.forensics.retire(wi);
+                self.in_flight[wi] = None;
+                self.telemetry.event(Event::FreeriderEvicted {
+                    iter: t,
+                    worker: wi + 1,
+                });
+                self.telemetry.event(Event::WorkerEvicted {
+                    iter: t,
+                    worker: wi + 1,
+                });
+                return Some(wi);
+            }
+            if verdict.quarantined {
+                // The feedback was delivered (bytes charged) but is not
+                // allowed to touch the generator.
+                return Some(wi);
+            }
         }
 
         // Staleness-aware immediate update: replay the stale batch's
@@ -1191,5 +1249,35 @@ mod tests {
         );
         // Dispatches: ≥ one 2bd send per applied event (idle refills).
         assert!(r.bytes(md_simnet::LinkClass::ServerToWorker) >= 10 * 2 * 4 * d * 4);
+    }
+
+    #[test]
+    fn async_defense_evicts_a_freerider_immediately_on_flag() {
+        use md_telemetry::Counter;
+        let rec = Arc::new(Recorder::enabled());
+        let mut md = build(AsyncConfig::default());
+        md.cfg.attacks = vec![Attack::PureNoise { std: 5.0 }];
+        md.cfg.defense.enabled = true;
+        md.attack_states = resolve_attacks(&md.cfg.attacks, 4)
+            .iter()
+            .enumerate()
+            .map(|(wi, &a)| AttackState::new(a, md.cfg.seed, wi, None))
+            .collect();
+        md.forensics = FeedbackForensics::new(md.cfg.defense, 4);
+        md = md.with_telemetry(Arc::clone(&rec));
+        for _ in 0..80 {
+            if md.step_event().is_none() {
+                break;
+            }
+        }
+        // The noise fabricator was flagged and evicted on the spot (the
+        // async path has no failure detector to graduate through).
+        assert_eq!(rec.counter(Counter::WorkersFlagged), 1);
+        assert_eq!(rec.counter(Counter::FreeridersEvicted), 1);
+        assert_eq!(md.membership().status(0), md_simnet::MemberStatus::Evicted);
+        for w in 1..4 {
+            assert_eq!(md.membership().status(w), md_simnet::MemberStatus::Alive);
+        }
+        assert!(md.gen_params().iter().all(|v| v.is_finite()));
     }
 }

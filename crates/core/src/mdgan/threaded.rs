@@ -19,8 +19,10 @@
 //! sequential trainer running the same plan.
 
 use crate::arch::ArchSpec;
+use crate::byzantine::{resolve_attacks, Attack, AttackState};
 use crate::checkpoint::Checkpoint;
 use crate::config::MdGanConfig;
+use crate::defense::FeedbackForensics;
 use crate::error::TrainError;
 use crate::eval::{Evaluator, ScoreTimeline};
 use crate::mdgan::server::MdServer;
@@ -75,6 +77,7 @@ fn worker_loop(
     ep: Endpoint<MdMsg>,
     telemetry: Arc<Recorder>,
     robust: Option<WorkerRobust>,
+    mut attack: AttackState,
 ) {
     use std::collections::VecDeque;
     // A swap counterpart's parameters may arrive before our own SwapTo.
@@ -110,6 +113,10 @@ fn worker_loop(
                 );
                 let fctx = fb_span.ctx();
                 let grad = worker.process(&xd, &xd_labels, &xg, &xg_labels);
+                // A byzantine worker manipulates its feedback before the
+                // send — the same per-worker attack stream the sequential
+                // runtime draws, so both stay bit-identical.
+                let grad = attack.apply(&mut worker, &grad, &xg, &xg_labels);
                 drop(fb_span);
                 telemetry.worker_feedback(ep.id());
                 let bytes = (grad.len() * 4) as u64;
@@ -388,6 +395,20 @@ fn run_threaded_inner(
     let mut host_rng = Rng64::seed_from_u64(cfg.seed ^ 0x4057);
 
     let mut workers: Vec<Option<MdWorker>> = workers.into_iter().map(Some).collect();
+    // Attack states snapshot the workers' *initial* discriminators (the
+    // pre-trained-mimicry strategy), exactly like `MdGan::new` does.
+    let attacks = resolve_attacks(&cfg.attacks, total);
+    let attack_states: Vec<Option<AttackState>> = workers
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            w.as_ref().map(|worker| {
+                let snap =
+                    matches!(attacks[wi], Attack::PretrainedMimic).then(|| worker.disc_params());
+                AttackState::new(attacks[wi], cfg.seed, wi, snap)
+            })
+        })
+        .collect();
     let mut start_iter = 0usize;
     let mut swaps = 0usize;
     if let Some(pol) = ckpt {
@@ -422,13 +443,16 @@ fn run_threaded_inner(
         swap_timeout: Duration::from_millis(cfg.robust.swap_timeout_ms),
         retries: cfg.robust.retries,
     });
+    let defense_on = cfg.defense.enabled;
+    let mut forensics = FeedbackForensics::new(cfg.defense, total);
     let mut ckpt_err: Option<TrainError> = None;
 
     crossbeam::thread::scope(|scope| {
-        for (slot, ep) in workers.into_iter().zip(worker_eps) {
+        for ((slot, ep), atk) in workers.into_iter().zip(worker_eps).zip(attack_states) {
             let Some(worker) = slot else { continue };
+            let attack = atk.expect("alive worker slot has an attack state");
             let telemetry = Arc::clone(&telemetry);
-            scope.spawn(move |_| worker_loop(worker, ep, telemetry, worker_robust));
+            scope.spawn(move |_| worker_loop(worker, ep, telemetry, worker_robust, attack));
         }
 
         if start_iter == 0 {
@@ -573,8 +597,46 @@ fn run_threaded_inner(
                         gather_timeout,
                         |e| matches!(&e.msg, MdMsg::Feedback { iter, .. } if *iter == i),
                     );
+                    // Envelopes arrive sorted by sender, so the forensics
+                    // observes the exact triples the sequential trainer
+                    // builds (ascending worker slot).
+                    let feedbacks: Vec<(usize, usize, md_tensor::Tensor)> = gather
+                        .envelopes
+                        .into_iter()
+                        .map(|e| match e.msg {
+                            MdMsg::Feedback { g_id, grad, .. } => (e.from - 1, g_id, grad),
+                            other => panic!("server expected Feedback, got {other:?}"),
+                        })
+                        .collect();
+                    let mut quarantined: Vec<bool> = vec![false; feedbacks.len()];
+                    if defense_on {
+                        let items: Vec<(usize, usize, &md_tensor::Tensor)> = feedbacks
+                            .iter()
+                            .map(|(wi, g_id, f)| (*wi, *g_id, f))
+                            .collect();
+                        let verdicts = forensics.observe(&items);
+                        for (n, v) in verdicts.iter().enumerate() {
+                            quarantined[n] = v.quarantined;
+                            if v.newly_flagged {
+                                telemetry.event(Event::WorkerFlagged {
+                                    iter: i,
+                                    worker: v.worker + 1,
+                                    norm_score: f64::from(v.norm_score),
+                                    self_cos: f64::from(v.self_cos),
+                                    peer_cos: f64::from(v.peer_cos),
+                                });
+                            }
+                            if v.cleared {
+                                telemetry.event(Event::WorkerCleared {
+                                    iter: i,
+                                    worker: v.worker + 1,
+                                });
+                            }
+                        }
+                    }
                     for &wi in &expected {
-                        if gather.heard.contains(&(wi + 1)) {
+                        let flagged = defense_on && forensics.is_flagged(wi);
+                        if gather.heard.contains(&(wi + 1)) && !flagged {
                             if detector.heard(wi) == Liveness::Rejoined {
                                 telemetry.event(Event::WorkerRejoined {
                                     iter: i,
@@ -592,6 +654,13 @@ fn run_threaded_inner(
                                 Liveness::Evicted => {
                                     membership.evict(wi);
                                     stats.retire(wi + 1);
+                                    forensics.retire(wi);
+                                    if flagged {
+                                        telemetry.event(Event::FreeriderEvicted {
+                                            iter: i,
+                                            worker: wi + 1,
+                                        });
+                                    }
                                     telemetry.event(Event::WorkerEvicted {
                                         iter: i,
                                         worker: wi + 1,
@@ -602,17 +671,15 @@ fn run_threaded_inner(
                         }
                     }
                     heard_count = gather.heard.len();
-                    if gather.met_quorum && heard_count > 0 {
-                        let feedbacks: Vec<(usize, md_tensor::Tensor)> = gather
-                            .envelopes
-                            .into_iter()
-                            .map(|e| match e.msg {
-                                MdMsg::Feedback { g_id, grad, .. } => (g_id, grad),
-                                other => panic!("server expected Feedback, got {other:?}"),
-                            })
-                            .collect();
+                    let kept: Vec<(usize, md_tensor::Tensor)> = feedbacks
+                        .into_iter()
+                        .zip(quarantined.iter())
+                        .filter(|(_, &q)| !q)
+                        .map(|((_, g_id, f), _)| (g_id, f))
+                        .collect();
+                    if gather.met_quorum && heard_count > 0 && !kept.is_empty() {
                         let upd_span = telemetry.span_at(Phase::GUpdate, Track::Server, rctx, tick);
-                        server.apply_feedbacks(&feedbacks, heard_count);
+                        server.apply_feedbacks_robust(&kept, kept.len(), cfg.aggregation);
                         drop(upd_span);
                     } else if heard_count > 0 {
                         telemetry.event(Event::Custom {
@@ -701,7 +768,7 @@ fn run_threaded_inner(
                         })
                         .collect();
                     let upd_span = telemetry.span_at(Phase::GUpdate, Track::Server, rctx, tick);
-                    server.apply_feedbacks(&feedbacks, alive.len());
+                    server.apply_feedbacks_robust(&feedbacks, alive.len(), cfg.aggregation);
                     drop(upd_span);
 
                     if (i + 1) % swap_interval == 0 {

@@ -7,9 +7,10 @@
 //! Traffic is charged per message exactly as Table III specifies.
 
 use crate::arch::ArchSpec;
-use crate::byzantine::{Aggregation, Attack};
+use crate::byzantine::{resolve_attacks, Aggregation, Attack, AttackState};
 use crate::compression::Codec;
 use crate::config::{MdGanConfig, SwapPolicy};
+use crate::defense::FeedbackForensics;
 use crate::error::TrainError;
 use crate::eval::{Evaluator, ScoreTimeline};
 use crate::mdgan::server::MdServer;
@@ -93,7 +94,13 @@ pub struct MdGan {
     /// Per-worker feedback manipulation (§VII.3); all-honest by default.
     attacks: Vec<Attack>,
     attack_rng: Rng64,
+    /// Stateful per-worker attack execution (per-worker RNG streams, echo
+    /// caches, stale discriminator snapshots) — derived from `attacks`.
+    attack_states: Vec<AttackState>,
     aggregation: Aggregation,
+    /// Server-side free-rider forensics (scores every gathered feedback
+    /// when `cfg.defense.enabled`).
+    forensics: FeedbackForensics,
     /// §VII.4: when `Some(m)`, only `m ≤ N` workers host a discriminator
     /// at any time; swaps relocate the m discriminators over all alive
     /// workers so the whole distributed dataset is still leveraged.
@@ -132,9 +139,14 @@ impl MdGan {
             .expect("suspect_after must be at least 1")
             .with_eviction(cfg.robust.evict_after);
         let membership = Membership::new(cfg.workers, total);
+        let workers: Vec<Option<MdWorker>> = workers.into_iter().map(Some).collect();
+        let attacks = resolve_attacks(&cfg.attacks, total);
+        let attack_states = Self::build_attack_states(&attacks, &workers, seed);
+        let forensics = FeedbackForensics::new(cfg.defense, total);
+        let aggregation = cfg.aggregation;
         MdGan {
             server,
-            workers: workers.into_iter().map(Some).collect(),
+            workers,
             cfg,
             k,
             stats,
@@ -145,9 +157,11 @@ impl MdGan {
             object_size,
             feedback_codec: Codec::None,
             batch_codec: Codec::None,
-            attacks: vec![Attack::None; total],
+            attacks,
             attack_rng: Rng64::seed_from_u64(seed ^ 0xA77AC4),
-            aggregation: Aggregation::Mean,
+            attack_states,
+            aggregation,
+            forensics,
             disc_hosts: None,
             host_rng: Rng64::seed_from_u64(seed ^ 0x4057),
             telemetry: Arc::new(Recorder::disabled()),
@@ -182,18 +196,39 @@ impl MdGan {
     }
 
     /// Marks some workers as byzantine (§VII.3). `attacks[i]` applies to
-    /// worker `i+1`'s feedback before it is sent.
+    /// worker `i+1`'s feedback before it is sent; shorter lists are padded
+    /// with [`Attack::None`]. Call before training starts: stateful
+    /// free-rider strategies snapshot the workers' *initial*
+    /// discriminators here.
     ///
     /// # Panics
-    /// Panics unless one attack per worker is supplied.
+    /// Panics when more attack entries than workers are supplied.
     pub fn with_attacks(mut self, attacks: Vec<Attack>) -> Self {
-        assert_eq!(
-            attacks.len(),
-            self.workers.len(),
-            "one attack entry per worker"
-        );
-        self.attacks = attacks;
+        self.attacks = resolve_attacks(&attacks, self.workers.len());
+        self.attack_states = Self::build_attack_states(&self.attacks, &self.workers, self.cfg.seed);
         self
+    }
+
+    /// One [`AttackState`] per worker slot; pre-trained-mimicry attackers
+    /// freeze the worker's current (initial) discriminator parameters.
+    fn build_attack_states(
+        attacks: &[Attack],
+        workers: &[Option<MdWorker>],
+        seed: u64,
+    ) -> Vec<AttackState> {
+        attacks
+            .iter()
+            .enumerate()
+            .map(|(wi, &a)| {
+                let snap = matches!(a, Attack::PretrainedMimic).then(|| {
+                    workers[wi]
+                        .as_ref()
+                        .expect("attacker slot alive at init")
+                        .disc_params()
+                });
+                AttackState::new(a, seed, wi, snap)
+            })
+            .collect()
     }
 
     /// Chooses the server-side feedback aggregator (§VII.3); the default
@@ -641,7 +676,7 @@ impl MdGan {
                 &wire[g_id].0,
                 &batches[g_id].1,
             );
-            let f = self.attacks[wi].apply(&f, &mut self.attack_rng);
+            let f = self.attack_states[wi].apply(worker, &f, &wire[g_id].0, &batches[g_id].1);
             let cf = self.feedback_codec.compress(&f);
             let up = cf.wire_bytes();
             self.stats.record(wi + 1, 0, up);
@@ -815,14 +850,6 @@ impl MdGan {
             "robust mode does not compose with codecs"
         );
         assert!(
-            self.attacks.iter().all(|a| matches!(a, Attack::None)),
-            "robust mode does not compose with byzantine attacks"
-        );
-        assert!(
-            matches!(self.aggregation, Aggregation::Mean),
-            "robust mode uses plain mean aggregation"
-        );
-        assert!(
             self.disc_hosts.is_none(),
             "robust mode hosts one discriminator per worker"
         );
@@ -952,6 +979,8 @@ impl MdGan {
                     &batches[g_id].0,
                     &batches[g_id].1,
                 );
+                let f =
+                    self.attack_states[wi].apply(worker, &f, &batches[g_id].0, &batches[g_id].1);
                 drop(fb_span);
                 self.telemetry.worker_feedback(wi + 1);
                 let up_bytes = (f.len() * 4) as u64;
@@ -987,9 +1016,46 @@ impl MdGan {
                 }
             }
 
-            // Detector transitions, exactly once per expected worker.
+            // Feedback forensics: score every gathered feedback against
+            // the population, quarantine outliers of flagged workers (and
+            // non-finite payloads unconditionally).
+            let defense_on = self.cfg.defense.enabled;
+            let mut quarantined: Vec<bool> = vec![false; feedbacks.len()];
+            if defense_on {
+                let items: Vec<(usize, usize, &Tensor)> = heard
+                    .iter()
+                    .zip(feedbacks.iter())
+                    .map(|(&wi, (g_id, f))| (wi, *g_id, f))
+                    .collect();
+                let verdicts = self.forensics.observe(&items);
+                for (k, v) in verdicts.iter().enumerate() {
+                    quarantined[k] = v.quarantined;
+                    if v.newly_flagged {
+                        self.telemetry.event(Event::WorkerFlagged {
+                            iter: i,
+                            worker: v.worker + 1,
+                            norm_score: f64::from(v.norm_score),
+                            self_cos: f64::from(v.self_cos),
+                            peer_cos: f64::from(v.peer_cos),
+                        });
+                    }
+                    if v.cleared {
+                        self.telemetry.event(Event::WorkerCleared {
+                            iter: i,
+                            worker: v.worker + 1,
+                        });
+                    }
+                }
+            }
+
+            // Detector transitions, exactly once per expected worker. A
+            // flagged free-rider's feedback counts as *missed*: the same
+            // suspect → probe → evict machinery that removes crashed
+            // workers graduates persistent forensic outliers out of the
+            // membership view.
             for &wi in &expected {
-                if heard.contains(&wi) {
+                let flagged = defense_on && self.forensics.is_flagged(wi);
+                if heard.contains(&wi) && !flagged {
                     if self.detector.heard(wi) == Liveness::Rejoined {
                         self.telemetry.event(Event::WorkerRejoined {
                             iter: i,
@@ -1010,6 +1076,13 @@ impl MdGan {
                             // freeze at their last values.
                             self.membership.evict(wi);
                             self.stats.retire(wi + 1);
+                            self.forensics.retire(wi);
+                            if flagged {
+                                self.telemetry.event(Event::FreeriderEvicted {
+                                    iter: i,
+                                    worker: wi + 1,
+                                });
+                            }
                             self.telemetry.event(Event::WorkerEvicted {
                                 iter: i,
                                 worker: wi + 1,
@@ -1021,11 +1094,18 @@ impl MdGan {
             }
             heard_count = heard.len();
             let quorum = self.cfg.robust.quorum(expected.len());
-            if heard_count >= quorum {
+            let kept: Vec<(usize, Tensor)> = feedbacks
+                .into_iter()
+                .zip(quarantined.iter())
+                .filter(|(_, &q)| !q)
+                .map(|(f, _)| f)
+                .collect();
+            if heard_count >= quorum && !kept.is_empty() {
                 let upd_span = self
                     .telemetry
                     .span_at(Phase::GUpdate, Track::Server, rctx, tick);
-                self.server.apply_feedbacks(&feedbacks, heard_count);
+                self.server
+                    .apply_feedbacks_robust(&kept, kept.len(), self.aggregation);
                 drop(upd_span);
             } else if heard_count > 0 {
                 self.telemetry.event(Event::Custom {
@@ -1991,5 +2071,104 @@ mod tests {
             .any(|e| matches!(e.event, Event::WorkerEvicted { worker: 1, .. })));
         assert_eq!(md.membership().status(0), MemberStatus::Evicted);
         assert!(md.gen_params().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn freerider_is_flagged_and_evicted_via_membership() {
+        use md_telemetry::Counter;
+        let rec = Arc::new(Recorder::enabled());
+        let data = mnist_like(12, 4 * 32, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(4);
+        let shards = data.shard_iid(4, &mut rng);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let mut cfg = MdGanConfig {
+            workers: 4,
+            k: KPolicy::One,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Disabled,
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
+            iterations: 100,
+            seed: 7,
+            // Worker 1 holds no data worth anything: it fabricates its
+            // feedback from fresh noise every iteration.
+            attacks: vec![Attack::PureNoise { std: 5.0 }],
+            ..MdGanConfig::default()
+        };
+        cfg.defense.enabled = true;
+        cfg.robust.suspect_after = 2;
+        cfg.robust.evict_after = 2;
+        cfg.robust.probe_period = 1;
+        let mut md = MdGan::new(&spec, shards, cfg).with_telemetry(Arc::clone(&rec));
+        for _ in 0..20 {
+            md.step();
+        }
+        // The forensics flagged the free-rider, the detector graduated the
+        // flag into a permanent membership eviction, and the honest
+        // majority survived.
+        assert!(rec.counter(Counter::WorkersFlagged) >= 1);
+        assert_eq!(rec.counter(Counter::FreeridersEvicted), 1);
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::FreeriderEvicted { worker: 1, .. })));
+        assert!(rec
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::WorkerEvicted { worker: 1, .. })));
+        assert_eq!(md.membership().status(0), MemberStatus::Evicted);
+        for w in 1..4 {
+            assert_eq!(md.membership().status(w), MemberStatus::Alive);
+        }
+        // Every flagging decision carries its scores in the run record.
+        let flag = rec
+            .events()
+            .iter()
+            .find_map(|e| match e.event {
+                Event::WorkerFlagged { worker: 1, .. } => Some(e.to_json()),
+                _ => None,
+            })
+            .expect("flag event retained");
+        assert!(flag.contains("norm_score"), "{flag}");
+        assert!(md.gen_params().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn attacks_now_compose_with_robust_aggregation() {
+        use md_simnet::FaultPlan;
+        // The pre-defense runtime rejected attacks ∪ robust mode; the
+        // lifted restriction lets a sign-flipper run against the median
+        // aggregator over a lossy network without panicking.
+        let data = mnist_like(12, 5 * 32, 1, 0.08);
+        let mut rng = Rng64::seed_from_u64(4);
+        let shards = data.shard_iid(5, &mut rng);
+        let spec = ArchSpec::mlp_mnist_scaled(12);
+        let mut cfg = MdGanConfig {
+            workers: 5,
+            k: KPolicy::One,
+            epochs_per_swap: 1.0,
+            swap: SwapPolicy::Disabled,
+            hyper: GanHyper {
+                batch: 4,
+                ..GanHyper::default()
+            },
+            iterations: 100,
+            seed: 11,
+            attacks: vec![Attack::SignFlip { scale: 1.0 }],
+            aggregation: Aggregation::CoordinateMedian,
+            ..MdGanConfig::default()
+        };
+        cfg.fault = FaultPlan {
+            drop: 0.05,
+            ..FaultPlan::none()
+        };
+        let mut md = MdGan::new(&spec, shards, cfg);
+        for _ in 0..6 {
+            md.step();
+        }
+        assert!(md.gen_params().iter().all(|v| v.is_finite()));
+        assert_eq!(md.iterations(), 6);
     }
 }

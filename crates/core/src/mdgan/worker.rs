@@ -104,6 +104,30 @@ impl MdWorker {
         self.disc.net.get_params_flat()
     }
 
+    /// The feedback a *stale* discriminator snapshot would produce on
+    /// `xg` — the pre-trained-mimicry free-rider strategy (§VII.3 /
+    /// arXiv:2201.09967). The worker's live parameters are swapped out,
+    /// the generator objective is backpropagated to the input images on
+    /// the frozen snapshot, and the live parameters are restored; neither
+    /// the discriminator nor its optimizer state moves.
+    pub fn stale_feedback(&mut self, stale: &[f32], xg: &Tensor, xg_labels: &[usize]) -> Tensor {
+        let live = self.disc.net.get_params_flat();
+        self.disc.net.set_params_flat(stale);
+        let logits = self.disc.forward(xg, true);
+        let (_, glogits) = gen_loss(
+            &logits,
+            xg_labels,
+            self.disc.num_classes,
+            self.hyper.aux_weight,
+            self.hyper.gen_loss,
+        );
+        self.disc.net.zero_grad();
+        let feedback = self.disc.backward(&glogits);
+        self.disc.net.zero_grad();
+        self.disc.net.set_params_flat(&live);
+        feedback
+    }
+
     /// Installs received discriminator parameters (swap receive side).
     ///
     /// Only the parameters move, not the Adam moments — the optimizer
@@ -234,6 +258,26 @@ mod tests {
         b.set_disc_params(&pa);
         assert_eq!(a.disc_params(), pb);
         assert_eq!(b.disc_params(), pa);
+    }
+
+    #[test]
+    fn stale_feedback_uses_snapshot_and_restores_live_params() {
+        let mut w = worker();
+        let snapshot = w.disc_params();
+        let mut rng = Rng64::seed_from_u64(6);
+        let (xd, yd) = fake_batch(6, &mut rng);
+        let (xg, yg) = fake_batch(6, &mut rng);
+        w.process(&xd, &yd, &xg, &yg); // live D moves off the snapshot
+        let live = w.disc_params();
+        assert_ne!(live, snapshot);
+        let f_stale = w.stale_feedback(&snapshot, &xg, &yg);
+        assert_eq!(w.disc_params(), live, "live parameters must be restored");
+        assert_eq!(f_stale.shape(), &[6, 1, 12, 12]);
+        assert!(f_stale.all_finite());
+        // The frozen snapshot answers differently than the live model.
+        let f_live = w.stale_feedback(&live, &xg, &yg);
+        assert_ne!(f_stale.data(), f_live.data());
+        assert!(w.disc.net.get_grads_flat().iter().all(|&g| g == 0.0));
     }
 
     #[test]

@@ -84,6 +84,38 @@ pub enum Event {
         /// The evicted worker.
         worker: usize,
     },
+    /// The server's feedback forensics flagged a worker as a suspected
+    /// free-rider after a persistent outlier streak (§VII.3 defense).
+    WorkerFlagged {
+        /// Iteration the flag was raised at.
+        iter: usize,
+        /// The flagged worker.
+        worker: usize,
+        /// `|ln‖F‖ − median(ln‖F‖)|` at the flagging observation.
+        norm_score: f64,
+        /// Cosine against the worker's own previous feedback.
+        self_cos: f64,
+        /// Cosine against the same-group peer consensus (NaN when the
+        /// group was too small to score).
+        peer_cos: f64,
+    },
+    /// A previously flagged worker scored as an inlier on a probe and was
+    /// cleared (its feedbacks count again).
+    WorkerCleared {
+        /// Iteration the flag was lifted at.
+        iter: usize,
+        /// The cleared worker.
+        worker: usize,
+    },
+    /// A flagged free-rider crossed the failure detector's eviction
+    /// threshold and was permanently removed from the membership view
+    /// (always accompanied by a [`Event::WorkerEvicted`]).
+    FreeriderEvicted {
+        /// Iteration the eviction was decided at.
+        iter: usize,
+        /// The evicted free-rider.
+        worker: usize,
+    },
     /// A joining worker finished bootstrapping its discriminator from a
     /// snapshot held by the server or a peer.
     BootstrapDone {
@@ -148,6 +180,9 @@ impl Event {
             Event::WorkerJoined { .. } => "worker_joined",
             Event::WorkerLeft { .. } => "worker_left",
             Event::WorkerEvicted { .. } => "worker_evicted",
+            Event::WorkerFlagged { .. } => "worker_flagged",
+            Event::WorkerCleared { .. } => "worker_cleared",
+            Event::FreeriderEvicted { .. } => "freerider_evicted",
             Event::BootstrapDone { .. } => "bootstrap_done",
             Event::RoundDone { .. } => "round_done",
             Event::NanDetected { .. } => "nan_detected",
@@ -168,6 +203,9 @@ impl Event {
             | Event::WorkerJoined { worker, .. }
             | Event::WorkerLeft { worker, .. }
             | Event::WorkerEvicted { worker, .. }
+            | Event::WorkerFlagged { worker, .. }
+            | Event::WorkerCleared { worker, .. }
+            | Event::FreeriderEvicted { worker, .. }
             | Event::BootstrapDone { worker, .. } => Some(*worker),
             _ => None,
         }
@@ -219,9 +257,23 @@ impl TimedEvent {
             | Event::WorkerRejoined { iter, worker }
             | Event::WorkerJoined { iter, worker }
             | Event::WorkerLeft { iter, worker }
-            | Event::WorkerEvicted { iter, worker } => o
+            | Event::WorkerEvicted { iter, worker }
+            | Event::WorkerCleared { iter, worker }
+            | Event::FreeriderEvicted { iter, worker } => o
                 .field_u64("iter", *iter as u64)
                 .field_u64("worker", *worker as u64),
+            Event::WorkerFlagged {
+                iter,
+                worker,
+                norm_score,
+                self_cos,
+                peer_cos,
+            } => o
+                .field_u64("iter", *iter as u64)
+                .field_u64("worker", *worker as u64)
+                .field_f64("norm_score", *norm_score)
+                .field_f64("self_cos", *self_cos)
+                .field_f64("peer_cos", *peer_cos),
             Event::BootstrapDone {
                 iter,
                 worker,

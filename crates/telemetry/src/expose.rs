@@ -142,6 +142,34 @@ pub fn render(rec: &Recorder, gauges: &[Gauge]) -> String {
             );
         }
     }
+    // Forensics flag set, replayed the same way: a worker is currently
+    // flagged iff its last flagged/cleared transition was "flagged".
+    let mut flagged: std::collections::BTreeMap<usize, bool> = Default::default();
+    for e in rec.events() {
+        match e.event {
+            Event::WorkerFlagged { worker, .. } => {
+                flagged.insert(worker, true);
+            }
+            Event::WorkerCleared { worker, .. } => {
+                flagged.insert(worker, false);
+            }
+            _ => {}
+        }
+    }
+    if !flagged.is_empty() {
+        out.push_str(
+            "# HELP mdgan_worker_flagged 1 while the feedback forensics flags the worker as a free-rider.\n\
+             # TYPE mdgan_worker_flagged gauge\n",
+        );
+        for (w, f) in flagged {
+            sample(
+                &mut out,
+                "mdgan_worker_flagged",
+                &format!("{{worker=\"{w}\"}}"),
+                if f { 1.0 } else { 0.0 },
+            );
+        }
+    }
     if rec.trace_enabled() {
         out.push_str("# TYPE mdgan_trace_spans gauge\n");
         sample(

@@ -103,11 +103,17 @@ pub enum Counter {
     WorkersEvicted,
     /// Discriminator bootstraps completed for joining workers.
     Bootstraps,
+    /// Workers flagged as suspected free-riders by the feedback forensics.
+    WorkersFlagged,
+    /// Flagged workers cleared after scoring as inliers again.
+    WorkersCleared,
+    /// Flagged free-riders permanently evicted via the membership path.
+    FreeridersEvicted,
 }
 
 impl Counter {
     /// All counters, in reporting order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::Iterations,
         Counter::Swaps,
         Counter::Faults,
@@ -128,6 +134,9 @@ impl Counter {
         Counter::WorkersLeft,
         Counter::WorkersEvicted,
         Counter::Bootstraps,
+        Counter::WorkersFlagged,
+        Counter::WorkersCleared,
+        Counter::FreeridersEvicted,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -155,6 +164,9 @@ impl Counter {
             Counter::WorkersLeft => "workers_left",
             Counter::WorkersEvicted => "workers_evicted",
             Counter::Bootstraps => "bootstraps",
+            Counter::WorkersFlagged => "workers_flagged",
+            Counter::WorkersCleared => "workers_cleared",
+            Counter::FreeridersEvicted => "freeriders_evicted",
         }
     }
 
@@ -527,6 +539,9 @@ impl Recorder {
             Event::WorkerJoined { .. } => self.incr(Counter::WorkersJoined, 1),
             Event::WorkerLeft { .. } => self.incr(Counter::WorkersLeft, 1),
             Event::WorkerEvicted { .. } => self.incr(Counter::WorkersEvicted, 1),
+            Event::WorkerFlagged { .. } => self.incr(Counter::WorkersFlagged, 1),
+            Event::WorkerCleared { .. } => self.incr(Counter::WorkersCleared, 1),
+            Event::FreeriderEvicted { .. } => self.incr(Counter::FreeridersEvicted, 1),
             Event::BootstrapDone { .. } => self.incr(Counter::Bootstraps, 1),
             Event::WorkerRejoined { .. } | Event::RoundDone { .. } | Event::Custom { .. } => {}
         }

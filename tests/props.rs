@@ -351,3 +351,88 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The robust aggregators are permutation-invariant: reordering the
+    /// group never changes a single output bit (both sort each coordinate
+    /// column before reducing it).
+    #[test]
+    fn robust_aggregators_are_permutation_invariant(seed in 0u64..1000,
+                                                    n in 3usize..8,
+                                                    len in 1usize..48,
+                                                    rot in 1usize..8) {
+        use mdgan_repro::core::byzantine::Aggregation;
+        let mut rng = Rng64::seed_from_u64(seed);
+        let group: Vec<Tensor> = (0..n).map(|_| Tensor::randn(&[len], &mut rng)).collect();
+        let mut permuted: Vec<&Tensor> = group.iter().collect();
+        permuted.rotate_left(rot % n);
+        permuted.reverse();
+        let original: Vec<&Tensor> = group.iter().collect();
+        for agg in [Aggregation::CoordinateMedian, Aggregation::TrimmedMean { trim: 1 }] {
+            prop_assert_eq!(
+                agg.aggregate(&original).data(),
+                agg.aggregate(&permuted).data(),
+                "{:?} depends on group order", agg
+            );
+        }
+    }
+
+    /// Translation equivariance: shifting every member by a constant
+    /// shifts the aggregate by the same constant.
+    #[test]
+    fn robust_aggregators_are_translation_equivariant(seed in 0u64..1000,
+                                                      n in 3usize..8,
+                                                      len in 1usize..48,
+                                                      shift in -4.0f32..4.0) {
+        use mdgan_repro::core::byzantine::Aggregation;
+        let mut rng = Rng64::seed_from_u64(seed);
+        let group: Vec<Tensor> = (0..n).map(|_| Tensor::randn(&[len], &mut rng)).collect();
+        let shifted: Vec<Tensor> = group.iter().map(|t| t.add_scalar(shift)).collect();
+        for agg in [Aggregation::CoordinateMedian, Aggregation::TrimmedMean { trim: 1 }] {
+            let base = agg.aggregate(&group.iter().collect::<Vec<_>>());
+            let moved = agg.aggregate(&shifted.iter().collect::<Vec<_>>());
+            for (b, m) in base.data().iter().zip(moved.data()) {
+                prop_assert!(
+                    (b + shift - m).abs() < 1e-4,
+                    "{:?}: {} + {} vs {}", agg, b, shift, m
+                );
+            }
+        }
+    }
+
+    /// Single-outlier bounded deviation: one arbitrarily hostile member
+    /// (any magnitude, sign, even NaN/Inf) cannot push a robust aggregate
+    /// outside the honest members' per-coordinate envelope.
+    #[test]
+    fn robust_aggregators_bound_a_single_outlier(seed in 0u64..1000,
+                                                 n in 3usize..8,
+                                                 len in 1usize..48,
+                                                 magnitude in 1.0f32..1e30,
+                                                 hostile in 0usize..4) {
+        use mdgan_repro::core::byzantine::Aggregation;
+        let mut rng = Rng64::seed_from_u64(seed);
+        let honest: Vec<Tensor> = (0..n).map(|_| Tensor::randn(&[len], &mut rng)).collect();
+        let outlier = match hostile {
+            0 => Tensor::randn(&[len], &mut rng).scale(magnitude),
+            1 => Tensor::randn(&[len], &mut rng).scale(-magnitude),
+            2 => Tensor::new(&[len], vec![f32::NAN; len]),
+            _ => Tensor::new(&[len], vec![f32::INFINITY; len]),
+        };
+        let mut group: Vec<&Tensor> = honest.iter().collect();
+        group.push(&outlier);
+        for agg in [Aggregation::CoordinateMedian, Aggregation::TrimmedMean { trim: 1 }] {
+            let out = agg.aggregate(&group);
+            for i in 0..len {
+                let lo = honest.iter().map(|t| t.data()[i]).fold(f32::INFINITY, f32::min);
+                let hi = honest.iter().map(|t| t.data()[i]).fold(f32::NEG_INFINITY, f32::max);
+                let v = out.data()[i];
+                prop_assert!(
+                    v.is_finite() && v >= lo && v <= hi,
+                    "{:?} coord {}: {} escapes honest envelope [{}, {}]", agg, i, v, lo, hi
+                );
+            }
+        }
+    }
+}
