@@ -162,10 +162,43 @@ pub fn install_pool_trace_hook(rec: &Arc<Recorder>) {
     })));
 }
 
+/// Best measured GEMM throughput of this process, as f64 bits (0 = never
+/// measured). Written by [`record_gemm_gflops`], read by the
+/// `mdgan_gemm_gflops` gauge.
+static GEMM_GFLOPS_BITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Records a measured GEMM throughput sample (GFLOP/s) so the live
+/// `/metrics` endpoint can expose it via the `mdgan_gemm_gflops` gauge.
+/// Keeps the maximum seen so a slow warmup sample can't shadow the real
+/// steady-state figure.
+pub fn record_gemm_gflops(gflops: f64) {
+    use std::sync::atomic::Ordering;
+    let mut cur = GEMM_GFLOPS_BITS.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(cur) >= gflops {
+            return;
+        }
+        match GEMM_GFLOPS_BITS.compare_exchange_weak(
+            cur,
+            gflops.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
 /// The pool/workspace gauges every binary registers on its live metrics
 /// endpoint (scraped fresh per request, so mid-run values are current).
 pub fn metrics_gauges() -> Vec<Gauge> {
     vec![
+        Gauge::new(
+            "mdgan_gemm_gflops",
+            "Best GEMM throughput measured by this process (GFLOP/s).",
+            || f64::from_bits(GEMM_GFLOPS_BITS.load(std::sync::atomic::Ordering::Relaxed)),
+        ),
         Gauge::new(
             "mdgan_pool_threads",
             "md-tensor pool workers alive.",
@@ -391,6 +424,18 @@ mod tests {
             .to_jsonl(&rec);
         assert!(text.contains(r#""type":"workspace""#));
         assert!(text.contains(r#""ws_hits""#));
+    }
+
+    #[test]
+    fn gemm_gflops_gauge_keeps_the_maximum() {
+        record_gemm_gflops(12.5);
+        record_gemm_gflops(7.0); // slower sample must not shadow the best
+        let gauges = metrics_gauges();
+        let g = gauges
+            .iter()
+            .find(|g| g.name == "mdgan_gemm_gflops")
+            .expect("gemm gauge registered");
+        assert!((g.read)()[0].1 >= 12.5);
     }
 
     #[test]

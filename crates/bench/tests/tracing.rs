@@ -225,7 +225,7 @@ fn disabled_recorder_captures_no_spans() {
 }
 
 /// Enabled-tracing overhead on a 10-worker smoke. The real number is well
-/// under 5% (see `results/BENCH_PR6.json`); the assertion bound is kept
+/// under 5% (see `results/BENCH_PR10.json`); the assertion bound is kept
 /// deliberately loose (2x) so a noisy shared CI runner cannot flake it —
 /// it exists to catch order-of-magnitude regressions such as a lock on
 /// the span hot path.

@@ -1,20 +1,32 @@
-//! 2-D convolution and transposed convolution via `im2col`/`col2im`,
-//! with analytic gradients.
+//! 2-D convolution and transposed convolution as **implicit GEMM**, with
+//! analytic gradients.
 //!
 //! Layout conventions (all row-major):
 //! * activations: `(B, C, H, W)`
 //! * conv2d weights: `(O, C, KH, KW)` — `O` output channels
 //! * conv-transpose2d weights: `(C_in, C_out, KH, KW)` (PyTorch convention)
 //!
+//! Every path is an im2col-style GEMM, but the `(C*KH*KW, OH*OW)` column
+//! matrix is **never materialized**: the [`Im2colRhs`] / [`Im2colTRhs`]
+//! packers implement [`gemm::PackRhs`] and extract convolution patches on
+//! the fly straight into the GEMM's packed sliver format, and the
+//! transposed/grad-input paths fuse `col2im` into the GEMM epilogue via
+//! [`gemm::gemm_scatter`] (each finished row-block tile is scattered into
+//! the image and discarded). The reference [`im2col`] / [`col2im`]
+//! functions remain as the spec: every implicit path is bitwise identical
+//! to materialize-then-multiply (the packers read the exact same values
+//! and the GEMM's per-element `k`-order is unchanged; the tile scatter
+//! accumulates in the same ascending `(row, position)` order as
+//! [`col2im`]).
+//!
 //! The transposed convolution is implemented as the exact adjoint of the
 //! convolution: its forward pass is a `col2im` scatter, and its backward
-//! pass reuses `im2col`. This guarantees that `conv_t` forward is literally
-//! the gradient of `conv` with respect to its input, a property the unit
-//! tests check.
+//! pass reuses the `im2col` geometry. This guarantees that `conv_t`
+//! forward is literally the gradient of `conv` with respect to its input,
+//! a property the unit tests check.
 
-use crate::ops::matmul::{matmul_into, matmul_nt_acc_into};
+use crate::ops::gemm::{self, Lhs, PackRhs, SliceRhs, NR};
 use crate::parallel;
-use crate::pool::with_scratch;
 use crate::tensor::Tensor;
 use crate::workspace;
 
@@ -153,6 +165,245 @@ pub fn col2im(
     }
 }
 
+/// One sample's convolution geometry: the `(c, h, w)` image, the kernel,
+/// and the `(oh, ow)` output grid the column matrix ranges over. Shared by
+/// the implicit packers and the fused scatter so their index math cannot
+/// drift apart.
+#[derive(Clone, Copy)]
+struct ConvGeom {
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+}
+
+impl ConvGeom {
+    /// Rows of the im2col column matrix: `c * kh * kw`.
+    fn ckk(&self) -> usize {
+        self.c * self.kh * self.kw
+    }
+
+    /// Columns of the im2col column matrix: `oh * ow`.
+    fn ohw(&self) -> usize {
+        self.oh * self.ow
+    }
+
+    /// Splits a column-matrix row index into `(ci, ki, kj, image base)`.
+    #[inline]
+    fn split_row(&self, row: usize) -> (usize, usize, usize) {
+        let kj = row % self.kw;
+        let ki = (row / self.kw) % self.kh;
+        let ci = row / (self.kw * self.kh);
+        (ci, ki, kj)
+    }
+}
+
+/// Implicit im2col right-hand operand: the virtual `(c*kh*kw, oh*ow)`
+/// column matrix of one image, packed patch-by-patch on the fly. Reads the
+/// exact values [`im2col`] would have written
+/// (`cols[row][oy*ow + ox] = image[ci][oy*stride+ki-pad][ox*stride+kj-pad]`,
+/// zero outside the image), so a GEMM over this operand is bitwise
+/// identical to materialize-then-multiply.
+struct Im2colRhs<'a> {
+    image: &'a [f32],
+    g: ConvGeom,
+}
+
+impl PackRhs for Im2colRhs<'_> {
+    fn pack_panel(&self, bp: &mut [f32], kb: usize, kc: usize, jb: usize, nc: usize) {
+        let ConvGeom {
+            h,
+            w,
+            stride,
+            pad,
+            ow,
+            ..
+        } = self.g;
+        let n = self.g.ohw();
+        let nslivers = nc.div_ceil(NR);
+        for s in 0..nslivers {
+            let j0 = jb + s * NR;
+            let jw = NR.min(n - j0);
+            let sliver = &mut bp[s * kc * NR..(s + 1) * kc * NR];
+            for p in 0..kc {
+                let (ci, ki, kj) = self.g.split_row(kb + p);
+                let img_base = ci * h * w;
+                let dst = &mut sliver[p * NR..(p + 1) * NR];
+                dst[jw..].fill(0.0);
+                // Walk the jw output positions one oy-row at a time so the
+                // vertical bounds check hoists out of the inner loop and
+                // stride-1 interior segments become contiguous copies —
+                // same traffic as `im2col`, minus the materialized matrix.
+                let mut jj = 0;
+                let mut oy = j0 / ow;
+                let mut ox = j0 - oy * ow;
+                while jj < jw {
+                    let seg = (ow - ox).min(jw - jj);
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        dst[jj..jj + seg].fill(0.0);
+                    } else {
+                        let img_row = img_base + iy as usize * w;
+                        pack_row_taps(
+                            &mut dst[jj..jj + seg],
+                            &self.image[img_row..img_row + w],
+                            ox,
+                            stride,
+                            kj as isize - pad as isize,
+                        );
+                    }
+                    jj += seg;
+                    ox = 0;
+                    oy += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Packs `dst.len()` horizontal kernel taps `ix = (ox + i) * stride + off`
+/// from one in-bounds image row, writing zero wherever `ix` falls outside
+/// the row. At stride 1 the valid window is a single contiguous
+/// `copy_from_slice`; larger strides fall back to a per-tap gather with
+/// only the horizontal check left.
+fn pack_row_taps(dst: &mut [f32], row: &[f32], ox: usize, stride: usize, off: isize) {
+    let seg = dst.len() as isize;
+    let w = row.len() as isize;
+    if stride == 1 {
+        let base = ox as isize + off; // tap i reads row[base + i]
+        let lo = (-base).clamp(0, seg) as usize;
+        let hi = (w - base).clamp(0, seg) as usize;
+        dst[..lo].fill(0.0);
+        if hi > lo {
+            let start = (base + lo as isize) as usize;
+            dst[lo..hi].copy_from_slice(&row[start..start + (hi - lo)]);
+        }
+        dst[hi.max(lo)..].fill(0.0);
+    } else {
+        for (i, d) in dst.iter_mut().enumerate() {
+            let ix = ((ox + i) * stride) as isize + off;
+            *d = if ix < 0 || ix >= w {
+                0.0
+            } else {
+                row[ix as usize]
+            };
+        }
+    }
+}
+
+/// Transposed implicit im2col operand: the virtual `(oh*ow, c*kh*kw)`
+/// matrix `cols^T`, for `grad_weight += g · cols^T` products. Packing
+/// element `[p][j]` reads `cols[j][p]` — the same image loads as
+/// [`Im2colRhs`], transposed, so the accumulated gradients stay bitwise
+/// equal to the materialized path.
+struct Im2colTRhs<'a> {
+    image: &'a [f32],
+    g: ConvGeom,
+}
+
+impl PackRhs for Im2colTRhs<'_> {
+    fn pack_panel(&self, bp: &mut [f32], kb: usize, kc: usize, jb: usize, nc: usize) {
+        let ConvGeom {
+            h,
+            w,
+            stride,
+            pad,
+            ow,
+            ..
+        } = self.g;
+        let n = self.g.ckk();
+        let nslivers = nc.div_ceil(NR);
+        for s in 0..nslivers {
+            let j0 = jb + s * NR;
+            let jw = NR.min(n - j0);
+            let sliver = &mut bp[s * kc * NR..(s + 1) * kc * NR];
+            for jj in 0..NR {
+                if jj >= jw {
+                    for p in 0..kc {
+                        sliver[p * NR + jj] = 0.0;
+                    }
+                    continue;
+                }
+                let (ci, ki, kj) = self.g.split_row(j0 + jj);
+                let img_base = ci * h * w;
+                let off = kj as isize - pad as isize;
+                // `k` runs over output positions here; walk them one
+                // oy-row segment at a time (vertical check hoisted), same
+                // as the untransposed packer. Writes stay NR-strided.
+                let mut p = 0;
+                let mut oy = kb / ow;
+                let mut ox = kb - oy * ow;
+                while p < kc {
+                    let seg = (ow - ox).min(kc - p);
+                    let iy = (oy * stride + ki) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        for q in 0..seg {
+                            sliver[(p + q) * NR + jj] = 0.0;
+                        }
+                    } else {
+                        let row_base = img_base + iy as usize * w;
+                        let row = &self.image[row_base..row_base + w];
+                        for q in 0..seg {
+                            let ix = ((ox + q) * stride) as isize + off;
+                            sliver[(p + q) * NR + jj] = if ix < 0 || ix >= w as isize {
+                                0.0
+                            } else {
+                                row[ix as usize]
+                            };
+                        }
+                    }
+                    p += seg;
+                    ox = 0;
+                    oy += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Fused-col2im epilogue for [`gemm::gemm_scatter`]: accumulates `rows`
+/// finished column-matrix rows (starting at global row `r0`) into the
+/// image. Row blocks arrive in ascending order and each row scatters its
+/// positions in ascending order, so the element-wise `+=` order is exactly
+/// [`col2im`]'s `(row, oy, ox)` loop nest — bitwise identical to
+/// materializing the whole column matrix first.
+fn scatter_tile(tile: &[f32], r0: usize, rows: usize, g: &ConvGeom, image: &mut [f32]) {
+    let ConvGeom {
+        h,
+        w,
+        stride,
+        pad,
+        oh,
+        ow,
+        ..
+    } = *g;
+    let n = oh * ow;
+    for r in 0..rows {
+        let (ci, ki, kj) = g.split_row(r0 + r);
+        let img_base = ci * h * w;
+        let trow = r * n;
+        for oy in 0..oh {
+            let iy = (oy * stride + ki) as isize - pad as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            let img_row = img_base + iy as usize * w;
+            let col_base = trow + oy * ow;
+            for ox in 0..ow {
+                let ix = (ox * stride + kj) as isize - pad as isize;
+                if ix >= 0 && ix < w as isize {
+                    image[img_row + ix as usize] += tile[col_base + ox];
+                }
+            }
+        }
+    }
+}
+
 /// Batched 2-D convolution forward pass.
 ///
 /// * `input`: `(B, C, H, W)`
@@ -181,18 +432,28 @@ pub fn conv2d_forward(
     let ckk = c * kh * kw;
     let ohw = oh * ow;
 
-    let mut out = workspace::take_zeroed(b * o * ohw);
+    let geom = ConvGeom {
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        stride,
+        pad,
+        oh,
+        ow,
+    };
+    // Implicit GEMM per sample: out (o, ohw) = weight (o, ckk) x cols
+    // (ckk, ohw), with the column matrix packed on the fly — the GEMM
+    // fully overwrites every sample, so the buffer can start uninitialized.
+    let mut out = workspace::take_uninit(b * o * ohw);
     let in_data = input.data();
     let w_data = weight.data();
     let b_data = bias.data();
     parallel::parallel_for_chunks(&mut out, b, ckk * o * ohw, |bi, out_sample| {
-        // Per-thread scratch: im2col fully overwrites `cols`, so the
-        // recycled buffer never leaks stale data.
-        with_scratch(ckk * ohw, |cols| {
-            let image = &in_data[bi * c * h * w..(bi + 1) * c * h * w];
-            im2col(image, c, h, w, kh, kw, stride, pad, oh, ow, cols);
-            matmul_into(w_data, cols, out_sample, o, ckk, ohw);
-        });
+        let image = &in_data[bi * c * h * w..(bi + 1) * c * h * w];
+        let cols = Im2colRhs { image, g: geom };
+        gemm::gemm_with(Lhs::RowMajor(w_data), &cols, out_sample, o, ckk, ohw, false);
         if has_bias {
             for (oc, chunk) in out_sample.chunks_mut(ohw).enumerate() {
                 let bv = b_data[oc];
@@ -261,33 +522,50 @@ pub fn conv2d_backward_acc(
     let ckk = c * kh * kw;
     let ohw = oh * ow;
 
+    let geom = ConvGeom {
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        stride,
+        pad,
+        oh,
+        ow,
+    };
     let mut grad_input = workspace::take_zeroed(input.len());
-    let w_t = weight.reshape(&[o, ckk]).t(); // (ckk, o)
+    // weight.data() is already the (o, ckk) row-major matrix; the grad-input
+    // product needs its transpose, which Lhs::ColMajor reads in place — no
+    // materialized `w^T` copy.
+    let w2 = weight.data();
     let gw = grad_weight.data_mut();
     let gbias = grad_bias.data_mut();
 
-    with_scratch(ckk * ohw, |cols| {
-        with_scratch(ckk * ohw, |gcols| {
-            for bi in 0..b {
-                let image = &input.data()[bi * c * h * w..(bi + 1) * c * h * w];
-                let g = &grad_out.data()[bi * o * ohw..(bi + 1) * o * ohw];
-                im2col(image, c, h, w, kh, kw, stride, pad, oh, ow, cols);
+    for bi in 0..b {
+        let image = &input.data()[bi * c * h * w..(bi + 1) * c * h * w];
+        let g = &grad_out.data()[bi * o * ohw..(bi + 1) * o * ohw];
 
-                // grad_weight += g (o, ohw) x cols^T (ohw, ckk), straight
-                // into the caller's gradient via the shared acc kernel.
-                matmul_nt_acc_into(g, cols, gw, o, ohw, ckk);
+        // grad_weight += g (o, ohw) x cols^T (ohw, ckk), with the
+        // transposed column matrix packed on the fly.
+        let cols_t = Im2colTRhs { image, g: geom };
+        gemm::gemm_with(Lhs::RowMajor(g), &cols_t, gw, o, ohw, ckk, true);
 
-                // grad_cols = W^T (ckk, o) x g (o, ohw)
-                matmul_into(w_t.data(), g, gcols, ckk, o, ohw);
-                let gi = &mut grad_input[bi * c * h * w..(bi + 1) * c * h * w];
-                col2im(gcols, c, h, w, kh, kw, stride, pad, oh, ow, gi);
+        // grad_input = col2im(W^T (ckk, o) x g (o, ohw)), with col2im
+        // fused into the GEMM epilogue — grad_cols never materializes.
+        let gi = &mut grad_input[bi * c * h * w..(bi + 1) * c * h * w];
+        gemm::gemm_scatter(
+            Lhs::ColMajor(w2),
+            &SliceRhs::new(g, false, o, ohw),
+            ckk,
+            o,
+            ohw,
+            |tile, r0, rows| scatter_tile(tile, r0, rows, &geom, gi),
+        );
 
-                for oc in 0..o {
-                    gbias[oc] += g[oc * ohw..(oc + 1) * ohw].iter().sum::<f32>();
-                }
-            }
-        });
-    });
+        for oc in 0..o {
+            gbias[oc] += g[oc * ohw..(oc + 1) * ohw].iter().sum::<f32>();
+        }
+    }
     Tensor::new(input.shape(), grad_input)
 }
 
@@ -322,20 +600,39 @@ pub fn conv_transpose2d_forward(
     let ckk = cout * kh * kw;
     let hw = h * w;
 
-    // W2: (cin, ckk); we need W2^T (ckk, cin) @ x (cin, hw) per sample.
-    let w2_t = weight.reshape(&[cin, ckk]).t();
-    let mut out = workspace::take_zeroed(b * cout * oh * ow);
+    // The conv whose adjoint we are: image (cout, oh, ow) -> columns over
+    // the input's (h, w) grid.
+    let geom = ConvGeom {
+        c: cout,
+        h: oh,
+        w: ow,
+        kh,
+        kw,
+        stride,
+        pad,
+        oh: h,
+        ow: w,
+    };
+    // weight.data() is the (cin, ckk) row-major matrix; Lhs::ColMajor reads
+    // its transpose in place, so the old per-call `w2^T` copy is gone.
+    let w_data = weight.data();
+    let mut out = workspace::take_uninit(b * cout * oh * ow);
     let in_data = input.data();
     let b_data = bias.data();
-    parallel::parallel_for_chunks(&mut out, b, ckk * hw, |bi, out_sample| {
-        // Per-thread scratch: matmul_into fully overwrites `cols`.
-        with_scratch(ckk * hw, |cols| {
-            let x = &in_data[bi * cin * hw..(bi + 1) * cin * hw];
-            matmul_into(w2_t.data(), x, cols, ckk, cin, hw);
-            out_sample.fill(0.0);
-            // The conv whose adjoint we are: image (cout, oh, ow) -> cols over (h, w).
-            col2im(cols, cout, oh, ow, kh, kw, stride, pad, h, w, out_sample);
-        });
+    parallel::parallel_for_chunks(&mut out, b, cin * ckk * hw, |bi, out_sample| {
+        let x = &in_data[bi * cin * hw..(bi + 1) * cin * hw];
+        // cols (ckk, hw) = W2^T (ckk, cin) x x (cin, hw), scattered into
+        // the output image tile by tile — the column matrix never
+        // materializes.
+        out_sample.fill(0.0);
+        gemm::gemm_scatter(
+            Lhs::ColMajor(w_data),
+            &SliceRhs::new(x, false, cin, hw),
+            ckk,
+            cin,
+            hw,
+            |tile, r0, rows| scatter_tile(tile, r0, rows, &geom, out_sample),
+        );
         if has_bias {
             for (oc, chunk) in out_sample.chunks_mut(oh * ow).enumerate() {
                 let bv = b_data[oc];
@@ -401,32 +698,43 @@ pub fn conv_transpose2d_backward_acc(
     let ckk = cout * kh * kw;
     let hw = h * w;
 
-    let mut grad_input = workspace::take_zeroed(input.len());
-    let w2 = weight.reshape(&[cin, ckk]); // (cin, ckk)
+    // dL/dcols = im2col(dL/dout) over the adjoint conv geometry; packed on
+    // the fly below instead of materialized.
+    let geom = ConvGeom {
+        c: cout,
+        h: oh,
+        w: ow,
+        kh,
+        kw,
+        stride,
+        pad,
+        oh: h,
+        ow: w,
+    };
+    // Every sample's slice is fully overwritten by the grad-input GEMM.
+    let mut grad_input = workspace::take_uninit(input.len());
+    let w2 = weight.data(); // (cin, ckk) row-major
     let gw = grad_weight.data_mut();
     let gbias = grad_bias.data_mut();
 
-    with_scratch(ckk * hw, |gcols| {
-        for bi in 0..b {
-            let g = &grad_out.data()[bi * cout * oh * ow..(bi + 1) * cout * oh * ow];
-            let x = &input.data()[bi * cin * hw..(bi + 1) * cin * hw];
+    for bi in 0..b {
+        let g = &grad_out.data()[bi * cout * oh * ow..(bi + 1) * cout * oh * ow];
+        let x = &input.data()[bi * cin * hw..(bi + 1) * cin * hw];
 
-            // dL/dcols = im2col(dL/dout) over the adjoint conv geometry.
-            im2col(g, cout, oh, ow, kh, kw, stride, pad, h, w, gcols);
+        // dL/dx = W2 (cin, ckk) x gcols (ckk, hw), straight into place.
+        let gi = &mut grad_input[bi * cin * hw..(bi + 1) * cin * hw];
+        let gcols = Im2colRhs { image: g, g: geom };
+        gemm::gemm_with(Lhs::RowMajor(w2), &gcols, gi, cin, ckk, hw, false);
 
-            // dL/dx = W2 (cin, ckk) x gcols (ckk, hw), straight into place.
-            let gi = &mut grad_input[bi * cin * hw..(bi + 1) * cin * hw];
-            matmul_into(w2.data(), gcols, gi, cin, ckk, hw);
+        // dL/dW2 += x (cin, hw) x gcols^T (hw, ckk), directly into the
+        // caller's gradient.
+        let gcols_t = Im2colTRhs { image: g, g: geom };
+        gemm::gemm_with(Lhs::RowMajor(x), &gcols_t, gw, cin, hw, ckk, true);
 
-            // dL/dW2 += x (cin, hw) x gcols^T (hw, ckk), via the shared
-            // acc kernel directly into the caller's gradient.
-            matmul_nt_acc_into(x, gcols, gw, cin, hw, ckk);
-
-            for oc in 0..cout {
-                gbias[oc] += g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
-            }
+        for oc in 0..cout {
+            gbias[oc] += g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
         }
-    });
+    }
     Tensor::new(input.shape(), grad_input)
 }
 

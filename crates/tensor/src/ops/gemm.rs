@@ -1,34 +1,51 @@
 //! The packed, cache-blocked GEMM micro-kernel every dense multiply in the
-//! workspace runs on: `matmul`, `matmul_nt`, `matmul_tn` and the im2col
-//! GEMMs inside `conv2d` / `conv_transpose2d` all lower to [`gemm_into`] /
-//! [`gemm_acc_into`] with a [`Layout`] tag.
+//! workspace runs on: `matmul`, `matmul_nt`, `matmul_tn` and the implicit
+//! im2col GEMMs inside `conv2d` / `conv_transpose2d` all lower to
+//! [`gemm_into`] / [`gemm_acc_into`] with a [`Layout`] tag, or to the
+//! `pub(crate)` [`gemm_with`] / [`gemm_scatter`] drivers with a custom
+//! [`PackRhs`] operand.
 //!
 //! # Structure
 //!
 //! The kernel follows the classic three-level blocking of high-performance
 //! BLAS (Goto-style), sized for this crate's GAN workloads:
 //!
-//! * the output is cut into row blocks of [`MC`] rows — the unit of
-//!   parallelism (one row block per pool task, disjoint output slices);
+//! * the output is cut into row blocks of [`MC`] rows and column panels of
+//!   [`NC`] columns — the (row block × column panel) grid is the unit of
+//!   parallelism, so wide shapes (large `n`, small `m` — the generator's
+//!   batched forward) fan out even when there are few row blocks;
 //! * the shared `k` dimension is cut into panels of [`KC`] — the packed
-//!   A block (`MC x KC`, 32 KiB) stays L1/L2-resident while it is reused
+//!   A panel (`MC x KC`, 32 KiB) stays L1/L2-resident while it is reused
 //!   across the whole `n` extent;
-//! * the `n` dimension is cut into panels of [`NC`] — the packed B block
-//!   (`KC x NC`, 256 KiB) stays L2-resident while every row of the A block
-//!   streams over it.
+//! * the packed B panel (`KC x NC`, 256 KiB) stays L2-resident while every
+//!   row of the A panels streams over it.
 //!
-//! Both operands are **packed** into thread-local scratch before the inner
-//! loops run: A as [`MR`]-interleaved row panels (one tile *column* per
-//! `k` step), B as column *slivers* of [`NR`] = 16 columns laid out
-//! `p`-major, so the innermost loop reads both operands at stride 1
-//! regardless of the logical [`Layout`]. The micro-kernel computes an
-//! [`MR`]`x`[`NR`] = 4x16 register tile: 8 vector accumulators (AVX2 ymm)
-//! with one broadcast fused multiply-add per operand element — no loads or
-//! stores of the output inside the `k` loop, and eight independent
-//! accumulation chains to hide the FMA latency. On x86-64 with FMA the
-//! inner loop is hand-written with `core::arch` intrinsics (the exact same
-//! operation chain, see below); elsewhere a scalar `mul_add` loop compiles
-//! to the equivalent fused code.
+//! # Shared packing
+//!
+//! For each `k` panel, **every A row panel and every B column panel is
+//! packed exactly once** into a shared, workspace-pool-backed buffer
+//! (one fixed slot per panel index), by a parallel pack phase; the compute
+//! grid then consumes the shared panels cooperatively. The old schedule
+//! packed B into thread-local scratch per row block, so with `T` threads
+//! the same B bytes were packed up to `ceil(m/MC)` times and memory
+//! bandwidth capped scaling. A panels are [`MR`]-interleaved row panels
+//! (one tile *column* per `k` step), B panels are column *slivers* of
+//! [`NR`] = 16 columns laid out `p`-major, so the innermost loop reads both
+//! operands at stride 1 regardless of the logical [`Layout`].
+//!
+//! The B-side pack is abstracted behind [`PackRhs`]: the dense slice
+//! packer ([`SliceRhs`]) is one implementation; `conv.rs` provides im2col
+//! packers that materialize convolution patches *on the fly* straight into
+//! the packed sliver format (implicit GEMM — the full column matrix never
+//! exists in memory).
+//!
+//! The micro-kernel computes an [`MR`]`x`[`NR`] register tile: 8 vector
+//! accumulators (AVX2 ymm) with one broadcast fused multiply-add per
+//! operand element — no loads or stores of the output inside the `k` loop,
+//! and eight independent accumulation chains to hide the FMA latency. On
+//! x86-64 with FMA the inner loop is hand-written with `core::arch`
+//! intrinsics (the exact same operation chain, see below); elsewhere a
+//! scalar `mul_add` loop compiles to the equivalent fused code.
 //!
 //! # Determinism
 //!
@@ -36,16 +53,19 @@
 //! [`f32::mul_add`] per step** (fused, single rounding — the FMA unit is
 //! where half the machine's FLOP/s live):
 //!
-//! * k-panels are visited in ascending order and each panel resumes from
-//!   the partial sum of the previous one, so the chain of fused
-//!   multiply-adds for a given element is identical to an unblocked
-//!   in-order loop — the packed kernel is **bitwise identical to the
-//!   naive reference** ([`naive_gemm`], which uses the same `mul_add`
-//!   chain; no reassociation anywhere);
-//! * row blocks are fixed-size ([`MC`]) and each is computed entirely by
-//!   one task, so the split — and therefore every intermediate rounding —
-//!   is independent of `TENSOR_THREADS`. Results are bitwise identical for
-//!   any thread count, preserving the repo's determinism contract.
+//! * k-panels are visited in ascending order (the `kb` loop is the serial
+//!   outer loop; the barrier after each compute grid enforces in-order
+//!   resume), and each panel resumes from the partial sum of the previous
+//!   one, so the chain of fused multiply-adds for a given element is
+//!   identical to an unblocked in-order loop — the packed kernel is
+//!   **bitwise identical to the naive reference** ([`naive_gemm`], which
+//!   uses the same `mul_add` chain; no reassociation anywhere);
+//! * grid cells are fixed-size ([`MC`]`x`[`NC`]) and each is computed
+//!   entirely by one task, so the split — and therefore every intermediate
+//!   rounding — is independent of `TENSOR_THREADS`. Packed panels hold the
+//!   same bytes no matter which slot packs them. Results are bitwise
+//!   identical for any thread count, preserving the repo's determinism
+//!   contract.
 //!
 //! There is deliberately **no zero-skip branch** (the old kernel's
 //! `if av == 0.0 { continue }`): it blocked vectorization of the inner
@@ -55,19 +75,23 @@
 //!
 //! # Allocation
 //!
-//! Packing buffers are thread-local and sized once ([`MC`]`*`[`KC`] +
-//! [`KC`]`*`[`NC`] elements, ~288 KiB per thread); steady-state GEMM calls
-//! perform zero heap allocation. Output buffers are the caller's business —
-//! the tensor-level wrappers draw them from [`crate::workspace`].
+//! Packing buffers come from [`crate::workspace::take_uninit`] — one
+//! buffer of `ceil(m/MC)` A slots and one of `ceil(n/NC)` B slots per
+//! call, recycled on return. After warmup every take is a pool hit
+//! (no memset, no malloc), so steady-state GEMM calls still perform zero
+//! heap allocation — now measurable through the `ws_misses` counter
+//! instead of hidden in thread-local statics. Output buffers are the
+//! caller's business — the tensor-level wrappers draw them from
+//! [`crate::workspace`].
 
 use crate::parallel;
-use std::cell::RefCell;
+use crate::workspace;
 
-/// Rows per parallel row block (the packed A block is `MC x KC`).
+/// Rows per parallel row block (the packed A panel is `MC x KC`).
 pub const MC: usize = 32;
 /// Shared-dimension panel length.
 pub const KC: usize = 256;
-/// Column panel width (the packed B block is `KC x NC`).
+/// Column panel width (the packed B panel is `KC x NC`).
 pub const NC: usize = 256;
 /// Register-tile width: columns per packed B sliver (two 8-wide vector
 /// registers per row on AVX2).
@@ -97,11 +121,103 @@ pub enum Layout {
     TN,
 }
 
-thread_local! {
-    /// Per-thread packing scratch: (A block, B block). GEMM never nests
-    /// inside itself, so a plain RefCell suffices; pool workers each carry
-    /// their own pair.
-    static PACK: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+/// The left operand of the packed drivers: a dense slice plus its storage
+/// order. The logical A is always `(m, k)`.
+#[derive(Clone, Copy)]
+pub(crate) enum Lhs<'a> {
+    /// Stored row-major `(m, k)`.
+    RowMajor(&'a [f32]),
+    /// Stored row-major `(k, m)` — the logical A is the transpose. This is
+    /// how `w^T · x` products run without materializing the transpose: the
+    /// packer reads the `(k, m)` slice directly.
+    ColMajor(&'a [f32]),
+}
+
+/// A right-hand operand that can pack any `kc x nc` panel of the logical
+/// `(k, n)` B matrix into the sliver format [`macro_kernel`] consumes
+/// (see [`SliceRhs::pack_panel`] for the exact layout).
+///
+/// Implementations must be pure functions of `(kb, kc, jb, nc)` — the same
+/// panel must pack to the same bytes no matter which thread or call packs
+/// it, which is what keeps the shared-panel schedule bitwise deterministic.
+/// `conv.rs` implements this trait for on-the-fly im2col patch extraction
+/// (implicit GEMM).
+pub(crate) trait PackRhs: Sync {
+    /// Packs the `kc x nc` panel at `(kb, jb)` into `bp`, which holds
+    /// exactly `nc.div_ceil(NR) * NR * kc` elements with **arbitrary**
+    /// prior contents: every element, including the zero pad past `nc`,
+    /// must be written.
+    fn pack_panel(&self, bp: &mut [f32], kb: usize, kc: usize, jb: usize, nc: usize);
+}
+
+/// Dense-slice [`PackRhs`]: the B operand of the `matmul` family.
+pub(crate) struct SliceRhs<'a> {
+    b: &'a [f32],
+    /// `false`: `b` is row-major `(k, n)`; `true`: `b` is row-major
+    /// `(n, k)` and the logical B is its transpose.
+    transposed: bool,
+    k: usize,
+    n: usize,
+}
+
+impl<'a> SliceRhs<'a> {
+    pub(crate) fn new(b: &'a [f32], transposed: bool, k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "SliceRhs: b length mismatch");
+        SliceRhs {
+            b,
+            transposed,
+            k,
+            n,
+        }
+    }
+}
+
+impl PackRhs for SliceRhs<'_> {
+    /// Packs as NR-wide column slivers, `p`-major:
+    /// `bp[(s*kc + p)*NR + jj] = B[kb + p][jb + s*NR + jj]`, zero-padded
+    /// past `n`. The padding columns contribute only to discarded
+    /// accumulator lanes.
+    fn pack_panel(&self, bp: &mut [f32], kb: usize, kc: usize, jb: usize, nc: usize) {
+        let n = self.n;
+        let b = self.b;
+        let nslivers = nc.div_ceil(NR);
+        if !self.transposed {
+            // B stored row-major (k,n): read rows at stride 1, sliver by
+            // sliver.
+            for s in 0..nslivers {
+                let j0 = jb + s * NR;
+                let jw = NR.min(n - j0);
+                let sliver = &mut bp[s * kc * NR..(s + 1) * kc * NR];
+                for p in 0..kc {
+                    let src = &b[(kb + p) * n + j0..(kb + p) * n + j0 + jw];
+                    let dst = &mut sliver[p * NR..p * NR + NR];
+                    dst[..jw].copy_from_slice(src);
+                    dst[jw..].fill(0.0);
+                }
+            }
+        } else {
+            // B = b^T with b stored (n,k): each output column is a row of
+            // `b`, contiguous in p.
+            let k = self.k;
+            for s in 0..nslivers {
+                let j0 = jb + s * NR;
+                let jw = NR.min(n - j0);
+                let sliver = &mut bp[s * kc * NR..(s + 1) * kc * NR];
+                for jj in 0..NR {
+                    if jj < jw {
+                        let src = &b[(j0 + jj) * k + kb..(j0 + jj) * k + kb + kc];
+                        for (p, &v) in src.iter().enumerate() {
+                            sliver[p * NR + jj] = v;
+                        }
+                    } else {
+                        for p in 0..kc {
+                            sliver[p * NR + jj] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// `out = A x B` (overwrite). See [`Layout`] for operand shapes.
@@ -149,14 +265,52 @@ fn gemm(
     n: usize,
     acc: bool,
 ) {
-    let (a_len, b_len) = match layout {
-        Layout::NN => (m * k, k * n),
-        Layout::NT => (m * k, n * k),
-        Layout::TN => (k * m, k * n),
+    let a_len = match layout {
+        Layout::NN | Layout::NT => m * k,
+        Layout::TN => k * m,
+    };
+    let b_len = match layout {
+        Layout::NN | Layout::TN => k * n,
+        Layout::NT => n * k,
     };
     assert_eq!(a.len(), a_len, "gemm {layout:?}: a length mismatch");
     assert_eq!(b.len(), b_len, "gemm {layout:?}: b length mismatch");
     assert_eq!(out.len(), m * n, "gemm {layout:?}: out length mismatch");
+    let lhs = match layout {
+        Layout::NN | Layout::NT => Lhs::RowMajor(a),
+        Layout::TN => Lhs::ColMajor(a),
+    };
+    let rhs = SliceRhs::new(b, matches!(layout, Layout::NT), k, n);
+    gemm_with(lhs, &rhs, out, m, k, n, acc);
+}
+
+/// The shared-panel GEMM driver: `out (+)= A x B` with the B operand
+/// supplied by any [`PackRhs`].
+///
+/// Schedule (per `k` panel, `kb` ascending — the serial outer loop):
+/// 1. a parallel **pack phase** writes every A row panel and every B
+///    column panel exactly once into its fixed slot of the shared,
+///    workspace-backed buffers (task `t < nib` packs A panel `t`, task
+///    `nib + j` packs B panel `j`);
+/// 2. a parallel **compute grid** over (row block × column panel) cells
+///    consumes the shared panels; each cell updates a disjoint
+///    `MC x NC` region of `out` and accumulates `k` in ascending order.
+///
+/// Both phases share one serial/parallel decision (gate ≈ `m*k*n` against
+/// [`parallel::PAR_THRESHOLD`]), and neither the slot assignment nor the
+/// thread count affects any output element's operation chain — output is
+/// bitwise identical to [`naive_gemm`] for every `TENSOR_THREADS`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_with<R: PackRhs>(
+    lhs: Lhs<'_>,
+    rhs: &R,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    acc: bool,
+) {
+    debug_assert_eq!(out.len(), m * n);
     if m == 0 || n == 0 {
         return;
     }
@@ -167,54 +321,208 @@ fn gemm(
         return;
     }
 
-    let nblocks = m.div_ceil(MC);
-    let base = out.as_mut_ptr() as usize;
-    parallel::parallel_for(nblocks, MC.min(m) * k * n, |ib| {
-        let i0 = ib * MC;
-        let rows = MC.min(m - i0);
-        // SAFETY: row blocks are disjoint (`ib` is executed exactly once),
-        // and `out` outlives the blocking parallel_for call.
-        let out_block =
-            unsafe { std::slice::from_raw_parts_mut((base as *mut f32).add(i0 * n), rows * n) };
-        gemm_row_block(layout, a, b, out_block, i0, rows, k, n, acc);
-    });
+    let nib = m.div_ceil(MC);
+    let njb = n.div_ceil(NC);
+    let kc_max = KC.min(k);
+    let a_slot = MC.div_ceil(MR) * MR * kc_max;
+    let b_slot = NC.div_ceil(NR) * NR * kc_max;
+    let mut ap = workspace::take_uninit(nib * a_slot);
+    let mut bp = workspace::take_uninit(njb * b_slot);
+    let ap_addr = ap.as_mut_ptr() as usize;
+    let bp_addr = bp.as_mut_ptr() as usize;
+    let out_addr = out.as_mut_ptr() as usize;
+
+    // One consistent serial/parallel gate for both phases: total work is
+    // ~m*k*n fused multiply-adds, so the per-task hints below make each
+    // phase's `tasks * hint` product land on that same total. The old
+    // per-row-block hint (`MC.min(m) * k * n`) overstated per-block work
+    // by `n/NC` for multi-panel shapes.
+    let total = m.saturating_mul(k).saturating_mul(n);
+    let pack_hint = (total / (nib + njb)).max(1);
+    let cell_hint = (total / (nib * njb)).max(1);
+
+    let mut kb = 0usize;
+    let mut first = !acc;
+    while kb < k {
+        let kc = KC.min(k - kb);
+        parallel::parallel_for(nib + njb, pack_hint, |t| {
+            if t < nib {
+                let i0 = t * MC;
+                let rows = MC.min(m - i0);
+                // SAFETY: slot `t` is written by task `t` alone (each index
+                // runs exactly once), and `ap` outlives the blocking call.
+                let slot = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        (ap_addr as *mut f32).add(t * a_slot),
+                        rows.div_ceil(MR) * MR * kc,
+                    )
+                };
+                pack_a(lhs, slot, i0, rows, kb, kc, k, m);
+            } else {
+                let jp = t - nib;
+                let j0 = jp * NC;
+                let nc = NC.min(n - j0);
+                // SAFETY: as above for B slot `jp`.
+                let slot = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        (bp_addr as *mut f32).add(jp * b_slot),
+                        nc.div_ceil(NR) * NR * kc,
+                    )
+                };
+                rhs.pack_panel(slot, kb, kc, j0, nc);
+            }
+        });
+        parallel::parallel_for_grid(nib, njb, cell_hint, |ib, jp| {
+            let i0 = ib * MC;
+            let rows = MC.min(m - i0);
+            let j0 = jp * NC;
+            let nc = NC.min(n - j0);
+            // SAFETY: the pack phase above is a barrier, so the panels are
+            // fully written; they are only read from here on.
+            let apanel = unsafe {
+                std::slice::from_raw_parts(
+                    (ap_addr as *const f32).add(ib * a_slot),
+                    rows.div_ceil(MR) * MR * kc,
+                )
+            };
+            let bpanel = unsafe {
+                std::slice::from_raw_parts(
+                    (bp_addr as *const f32).add(jp * b_slot),
+                    nc.div_ceil(NR) * NR * kc,
+                )
+            };
+            // SAFETY: grid cells update disjoint (row, column-range)
+            // segments of `out`, and `out` outlives the blocking call.
+            macro_kernel(
+                apanel,
+                bpanel,
+                out_addr as *mut f32,
+                i0,
+                rows,
+                kc,
+                j0,
+                nc,
+                n,
+                first,
+            );
+        });
+        kb += kc;
+        first = false;
+    }
+    workspace::recycle(ap);
+    workspace::recycle(bp);
 }
 
-/// Computes `rows` output rows starting at logical row `i0`.
-#[allow(clippy::too_many_arguments)]
-fn gemm_row_block(
-    layout: Layout,
-    a: &[f32],
-    b: &[f32],
-    out_block: &mut [f32],
-    i0: usize,
-    rows: usize,
+/// Fused-epilogue GEMM: computes `A x B` row block by row block and hands
+/// each finished `rows x n` tile to `scatter(tile, i0, rows)` **in
+/// ascending row order** instead of storing a full `(m, n)` product. This
+/// is the implicit col2im driver: `conv_transpose2d` and conv's
+/// grad-input path scatter each tile straight into the output image, so
+/// the full column matrix never exists in memory.
+///
+/// Every B panel is packed exactly once up front (all `k` panels); each
+/// row block then packs its A panels and accumulates `k` in ascending
+/// order into a shared tile, parallelizing over column panels (disjoint
+/// tile columns). The scatter itself runs serially in ascending row-block
+/// order, so a scatter that accumulates (`+=`) element-wise in ascending
+/// `(row, column)` order is bitwise identical to materializing the whole
+/// product and scattering it afterwards.
+///
+/// `k == 0` (an all-zero product) skips the scatter entirely: both conv
+/// callers scatter into freshly zeroed images, where `+= 0.0` is a no-op.
+pub(crate) fn gemm_scatter<R: PackRhs>(
+    lhs: Lhs<'_>,
+    rhs: &R,
+    m: usize,
     k: usize,
     n: usize,
-    acc: bool,
+    mut scatter: impl FnMut(&[f32], usize, usize),
 ) {
-    PACK.with(|cell| {
-        let mut pack = cell.borrow_mut();
-        let (ap, bp) = &mut *pack;
-        ap.resize(MC.div_ceil(MR) * MR * KC, 0.0);
-        bp.resize(KC * NC.div_ceil(NR) * NR, 0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let nib = m.div_ceil(MC);
+    let njb = n.div_ceil(NC);
+    let nkb = k.div_ceil(KC);
+    let kc_max = KC.min(k);
+    let a_slot = MC.div_ceil(MR) * MR * kc_max;
+    let b_slot = NC.div_ceil(NR) * NR * kc_max;
 
-        let mut kb = 0usize;
-        let mut first = !acc;
-        while kb < k {
-            let kc = KC.min(k - kb);
-            pack_a(layout, a, ap, i0, rows, kb, kc, k);
-            let mut jb = 0usize;
-            while jb < n {
-                let nc = NC.min(n - jb);
-                pack_b(layout, b, bp, kb, kc, jb, nc, k, n);
-                macro_kernel(ap, bp, out_block, rows, kc, jb, nc, n, first);
-                jb += nc;
-            }
-            kb += kc;
-            first = false;
-        }
+    let mut bp = workspace::take_uninit(nkb * njb * b_slot);
+    let bp_addr = bp.as_mut_ptr() as usize;
+    let total = m.saturating_mul(k).saturating_mul(n);
+    let pack_hint = (total / (nkb * njb)).max(1);
+    parallel::parallel_for_grid(nkb, njb, pack_hint, |kp, jp| {
+        let kb = kp * KC;
+        let kc = KC.min(k - kb);
+        let j0 = jp * NC;
+        let nc = NC.min(n - j0);
+        // SAFETY: slot `(kp, jp)` is written by its own task alone, and
+        // `bp` outlives the blocking call.
+        let slot = unsafe {
+            std::slice::from_raw_parts_mut(
+                (bp_addr as *mut f32).add((kp * njb + jp) * b_slot),
+                nc.div_ceil(NR) * NR * kc,
+            )
+        };
+        rhs.pack_panel(slot, kb, kc, j0, nc);
     });
+
+    let mut ap = workspace::take_uninit(nkb * a_slot);
+    let ap_addr = ap.as_mut_ptr() as usize;
+    let mut tile = workspace::take_uninit(MC.min(m) * n);
+    let tile_addr = tile.as_mut_ptr() as usize;
+    // Per column panel of one row block: rows * k * nc fused multiply-adds.
+    let jb_hint = MC.min(m).saturating_mul(k).saturating_mul(NC.min(n)).max(1);
+    for ib in 0..nib {
+        let i0 = ib * MC;
+        let rows = MC.min(m - i0);
+        for kp in 0..nkb {
+            let kb = kp * KC;
+            let kc = KC.min(k - kb);
+            let slot = &mut ap[kp * a_slot..kp * a_slot + rows.div_ceil(MR) * MR * kc];
+            pack_a(lhs, slot, i0, rows, kb, kc, k, m);
+        }
+        parallel::parallel_for(njb, jb_hint, |jp| {
+            let j0 = jp * NC;
+            let nc = NC.min(n - j0);
+            for kp in 0..nkb {
+                let kb = kp * KC;
+                let kc = KC.min(k - kb);
+                // SAFETY: panels were fully written above (barriers); tasks
+                // write disjoint column ranges of the shared tile, which
+                // outlives the blocking call.
+                let apanel = unsafe {
+                    std::slice::from_raw_parts(
+                        (ap_addr as *const f32).add(kp * a_slot),
+                        rows.div_ceil(MR) * MR * kc,
+                    )
+                };
+                let bpanel = unsafe {
+                    std::slice::from_raw_parts(
+                        (bp_addr as *const f32).add((kp * njb + jp) * b_slot),
+                        nc.div_ceil(NR) * NR * kc,
+                    )
+                };
+                macro_kernel(
+                    apanel,
+                    bpanel,
+                    tile_addr as *mut f32,
+                    0,
+                    rows,
+                    kc,
+                    j0,
+                    nc,
+                    n,
+                    kp == 0,
+                );
+            }
+        });
+        scatter(&tile[..rows * n], i0, rows);
+    }
+    workspace::recycle(tile);
+    workspace::recycle(ap);
+    workspace::recycle(bp);
 }
 
 /// Packs the `rows x kc` A panel [`MR`] rows at a time, interleaved so the
@@ -223,14 +531,14 @@ fn gemm_row_block(
 /// `rows`. The pad rows feed accumulator lanes that are never stored.
 #[allow(clippy::too_many_arguments)]
 fn pack_a(
-    layout: Layout,
-    a: &[f32],
+    lhs: Lhs<'_>,
     ap: &mut [f32],
     i0: usize,
     rows: usize,
     kb: usize,
     kc: usize,
     k: usize,
+    m: usize,
 ) {
     let npanels = rows.div_ceil(MR);
     for rp in 0..npanels {
@@ -239,10 +547,10 @@ fn pack_a(
         if rvalid < MR {
             panel.fill(0.0);
         }
-        match layout {
+        match lhs {
             // A stored row-major (m,k): scatter each row across the
             // interleaved columns.
-            Layout::NN | Layout::NT => {
+            Lhs::RowMajor(a) => {
                 for r in 0..rvalid {
                     let src = &a[(i0 + rp * MR + r) * k + kb..][..kc];
                     for (p, &v) in src.iter().enumerate() {
@@ -252,8 +560,7 @@ fn pack_a(
             }
             // A = a^T with a stored (k,m): each tile column is a contiguous
             // run of `a`, one straight copy per `k` step.
-            Layout::TN => {
-                let m = a.len() / k;
+            Lhs::ColMajor(a) => {
                 for (p, dst) in panel.chunks_exact_mut(MR).enumerate() {
                     let src = &a[(kb + p) * m + i0 + rp * MR..][..rvalid];
                     dst[..rvalid].copy_from_slice(src);
@@ -263,68 +570,20 @@ fn pack_a(
     }
 }
 
-/// Packs the `kc x nc` B panel as NR-wide column slivers, `p`-major:
-/// `bp[(s*kc + p)*NR + jj] = B[kb + p][jb + s*NR + jj]`, zero-padded past
-/// `n`. The padding columns contribute only to discarded accumulator lanes.
-#[allow(clippy::too_many_arguments)]
-fn pack_b(
-    layout: Layout,
-    b: &[f32],
-    bp: &mut [f32],
-    kb: usize,
-    kc: usize,
-    jb: usize,
-    nc: usize,
-    k: usize,
-    n: usize,
-) {
-    let nslivers = nc.div_ceil(NR);
-    match layout {
-        // B stored row-major (k,n): read rows at stride 1, sliver by sliver.
-        Layout::NN | Layout::TN => {
-            for s in 0..nslivers {
-                let j0 = jb + s * NR;
-                let jw = NR.min(n - j0);
-                let sliver = &mut bp[s * kc * NR..(s + 1) * kc * NR];
-                for p in 0..kc {
-                    let src = &b[(kb + p) * n + j0..(kb + p) * n + j0 + jw];
-                    let dst = &mut sliver[p * NR..p * NR + NR];
-                    dst[..jw].copy_from_slice(src);
-                    dst[jw..].fill(0.0);
-                }
-            }
-        }
-        // B = b^T with b stored (n,k): each output column is a row of `b`,
-        // contiguous in p.
-        Layout::NT => {
-            for s in 0..nslivers {
-                let j0 = jb + s * NR;
-                let jw = NR.min(n - j0);
-                let sliver = &mut bp[s * kc * NR..(s + 1) * kc * NR];
-                for jj in 0..NR {
-                    if jj < jw {
-                        let src = &b[(j0 + jj) * k + kb..(j0 + jj) * k + kb + kc];
-                        for (p, &v) in src.iter().enumerate() {
-                            sliver[p * NR + jj] = v;
-                        }
-                    } else {
-                        for p in 0..kc {
-                            sliver[p * NR + jj] = 0.0;
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Runs the register-tiled micro-kernels over one packed (A block, B block)
-/// pair, updating `out_block` columns `jb..jb+nc`.
+/// Runs the register-tiled micro-kernels over one packed (A panel, B panel)
+/// pair, updating rows `i0..i0+rows`, columns `jb..jb+nc` of the row-major
+/// `(_, n)` matrix at `out`.
+///
+/// `out` is a raw base pointer because concurrent grid cells of the same
+/// row block write disjoint *column ranges* of the same rows — overlapping
+/// `&mut` slices would be UB even with disjoint writes, so each micro tile
+/// materializes exactly the `(row, j0..j0+jw)` segments it owns.
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
     ap: &[f32],
     bp: &[f32],
-    out_block: &mut [f32],
+    out: *mut f32,
+    i0: usize,
     rows: usize,
     kc: usize,
     jb: usize,
@@ -340,32 +599,43 @@ fn macro_kernel(
         let jw = NR.min(jb + nc - j0);
         for rp in 0..npanels {
             let rvalid = MR.min(rows - rp * MR);
-            micro_mr(
-                &ap[rp * kc * MR..(rp + 1) * kc * MR],
-                sliver,
-                out_block,
-                rp * MR,
-                rvalid,
-                j0,
-                jw,
-                n,
-                first,
-            );
+            // SAFETY: rows `i0..i0+rows`, columns `j0..j0+jw` are inside
+            // the output matrix and owned exclusively by this grid cell
+            // (see the callers' scheduling contracts).
+            unsafe {
+                micro_mr(
+                    &ap[rp * kc * MR..(rp + 1) * kc * MR],
+                    sliver,
+                    out,
+                    i0 + rp * MR,
+                    rvalid,
+                    j0,
+                    jw,
+                    n,
+                    first,
+                );
+            }
         }
     }
 }
 
-/// 8x8 register tile: `out[r0..r0+rvalid][j0..j0+jw] (+)= A-panel · B-sliver`.
+/// Register tile: `out[r0..r0+rvalid][j0..j0+jw] (+)= A-panel · B-sliver`.
 ///
 /// `apanel` is [`MR`]-interleaved (`apanel[p*MR + r]`, see [`pack_a`]) and
 /// zero-padded past `rvalid`; `sliver` is zero-padded past `jw`. Pad rows
 /// and pad lanes accumulate but are never loaded from or stored to `out`.
+///
+/// # Safety
+/// The caller must guarantee that rows `r0..r0+rvalid` crossed with
+/// columns `j0..j0+jw` of the row-major matrix at `out` (row stride `n`)
+/// are in bounds and not accessed by any other thread for the duration of
+/// the call.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
-fn micro_mr(
+unsafe fn micro_mr(
     apanel: &[f32],
     sliver: &[f32],
-    out: &mut [f32],
+    out: *mut f32,
     r0: usize,
     rvalid: usize,
     j0: usize,
@@ -376,13 +646,16 @@ fn micro_mr(
     let mut acc = [[0.0f32; NR]; MR];
     if !first {
         for (r, accr) in acc.iter_mut().enumerate().take(rvalid) {
-            let orow = &out[(r0 + r) * n + j0..(r0 + r) * n + j0 + jw];
+            // SAFETY: per the function contract, this row segment is in
+            // bounds and exclusively ours.
+            let orow = unsafe { std::slice::from_raw_parts(out.add((r0 + r) * n + j0), jw) };
             accr[..jw].copy_from_slice(orow);
         }
     }
     inner_k_loop(apanel, sliver, &mut acc);
     for (r, accr) in acc.iter().enumerate().take(rvalid) {
-        let orow = &mut out[(r0 + r) * n + j0..(r0 + r) * n + j0 + jw];
+        // SAFETY: as above.
+        let orow = unsafe { std::slice::from_raw_parts_mut(out.add((r0 + r) * n + j0), jw) };
         orow.copy_from_slice(&accr[..jw]);
     }
 }
@@ -546,7 +819,8 @@ mod tests {
     #[test]
     fn bitwise_matches_naive_across_edges() {
         // Hits every edge: tile-exact, sub-tile, row/col remainders,
-        // multi-KC, multi-NC, multi-MC.
+        // multi-KC, multi-NC, multi-MC, and wide (multi-NC with a single
+        // row block — the new NC-parallel dimension).
         for (i, &(m, k, n)) in [
             (1, 1, 1),
             (4, 8, 8),
@@ -555,6 +829,7 @@ mod tests {
             (33, 17, 40),
             (64, 64, 64),
             (37, 257, 261),
+            (8, 64, 600),
             (70, 300, 300),
         ]
         .iter()
@@ -603,5 +878,71 @@ mod tests {
         gemm_into(Layout::NN, &[], &[1.0, 2.0, 3.0, 4.0], &mut out, 0, 2, 2);
         gemm_into(Layout::NN, &[1.0, 2.0, 3.0, 4.0], &[], &mut out, 2, 2, 0);
         gemm_into(Layout::NT, &[], &[], &mut out, 0, 0, 0);
+    }
+
+    #[test]
+    fn scatter_matches_materialized_product() {
+        // gemm_scatter must hand out the exact rows of A x B, in ascending
+        // row-block order, each exactly once.
+        let mut rng = Rng64::seed_from_u64(77);
+        let (m, k, n) = (70, 300, 300); // multi-MC, multi-KC, multi-NC
+        let a = randv(m * k, &mut rng);
+        let b = randv(k * n, &mut rng);
+        let want = naive_gemm(Layout::NN, &a, &b, m, k, n);
+        let mut got = vec![f32::NAN; m * n];
+        let mut next_row = 0usize;
+        gemm_scatter(
+            Lhs::RowMajor(&a),
+            &SliceRhs::new(&b, false, k, n),
+            m,
+            k,
+            n,
+            |tile, i0, rows| {
+                assert_eq!(i0, next_row, "row blocks must arrive in order");
+                assert_eq!(tile.len(), rows * n);
+                got[i0 * n..(i0 + rows) * n].copy_from_slice(tile);
+                next_row = i0 + rows;
+            },
+        );
+        assert_eq!(next_row, m);
+        for (i, (x, y)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn scatter_zero_k_skips_callback() {
+        gemm_scatter(
+            Lhs::RowMajor(&[]),
+            &SliceRhs::new(&[], false, 0, 3),
+            2,
+            0,
+            3,
+            |_, _, _| panic!("must not run"),
+        );
+    }
+
+    #[test]
+    fn colmajor_lhs_matches_materialized_transpose() {
+        // Lhs::ColMajor packs a (k,m) slice as A = a^T — the no-copy path
+        // conv uses for w^T · g products. Must equal the TN layout exactly.
+        let mut rng = Rng64::seed_from_u64(42);
+        let (m, k, n) = (37, 65, 33);
+        let a_t = randv(k * m, &mut rng); // stored (k, m)
+        let b = randv(k * n, &mut rng);
+        let want = naive_gemm(Layout::TN, &a_t, &b, m, k, n);
+        let mut got = vec![f32::NAN; m * n];
+        gemm_with(
+            Lhs::ColMajor(&a_t),
+            &SliceRhs::new(&b, false, k, n),
+            &mut got,
+            m,
+            k,
+            n,
+            false,
+        );
+        for (i, (x, y)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i}: {x} vs {y}");
+        }
     }
 }

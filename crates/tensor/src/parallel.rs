@@ -145,6 +145,25 @@ where
     pool::run(threads.min(n), n, &body);
 }
 
+/// Runs `body(r, c)` for every cell of an `rows x cols` grid, flattened
+/// row-major over [`parallel_for`]: task `t` maps to cell
+/// `(t / cols, t % cols)`, so cell `(r, c)` always executes on slot
+/// `(r * cols + c) % threads` — the same fixed task→slot mapping contract.
+///
+/// This is the dispatch shape of the shared-panel GEMM schedule (row-block ×
+/// column-panel compute grid): one flat dispatch covers both parallel
+/// dimensions, so wide shapes (large `n`, small `m`) still fan out even when
+/// there are few row blocks. `work_hint` is the per-cell cost estimate.
+pub fn parallel_for_grid<F>(rows: usize, cols: usize, work_hint: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    parallel_for(rows * cols, work_hint, |t| body(t / cols, t % cols));
+}
+
 /// Splits `out` into `n` equal chunks and runs `body(i, chunk_i)` in
 /// parallel. This is the safe entry point for "one output slot per batch
 /// sample" kernels (conv2d over a batch, per-sample feedback application).
@@ -226,6 +245,22 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn grid_visits_every_cell_once_in_row_major_order_per_slot() {
+        let _guard = scoped_max_threads(4);
+        let hits: Vec<AtomicU64> = (0..7 * 5).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_grid(7, 5, PAR_THRESHOLD, |r, c| {
+            hits[r * 5 + c].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn grid_degenerate_dims_are_noops() {
+        parallel_for_grid(0, 5, 1, |_, _| panic!("must not run"));
+        parallel_for_grid(5, 0, 1, |_, _| panic!("must not run"));
     }
 
     #[test]

@@ -25,11 +25,12 @@
 //!   conv) degrade to sequential execution on the spot — the pool can never
 //!   deadlock on itself and nesting does not change results.
 //!
-//! The module also hosts the **thread-local scratch allocator**
-//! ([`with_scratch`]) used by the convolution kernels to reuse `im2col`/
-//! `col2im` column buffers across calls instead of allocating per sample.
+//! Buffer recycling lives in [`crate::workspace`]: since the GEMM moved to
+//! a shared-panel packing schedule (and the convolutions to implicit
+//! im2col), kernels draw their packing panels from that process-wide shelf
+//! instead of per-thread scratch, so this module is purely about threads.
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -119,10 +120,6 @@ thread_local! {
     /// True on pool workers (always) and on callers while they execute
     /// their own slot-0 share; gates nested parallelism to sequential.
     static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
-
-    /// Reusable f32 buffers for [`with_scratch`], a stack so nested scopes
-    /// each get their own buffer.
-    static SCRATCH: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Counters describing the pool's lifetime activity, for telemetry export.
@@ -315,23 +312,6 @@ pub(crate) fn run(threads: usize, n: usize, body: &(dyn Fn(usize) + Sync)) {
     );
 }
 
-/// Runs `f` with a thread-local scratch buffer of exactly `len` elements.
-///
-/// The buffer's **contents are arbitrary on entry** (it is recycled across
-/// calls); callers must fully overwrite the region they read. Buffers are
-/// kept per thread — pool workers included — so steady-state kernel calls
-/// allocate nothing once warmed up. Scopes may nest: each nesting level gets
-/// its own buffer.
-pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
-    let mut buf = SCRATCH.with(|s| s.borrow_mut().pop()).unwrap_or_default();
-    if buf.len() < len {
-        buf.resize(len, 0.0);
-    }
-    let result = f(&mut buf[..len]);
-    SCRATCH.with(|s| s.borrow_mut().push(buf));
-    result
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,23 +360,6 @@ mod tests {
     }
 
     #[test]
-    fn scratch_reuses_capacity_and_nests() {
-        let p1 = with_scratch(64, |a| {
-            a.fill(1.0);
-            let inner = with_scratch(32, |b| {
-                b.fill(2.0);
-                b.as_ptr() as usize
-            });
-            assert!(a.iter().all(|&v| v == 1.0), "nested scope clobbered outer");
-            (a.as_ptr() as usize, inner)
-        });
-        // Same-size reuse on the same thread returns a recycled buffer (one
-        // of the two stacked ones).
-        let p2 = with_scratch(64, |a| a.as_ptr() as usize);
-        assert!(p2 == p1.0 || p2 == p1.1);
-    }
-
-    #[test]
     fn trace_hook_sees_worker_slices_and_uninstalls() {
         let fired = Arc::new(TestCounter::new(0));
         let seen = Arc::clone(&fired);
@@ -412,11 +375,5 @@ mod tests {
         assert!(after >= 2, "hook fired {after} times");
         run(3, 32, &|_| {});
         assert_eq!(fired.load(Ordering::Relaxed), after, "hook not removed");
-    }
-
-    #[test]
-    fn scratch_len_is_exact() {
-        with_scratch(100, |a| assert_eq!(a.len(), 100));
-        with_scratch(10, |a| assert_eq!(a.len(), 10));
     }
 }

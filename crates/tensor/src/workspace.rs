@@ -24,11 +24,15 @@
 //!
 //! Buffers handed out by [`take_raw`] have **length zero** and arbitrary
 //! prior capacity contents; the zeroing/filling variants are the safe entry
-//! points for callers that read before writing. All entry points are
-//! thread-safe behind one mutex — the lock is taken once per tensor
-//! allocation (nanoseconds), never per element, and kernel-internal scratch
-//! stays on the thread-local paths in [`crate::pool`] and the GEMM packing
-//! buffers, so pool workers do not contend on it.
+//! points for callers that read before writing, and [`take_uninit`] hands
+//! out full-length buffers with arbitrary (but initialized) contents for
+//! callers that overwrite every element they later read — the shared GEMM
+//! packing workspace draws from it once per call, so the A/B panel buffers
+//! cost one mutex round trip instead of a multi-megabyte memset. All entry
+//! points are thread-safe behind one mutex — the lock is taken once per
+//! tensor allocation (nanoseconds), never per element; per-thread scratch
+//! stays on the thread-local paths in [`crate::pool`], so pool workers do
+//! not contend on it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
@@ -103,6 +107,50 @@ pub fn take_raw(len: usize) -> Vec<f32> {
     if len < MIN_POOL_LEN {
         return Vec::with_capacity(len);
     }
+    match pop_fit(len) {
+        Some(mut buf) => {
+            buf.clear();
+            buf
+        }
+        None => Vec::with_capacity(len),
+    }
+}
+
+/// A buffer of exactly `len` elements with **arbitrary** (but initialized —
+/// never uninitialized-memory) contents: recycled buffers keep whatever
+/// values their previous owner left behind.
+///
+/// This is the zero-cost entry point for callers that overwrite every
+/// element they will later read (GEMM packing buffers, full-overwrite
+/// outputs): a pool hit costs one mutex round trip and at most a truncate,
+/// no memset. Only the cold paths write: a pool miss zero-fills a fresh
+/// allocation, and a hit whose previous length was shorter than `len`
+/// zero-extends the gap (Rust has no safe way to expose the spare capacity's
+/// stale bytes).
+pub fn take_uninit(len: usize) -> Vec<f32> {
+    if len < MIN_POOL_LEN {
+        return vec![0.0; len];
+    }
+    match pop_fit(len) {
+        Some(mut buf) => {
+            if buf.len() >= len {
+                buf.truncate(len);
+            } else {
+                // Elements past the recycled length are spare capacity whose
+                // bytes were never initialized through this Vec; zero only
+                // that gap.
+                buf.resize(len, 0.0);
+            }
+            buf
+        }
+        None => vec![0.0; len],
+    }
+}
+
+/// Best-fit shelf pop shared by the `take_*` entry points; updates the
+/// hit/miss counters. Returned buffers keep the length their previous owner
+/// recycled them with (every element below that length is initialized).
+fn pop_fit(len: usize) -> Option<Vec<f32>> {
     let recycled = {
         let mut shelf = SHELF.lock().unwrap_or_else(PoisonError::into_inner);
         let idx = shelf.bufs.partition_point(|b| b.capacity() < len);
@@ -118,11 +166,11 @@ pub fn take_raw(len: usize) -> Vec<f32> {
         Some(buf) => {
             HITS.fetch_add(1, Ordering::Relaxed);
             BYTES_RECYCLED.fetch_add(4 * len as u64, Ordering::Relaxed);
-            buf
+            Some(buf)
         }
         None => {
             MISSES.fetch_add(1, Ordering::Relaxed);
-            Vec::with_capacity(len)
+            None
         }
     }
 }
@@ -151,12 +199,14 @@ pub fn take_copy(src: &[f32]) -> Vec<f32> {
 /// Buffers below [`MIN_POOL_LEN`] capacity are simply freed. When the pool
 /// is at its entry or byte budget, the smallest retained buffers are evicted
 /// to make room — large buffers are the expensive ones to reallocate.
-pub fn recycle(mut buf: Vec<f32>) {
+pub fn recycle(buf: Vec<f32>) {
     let cap = buf.capacity();
     if cap < MIN_POOL_LEN {
         return;
     }
-    buf.clear();
+    // The buffer is shelved with its length intact: [`take_uninit`] uses the
+    // recycled length as the proof of how far the contents are initialized.
+    // [`take_raw`] clears on the way out instead.
     let mut evicted: Vec<Vec<f32>> = Vec::new();
     {
         let mut shelf = SHELF.lock().unwrap_or_else(PoisonError::into_inner);
@@ -251,5 +301,31 @@ mod tests {
     fn zero_len_request_is_free() {
         let b = take_raw(0);
         assert_eq!(b.capacity(), 0);
+    }
+
+    #[test]
+    fn uninit_reuses_contents_and_zero_extends_the_gap() {
+        // An unusual size no kernel test uses, so no other thread steals it.
+        let len = 23_459usize;
+        let mut b = take_filled(len, 3.0);
+        b.truncate(len - 100); // recycle with a shorter initialized length
+        let ptr = b.as_ptr() as usize;
+        recycle(b);
+        let u = take_uninit(len);
+        assert_eq!(u.as_ptr() as usize, ptr, "buffer was not recycled");
+        assert_eq!(u.len(), len);
+        assert!(u[..len - 100].iter().all(|&v| v == 3.0));
+        assert!(
+            u[len - 100..].iter().all(|&v| v == 0.0),
+            "capacity gap past the recycled length must be zero-extended"
+        );
+        recycle(u);
+    }
+
+    #[test]
+    fn uninit_tiny_request_is_exact_and_zeroed() {
+        let b = take_uninit(MIN_POOL_LEN - 1);
+        assert_eq!(b.len(), MIN_POOL_LEN - 1);
+        assert!(b.iter().all(|&v| v == 0.0));
     }
 }

@@ -1,0 +1,303 @@
+//! Property tests pinning the **implicit-GEMM** convolution paths to the
+//! materialized `im2col`/`col2im` pipeline — **bitwise** — across
+//! stride/padding/channel/odd-spatial shapes.
+//!
+//! The references below are the pre-implicit implementations, rebuilt from
+//! the public `im2col` / `col2im` / `matmul_*` building blocks: unfold the
+//! column matrix, multiply, (scatter). The production paths pack the same
+//! patch values on the fly inside the GEMM and fuse the col2im scatter
+//! into the GEMM epilogue; since the per-element `mul_add` chains and the
+//! scatter accumulation order are unchanged, every output must match the
+//! materialized pipeline bit for bit.
+
+use md_tensor::ops::conv::{
+    col2im, conv2d_backward, conv2d_forward, conv_out_dim, conv_transpose2d_backward,
+    conv_transpose2d_forward, conv_transpose_out_dim, im2col,
+};
+use md_tensor::ops::matmul::{matmul_into, matmul_nt_acc_into};
+use md_tensor::rng::Rng64;
+use md_tensor::tensor::Tensor;
+use proptest::prelude::*;
+
+/// Normals with a sprinkling of exact and signed zeros, so a zero-skip
+/// shortcut can never sneak back into any conv path.
+fn filled(shape: &[usize], seed: u64) -> Tensor {
+    let len: usize = shape.iter().product();
+    let mut rng = Rng64::seed_from_u64(seed);
+    let data: Vec<f32> = (0..len)
+        .map(|i| match i % 7 {
+            0 => 0.0,
+            3 => -0.0,
+            _ => rng.normal(),
+        })
+        .collect();
+    Tensor::new(shape, data)
+}
+
+fn assert_bits_eq(got: &Tensor, want: &Tensor, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what} shape");
+    for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what} element {i}: implicit {x} vs materialized {y}"
+        );
+    }
+}
+
+/// Materialized-im2col conv2d forward: the old implementation.
+fn conv_ref_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, s: usize, p: usize) -> Tensor {
+    let (b, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (o, kh, kw) = (weight.shape()[0], weight.shape()[2], weight.shape()[3]);
+    let oh = conv_out_dim(h, kh, s, p);
+    let ow = conv_out_dim(w, kw, s, p);
+    let (ckk, ohw) = (c * kh * kw, oh * ow);
+    let mut out = vec![0.0f32; b * o * ohw];
+    let mut cols = vec![0.0f32; ckk * ohw];
+    for bi in 0..b {
+        let image = &input.data()[bi * c * h * w..(bi + 1) * c * h * w];
+        im2col(image, c, h, w, kh, kw, s, p, oh, ow, &mut cols);
+        let out_sample = &mut out[bi * o * ohw..(bi + 1) * o * ohw];
+        matmul_into(weight.data(), &cols, out_sample, o, ckk, ohw);
+        if !bias.is_empty() {
+            for (oc, chunk) in out_sample.chunks_mut(ohw).enumerate() {
+                let bv = bias.data()[oc];
+                for v in chunk {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Tensor::new(&[b, o, oh, ow], out)
+}
+
+/// Materialized conv2d backward: im2col, `matmul_nt` for the weight
+/// gradient, materialized `w^T` GEMM + col2im for the input gradient.
+fn conv_ref_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    s: usize,
+    p: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let (b, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (o, kh, kw) = (weight.shape()[0], weight.shape()[2], weight.shape()[3]);
+    let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
+    let (ckk, ohw) = (c * kh * kw, oh * ow);
+    let mut grad_input = vec![0.0f32; input.len()];
+    let mut gw = Tensor::zeros(weight.shape());
+    let mut gb = Tensor::zeros(&[o]);
+    let w_t = weight.reshape(&[o, ckk]).t(); // (ckk, o)
+    let mut cols = vec![0.0f32; ckk * ohw];
+    let mut gcols = vec![0.0f32; ckk * ohw];
+    for bi in 0..b {
+        let image = &input.data()[bi * c * h * w..(bi + 1) * c * h * w];
+        let g = &grad_out.data()[bi * o * ohw..(bi + 1) * o * ohw];
+        im2col(image, c, h, w, kh, kw, s, p, oh, ow, &mut cols);
+        matmul_nt_acc_into(g, &cols, gw.data_mut(), o, ohw, ckk);
+        matmul_into(w_t.data(), g, &mut gcols, ckk, o, ohw);
+        let gi = &mut grad_input[bi * c * h * w..(bi + 1) * c * h * w];
+        col2im(&gcols, c, h, w, kh, kw, s, p, oh, ow, gi);
+        for oc in 0..o {
+            gb.data_mut()[oc] += g[oc * ohw..(oc + 1) * ohw].iter().sum::<f32>();
+        }
+    }
+    (Tensor::new(input.shape(), grad_input), gw, gb)
+}
+
+/// Materialized conv-transpose forward: `w2^T x` GEMM, then col2im.
+fn conv_t_ref_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    s: usize,
+    p: usize,
+) -> Tensor {
+    let (b, cin, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (cout, kh, kw) = (weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+    let oh = conv_transpose_out_dim(h, kh, s, p);
+    let ow = conv_transpose_out_dim(w, kw, s, p);
+    let (ckk, hw) = (cout * kh * kw, h * w);
+    let w2_t = weight.reshape(&[cin, ckk]).t(); // (ckk, cin)
+    let mut out = vec![0.0f32; b * cout * oh * ow];
+    let mut cols = vec![0.0f32; ckk * hw];
+    for bi in 0..b {
+        let x = &input.data()[bi * cin * hw..(bi + 1) * cin * hw];
+        matmul_into(w2_t.data(), x, &mut cols, ckk, cin, hw);
+        let out_sample = &mut out[bi * cout * oh * ow..(bi + 1) * cout * oh * ow];
+        col2im(&cols, cout, oh, ow, kh, kw, s, p, h, w, out_sample);
+        if !bias.is_empty() {
+            for (oc, chunk) in out_sample.chunks_mut(oh * ow).enumerate() {
+                let bv = bias.data()[oc];
+                for v in chunk {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Tensor::new(&[b, cout, oh, ow], out)
+}
+
+/// Materialized conv-transpose backward: im2col over the adjoint geometry,
+/// then two GEMMs.
+fn conv_t_ref_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    s: usize,
+    p: usize,
+) -> (Tensor, Tensor, Tensor) {
+    let (b, cin, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (cout, kh, kw) = (weight.shape()[1], weight.shape()[2], weight.shape()[3]);
+    let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
+    let (ckk, hw) = (cout * kh * kw, h * w);
+    let mut grad_input = vec![0.0f32; input.len()];
+    let mut gw = Tensor::zeros(weight.shape());
+    let mut gb = Tensor::zeros(&[cout]);
+    let mut gcols = vec![0.0f32; ckk * hw];
+    for bi in 0..b {
+        let g = &grad_out.data()[bi * cout * oh * ow..(bi + 1) * cout * oh * ow];
+        let x = &input.data()[bi * cin * hw..(bi + 1) * cin * hw];
+        im2col(g, cout, oh, ow, kh, kw, s, p, h, w, &mut gcols);
+        let gi = &mut grad_input[bi * cin * hw..(bi + 1) * cin * hw];
+        matmul_into(weight.data(), &gcols, gi, cin, ckk, hw);
+        matmul_nt_acc_into(x, &gcols, gw.data_mut(), cin, hw, ckk);
+        for oc in 0..cout {
+            gb.data_mut()[oc] += g[oc * oh * ow..(oc + 1) * oh * ow].iter().sum::<f32>();
+        }
+    }
+    (Tensor::new(input.shape(), grad_input), gw, gb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// conv2d forward + backward, implicit vs materialized, bitwise.
+    #[test]
+    fn conv2d_implicit_matches_materialized_bitwise(
+        b in 1usize..3,
+        c in 1usize..4,
+        o in 1usize..4,
+        h in 1usize..8,
+        w in 1usize..8,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        s in 1usize..3,
+        p in 0usize..3,
+        seed in 0u64..1024,
+    ) {
+        // Clamp the kernel so the padded input always covers it.
+        let kh = kh.min(h + 2 * p);
+        let kw = kw.min(w + 2 * p);
+        let x = filled(&[b, c, h, w], seed);
+        let wt = filled(&[o, c, kh, kw], seed ^ 0x11);
+        let bias = filled(&[o], seed ^ 0x22);
+
+        let got = conv2d_forward(&x, &wt, &bias, s, p);
+        let want = conv_ref_forward(&x, &wt, &bias, s, p);
+        assert_bits_eq(&got, &want, "conv2d forward");
+
+        let g = filled(got.shape(), seed ^ 0x33);
+        let (gx, gw, gb) = conv2d_backward(&x, &wt, &g, s, p);
+        let (gx_ref, gw_ref, gb_ref) = conv_ref_backward(&x, &wt, &g, s, p);
+        assert_bits_eq(&gx, &gx_ref, "conv2d grad_input");
+        assert_bits_eq(&gw, &gw_ref, "conv2d grad_weight");
+        assert_bits_eq(&gb, &gb_ref, "conv2d grad_bias");
+    }
+
+    /// conv_transpose2d forward + backward, implicit (fused col2im) vs
+    /// materialized, bitwise.
+    #[test]
+    fn conv_t_implicit_matches_materialized_bitwise(
+        b in 1usize..3,
+        cin in 1usize..4,
+        cout in 1usize..4,
+        h in 1usize..7,
+        w in 1usize..7,
+        kh in 1usize..5,
+        kw in 1usize..5,
+        s in 1usize..3,
+        p in 0usize..3,
+        seed in 0u64..1024,
+    ) {
+        // Clamp the padding so the transposed output stays >= 1 on each axis.
+        let p = p
+            .min(((h - 1) * s + kh - 1) / 2)
+            .min(((w - 1) * s + kw - 1) / 2);
+        let x = filled(&[b, cin, h, w], seed);
+        let wt = filled(&[cin, cout, kh, kw], seed ^ 0x44);
+        let bias = filled(&[cout], seed ^ 0x55);
+
+        let got = conv_transpose2d_forward(&x, &wt, &bias, s, p);
+        let want = conv_t_ref_forward(&x, &wt, &bias, s, p);
+        assert_bits_eq(&got, &want, "conv_t forward");
+
+        let g = filled(got.shape(), seed ^ 0x66);
+        let (gx, gw, gb) = conv_transpose2d_backward(&x, &wt, &g, s, p);
+        let (gx_ref, gw_ref, gb_ref) = conv_t_ref_backward(&x, &wt, &g, s, p);
+        assert_bits_eq(&gx, &gx_ref, "conv_t grad_input");
+        assert_bits_eq(&gw, &gw_ref, "conv_t grad_weight");
+        assert_bits_eq(&gb, &gb_ref, "conv_t grad_bias");
+    }
+}
+
+/// A fixed larger odd-shape case crossing MC/KC/NC panel edges inside the
+/// per-sample GEMMs, plus thread-count invariance of the whole conv path
+/// (the per-sample batch split and the shared-panel GEMM schedule must
+/// both be bitwise thread-count independent).
+#[test]
+fn conv_paths_bitwise_identical_across_thread_counts() {
+    use md_tensor::parallel::scoped_max_threads;
+    let (b, c, o, h, w, kh, s, p) = (3, 5, 7, 13, 11, 3, 2, 1);
+    let x = filled(&[b, c, h, w], 7);
+    let wt = filled(&[o, c, kh, kh], 8);
+    let bias = filled(&[o], 9);
+    let run = |threads: usize| {
+        let _g = scoped_max_threads(threads);
+        let out = conv2d_forward(&x, &wt, &bias, s, p);
+        let gout = filled(out.shape(), 10);
+        let (gx, gw, gb) = conv2d_backward(&x, &wt, &gout, s, p);
+        (out, gx, gw, gb)
+    };
+    let seq = run(1);
+    for threads in [2, 3, 8] {
+        let par = run(threads);
+        for (which, (a, b)) in [
+            (&seq.0, &par.0),
+            (&seq.1, &par.1),
+            (&seq.2, &par.2),
+            (&seq.3, &par.3),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for (i, (x0, x1)) in a.data().iter().zip(b.data()).enumerate() {
+                assert_eq!(
+                    x0.to_bits(),
+                    x1.to_bits(),
+                    "output {which} element {i} differs at {threads} threads"
+                );
+            }
+        }
+    }
+}

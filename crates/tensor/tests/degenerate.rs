@@ -100,9 +100,10 @@ fn matmul_bitwise_identical_across_thread_counts() {
 fn matmul_bitwise_identical_across_thread_counts_odd_sizes() {
     // Odd, non-tile-multiple extents: 301 rows leave a 13-row remainder
     // block (and a 1-row remainder micro-tile), 257 crosses the KC=256
-    // panel edge, 263 leaves a 7-column sliver. Work per block
-    // 32*257*263 ≈ 2.2M over 10 blocks clears PAR_THRESHOLD, so the
-    // 4-slot run really splits across the pool.
+    // panel edge, 263 leaves a 7-column sliver and spills into a second
+    // NC=256 column panel, so the shared-panel schedule's pack phase and
+    // (row block x column panel) compute grid both really split across the
+    // pool. Total work 301*257*263 ≈ 20M clears PAR_THRESHOLD.
     let (m, k, n) = (301, 257, 263);
     let mut rng = Rng64::seed_from_u64(23);
     let a = Tensor::randn(&[m, k], &mut rng);
@@ -114,11 +115,16 @@ fn matmul_bitwise_identical_across_thread_counts_odd_sizes() {
         let _g = scoped_max_threads(threads);
         (a.matmul(&b), a.matmul_nt(&bt), at.matmul_tn(&b))
     };
+    // 1 is the serial spec; 2 and 3 exercise uneven slot assignments of
+    // the 10x2-cell grid (3 divides neither the 20 cells nor the 12 pack
+    // tasks); 8 oversubscribes small hosts. All must be bitwise equal.
     let seq = run(1);
-    let par = run(4);
-    assert_bitwise_eq(&seq.0, &par.0);
-    assert_bitwise_eq(&seq.1, &par.1);
-    assert_bitwise_eq(&seq.2, &par.2);
+    for threads in [2, 3, 8] {
+        let par = run(threads);
+        assert_bitwise_eq(&seq.0, &par.0);
+        assert_bitwise_eq(&seq.1, &par.1);
+        assert_bitwise_eq(&seq.2, &par.2);
+    }
 }
 
 #[test]
